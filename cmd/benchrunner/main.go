@@ -1,0 +1,55 @@
+// Command benchrunner regenerates every experiment table of
+// EXPERIMENTS.md: the experiments E1-E10 that operationalize the
+// paper's claims (see DESIGN.md §4 for the per-experiment index).
+//
+// Usage:
+//
+//	benchrunner [-scale 1.0] [-only E2,E5]
+//
+// The scale factor shrinks workloads proportionally for quick runs; the
+// recorded EXPERIMENTS.md numbers use -scale 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 1.0, "workload scale factor (1 = EXPERIMENTS.md size)")
+		only  = flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E4)")
+	)
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	start := time.Now()
+	ran := 0
+	for _, e := range bench.All() {
+		if len(selected) > 0 && !selected[e.ID] {
+			continue
+		}
+		fmt.Printf("### %s — %s\n\n", e.ID, e.Claim)
+		t0 := time.Now()
+		tab := e.Run(*scale)
+		fmt.Print(tab.String())
+		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "benchrunner: no experiments matched -only")
+		os.Exit(1)
+	}
+	fmt.Printf("ran %d experiments at scale %g in %s\n", ran, *scale, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,103 @@
+// Command stateql replays a persisted state log (written by
+// cmd/statestream -log or any program using state.Log) and answers
+// temporal queries against the reconstructed repository — the paper's
+// §3.2 "queryable state" benefit, offline: the state outlives the stream
+// processor that built it.
+//
+// Usage:
+//
+//	stateql -log state.log "SELECT entity, value FROM position" \
+//	                       "SELECT * FROM * HISTORY LIMIT 20"
+//	stateql -log state.log -i     # interactive REPL (\q quits)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/query"
+	"repro/internal/state"
+	"repro/internal/temporal"
+)
+
+func main() {
+	logFile := flag.String("log", "", "state log file to replay (required)")
+	interactive := flag.Bool("i", false, "interactive mode: read queries from stdin")
+	flag.Parse()
+	if err := run(*logFile, *interactive, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "stateql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(logFile string, interactive bool, queries []string) error {
+	if logFile == "" {
+		return fmt.Errorf("-log is required")
+	}
+	if !interactive && len(queries) == 0 {
+		return fmt.Errorf("no queries given (use -i for interactive mode)")
+	}
+	store := state.NewStore()
+	n, err := state.ReplayFile(logFile, store)
+	if err != nil {
+		return err
+	}
+	st := store.Stats()
+	fmt.Printf("replayed %d mutations: %d keys, %d versions, %d current\n",
+		n, st.Keys, st.Versions, st.Current)
+
+	// Anchor now() past every stored validity start so CURRENT sees the
+	// final state.
+	var horizon temporal.Instant
+	for _, f := range store.Scan(nil) {
+		if f.Validity.Start > horizon {
+			horizon = f.Validity.Start
+		}
+	}
+	ex := &query.Executor{Store: store, Now: horizon + 1}
+	for _, q := range queries {
+		fmt.Printf("\n> %s\n", q)
+		res, err := ex.Run(q)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+	}
+	if interactive {
+		return repl(ex, store)
+	}
+	return nil
+}
+
+// repl reads queries line by line. Errors are reported, not fatal; \q or
+// EOF ends the session; \stats prints store occupancy.
+func repl(ex *query.Executor, store *state.Store) error {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	fmt.Print("stateql> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q` || line == "exit" || line == "quit":
+			return nil
+		case line == `\stats`:
+			st := store.Stats()
+			fmt.Printf("keys=%d versions=%d current=%d attributes=%d\n",
+				st.Keys, st.Versions, st.Current, st.Attributes)
+		default:
+			res, err := ex.Run(line)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(res)
+			}
+		}
+		fmt.Print("stateql> ")
+	}
+	fmt.Println()
+	return sc.Err()
+}

@@ -1,0 +1,53 @@
+// Command stateserve replays a persisted state log and exposes the
+// reconstructed repository over HTTP — the §3.2 interoperability
+// scenario: "stream processing systems can expose their state and query
+// the state of other systems."
+//
+// Usage:
+//
+//	stateserve -log state.log [-addr :8080]
+//
+// Then, from anywhere:
+//
+//	curl -s -X POST localhost:8080/query \
+//	     -d '{"query":"SELECT entity, value FROM position"}'
+//	curl -s 'localhost:8080/fact?entity=ann&attr=position&at=35'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/server"
+	"repro/internal/state"
+)
+
+func main() {
+	var (
+		logFile = flag.String("log", "", "state log file to replay (required)")
+		addr    = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if err := run(*logFile, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "stateserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(logFile, addr string) error {
+	if logFile == "" {
+		return fmt.Errorf("-log is required")
+	}
+	store := state.NewStore()
+	n, err := state.ReplayFile(logFile, store)
+	if err != nil {
+		return err
+	}
+	st := store.Stats()
+	fmt.Printf("replayed %d mutations (%d keys, %d versions); serving on %s\n",
+		n, st.Keys, st.Versions, addr)
+	return http.ListenAndServe(addr, server.New(store, nil))
+}

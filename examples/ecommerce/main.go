@@ -1,0 +1,129 @@
+// Command ecommerce reproduces the paper's §3.1 case study: a decision
+// support tool where sales trends must be interpreted against the current
+// product classification, which "is managed by a different division of
+// the company" and changes over time. Reclassification events feed state
+// management rules; the trend query enriches each sale from the state; an
+// ontology-backed reasoner answers taxonomy queries (which products are,
+// transitively, "media"?).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	statestream "repro"
+)
+
+var (
+	saleSchema = statestream.NewSchema(
+		statestream.Field{Name: "product", Kind: statestream.KindString},
+		statestream.Field{Name: "amount", Kind: statestream.KindFloat},
+	)
+	catalogSchema = statestream.NewSchema(
+		statestream.Field{Name: "product", Kind: statestream.KindString},
+		statestream.Field{Name: "class", Kind: statestream.KindString},
+	)
+)
+
+func sale(at time.Duration, product string, amount float64) *statestream.Element {
+	return statestream.NewElement("Sale", statestream.Instant(at),
+		statestream.NewTuple(saleSchema, statestream.String(product), statestream.Float(amount)))
+}
+
+func reclassify(at time.Duration, product, class string) *statestream.Element {
+	return statestream.NewElement("Reclassify", statestream.Instant(at),
+		statestream.NewTuple(catalogSchema, statestream.String(product), statestream.String(class)))
+}
+
+func main() {
+	engine := statestream.New(statestream.StateFirst)
+
+	// The catalogue division's updates become state; the type attribute
+	// also feeds the reasoner below.
+	if err := engine.DeployRules(`
+RULE classify ON Reclassify AS c
+THEN REPLACE class(c.product) = c.class,
+     REPLACE type(c.product) = c.class`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Trend query: hourly revenue per class, where class is read from the
+	// state at sale time.
+	trend := statestream.NewContinuousQuery("Trend", "Sale",
+		statestream.NewTumblingTime(statestream.Instant(time.Hour)), false,
+		statestream.IStream,
+		statestream.Aggregate([]string{"class"},
+			statestream.AggSpec{Func: statestream.Sum, Field: "amount", As: "revenue"},
+			statestream.AggSpec{Func: statestream.Count, As: "sales"}),
+	)
+	if err := engine.DeployProcessor(&statestream.Processor{
+		Name:   "trend",
+		Source: "Sale",
+		Enrich: []statestream.EnrichSpec{{Attr: "class", EntityField: "product", As: "class"}},
+		Op:     trend,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Product taxonomy as an ontology (the §3.1 "taxonomy to organize the
+	// products ... and to automatically derive sub-classes relations").
+	ont := statestream.NewOntology()
+	for _, sc := range [][2]string{
+		{"novel", "books"}, {"cookbook", "books"},
+		{"books", "media"}, {"vinyl", "media"},
+	} {
+		if err := ont.SubClassOf(sc[0], sc[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	engine.EnableReasoning(ont)
+
+	els := []*statestream.Element{
+		reclassify(0, "p1", "novel"),
+		reclassify(0, "p2", "cookbook"),
+		reclassify(0, "p3", "vinyl"),
+		sale(10*time.Minute, "p1", 20),
+		sale(20*time.Minute, "p2", 35),
+		sale(30*time.Minute, "p3", 15),
+		reclassify(40*time.Minute, "p1", "vinyl"), // catalogue change mid-window
+		sale(50*time.Minute, "p1", 25),
+	}
+	if err := engine.Run(statestream.FromElements(els)); err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Process(statestream.WatermarkMsg(statestream.Instant(time.Hour))); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Hourly revenue per classification (current at sale time):")
+	for _, e := range engine.Output("trend") {
+		fmt.Printf("  %-8s revenue=%6.2f sales=%d\n",
+			e.MustGet("class").MustString(),
+			e.MustGet("revenue").MustFloat(),
+			e.MustGet("sales").MustInt())
+	}
+
+	fmt.Println("\nCatalogue history of p1 (queryable state, §3.2):")
+	res, err := engine.Query("SELECT value, start, end FROM class HISTORY WHERE entity = 'p1'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+
+	fmt.Println("\nAll current media products (taxonomy inference):")
+	res, err = engine.Query("SELECT entity FROM type WHERE value = 'media' WITH INFERENCE ORDER BY entity")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+
+	fmt.Println("\nMedia products as of t=5m (historical + inference):")
+	res, err = engine.Query(fmt.Sprintf(
+		"SELECT entity FROM type ASOF %d WHERE value = 'media' WITH INFERENCE ORDER BY entity",
+		statestream.Instant(5*time.Minute)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+}

@@ -1,0 +1,107 @@
+// Command interop demonstrates the §3.2 interoperability benefit:
+// "queryable state can promote interoperability, since stream processing
+// systems can expose their state and query the state of other systems."
+//
+// Two engines run here. The *security* engine tracks visitor positions
+// from badge events and exposes its state repository over HTTP. The
+// *facilities* engine processes climate-sensor readings and consults the
+// security engine's remote state to process only readings from occupied
+// rooms — one system's stream processing conditioned on another system's
+// state, across a network boundary.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	statestream "repro"
+	"repro/internal/server"
+)
+
+var (
+	entrySchema = statestream.NewSchema(
+		statestream.Field{Name: "visitor", Kind: statestream.KindString},
+		statestream.Field{Name: "room", Kind: statestream.KindString},
+	)
+	readingSchema = statestream.NewSchema(
+		statestream.Field{Name: "room", Kind: statestream.KindString},
+		statestream.Field{Name: "celsius", Kind: statestream.KindFloat},
+	)
+)
+
+func main() {
+	// --- System A: security engine, tracking positions.
+	security := statestream.New(statestream.StateFirst)
+	if err := security.DeployRules(`
+RULE position ON RoomEntry AS r THEN REPLACE position(r.visitor) = r.room
+RULE occupy  ON RoomEntry AS r THEN REPLACE occupied(r.room) = true`); err != nil {
+		log.Fatal(err)
+	}
+	entry := func(at time.Duration, visitor, room string) *statestream.Element {
+		return statestream.NewElement("RoomEntry", statestream.Instant(at),
+			statestream.NewTuple(entrySchema, statestream.String(visitor), statestream.String(room)))
+	}
+	if err := security.Run(statestream.FromElements([]*statestream.Element{
+		entry(1*time.Minute, "ann", "lab"),
+		entry(2*time.Minute, "bob", "server-room"),
+	})); err != nil {
+		log.Fatal(err)
+	}
+
+	// Expose system A's state over HTTP (httptest stands in for a real
+	// listener so the example is self-contained).
+	srv := httptest.NewServer(server.New(security.Store(), nil))
+	defer srv.Close()
+	fmt.Printf("security engine state served at %s\n", srv.URL)
+
+	// --- System B: facilities engine, consuming system A's state.
+	remote := &server.RemoteState{Client: server.NewClient(srv.URL)}
+
+	facilities := statestream.New(statestream.StateFirst)
+	if err := facilities.DeployProcessor(&statestream.Processor{
+		Name:   "climate",
+		Source: "Reading",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	reading := func(at time.Duration, room string, c float64) *statestream.Element {
+		return statestream.NewElement("Reading", statestream.Instant(at),
+			statestream.NewTuple(readingSchema, statestream.String(room), statestream.Float(c)))
+	}
+	readings := []*statestream.Element{
+		reading(3*time.Minute, "lab", 21.5),
+		reading(3*time.Minute, "basement", 14.0), // unoccupied: skip
+		reading(4*time.Minute, "server-room", 31.0),
+	}
+
+	fmt.Println("\nfacilities engine, filtering by remote occupancy:")
+	for _, r := range readings {
+		room, _ := r.Get("room")
+		if _, occupied := remote.Lookup("occupied", room); !occupied {
+			fmt.Printf("  %-12s skipped (remote state: unoccupied)\n", room.MustString())
+			continue
+		}
+		if err := facilities.Process(statestream.ElementMsg(r)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s processed: %.1f°C\n", room.MustString(), r.MustGet("celsius").MustFloat())
+	}
+
+	// System B can also run full temporal queries against system A.
+	client := server.NewClient(srv.URL)
+	res, err := client.Query("SELECT entity, value FROM position ORDER BY entity")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nremote query — who is where (system A's state, from system B):")
+	fmt.Print(res)
+
+	res, err = client.Query(fmt.Sprintf(
+		"SELECT entity FROM position ASOF %d", statestream.Instant(90*time.Second)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nremote historical query — present at t=90s: %d visitor(s)\n", len(res.Rows))
+}

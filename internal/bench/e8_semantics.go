@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+	"repro/internal/workload"
+)
+
+// E8Semantics is the ablation for the paper's hardest open question
+// (§3.3): "how to define the overall semantics of the system, taking into
+// account the possible interactions between the state ... and the stream
+// processing rules". The same security workload runs under the three
+// interaction policies; the divergence in gated output quantifies how
+// much the choice matters, and wall time shows its cost is negligible.
+//
+// The pipeline gates RoomEntry events on the visitor's own position state
+// ("already tracked"), which a same-tick update satisfies only under
+// StateFirst.
+func E8Semantics(scale float64) *metrics.Table {
+	cfg := workload.DefaultBuilding()
+	cfg.Visitors = scaleInt(cfg.Visitors, scale)
+	els, _ := workload.Building(cfg)
+
+	tab := metrics.NewTable("E8 — interaction-semantics ablation (§3.3)",
+		"policy", "events", "gate-passed", "passed%", "wall", "events/s")
+
+	for _, policy := range []core.Policy{core.StateFirst, core.StreamFirst, core.Snapshot} {
+		e := core.New(policy)
+		if err := e.DeployRules(`
+RULE position ON RoomEntry AS r THEN REPLACE position(r.visitor) = r.room
+RULE exit ON BuildingExit AS r THEN RETRACT position(r.visitor)`); err != nil {
+			panic(err)
+		}
+		gate, err := lang.ParseExpr("EXISTS position(e.visitor)")
+		if err != nil {
+			panic(err)
+		}
+		if err := e.DeployProcessor(&core.Processor{
+			Name: "tracked", Source: "RoomEntry", Gate: gate,
+		}); err != nil {
+			panic(err)
+		}
+		msgs := stream.WithPeriodicWatermarks(els, temporal.Instant(time.Minute))
+		start := time.Now()
+		if err := e.Run(msgs); err != nil {
+			panic(err)
+		}
+		wall := time.Since(start)
+		st := e.Stats()[0]
+		tab.AddRow(policy.String(), st.Seen, st.Processed,
+			pct(int(st.Processed), int(st.Seen)),
+			wall.Round(time.Microsecond).String(),
+			float64(len(els))/wall.Seconds())
+	}
+	return tab
+}

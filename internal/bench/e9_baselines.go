@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/element"
+	"repro/internal/metrics"
+	"repro/internal/temporal"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+// E9WindowBaselines surveys the windowing landscape the paper cites (§2,
+// §4) on the click-stream workload: fixed count and time windows (CQL
+// [3]), landmark windows, session windows (Dataflow [1]), predicate
+// windows (Ghanem et al. [8]), and delta frames (Grossniklaus et al.
+// [9]). Reported per mechanism: raw throughput through the windower, the
+// number of emitted panes, and peak buffered elements. Together with
+// E1/E2 this locates explicit state in the design space: content-driven
+// mechanisms approach its scoping fidelity, but none provides queryable,
+// temporally annotated state.
+func E9WindowBaselines(scale float64) *metrics.Table {
+	cfg := workload.DefaultClickstream()
+	cfg.Users = scaleInt(cfg.Users, scale)
+	els, _ := workload.Clickstream(cfg)
+	userOf := func(e *element.Element) string { return e.MustGet("visitor").MustString() }
+
+	tab := metrics.NewTable("E9 — windowing mechanism landscape (§2, §4)",
+		"mechanism", "panes", "peak-buffered", "events/s")
+
+	mechanisms := []struct {
+		name string
+		w    window.Windower
+	}{
+		{"tumbling-count-100", window.NewTumblingCount(100)},
+		{"sliding-count-100/10", window.NewSlidingCount(100, 10)},
+		{"tumbling-time-5m", window.NewTumblingTime(temporal.Instant(5 * time.Minute))},
+		{"sliding-time-10m/1m", window.NewSlidingTime(
+			temporal.Instant(10*time.Minute), temporal.Instant(time.Minute))},
+		{"landmark", window.NewLandmark(0)},
+		{"session-30m-gap", window.NewSession(temporal.Instant(30*time.Minute), userOf)},
+		{"predicate-enter-leave", window.NewPredicate(userOf,
+			func(e *element.Element) bool { return e.Stream == "Enter" },
+			func(e *element.Element) bool { return e.Stream == "Leave" })},
+	}
+	for _, m := range mechanisms {
+		panes, peak, wall := driveWindower(m.w, els)
+		tab.AddRow(m.name, panes, peak, float64(len(els))/wall.Seconds())
+	}
+
+	// Delta frames need a numeric field; frame over purchase amounts.
+	var purchases []*element.Element
+	for _, el := range els {
+		if el.Stream == "Purchase" {
+			purchases = append(purchases, el)
+		}
+	}
+	if len(purchases) > 0 {
+		df := window.NewDeltaFrame("amount", 25)
+		panes, peak, wall := driveWindower(df, purchases)
+		panes += len(df.Flush(purchases[len(purchases)-1].Timestamp + 1))
+		tab.AddRow("delta-frame-25", panes, peak, float64(len(purchases))/wall.Seconds())
+	}
+	return tab
+}
+
+func driveWindower(w window.Windower, els []*element.Element) (panes, peak int, wall time.Duration) {
+	start := time.Now()
+	for _, el := range els {
+		panes += len(w.Observe(el))
+		panes += len(w.AdvanceTo(el.Timestamp))
+		if p := w.Pending(); p > peak {
+			peak = p
+		}
+	}
+	panes += len(w.AdvanceTo(els[len(els)-1].Timestamp + temporal.Instant(100*time.Hour)))
+	return panes, peak, time.Since(start)
+}

@@ -1,0 +1,410 @@
+// Package core implements the paper's primary contribution: the stream
+// processing engine with explicit state management of Figure 1.
+//
+// Input streams are routed to two components:
+//
+//   - The state management component (internal/rules) updates the state
+//     repository (internal/state) according to deployed state management
+//     rules.
+//   - The stream processing component evaluates deployed processors —
+//     CQL continuous queries (internal/cql) optionally preceded by
+//     state-aware operators (a state-condition gate and state enrichment) —
+//     producing output streams.
+//
+// Users can query the state repository on demand (internal/query), and a
+// reasoner (internal/reason) augments both queries and rule conditions
+// with ontology-derived facts.
+//
+// The engine resolves the paper's third open question (§3.3, "interaction
+// between stream processing and state") with three pluggable policies; see
+// Policy.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/element"
+	"repro/internal/lang"
+	"repro/internal/query"
+	"repro/internal/reason"
+	"repro/internal/rules"
+	"repro/internal/state"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+)
+
+// Policy fixes when stream processing observes state updates triggered at
+// the same timestamp (§3.3, open question 3).
+type Policy int
+
+// Interaction policies.
+const (
+	// StateFirst (default): at timestamp t, state management rules fire
+	// before stream processors evaluate, so processors observe the state
+	// as of t including this tick's updates. This matches the paper's
+	// security example: the position update must invalidate the previous
+	// position before any conclusion is drawn.
+	StateFirst Policy = iota
+	// StreamFirst: processors at t observe the state as of just before t;
+	// rules apply afterwards. Models systems where enrichment lags
+	// updates by one tick.
+	StreamFirst
+	// Snapshot: processors observe an immutable view taken at the last
+	// watermark, as micro-batch systems do [14].
+	Snapshot
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case StateFirst:
+		return "state-first"
+	case StreamFirst:
+		return "stream-first"
+	}
+	return "snapshot"
+}
+
+// EnrichSpec adds one field to elements from the state repository: the
+// current value of Attr(entity), where entity is read from the element's
+// EntityField. Missing state yields Null.
+type EnrichSpec struct {
+	Attr        string
+	EntityField string
+	As          string
+}
+
+// Processor is one deployed stream processing pipeline: an optional state
+// gate, optional state enrichment, then an operator (typically a
+// *cql.Query), with a collector sink.
+type Processor struct {
+	// Name identifies the processor and its output.
+	Name string
+	// Source limits input to one stream; empty accepts all.
+	Source string
+	// Gate, when set, drops elements for which the expression is not
+	// truthy. The expression sees the element as binding "e" and may read
+	// state: EXISTS active(e.user). This is §1's "activating some
+	// derivations only when specific conditions on the state are met".
+	Gate lang.Expr
+	// Enrich appends state-derived fields to the element before the
+	// operator sees it.
+	Enrich []EnrichSpec
+	// Op is the stream operator; nil passes elements straight to the sink.
+	Op stream.Operator
+
+	sink *stream.Collector
+	// stats
+	seen, gated, processed uint64
+	enrichSchemas          map[*element.Schema]*element.Schema
+}
+
+// ProcessorStats reports element counters for one processor.
+type ProcessorStats struct {
+	Name string
+	// Seen counts elements offered to the processor.
+	Seen uint64
+	// Gated counts elements dropped by the state gate.
+	Gated uint64
+	// Processed counts elements that reached the operator.
+	Processed uint64
+}
+
+// Engine is the explicit-state stream processing system.
+type Engine struct {
+	policy     Policy
+	store      *state.Store
+	ruleSet    *rules.Set
+	processors []*Processor
+	reasoner   *reason.Reasoner
+
+	watermark temporal.Instant
+	snapshot  temporal.Instant // view instant for the Snapshot policy
+	outputs   map[string][]*element.Element
+	emitted   []*element.Element
+	elements  uint64
+}
+
+// New returns an engine with the given interaction policy.
+func New(policy Policy) *Engine {
+	return &Engine{
+		policy:    policy,
+		store:     state.NewStore(),
+		watermark: temporal.MinInstant,
+		snapshot:  temporal.MinInstant,
+		outputs:   make(map[string][]*element.Element),
+	}
+}
+
+// Store exposes the state repository (e.g. for seeding background state).
+func (e *Engine) Store() *state.Store { return e.store }
+
+// Policy reports the configured interaction policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// DeployRules installs the state management rules, replacing any previous
+// set.
+func (e *Engine) DeployRules(src string) error {
+	set, err := rules.ParseSet(src)
+	if err != nil {
+		return err
+	}
+	e.ruleSet = set
+	return nil
+}
+
+// DeployRuleSet installs an already-compiled rule set.
+func (e *Engine) DeployRuleSet(set *rules.Set) { e.ruleSet = set }
+
+// DeployProcessor installs a stream processor.
+func (e *Engine) DeployProcessor(p *Processor) error {
+	if p.Name == "" {
+		return fmt.Errorf("core: processor needs a name")
+	}
+	for _, existing := range e.processors {
+		if existing.Name == p.Name {
+			return fmt.Errorf("core: duplicate processor %q", p.Name)
+		}
+	}
+	p.sink = stream.NewCollector()
+	p.enrichSchemas = make(map[*element.Schema]*element.Schema)
+	e.processors = append(e.processors, p)
+	return nil
+}
+
+// EnableReasoning attaches a reasoner with the given ontology (nil for an
+// empty one) and returns it so callers can add Horn rules.
+func (e *Engine) EnableReasoning(ont *reason.Ontology) *reason.Reasoner {
+	e.reasoner = reason.NewReasoner(e.store, ont)
+	return e.reasoner
+}
+
+// Reasoner returns the attached reasoner, if any.
+func (e *Engine) Reasoner() *reason.Reasoner { return e.reasoner }
+
+// Process feeds one message (element or watermark) through Figure 1.
+// Messages must arrive in timestamp order.
+func (e *Engine) Process(m stream.Message) error {
+	if m.IsWatermark {
+		return e.advance(m.Watermark)
+	}
+	el := m.El
+	e.elements++
+	switch e.policy {
+	case StateFirst:
+		derived, err := e.applyRules(el)
+		if err != nil {
+			return err
+		}
+		e.processStreams(el, el.Timestamp)
+		for _, d := range derived {
+			e.processStreams(d, d.Timestamp)
+		}
+	case StreamFirst:
+		// Processors observe the state just before this element's updates.
+		e.processStreams(el, el.Timestamp-1)
+		derived, err := e.applyRules(el)
+		if err != nil {
+			return err
+		}
+		for _, d := range derived {
+			e.processStreams(d, d.Timestamp-1)
+		}
+	case Snapshot:
+		e.processStreams(el, e.snapshot)
+		derived, err := e.applyRules(el)
+		if err != nil {
+			return err
+		}
+		for _, d := range derived {
+			e.processStreams(d, e.snapshot)
+		}
+	}
+	return nil
+}
+
+// Run drives a whole message batch and returns the first error.
+func (e *Engine) Run(ms []stream.Message) error {
+	for _, m := range ms {
+		if err := e.Process(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) applyRules(el *element.Element) ([]*element.Element, error) {
+	if e.ruleSet == nil {
+		return nil, nil
+	}
+	derived, err := e.ruleSet.Apply(el, e.store)
+	if err != nil {
+		return nil, err
+	}
+	e.emitted = append(e.emitted, derived...)
+	return derived, nil
+}
+
+func (e *Engine) processStreams(el *element.Element, stateAt temporal.Instant) {
+	for _, p := range e.processors {
+		if p.Source != "" && p.Source != el.Stream {
+			continue
+		}
+		p.seen++
+		if p.Gate != nil {
+			env := &gateEnv{el: el, store: e.store, at: stateAt, reasoner: e.reasoner}
+			ok, err := lang.EvalBool(p.Gate, env)
+			if err != nil || !ok {
+				p.gated++
+				continue
+			}
+		}
+		out := el
+		if len(p.Enrich) > 0 {
+			out = p.enrichElement(el, e.store, stateAt)
+		}
+		p.processed++
+		e.dispatch(p, stream.ElementMsg(out))
+	}
+}
+
+func (e *Engine) dispatch(p *Processor, m stream.Message) {
+	if p.Op == nil {
+		p.sink.Process(m)
+		return
+	}
+	for _, out := range p.Op.Process(m) {
+		p.sink.Process(out)
+	}
+}
+
+func (p *Processor) enrichElement(el *element.Element, st *state.Store, at temporal.Instant) *element.Element {
+	base := el.Tuple.Schema()
+	target := p.enrichSchemas[base]
+	vals := el.Tuple.Values()
+	extra := make([]element.Value, 0, len(p.Enrich))
+	for _, spec := range p.Enrich {
+		ent, _ := el.Get(spec.EntityField)
+		v := element.Null
+		if f, ok := st.ValidAt(ent.String(), spec.Attr, at); ok {
+			v = f.Value
+		}
+		extra = append(extra, v)
+	}
+	if target == nil {
+		fields := base.Fields()
+		for i, spec := range p.Enrich {
+			fields = append(fields, element.Field{Name: spec.As, Kind: extra[i].Kind()})
+		}
+		target = element.NewSchema(fields...)
+		p.enrichSchemas[base] = target
+	}
+	out := element.New(el.Stream, el.Timestamp, element.NewTuple(target, append(vals, extra...)...))
+	out.Seq = el.Seq
+	return out
+}
+
+func (e *Engine) advance(wm temporal.Instant) error {
+	if wm <= e.watermark {
+		return nil
+	}
+	e.watermark = wm
+	if e.ruleSet != nil {
+		e.ruleSet.AdvanceTo(wm)
+	}
+	for _, p := range e.processors {
+		e.dispatch(p, stream.WatermarkMsg(wm))
+	}
+	// The Snapshot policy refreshes its view at watermarks (micro-batch
+	// boundary).
+	e.snapshot = wm
+	return nil
+}
+
+// Watermark reports the engine's current watermark.
+func (e *Engine) Watermark() temporal.Instant { return e.watermark }
+
+// Output returns the elements collected for the named processor.
+func (e *Engine) Output(processor string) []*element.Element {
+	for _, p := range e.processors {
+		if p.Name == processor {
+			return p.sink.Elements
+		}
+	}
+	return nil
+}
+
+// Emitted returns elements produced by state management rules (EMIT).
+func (e *Engine) Emitted() []*element.Element { return e.emitted }
+
+// Stats returns per-processor counters, in deployment order.
+func (e *Engine) Stats() []ProcessorStats {
+	out := make([]ProcessorStats, len(e.processors))
+	for i, p := range e.processors {
+		out[i] = ProcessorStats{Name: p.Name, Seen: p.seen, Gated: p.gated, Processed: p.processed}
+	}
+	return out
+}
+
+// ElementsIn reports how many input elements the engine has processed.
+func (e *Engine) ElementsIn() uint64 { return e.elements }
+
+// Query runs an on-demand query against the state repository, with now()
+// anchored at the current watermark. WITH INFERENCE consults the attached
+// reasoner.
+func (e *Engine) Query(src string) (*query.Result, error) {
+	ex := &query.Executor{Store: e.store, Reasoner: e.reasoner, Now: e.watermark}
+	return ex.Run(src)
+}
+
+// RegisterStateQuery deploys a standing query over the state repository:
+// it re-evaluates whenever a state management rule (or any other mutation)
+// changes the queried attribute, and invokes onUpdate with each changed
+// result. This is the continuous face of §3.2's queryable state — the
+// paper's managers "receive constant updates" without polling. now() in
+// the query is anchored at each triggering change's application time via
+// the engine watermark.
+func (e *Engine) RegisterStateQuery(name, src string, onUpdate func(*query.Result)) (*query.Continuous, error) {
+	var opts []query.ContinuousOption
+	if onUpdate != nil {
+		opts = append(opts, query.OnUpdate(onUpdate))
+	}
+	return query.RegisterContinuous(name, src, e.store, nil, opts...)
+}
+
+// gateEnv evaluates gate expressions: the element binds as "e" (and under
+// its stream name), state lookups read the store as of the policy-chosen
+// instant, augmented by the reasoner when attached.
+type gateEnv struct {
+	el       *element.Element
+	store    *state.Store
+	at       temporal.Instant
+	reasoner *reason.Reasoner
+}
+
+// Var implements lang.Env.
+func (g *gateEnv) Var(string) (element.Value, bool) { return element.Null, false }
+
+// Field implements lang.Env.
+func (g *gateEnv) Field(varName, field string) (element.Value, bool) {
+	if varName == "e" || varName == g.el.Stream {
+		return g.el.Get(field)
+	}
+	return element.Null, false
+}
+
+// State implements lang.Env.
+func (g *gateEnv) State(attr string, entity element.Value) (element.Value, bool) {
+	if f, ok := g.store.ValidAt(entity.String(), attr, g.at); ok {
+		return f.Value, true
+	}
+	if g.reasoner != nil {
+		if vals := g.reasoner.HoldsAt(entity.String(), attr, g.at); len(vals) > 0 {
+			return vals[0], true
+		}
+	}
+	return element.Null, false
+}
+
+// Now implements lang.Env.
+func (g *gateEnv) Now() temporal.Instant { return g.el.Timestamp }

@@ -1,0 +1,70 @@
+package cql
+
+import (
+	"repro/internal/element"
+)
+
+// DistinctOp collapses the multiset to a set: a tuple enters the output
+// when its multiplicity rises from zero and leaves when it returns to
+// zero. SELECT DISTINCT in CQL terms.
+type DistinctOp struct {
+	counts map[string]*msEntry
+}
+
+// NewDistinct returns a distinct operator.
+func NewDistinct() *DistinctOp { return &DistinctOp{counts: make(map[string]*msEntry)} }
+
+// Apply implements RelOp.
+func (o *DistinctOp) Apply(d Delta) Delta {
+	out := Delta{At: d.At}
+	for _, t := range d.Deletes {
+		k := t.Key()
+		e := o.counts[k]
+		if e == nil {
+			continue // delete of an untracked tuple: ignore
+		}
+		e.count--
+		if e.count == 0 {
+			delete(o.counts, k)
+			out.Deletes = append(out.Deletes, e.tuple)
+		}
+	}
+	for _, t := range d.Inserts {
+		k := t.Key()
+		if e := o.counts[k]; e != nil {
+			e.count++
+			continue
+		}
+		o.counts[k] = &msEntry{tuple: t, count: 1}
+		out.Inserts = append(out.Inserts, t)
+	}
+	return out
+}
+
+// HavingOp filters aggregate rows after grouping: it passes inserts and
+// deletes whose tuples satisfy the predicate. Because AggregateOp always
+// retracts a group's previous row before inserting the new one, a group
+// crossing the predicate boundary produces the correct delta (retract
+// without reinsert, or insert without prior retract).
+type HavingOp struct {
+	Pred func(*element.Tuple) bool
+}
+
+// NewHaving returns a post-aggregation filter.
+func NewHaving(pred func(*element.Tuple) bool) *HavingOp { return &HavingOp{Pred: pred} }
+
+// Apply implements RelOp.
+func (o *HavingOp) Apply(d Delta) Delta {
+	out := Delta{At: d.At}
+	for _, t := range d.Deletes {
+		if o.Pred(t) {
+			out.Deletes = append(out.Deletes, t)
+		}
+	}
+	for _, t := range d.Inserts {
+		if o.Pred(t) {
+			out.Inserts = append(out.Inserts, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package cql
+
+import (
+	"testing"
+
+	"repro/internal/element"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+func TestDistinctOp(t *testing.T) {
+	op := NewDistinct()
+	a, b := tup("a", 1), tup("b", 2)
+
+	d := op.Apply(Delta{Inserts: []*element.Tuple{a, a, b}})
+	if len(d.Inserts) != 2 {
+		t.Fatalf("first inserts: %+v", d)
+	}
+	// Removing one duplicate changes nothing.
+	d = op.Apply(Delta{Deletes: []*element.Tuple{a}})
+	if !d.IsEmpty() {
+		t.Fatalf("dup removal should be invisible: %+v", d)
+	}
+	// Removing the last occurrence retracts.
+	d = op.Apply(Delta{Deletes: []*element.Tuple{a}})
+	if len(d.Deletes) != 1 || len(d.Inserts) != 0 {
+		t.Fatalf("last removal: %+v", d)
+	}
+	// Untracked delete is ignored.
+	d = op.Apply(Delta{Deletes: []*element.Tuple{tup("ghost", 9)}})
+	if !d.IsEmpty() {
+		t.Fatalf("ghost delete: %+v", d)
+	}
+	// Reinsertion after removal re-emits.
+	d = op.Apply(Delta{Inserts: []*element.Tuple{a}})
+	if len(d.Inserts) != 1 {
+		t.Fatalf("reinsert: %+v", d)
+	}
+}
+
+func TestHavingOp(t *testing.T) {
+	agg := NewAggregate([]string{"product"}, AggSpec{Func: Count, As: "n"})
+	having := NewHaving(func(tp *element.Tuple) bool { return tp.MustGet("n").MustInt() >= 2 })
+	chain := NewChain(agg, having)
+	result := NewMultiset()
+
+	// One 'a': below threshold, invisible.
+	result.Apply(chain.Apply(Delta{Inserts: []*element.Tuple{tup("a", 1)}}))
+	if result.Len() != 0 {
+		t.Fatalf("below threshold: %v", result.Tuples())
+	}
+	// Second 'a': crosses threshold → appears.
+	result.Apply(chain.Apply(Delta{Inserts: []*element.Tuple{tup("a", 2)}}))
+	if result.Len() != 1 || result.Tuples()[0].MustGet("n").MustInt() != 2 {
+		t.Fatalf("crossing up: %v", result.Tuples())
+	}
+	// Third 'a': stays above, row replaced.
+	result.Apply(chain.Apply(Delta{Inserts: []*element.Tuple{tup("a", 3)}}))
+	if result.Len() != 1 || result.Tuples()[0].MustGet("n").MustInt() != 3 {
+		t.Fatalf("update above threshold: %v", result.Tuples())
+	}
+	// Delete two: crosses back below → disappears.
+	result.Apply(chain.Apply(Delta{Deletes: []*element.Tuple{tup("a", 1), tup("a", 2)}}))
+	if result.Len() != 0 {
+		t.Fatalf("crossing down: %v", result.Tuples())
+	}
+}
+
+func TestDistinctInQuery(t *testing.T) {
+	// DISTINCT products per window, regardless of sale count.
+	q := NewQuery("Products", "Sale", window.NewTumblingTime(10), false, IStream,
+		NewProject("product"),
+		NewDistinct(),
+	)
+	var got []string
+	collect := func(ms []stream.Message) {
+		for _, o := range ms {
+			if !o.IsWatermark {
+				got = append(got, o.El.MustGet("product").MustString())
+			}
+		}
+	}
+	collect(q.Process(stream.ElementMsg(sale(1, "a", 5))))
+	collect(q.Process(stream.ElementMsg(sale(2, "a", 6))))
+	collect(q.Process(stream.ElementMsg(sale(3, "b", 7))))
+	collect(q.Process(stream.WatermarkMsg(10)))
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("distinct query: %v", got)
+	}
+}

@@ -1,0 +1,410 @@
+package cql
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/element"
+)
+
+// RelOp is an incremental relation-to-relation operator: it maps input
+// deltas to output deltas while maintaining whatever internal state the
+// operator needs. Operators are driven single-threaded.
+type RelOp interface {
+	Apply(d Delta) Delta
+}
+
+// SelectOp filters tuples by a predicate. Stateless: a tuple's membership
+// in the output depends only on itself.
+type SelectOp struct {
+	Pred func(*element.Tuple) bool
+}
+
+// NewSelect returns a selection operator.
+func NewSelect(pred func(*element.Tuple) bool) *SelectOp { return &SelectOp{Pred: pred} }
+
+// Apply implements RelOp.
+func (o *SelectOp) Apply(d Delta) Delta {
+	out := Delta{At: d.At}
+	for _, t := range d.Inserts {
+		if o.Pred(t) {
+			out.Inserts = append(out.Inserts, t)
+		}
+	}
+	for _, t := range d.Deletes {
+		if o.Pred(t) {
+			out.Deletes = append(out.Deletes, t)
+		}
+	}
+	return out
+}
+
+// ProjectOp projects tuples onto a subset of fields (multiset semantics:
+// duplicates are preserved).
+type ProjectOp struct {
+	fields []string
+	schema *element.Schema // lazily derived from the first tuple
+}
+
+// NewProject returns a projection onto the named fields.
+func NewProject(fields ...string) *ProjectOp { return &ProjectOp{fields: fields} }
+
+// Apply implements RelOp.
+func (o *ProjectOp) Apply(d Delta) Delta {
+	out := Delta{At: d.At}
+	for _, t := range d.Inserts {
+		out.Inserts = append(out.Inserts, o.project(t))
+	}
+	for _, t := range d.Deletes {
+		out.Deletes = append(out.Deletes, o.project(t))
+	}
+	return out
+}
+
+func (o *ProjectOp) project(t *element.Tuple) *element.Tuple {
+	if o.schema == nil {
+		s, err := t.Schema().Project(o.fields...)
+		if err != nil {
+			panic(fmt.Sprintf("cql: project: %v", err))
+		}
+		o.schema = s
+	}
+	vals := make([]element.Value, len(o.fields))
+	for i, f := range o.fields {
+		vals[i] = t.MustGet(f)
+	}
+	return element.NewTuple(o.schema, vals...)
+}
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	Count AggFunc = iota
+	Sum
+	Avg
+	Min
+	Max
+)
+
+var aggNames = [...]string{Count: "count", Sum: "sum", Avg: "avg", Min: "min", Max: "max"}
+
+// String names the function.
+func (f AggFunc) String() string {
+	if int(f) < len(aggNames) {
+		return aggNames[f]
+	}
+	return fmt.Sprintf("agg(%d)", int(f))
+}
+
+// AggSpec is one aggregate column: Func applied to Field, emitted as As.
+// Count ignores Field.
+type AggSpec struct {
+	Func  AggFunc
+	Field string
+	As    string
+}
+
+// AggregateOp maintains grouped aggregates incrementally. For every input
+// delta it emits the retraction of each changed group's previous aggregate
+// tuple and the insertion of the new one — the standard incremental
+// view-maintenance contract.
+type AggregateOp struct {
+	groupBy []string
+	specs   []AggSpec
+	groups  map[string]*groupState
+	schema  *element.Schema
+}
+
+type groupState struct {
+	keyVals []element.Value
+	n       int
+	sums    []float64
+	// values tracks multiplicity per value key for Min/Max recomputation
+	// under deletion; one map per spec (nil for non-min/max specs).
+	values []map[string]*valEntry
+	last   *element.Tuple // previously emitted aggregate tuple
+}
+
+type valEntry struct {
+	v element.Value
+	n int
+}
+
+// NewAggregate returns an aggregation operator grouping by the given
+// fields. At least one spec is required; spec output names must be unique
+// and disjoint from the group-by fields.
+func NewAggregate(groupBy []string, specs ...AggSpec) *AggregateOp {
+	if len(specs) == 0 {
+		panic("cql: aggregate needs at least one spec")
+	}
+	return &AggregateOp{groupBy: groupBy, specs: specs, groups: make(map[string]*groupState)}
+}
+
+// Apply implements RelOp.
+func (o *AggregateOp) Apply(d Delta) Delta {
+	changed := make(map[string]bool)
+	for _, t := range d.Deletes {
+		o.update(t, -1, changed)
+	}
+	for _, t := range d.Inserts {
+		o.update(t, +1, changed)
+	}
+	keys := make([]string, 0, len(changed))
+	for k := range changed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := Delta{At: d.At}
+	for _, k := range keys {
+		g := o.groups[k]
+		if g == nil {
+			continue // group vanished and was never emitted
+		}
+		if g.last != nil {
+			out.Deletes = append(out.Deletes, g.last)
+		}
+		if g.n == 0 {
+			delete(o.groups, k)
+			continue
+		}
+		nt := o.aggTuple(g)
+		g.last = nt
+		out.Inserts = append(out.Inserts, nt)
+	}
+	return out
+}
+
+func (o *AggregateOp) update(t *element.Tuple, sign int, changed map[string]bool) {
+	keyVals := make([]element.Value, len(o.groupBy))
+	keyParts := make([]string, len(o.groupBy))
+	for i, f := range o.groupBy {
+		keyVals[i] = t.MustGet(f)
+		keyParts[i] = keyVals[i].Key()
+	}
+	k := joinKey(keyParts)
+	g := o.groups[k]
+	if g == nil {
+		if sign < 0 {
+			return // deleting from a non-existent group: ignore
+		}
+		g = &groupState{
+			keyVals: keyVals,
+			sums:    make([]float64, len(o.specs)),
+			values:  make([]map[string]*valEntry, len(o.specs)),
+		}
+		for i, sp := range o.specs {
+			if sp.Func == Min || sp.Func == Max {
+				g.values[i] = make(map[string]*valEntry)
+			}
+		}
+		o.groups[k] = g
+	}
+	g.n += sign
+	for i, sp := range o.specs {
+		switch sp.Func {
+		case Count:
+			// handled by g.n
+		case Sum, Avg:
+			f, ok := t.MustGet(sp.Field).AsFloat()
+			if ok {
+				g.sums[i] += float64(sign) * f
+			}
+		case Min, Max:
+			v := t.MustGet(sp.Field)
+			vk := v.Key()
+			e := g.values[i][vk]
+			if e == nil {
+				e = &valEntry{v: v}
+				g.values[i][vk] = e
+			}
+			e.n += sign
+			if e.n <= 0 {
+				delete(g.values[i], vk)
+			}
+		}
+	}
+	changed[k] = true
+}
+
+func (o *AggregateOp) aggTuple(g *groupState) *element.Tuple {
+	vals := make([]element.Value, 0, len(o.groupBy)+len(o.specs))
+	vals = append(vals, g.keyVals...)
+	for i, sp := range o.specs {
+		switch sp.Func {
+		case Count:
+			vals = append(vals, element.Int(int64(g.n)))
+		case Sum:
+			vals = append(vals, element.Float(g.sums[i]))
+		case Avg:
+			vals = append(vals, element.Float(g.sums[i]/float64(g.n)))
+		case Min, Max:
+			var best element.Value
+			first := true
+			for _, e := range g.values[i] {
+				if first {
+					best = e.v
+					first = false
+					continue
+				}
+				c := e.v.Compare(best)
+				if (sp.Func == Min && c < 0) || (sp.Func == Max && c > 0) {
+					best = e.v
+				}
+			}
+			vals = append(vals, best)
+		}
+	}
+	if o.schema == nil {
+		fields := make([]element.Field, 0, len(vals))
+		for i, f := range o.groupBy {
+			fields = append(fields, element.Field{Name: f, Kind: g.keyVals[i].Kind()})
+		}
+		for i, sp := range o.specs {
+			fields = append(fields, element.Field{Name: sp.As, Kind: vals[len(o.groupBy)+i].Kind()})
+		}
+		o.schema = element.NewSchema(fields...)
+	}
+	return element.NewTuple(o.schema, vals...)
+}
+
+func joinKey(parts []string) string {
+	s := ""
+	for i, p := range parts {
+		if i > 0 {
+			s += "\x1f"
+		}
+		s += p
+	}
+	return s
+}
+
+// JoinOp is an incremental equijoin between two relations. Feed left-side
+// deltas through ApplyLeft and right-side deltas through ApplyRight; each
+// returns the output delta. Output tuples concatenate the left fields with
+// the right fields, the latter renamed with the configured prefix to avoid
+// collisions.
+type JoinOp struct {
+	leftKey, rightKey []string
+	rightPrefix       string
+	left, right       map[string][]*msEntry
+	schema            *element.Schema
+}
+
+// NewJoin returns an equijoin matching leftKey fields against rightKey
+// fields (same arity). rightPrefix is prepended to every right-side field
+// name in the output schema.
+func NewJoin(leftKey, rightKey []string, rightPrefix string) *JoinOp {
+	if len(leftKey) != len(rightKey) || len(leftKey) == 0 {
+		panic("cql: join keys must be non-empty and of equal arity")
+	}
+	return &JoinOp{
+		leftKey: leftKey, rightKey: rightKey, rightPrefix: rightPrefix,
+		left: make(map[string][]*msEntry), right: make(map[string][]*msEntry),
+	}
+}
+
+// ApplyLeft folds a left-side delta and returns the join's output delta.
+func (o *JoinOp) ApplyLeft(d Delta) Delta {
+	return o.apply(d, o.left, o.right, o.leftKey, true)
+}
+
+// ApplyRight folds a right-side delta and returns the join's output delta.
+func (o *JoinOp) ApplyRight(d Delta) Delta {
+	return o.apply(d, o.right, o.left, o.rightKey, false)
+}
+
+func (o *JoinOp) apply(d Delta, own, other map[string][]*msEntry, ownKey []string, isLeft bool) Delta {
+	out := Delta{At: d.At}
+	for _, t := range d.Deletes {
+		k := o.key(t, ownKey)
+		removeEntry(own, k, t)
+		for _, m := range other[k] {
+			for i := 0; i < m.count; i++ {
+				out.Deletes = append(out.Deletes, o.joined(t, m.tuple, isLeft))
+			}
+		}
+	}
+	for _, t := range d.Inserts {
+		k := o.key(t, ownKey)
+		addEntry(own, k, t)
+		for _, m := range other[k] {
+			for i := 0; i < m.count; i++ {
+				out.Inserts = append(out.Inserts, o.joined(t, m.tuple, isLeft))
+			}
+		}
+	}
+	return out
+}
+
+func (o *JoinOp) key(t *element.Tuple, fields []string) string {
+	parts := make([]string, len(fields))
+	for i, f := range fields {
+		parts[i] = t.MustGet(f).Key()
+	}
+	return joinKey(parts)
+}
+
+func addEntry(idx map[string][]*msEntry, k string, t *element.Tuple) {
+	tk := t.Key()
+	for _, e := range idx[k] {
+		if e.tuple.Key() == tk {
+			e.count++
+			return
+		}
+	}
+	idx[k] = append(idx[k], &msEntry{tuple: t, count: 1})
+}
+
+func removeEntry(idx map[string][]*msEntry, k string, t *element.Tuple) {
+	tk := t.Key()
+	list := idx[k]
+	for i, e := range list {
+		if e.tuple.Key() == tk {
+			e.count--
+			if e.count == 0 {
+				idx[k] = append(list[:i], list[i+1:]...)
+				if len(idx[k]) == 0 {
+					delete(idx, k)
+				}
+			}
+			return
+		}
+	}
+}
+
+func (o *JoinOp) joined(a, b *element.Tuple, aIsLeft bool) *element.Tuple {
+	l, r := a, b
+	if !aIsLeft {
+		l, r = b, a
+	}
+	if o.schema == nil {
+		fields := append([]element.Field{}, l.Schema().Fields()...)
+		for _, f := range r.Schema().Fields() {
+			fields = append(fields, element.Field{Name: o.rightPrefix + f.Name, Kind: f.Kind})
+		}
+		o.schema = element.NewSchema(fields...)
+	}
+	vals := append(l.Values(), r.Values()...)
+	return element.NewTuple(o.schema, vals...)
+}
+
+// Chain composes unary operators into one RelOp.
+type Chain struct {
+	Ops []RelOp
+}
+
+// NewChain composes the given operators.
+func NewChain(ops ...RelOp) *Chain { return &Chain{Ops: ops} }
+
+// Apply implements RelOp.
+func (c *Chain) Apply(d Delta) Delta {
+	for _, op := range c.Ops {
+		if d.IsEmpty() {
+			return d
+		}
+		d = op.Apply(d)
+	}
+	return d
+}

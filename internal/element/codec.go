@@ -1,0 +1,76 @@
+package element
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Value implements encoding.BinaryMarshaler / BinaryUnmarshaler so facts
+// can be persisted in the state log (internal/state) with encoding/gob.
+// The format is one kind byte followed by the payload: 8 bytes little
+// endian for numeric kinds, a uvarint length plus bytes for strings.
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (v Value) MarshalBinary() ([]byte, error) {
+	switch v.kind {
+	case KindNull:
+		return []byte{byte(KindNull)}, nil
+	case KindBool, KindInt, KindTime:
+		buf := make([]byte, 9)
+		buf[0] = byte(v.kind)
+		binary.LittleEndian.PutUint64(buf[1:], uint64(v.num))
+		return buf, nil
+	case KindFloat:
+		buf := make([]byte, 9)
+		buf[0] = byte(v.kind)
+		binary.LittleEndian.PutUint64(buf[1:], floatBits(v.flt))
+		return buf, nil
+	case KindString:
+		buf := make([]byte, 1+binary.MaxVarintLen64+len(v.str))
+		buf[0] = byte(v.kind)
+		n := binary.PutUvarint(buf[1:], uint64(len(v.str)))
+		n += copy(buf[1+n:], v.str)
+		return buf[:1+n], nil
+	}
+	return nil, fmt.Errorf("element: cannot marshal value of kind %s", v.kind)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (v *Value) UnmarshalBinary(data []byte) error {
+	if len(data) == 0 {
+		return errors.New("element: empty value encoding")
+	}
+	k := Kind(data[0])
+	body := data[1:]
+	switch k {
+	case KindNull:
+		*v = Null
+		return nil
+	case KindBool, KindInt, KindTime:
+		if len(body) != 8 {
+			return fmt.Errorf("element: %s payload has %d bytes, want 8", k, len(body))
+		}
+		*v = Value{kind: k, num: int64(binary.LittleEndian.Uint64(body))}
+		return nil
+	case KindFloat:
+		if len(body) != 8 {
+			return fmt.Errorf("element: float payload has %d bytes, want 8", len(body))
+		}
+		*v = Value{kind: k, flt: bitsFloat(binary.LittleEndian.Uint64(body))}
+		return nil
+	case KindString:
+		n, read := binary.Uvarint(body)
+		if read <= 0 || uint64(len(body)-read) != n {
+			return errors.New("element: corrupt string encoding")
+		}
+		*v = Value{kind: k, str: string(body[read:])}
+		return nil
+	}
+	return fmt.Errorf("element: unknown value kind %d", data[0])
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func bitsFloat(u uint64) float64 { return math.Float64frombits(u) }

@@ -1,0 +1,67 @@
+package element
+
+import (
+	"fmt"
+
+	"repro/internal/temporal"
+)
+
+// Fact is one timed state element: the paper's "data elements annotated
+// with their time of validity" (§3). A fact states that Attribute of Entity
+// had Value throughout Validity. The state store keys facts by
+// (entity, attribute); successive versions of the same key have disjoint
+// validity intervals.
+type Fact struct {
+	// Entity identifies the subject, e.g. a visitor id or product id.
+	Entity string
+	// Attribute names the property, e.g. "position" or "class".
+	Attribute string
+	// Value is the attribute's value over the validity interval.
+	Value Value
+	// Validity is the half-open interval during which the fact holds.
+	Validity temporal.Interval
+	// Derived marks facts materialized by the reasoner rather than
+	// asserted by state management rules.
+	Derived bool
+	// Source names the rule (state management or reasoning) that produced
+	// the fact; empty for facts asserted directly through the API.
+	Source string
+}
+
+// NewFact builds an asserted fact valid over the given interval.
+func NewFact(entity, attribute string, v Value, validity temporal.Interval) *Fact {
+	return &Fact{Entity: entity, Attribute: attribute, Value: v, Validity: validity}
+}
+
+// Key returns the state-store key of the fact: entity and attribute.
+func (f *Fact) Key() FactKey { return FactKey{Entity: f.Entity, Attribute: f.Attribute} }
+
+// ValidAt reports whether the fact holds at instant t.
+func (f *Fact) ValidAt(t temporal.Instant) bool { return f.Validity.Contains(t) }
+
+// IsCurrent reports whether the fact's validity is still open.
+func (f *Fact) IsCurrent() bool { return f.Validity.IsOpen() }
+
+// Clone returns an independent copy of the fact.
+func (f *Fact) Clone() *Fact {
+	c := *f
+	return &c
+}
+
+// String renders the fact as attribute(entity)=value @ validity.
+func (f *Fact) String() string {
+	tag := ""
+	if f.Derived {
+		tag = " [derived]"
+	}
+	return fmt.Sprintf("%s(%s)=%s @ %s%s", f.Attribute, f.Entity, f.Value, f.Validity, tag)
+}
+
+// FactKey identifies a fact lineage in the state store.
+type FactKey struct {
+	Entity    string
+	Attribute string
+}
+
+// String renders the key as attribute(entity).
+func (k FactKey) String() string { return k.Attribute + "(" + k.Entity + ")" }

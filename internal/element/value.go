@@ -1,0 +1,272 @@
+// Package element defines the data model shared by the streaming and state
+// layers: dynamically typed values, tuple schemas, stream elements, and
+// timed facts.
+//
+// Stream elements are the inputs of Figure 1 in the paper: typed tuples
+// tagged with an application timestamp. Facts are the members of the state
+// repository: (entity, attribute, value) triples "annotated with their time
+// of validity" (§3). Stream processing rules consume elements; state
+// management rules turn elements into fact updates.
+package element
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/temporal"
+)
+
+// Kind enumerates the dynamic types a Value can hold.
+type Kind uint8
+
+// Supported value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindTime
+)
+
+var kindNames = [...]string{
+	KindNull:   "null",
+	KindBool:   "bool",
+	KindInt:    "int",
+	KindFloat:  "float",
+	KindString: "string",
+	KindTime:   "time",
+}
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Value is a compact dynamically typed scalar. The zero Value is Null.
+// Values are immutable; all operations return new Values.
+type Value struct {
+	kind Kind
+	num  int64   // bool (0/1), int, or time as temporal.Instant
+	flt  float64 // float
+	str  string  // string
+}
+
+// Null is the absent value.
+var Null = Value{}
+
+// Bool wraps a boolean.
+func Bool(b bool) Value {
+	var n int64
+	if b {
+		n = 1
+	}
+	return Value{kind: KindBool, num: n}
+}
+
+// Int wraps a 64-bit integer.
+func Int(i int64) Value { return Value{kind: KindInt, num: i} }
+
+// Float wraps a 64-bit float.
+func Float(f float64) Value { return Value{kind: KindFloat, flt: f} }
+
+// String wraps a string.
+func String(s string) Value { return Value{kind: KindString, str: s} }
+
+// Time wraps an instant.
+func Time(t temporal.Instant) Value { return Value{kind: KindTime, num: int64(t)} }
+
+// Kind reports the dynamic type of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is absent.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsBool returns the boolean payload; ok is false when the kind differs.
+func (v Value) AsBool() (b, ok bool) { return v.num != 0, v.kind == KindBool }
+
+// AsInt returns the integer payload; ok is false when the kind differs.
+func (v Value) AsInt() (int64, bool) { return v.num, v.kind == KindInt }
+
+// AsFloat returns the numeric payload widened to float64; ok is false for
+// non-numeric kinds. Ints widen losslessly for the magnitudes used here.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindFloat:
+		return v.flt, true
+	case KindInt:
+		return float64(v.num), true
+	}
+	return 0, false
+}
+
+// AsString returns the string payload; ok is false when the kind differs.
+func (v Value) AsString() (string, bool) { return v.str, v.kind == KindString }
+
+// AsTime returns the instant payload; ok is false when the kind differs.
+func (v Value) AsTime() (temporal.Instant, bool) {
+	return temporal.Instant(v.num), v.kind == KindTime
+}
+
+// MustString returns the string payload and panics on kind mismatch. Use in
+// code paths where the schema guarantees the kind.
+func (v Value) MustString() string {
+	s, ok := v.AsString()
+	if !ok {
+		panic(fmt.Sprintf("element: value %s is not a string", v))
+	}
+	return s
+}
+
+// MustInt returns the integer payload and panics on kind mismatch.
+func (v Value) MustInt() int64 {
+	i, ok := v.AsInt()
+	if !ok {
+		panic(fmt.Sprintf("element: value %s is not an int", v))
+	}
+	return i
+}
+
+// MustFloat returns the numeric payload and panics for non-numeric kinds.
+func (v Value) MustFloat() float64 {
+	f, ok := v.AsFloat()
+	if !ok {
+		panic(fmt.Sprintf("element: value %s is not numeric", v))
+	}
+	return f
+}
+
+// Truthy reports whether the value counts as true in a boolean context:
+// true booleans, non-zero numbers, non-empty strings, any time. Null is
+// false.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindBool, KindInt:
+		return v.num != 0
+	case KindFloat:
+		return v.flt != 0
+	case KindString:
+		return v.str != ""
+	case KindTime:
+		return true
+	}
+	return false
+}
+
+// Equal reports deep equality of kind and payload, except that numeric
+// kinds compare by value (Int(2) equals Float(2)).
+func (v Value) Equal(o Value) bool {
+	if v.kind == o.kind {
+		switch v.kind {
+		case KindNull:
+			return true
+		case KindFloat:
+			return v.flt == o.flt
+		case KindString:
+			return v.str == o.str
+		default:
+			return v.num == o.num
+		}
+	}
+	if v.isNumeric() && o.isNumeric() {
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		return a == b
+	}
+	return false
+}
+
+func (v Value) isNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Compare orders two values: -1, 0, or +1. Values of different kinds order
+// by kind, except numerics which compare by value. Null sorts first.
+func (v Value) Compare(o Value) int {
+	if v.isNumeric() && o.isNumeric() {
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindString:
+		return strings.Compare(v.str, o.str)
+	case KindFloat:
+		switch {
+		case v.flt < o.flt:
+			return -1
+		case v.flt > o.flt:
+			return 1
+		}
+		return 0
+	default:
+		switch {
+		case v.num < o.num:
+			return -1
+		case v.num > o.num:
+			return 1
+		}
+		return 0
+	}
+}
+
+// Key returns a string that uniquely identifies the value within its kind,
+// suitable for use in map keys (group-by, joins, state keys).
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "∅"
+	case KindBool:
+		if v.num != 0 {
+			return "b:true"
+		}
+		return "b:false"
+	case KindInt:
+		return "i:" + strconv.FormatInt(v.num, 10)
+	case KindFloat:
+		return "f:" + strconv.FormatFloat(v.flt, 'g', -1, 64)
+	case KindString:
+		return "s:" + v.str
+	case KindTime:
+		return "t:" + strconv.FormatInt(v.num, 10)
+	}
+	return "?"
+}
+
+// String renders the value for humans.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindBool:
+		if v.num != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.num, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.flt, 'g', -1, 64)
+	case KindString:
+		return v.str
+	case KindTime:
+		return temporal.Instant(v.num).String()
+	}
+	return "?"
+}

@@ -1,0 +1,83 @@
+package lang
+
+import (
+	"testing"
+
+	"repro/internal/element"
+)
+
+func TestNumericBuiltins(t *testing.T) {
+	cases := []struct {
+		src  string
+		want element.Value
+	}{
+		{"round(2.4)", element.Int(2)},
+		{"round(2.5)", element.Int(3)},
+		{"round(-2.5)", element.Int(-3)},
+		{"floor(2.9)", element.Int(2)},
+		{"floor(-2.1)", element.Int(-3)},
+		{"ceil(2.1)", element.Int(3)},
+		{"ceil(-2.9)", element.Int(-2)},
+		{"round(7)", element.Int(7)}, // ints pass through
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.src); !got.Equal(c.want) {
+			t.Errorf("%q: got %s want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestStringBuiltins(t *testing.T) {
+	cases := []struct {
+		src  string
+		want element.Value
+	}{
+		{"contains('hello', 'ell')", element.Bool(true)},
+		{"contains('hello', 'xyz')", element.Bool(false)},
+		{"startswith('hello', 'he')", element.Bool(true)},
+		{"startswith('hello', 'lo')", element.Bool(false)},
+		{"endswith('hello', 'lo')", element.Bool(true)},
+		{"endswith('hello', 'he')", element.Bool(false)},
+		{"substr('hello', 1, 3)", element.String("ell")},
+		{"substr('hello', 3, 10)", element.String("lo")},
+		{"substr('hello', 0, 0)", element.String("")},
+		{"replace('a-b-c', '-', '+')", element.String("a+b+c")},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.src); !got.Equal(c.want) {
+			t.Errorf("%q: got %s want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestBuiltinErrors(t *testing.T) {
+	bad := []string{
+		"round('s')",
+		"floor('s')",
+		"contains(1, 's')",
+		"substr('s', -1, 2)",
+		"substr('s', 9, 2)",
+		"substr('s', 0)",
+		"replace('a', 'b')",
+		"startswith('a', 1)",
+	}
+	for _, src := range bad {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Eval(e, env()); err == nil {
+			t.Errorf("eval %q: want error", src)
+		}
+	}
+}
+
+func TestNewBuiltinsComposeWithState(t *testing.T) {
+	// Builtins compose with state lookups in rule/gate shapes.
+	if got := evalStr(t, "startswith(position('ann'), 'la')"); !got.Truthy() {
+		t.Error("builtin over state lookup")
+	}
+	if got := evalStr(t, "if(contains(e.user, 'nn'), upper(e.user), 'x')"); got.MustString() != "ANN" {
+		t.Errorf("composition: %s", got)
+	}
+}

@@ -1,0 +1,564 @@
+package lang
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/element"
+	"repro/internal/temporal"
+)
+
+// Expr is a parsed expression. Expressions are immutable and safe to share
+// across evaluations.
+type Expr interface {
+	// String renders the expression in re-parseable syntax.
+	String() string
+	exprNode()
+}
+
+// Lit is a literal value.
+type Lit struct{ Value element.Value }
+
+// Duration is a duration literal in nanoseconds (rendered as e.g. 5m).
+type Duration struct{ Nanos int64 }
+
+// VarRef is a bare identifier reference, resolved against the environment
+// (e.g. a rule binding variable or a query column).
+type VarRef struct{ Name string }
+
+// FieldRef accesses a field of a bound element: var.field.
+type FieldRef struct{ Var, Field string }
+
+// StateRef reads the state repository: attr(entityExpr) evaluates to the
+// value of the attribute for the entity, or Null when absent. This is how
+// stream processing rules "access that information during processing"
+// (paper §3.1).
+type StateRef struct {
+	Attr   string
+	Entity Expr
+}
+
+// Exists tests state presence: EXISTS attr(entityExpr).
+type Exists struct {
+	Attr   string
+	Entity Expr
+}
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op string // "not" or "-"
+	X  Expr
+}
+
+// Binary is a binary operation: arithmetic, comparison, or logical.
+type Binary struct {
+	Op   string // + - * / % = != < <= > >= and or
+	L, R Expr
+}
+
+// Call invokes a builtin function.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (*Lit) exprNode()      {}
+func (*Duration) exprNode() {}
+func (*VarRef) exprNode()   {}
+func (*FieldRef) exprNode() {}
+func (*StateRef) exprNode() {}
+func (*Exists) exprNode()   {}
+func (*Unary) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Call) exprNode()     {}
+
+// String implements Expr.
+func (e *Lit) String() string {
+	if s, ok := e.Value.AsString(); ok {
+		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	}
+	if e.Value.Kind() == element.KindFloat {
+		// Plain decimal notation: the lexer does not read 1e+06. Keep a
+		// decimal point so the literal re-lexes as a float even when the
+		// value is integral (a bare 1e19 would overflow integer lexing).
+		f, _ := e.Value.AsFloat()
+		s := strconv.FormatFloat(f, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s
+	}
+	return e.Value.String()
+}
+
+// String implements Expr, choosing the largest whole unit.
+func (e *Duration) String() string {
+	order := []struct {
+		unit string
+		n    int64
+	}{{"d", 86400e9}, {"h", 3600e9}, {"m", 60e9}, {"s", 1e9}, {"ms", 1e6}, {"us", 1e3}, {"ns", 1}}
+	for _, u := range order {
+		if e.Nanos != 0 && e.Nanos%u.n == 0 {
+			return fmt.Sprintf("%d%s", e.Nanos/u.n, u.unit)
+		}
+	}
+	return fmt.Sprintf("%dns", e.Nanos)
+}
+
+// String implements Expr.
+func (e *VarRef) String() string { return e.Name }
+
+// String implements Expr.
+func (e *FieldRef) String() string { return e.Var + "." + e.Field }
+
+// String implements Expr.
+func (e *StateRef) String() string { return e.Attr + "(" + e.Entity.String() + ")" }
+
+// String implements Expr.
+func (e *Exists) String() string { return "EXISTS " + e.Attr + "(" + e.Entity.String() + ")" }
+
+// String implements Expr.
+func (e *Unary) String() string {
+	if e.Op == "not" {
+		return "NOT " + e.X.String()
+	}
+	s := e.X.String()
+	if strings.HasPrefix(s, "-") {
+		// A space keeps nested negation from printing as a "--" comment.
+		return "- " + s
+	}
+	return "-" + s
+}
+
+// String implements Expr.
+func (e *Binary) String() string {
+	op := e.Op
+	if op == "and" || op == "or" {
+		op = strings.ToUpper(op)
+	}
+	return "(" + e.L.String() + " " + op + " " + e.R.String() + ")"
+}
+
+// String implements Expr.
+func (e *Call) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// Builtins lists the function names the parser recognizes as calls; any
+// other name(arg) form parses as a state lookup.
+var Builtins = map[string]bool{
+	"now": true, "abs": true, "min": true, "max": true,
+	"coalesce": true, "concat": true, "len": true, "lower": true,
+	"upper": true, "if": true, "round": true, "floor": true,
+	"ceil": true, "contains": true, "startswith": true,
+	"endswith": true, "substr": true, "replace": true,
+}
+
+// Env supplies bindings during evaluation. Implementations come from the
+// rule runtime (event bindings + state view) and the query executor.
+type Env interface {
+	// Var resolves a bare identifier.
+	Var(name string) (element.Value, bool)
+	// Field resolves var.field.
+	Field(varName, field string) (element.Value, bool)
+	// State resolves attr(entity) against the state repository (typically
+	// an as-of view at the evaluation instant).
+	State(attr string, entity element.Value) (element.Value, bool)
+	// Now is the evaluation instant.
+	Now() temporal.Instant
+}
+
+// EvalError reports an evaluation failure.
+type EvalError struct {
+	Expr Expr
+	Msg  string
+}
+
+// Error implements error.
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("eval %s: %s", e.Expr.String(), e.Msg)
+}
+
+func evalErr(e Expr, format string, args ...interface{}) error {
+	return &EvalError{Expr: e, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Eval evaluates the expression under env. Nulls propagate through
+// arithmetic; comparisons involving Null are false except Null = Null.
+func Eval(e Expr, env Env) (element.Value, error) {
+	switch x := e.(type) {
+	case *Lit:
+		return x.Value, nil
+	case *Duration:
+		return element.Int(x.Nanos), nil
+	case *VarRef:
+		if v, ok := env.Var(x.Name); ok {
+			return v, nil
+		}
+		return element.Null, evalErr(e, "unbound variable %q", x.Name)
+	case *FieldRef:
+		if v, ok := env.Field(x.Var, x.Field); ok {
+			return v, nil
+		}
+		return element.Null, evalErr(e, "no field %q on %q", x.Field, x.Var)
+	case *StateRef:
+		ent, err := Eval(x.Entity, env)
+		if err != nil {
+			return element.Null, err
+		}
+		if v, ok := env.State(x.Attr, ent); ok {
+			return v, nil
+		}
+		return element.Null, nil // absent state reads as Null
+	case *Exists:
+		ent, err := Eval(x.Entity, env)
+		if err != nil {
+			return element.Null, err
+		}
+		_, ok := env.State(x.Attr, ent)
+		return element.Bool(ok), nil
+	case *Unary:
+		v, err := Eval(x.X, env)
+		if err != nil {
+			return element.Null, err
+		}
+		if x.Op == "not" {
+			return element.Bool(!v.Truthy()), nil
+		}
+		switch v.Kind() {
+		case element.KindInt:
+			return element.Int(-v.MustInt()), nil
+		case element.KindFloat:
+			return element.Float(-v.MustFloat()), nil
+		case element.KindNull:
+			return element.Null, nil
+		}
+		return element.Null, evalErr(e, "cannot negate %s", v.Kind())
+	case *Binary:
+		return evalBinary(x, env)
+	case *Call:
+		return evalCall(x, env)
+	}
+	return element.Null, evalErr(e, "unknown expression type %T", e)
+}
+
+func evalBinary(x *Binary, env Env) (element.Value, error) {
+	// Short-circuit logical operators.
+	switch x.Op {
+	case "and":
+		l, err := Eval(x.L, env)
+		if err != nil {
+			return element.Null, err
+		}
+		if !l.Truthy() {
+			return element.Bool(false), nil
+		}
+		r, err := Eval(x.R, env)
+		if err != nil {
+			return element.Null, err
+		}
+		return element.Bool(r.Truthy()), nil
+	case "or":
+		l, err := Eval(x.L, env)
+		if err != nil {
+			return element.Null, err
+		}
+		if l.Truthy() {
+			return element.Bool(true), nil
+		}
+		r, err := Eval(x.R, env)
+		if err != nil {
+			return element.Null, err
+		}
+		return element.Bool(r.Truthy()), nil
+	}
+	l, err := Eval(x.L, env)
+	if err != nil {
+		return element.Null, err
+	}
+	r, err := Eval(x.R, env)
+	if err != nil {
+		return element.Null, err
+	}
+	switch x.Op {
+	case "=":
+		return element.Bool(l.Equal(r)), nil
+	case "!=":
+		return element.Bool(!l.Equal(r)), nil
+	case "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return element.Bool(false), nil
+		}
+		if bothComparable(l, r) {
+			c := l.Compare(r)
+			switch x.Op {
+			case "<":
+				return element.Bool(c < 0), nil
+			case "<=":
+				return element.Bool(c <= 0), nil
+			case ">":
+				return element.Bool(c > 0), nil
+			default:
+				return element.Bool(c >= 0), nil
+			}
+		}
+		return element.Null, evalErr(x, "cannot compare %s and %s", l.Kind(), r.Kind())
+	case "+", "-", "*", "/", "%":
+		return evalArith(x, l, r)
+	}
+	return element.Null, evalErr(x, "unknown operator %q", x.Op)
+}
+
+func bothComparable(l, r element.Value) bool {
+	lk, rk := l.Kind(), r.Kind()
+	numeric := func(k element.Kind) bool { return k == element.KindInt || k == element.KindFloat }
+	if numeric(lk) && numeric(rk) {
+		return true
+	}
+	return lk == rk
+}
+
+func evalArith(x *Binary, l, r element.Value) (element.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return element.Null, nil
+	}
+	// String concatenation via +.
+	if x.Op == "+" {
+		if ls, ok := l.AsString(); ok {
+			if rs, ok := r.AsString(); ok {
+				return element.String(ls + rs), nil
+			}
+		}
+	}
+	// Time arithmetic: time ± int (nanoseconds / duration), time - time.
+	if lt, ok := l.AsTime(); ok {
+		if ri, ok := r.AsInt(); ok {
+			switch x.Op {
+			case "+":
+				return element.Time(lt + temporal.Instant(ri)), nil
+			case "-":
+				return element.Time(lt - temporal.Instant(ri)), nil
+			}
+		}
+		if rt, ok := r.AsTime(); ok && x.Op == "-" {
+			return element.Int(int64(lt - rt)), nil
+		}
+		return element.Null, evalErr(x, "bad time arithmetic")
+	}
+	li, lInt := l.AsInt()
+	ri, rInt := r.AsInt()
+	if lInt && rInt {
+		switch x.Op {
+		case "+":
+			return element.Int(li + ri), nil
+		case "-":
+			return element.Int(li - ri), nil
+		case "*":
+			return element.Int(li * ri), nil
+		case "/":
+			if ri == 0 {
+				return element.Null, evalErr(x, "division by zero")
+			}
+			return element.Int(li / ri), nil
+		case "%":
+			if ri == 0 {
+				return element.Null, evalErr(x, "division by zero")
+			}
+			return element.Int(li % ri), nil
+		}
+	}
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return element.Null, evalErr(x, "cannot apply %q to %s and %s", x.Op, l.Kind(), r.Kind())
+	}
+	switch x.Op {
+	case "+":
+		return element.Float(lf + rf), nil
+	case "-":
+		return element.Float(lf - rf), nil
+	case "*":
+		return element.Float(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return element.Null, evalErr(x, "division by zero")
+		}
+		return element.Float(lf / rf), nil
+	}
+	return element.Null, evalErr(x, "cannot apply %q to floats", x.Op)
+}
+
+func evalCall(x *Call, env Env) (element.Value, error) {
+	args := make([]element.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := Eval(a, env)
+		if err != nil {
+			return element.Null, err
+		}
+		args[i] = v
+	}
+	arity := func(n int) error {
+		if len(args) != n {
+			return evalErr(x, "%s expects %d arguments, got %d", x.Name, n, len(args))
+		}
+		return nil
+	}
+	switch x.Name {
+	case "now":
+		if err := arity(0); err != nil {
+			return element.Null, err
+		}
+		return element.Time(env.Now()), nil
+	case "abs":
+		if err := arity(1); err != nil {
+			return element.Null, err
+		}
+		if i, ok := args[0].AsInt(); ok {
+			if i < 0 {
+				i = -i
+			}
+			return element.Int(i), nil
+		}
+		if f, ok := args[0].AsFloat(); ok {
+			if f < 0 {
+				f = -f
+			}
+			return element.Float(f), nil
+		}
+		return element.Null, evalErr(x, "abs of non-numeric")
+	case "min", "max":
+		if len(args) == 0 {
+			return element.Null, evalErr(x, "%s needs arguments", x.Name)
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			c := a.Compare(best)
+			if (x.Name == "min" && c < 0) || (x.Name == "max" && c > 0) {
+				best = a
+			}
+		}
+		return best, nil
+	case "coalesce":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return element.Null, nil
+	case "concat":
+		var sb strings.Builder
+		for _, a := range args {
+			sb.WriteString(a.String())
+		}
+		return element.String(sb.String()), nil
+	case "len":
+		if err := arity(1); err != nil {
+			return element.Null, err
+		}
+		if s, ok := args[0].AsString(); ok {
+			return element.Int(int64(len(s))), nil
+		}
+		return element.Null, evalErr(x, "len of non-string")
+	case "lower", "upper":
+		if err := arity(1); err != nil {
+			return element.Null, err
+		}
+		s, ok := args[0].AsString()
+		if !ok {
+			return element.Null, evalErr(x, "%s of non-string", x.Name)
+		}
+		if x.Name == "lower" {
+			return element.String(strings.ToLower(s)), nil
+		}
+		return element.String(strings.ToUpper(s)), nil
+	case "if":
+		if err := arity(3); err != nil {
+			return element.Null, err
+		}
+		if args[0].Truthy() {
+			return args[1], nil
+		}
+		return args[2], nil
+	case "round", "floor", "ceil":
+		if err := arity(1); err != nil {
+			return element.Null, err
+		}
+		if i, ok := args[0].AsInt(); ok {
+			return element.Int(i), nil
+		}
+		f, ok := args[0].AsFloat()
+		if !ok {
+			return element.Null, evalErr(x, "%s of non-numeric", x.Name)
+		}
+		switch x.Name {
+		case "round":
+			return element.Int(int64(math.Round(f))), nil
+		case "floor":
+			return element.Int(int64(math.Floor(f))), nil
+		default:
+			return element.Int(int64(math.Ceil(f))), nil
+		}
+	case "contains", "startswith", "endswith":
+		if err := arity(2); err != nil {
+			return element.Null, err
+		}
+		s, ok1 := args[0].AsString()
+		sub, ok2 := args[1].AsString()
+		if !ok1 || !ok2 {
+			return element.Null, evalErr(x, "%s of non-strings", x.Name)
+		}
+		switch x.Name {
+		case "contains":
+			return element.Bool(strings.Contains(s, sub)), nil
+		case "startswith":
+			return element.Bool(strings.HasPrefix(s, sub)), nil
+		default:
+			return element.Bool(strings.HasSuffix(s, sub)), nil
+		}
+	case "substr":
+		if err := arity(3); err != nil {
+			return element.Null, err
+		}
+		s, ok1 := args[0].AsString()
+		from, ok2 := args[1].AsInt()
+		n, ok3 := args[2].AsInt()
+		if !ok1 || !ok2 || !ok3 {
+			return element.Null, evalErr(x, "substr(string, int, int)")
+		}
+		if from < 0 || n < 0 || from > int64(len(s)) {
+			return element.Null, evalErr(x, "substr bounds out of range")
+		}
+		end := from + n
+		if end > int64(len(s)) {
+			end = int64(len(s))
+		}
+		return element.String(s[from:end]), nil
+	case "replace":
+		if err := arity(3); err != nil {
+			return element.Null, err
+		}
+		s, ok1 := args[0].AsString()
+		old, ok2 := args[1].AsString()
+		nw, ok3 := args[2].AsString()
+		if !ok1 || !ok2 || !ok3 {
+			return element.Null, evalErr(x, "replace(string, string, string)")
+		}
+		return element.String(strings.ReplaceAll(s, old, nw)), nil
+	}
+	return element.Null, evalErr(x, "unknown function %q", x.Name)
+}
+
+// EvalBool evaluates the expression and reports its truthiness.
+func EvalBool(e Expr, env Env) (bool, error) {
+	v, err := Eval(e, env)
+	if err != nil {
+		return false, err
+	}
+	return v.Truthy(), nil
+}

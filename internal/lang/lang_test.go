@@ -1,0 +1,382 @@
+package lang
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/element"
+	"repro/internal/temporal"
+)
+
+// mockEnv is a simple test environment.
+type mockEnv struct {
+	vars   map[string]element.Value
+	fields map[string]map[string]element.Value
+	state  map[string]map[string]element.Value // attr → entityKey → value
+	now    temporal.Instant
+}
+
+func (m *mockEnv) Var(name string) (element.Value, bool) {
+	v, ok := m.vars[name]
+	return v, ok
+}
+
+func (m *mockEnv) Field(varName, field string) (element.Value, bool) {
+	f, ok := m.fields[varName]
+	if !ok {
+		return element.Null, false
+	}
+	v, ok := f[field]
+	return v, ok
+}
+
+func (m *mockEnv) State(attr string, entity element.Value) (element.Value, bool) {
+	a, ok := m.state[attr]
+	if !ok {
+		return element.Null, false
+	}
+	v, ok := a[entity.String()]
+	return v, ok
+}
+
+func (m *mockEnv) Now() temporal.Instant { return m.now }
+
+func env() *mockEnv {
+	return &mockEnv{
+		vars: map[string]element.Value{"x": element.Int(10), "name": element.String("ann")},
+		fields: map[string]map[string]element.Value{
+			"e": {"user": element.String("ann"), "amount": element.Float(2.5), "n": element.Int(4)},
+		},
+		state: map[string]map[string]element.Value{
+			"position": {"ann": element.String("lab")},
+			"active":   {"ann": element.Bool(true)},
+		},
+		now: 1000,
+	}
+}
+
+func evalStr(t *testing.T, src string) element.Value {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, err := Eval(e, env())
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`foo 42 3.14 'it''s' "dq" 5m <= != -- comment
+	next`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{TokIdent, TokInt, TokFloat, TokString, TokString, TokDuration, TokLe, TokNeq, TokIdent, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count: got %d want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %v want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[3].Text != "it's" {
+		t.Errorf("escaped string: %q", toks[3].Text)
+	}
+	if toks[5].Int != int64(5*60*1e9) {
+		t.Errorf("duration 5m: %d", toks[5].Int)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "5q", "@", "99999999999999999999"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		} else {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("Lex(%q): want SyntaxError, got %T", src, err)
+			}
+		}
+	}
+}
+
+func TestLexFractionalDuration(t *testing.T) {
+	toks, err := Lex("1.5h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokDuration || toks[0].Int != int64(1.5*3600e9) {
+		t.Errorf("1.5h: %+v", toks[0])
+	}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want element.Value
+	}{
+		{"1 + 2 * 3", element.Int(7)},
+		{"(1 + 2) * 3", element.Int(9)},
+		{"10 / 4", element.Int(2)},
+		{"10.0 / 4", element.Float(2.5)},
+		{"10 % 3", element.Int(1)},
+		{"-x + 1", element.Int(-9)},
+		{"'a' + 'b'", element.String("ab")},
+		{"2 + e.amount", element.Float(4.5)},
+		{"1 + null", element.Null},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.src); !got.Equal(c.want) && !(got.IsNull() && c.want.IsNull()) {
+			t.Errorf("%q: got %s want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalComparisonsAndLogic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"1 < 2", true},
+		{"2 <= 2", true},
+		{"3 > 4", false},
+		{"4 >= 4", true},
+		{"x = 10", true},
+		{"x != 10", false},
+		{"1 = 1.0", true},
+		{"'a' < 'b'", true},
+		{"1 < 2 AND 2 < 3", true},
+		{"1 > 2 OR 2 < 3", true},
+		{"NOT (1 < 2)", false},
+		{"null = null", true},
+		{"null < 1", false},
+		{"true AND false", false},
+		{"e.n % 2 = 0", true},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.src); got.Truthy() != c.want {
+			t.Errorf("%q: got %s want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalStateLookup(t *testing.T) {
+	if got := evalStr(t, "position('ann')"); got.MustString() != "lab" {
+		t.Errorf("state lookup: %s", got)
+	}
+	if got := evalStr(t, "position(e.user)"); got.MustString() != "lab" {
+		t.Errorf("state lookup via field: %s", got)
+	}
+	if got := evalStr(t, "position('bob')"); !got.IsNull() {
+		t.Errorf("absent state should be null: %s", got)
+	}
+	if got := evalStr(t, "EXISTS position('ann')"); !got.Truthy() {
+		t.Error("exists true")
+	}
+	if got := evalStr(t, "EXISTS position('bob')"); got.Truthy() {
+		t.Error("exists false")
+	}
+	if got := evalStr(t, "EXISTS active(name) AND position(name) = 'lab'"); !got.Truthy() {
+		t.Error("combined state condition")
+	}
+}
+
+func TestEvalBuiltins(t *testing.T) {
+	cases := []struct {
+		src  string
+		want element.Value
+	}{
+		{"now()", element.Time(1000)},
+		{"abs(-5)", element.Int(5)},
+		{"abs(-2.5)", element.Float(2.5)},
+		{"min(3, 1, 2)", element.Int(1)},
+		{"max(3, 1, 2)", element.Int(3)},
+		{"coalesce(null, 7)", element.Int(7)},
+		{"coalesce(position('bob'), 'unknown')", element.String("unknown")},
+		{"concat('a', 1, 'b')", element.String("a1b")},
+		{"len('abc')", element.Int(3)},
+		{"lower('AbC')", element.String("abc")},
+		{"upper('AbC')", element.String("ABC")},
+		{"if(1 < 2, 'y', 'n')", element.String("y")},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.src); !got.Equal(c.want) {
+			t.Errorf("%q: got %s want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalDurations(t *testing.T) {
+	if got := evalStr(t, "5m"); got.MustInt() != int64(5*60*1e9) {
+		t.Errorf("5m: %s", got)
+	}
+	if v, _ := evalStr(t, "now() + 1m").AsTime(); v != 1000+temporal.Instant(60*1e9) {
+		t.Errorf("time + duration: %s", v)
+	}
+	if got := evalStr(t, "now() - now()"); got.MustInt() != 0 {
+		t.Errorf("time - time: %s", got)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	bad := []string{
+		"nosuchvar",
+		"e.nosuchfield",
+		"1 / 0",
+		"1 % 0",
+		"abs('s')",
+		"len(1)",
+		"'a' < 1",
+		"-'s'",
+		"lower(1)",
+		"if(1, 2)",
+	}
+	for _, src := range bad {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Eval(e, env()); err == nil {
+			t.Errorf("eval %q: want error", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1 +",
+		"(1",
+		"state(a, b)",    // state lookup arity
+		"nosuchfn(1, 2)", // non-builtin with two args
+		"EXISTS 3(x)",    // exists needs ident
+		"1 2",            // trailing token
+		"e.",             // missing field
+		"min(1,",         // unterminated args
+	}
+	for _, src := range bad {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q): want error", src)
+		}
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		"1 + 2 * 3",
+		"(x = 10 AND e.user != 'bob') OR NOT EXISTS position(e.user)",
+		"coalesce(position(e.user), 'none')",
+		"now() + 5m",
+		"-x - 1",
+		"'it''s'",
+		"if(x > 0, x, -x)",
+		"e.amount * 2.5 >= 10",
+		"max(1, 2, 3) % 2",
+	}
+	for _, src := range srcs {
+		e1, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		printed := e1.String()
+		e2, err := ParseExpr(printed)
+		if err != nil {
+			t.Fatalf("reparse %q (printed from %q): %v", printed, src, err)
+		}
+		if e2.String() != printed {
+			t.Errorf("round trip unstable: %q -> %q -> %q", src, printed, e2.String())
+		}
+		// Both parses must evaluate identically.
+		v1, err1 := Eval(e1, env())
+		v2, err2 := Eval(e2, env())
+		if (err1 == nil) != (err2 == nil) {
+			t.Errorf("%q: eval err mismatch: %v vs %v", src, err1, err2)
+		}
+		if err1 == nil && !v1.Equal(v2) && !(v1.IsNull() && v2.IsNull()) {
+			t.Errorf("%q: eval mismatch: %s vs %s", src, v1, v2)
+		}
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := map[int64]string{
+		int64(5 * 60 * 1e9): "5m",
+		int64(2 * 3600e9):   "2h",
+		int64(86400e9):      "1d",
+		int64(1500 * 1e6):   "1500ms",
+		int64(7):            "7ns",
+		0:                   "0ns",
+	}
+	for n, want := range cases {
+		d := &Duration{Nanos: n}
+		if d.String() != want {
+			t.Errorf("Duration(%d): got %s want %s", n, d.String(), want)
+		}
+	}
+}
+
+func TestCursorHelpers(t *testing.T) {
+	toks, _ := Lex("WHERE x THEN")
+	c := NewCursor(toks)
+	if !c.Peek().Is("where") || !c.Peek().Is("WHERE") {
+		t.Error("Is should be case-insensitive")
+	}
+	if !c.AcceptKeyword("where") {
+		t.Error("AcceptKeyword")
+	}
+	if err := c.ExpectKeyword("then"); err == nil {
+		t.Error("ExpectKeyword should fail on x")
+	}
+	c.Next() // skip x
+	if err := c.ExpectKeyword("then"); err != nil {
+		t.Errorf("ExpectKeyword then: %v", err)
+	}
+	// Next at EOF stays at EOF.
+	c.Next()
+	if c.Next().Kind != TokEOF {
+		t.Error("Next at EOF")
+	}
+}
+
+func TestStopKeywordsTerminateExpr(t *testing.T) {
+	toks, err := Lex("e.user = 'ann' THEN rest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCursor(toks)
+	e, err := ParseExprFrom(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Peek().Is("then") {
+		t.Errorf("cursor should stop at THEN, is at %v", c.Peek())
+	}
+	if !strings.Contains(e.String(), "e.user") {
+		t.Errorf("expr: %s", e)
+	}
+}
+
+func TestEvalBoolHelper(t *testing.T) {
+	e, _ := ParseExpr("1 < 2")
+	ok, err := EvalBool(e, env())
+	if err != nil || !ok {
+		t.Errorf("EvalBool: %v %v", ok, err)
+	}
+	e2, _ := ParseExpr("nosuch")
+	if _, err := EvalBool(e2, env()); err == nil {
+		t.Error("EvalBool should propagate errors")
+	}
+}
+
+func TestSyntaxErrorFormatting(t *testing.T) {
+	_, err := ParseExpr("1 +")
+	var se *SyntaxError
+	if !errors.As(err, &se) || se.Error() == "" {
+		t.Errorf("want SyntaxError, got %v", err)
+	}
+}

@@ -1,0 +1,311 @@
+// Package lang implements the textual language shared by the state
+// management rule language (internal/rules) and the temporal query
+// language (internal/query): a lexer, an expression AST with printer, a
+// precedence-climbing expression parser, and a dynamic evaluator.
+//
+// The paper leaves "the language used to express state management rules"
+// and "which language to offer for state query and retrieval" as open
+// research questions (§3.3). This package is our concrete answer: a small,
+// SQL-flavoured expression core with three extensions the model needs —
+// duration literals (5m, 30s) for temporal constraints, state lookups
+// attr(entity) that read the state repository during evaluation, and
+// EXISTS attr(entity) state tests for condition-gated processing.
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokDuration
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokDot
+	TokStar
+	TokEq  // = or ==
+	TokNeq // != or <>
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokPlus
+	TokMinus
+	TokSlash
+	TokPercent
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF: "end of input", TokIdent: "identifier", TokInt: "integer",
+	TokFloat: "float", TokString: "string", TokDuration: "duration",
+	TokLParen: "'('", TokRParen: "')'", TokLBracket: "'['", TokRBracket: "']'",
+	TokComma: "','", TokDot: "'.'", TokStar: "'*'",
+	TokEq: "'='", TokNeq: "'!='", TokLt: "'<'", TokLe: "'<='",
+	TokGt: "'>'", TokGe: "'>='", TokPlus: "'+'", TokMinus: "'-'",
+	TokSlash: "'/'", TokPercent: "'%'",
+}
+
+// String names the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	// Text is the raw text for identifiers and strings (unquoted).
+	Text string
+	// Int holds the value of TokInt and TokDuration (nanoseconds).
+	Int int64
+	// Float holds the value of TokFloat.
+	Float float64
+	// Pos is the byte offset of the token start.
+	Pos int
+}
+
+// Is reports whether the token is an identifier equal (case-insensitively)
+// to the given keyword.
+func (t Token) Is(keyword string) bool {
+	return t.Kind == TokIdent && strings.EqualFold(t.Text, keyword)
+}
+
+// SyntaxError reports a lexing or parsing failure with position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string { return fmt.Sprintf("syntax error at %d: %s", e.Pos, e.Msg) }
+
+func errf(pos int, format string, args ...interface{}) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+var durationUnits = map[string]time.Duration{
+	"ns": time.Nanosecond,
+	"us": time.Microsecond,
+	"ms": time.Millisecond,
+	"s":  time.Second,
+	"m":  time.Minute,
+	"h":  time.Hour,
+	"d":  24 * time.Hour,
+}
+
+// Lex tokenizes src. Comments run from "--" to end of line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(src[i]) {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: src[start:i], Pos: start})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			isFloat := false
+			if i < n && src[i] == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9' {
+				isFloat = true
+				i++
+				for i < n && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+			}
+			// A trailing unit makes it a duration literal: 5m, 1.5h, 30s.
+			unitStart := i
+			for i < n && src[i] >= 'a' && src[i] <= 'z' {
+				i++
+			}
+			if unit := src[unitStart:i]; unit != "" {
+				d, ok := durationUnits[unit]
+				if !ok {
+					return nil, errf(start, "unknown duration unit %q", unit)
+				}
+				num := src[start:unitStart]
+				f, err := strconv.ParseFloat(num, 64)
+				if err != nil {
+					return nil, errf(start, "bad duration %q", src[start:i])
+				}
+				ns := f * float64(d)
+				if ns >= float64(1<<63) {
+					return nil, errf(start, "duration %q overflows", src[start:i])
+				}
+				toks = append(toks, Token{Kind: TokDuration, Int: int64(ns), Pos: start})
+				continue
+			}
+			text := src[start:i]
+			if isFloat {
+				f, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, errf(start, "bad float %q", text)
+				}
+				toks = append(toks, Token{Kind: TokFloat, Float: f, Pos: start})
+			} else {
+				v, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, errf(start, "bad integer %q", text)
+				}
+				toks = append(toks, Token{Kind: TokInt, Int: v, Pos: start})
+			}
+		case c == '\'' || c == '"':
+			quote := c
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == quote {
+					if i+1 < n && src[i+1] == quote { // doubled quote escapes
+						sb.WriteByte(quote)
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, errf(start, "unterminated string")
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch {
+			case two == "==":
+				toks = append(toks, Token{Kind: TokEq, Pos: start})
+				i += 2
+			case two == "!=" || two == "<>":
+				toks = append(toks, Token{Kind: TokNeq, Pos: start})
+				i += 2
+			case two == "<=":
+				toks = append(toks, Token{Kind: TokLe, Pos: start})
+				i += 2
+			case two == ">=":
+				toks = append(toks, Token{Kind: TokGe, Pos: start})
+				i += 2
+			default:
+				kind, ok := singleCharTokens[c]
+				if !ok {
+					return nil, errf(start, "unexpected character %q", string(c))
+				}
+				toks = append(toks, Token{Kind: kind, Pos: start})
+				i++
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+var singleCharTokens = map[byte]TokenKind{
+	'(': TokLParen, ')': TokRParen, '[': TokLBracket, ']': TokRBracket,
+	',': TokComma, '.': TokDot, '*': TokStar, '=': TokEq,
+	'<': TokLt, '>': TokGt, '+': TokPlus, '-': TokMinus,
+	'/': TokSlash, '%': TokPercent,
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+// Cursor walks a token slice; the rule and query parsers share it.
+type Cursor struct {
+	Toks []Token
+	I    int
+}
+
+// NewCursor returns a cursor at the start of toks.
+func NewCursor(toks []Token) *Cursor { return &Cursor{Toks: toks} }
+
+// Peek returns the current token without consuming it.
+func (c *Cursor) Peek() Token { return c.Toks[c.I] }
+
+// Next consumes and returns the current token.
+func (c *Cursor) Next() Token {
+	t := c.Toks[c.I]
+	if c.Toks[c.I].Kind != TokEOF {
+		c.I++
+	}
+	return t
+}
+
+// Accept consumes the current token if it has the given kind.
+func (c *Cursor) Accept(k TokenKind) (Token, bool) {
+	if c.Peek().Kind == k {
+		return c.Next(), true
+	}
+	return Token{}, false
+}
+
+// AcceptKeyword consumes the current token if it is the given keyword.
+func (c *Cursor) AcceptKeyword(kw string) bool {
+	if c.Peek().Is(kw) {
+		c.Next()
+		return true
+	}
+	return false
+}
+
+// Expect consumes a token of the given kind or returns a syntax error.
+func (c *Cursor) Expect(k TokenKind) (Token, error) {
+	if c.Peek().Kind != k {
+		return Token{}, errf(c.Peek().Pos, "expected %s, found %s", k, describe(c.Peek()))
+	}
+	return c.Next(), nil
+}
+
+// ExpectKeyword consumes the given keyword or returns a syntax error.
+func (c *Cursor) ExpectKeyword(kw string) error {
+	if !c.Peek().Is(kw) {
+		return errf(c.Peek().Pos, "expected %s, found %s", strings.ToUpper(kw), describe(c.Peek()))
+	}
+	c.Next()
+	return nil
+}
+
+func describe(t Token) string {
+	if t.Kind == TokIdent {
+		return fmt.Sprintf("%q", t.Text)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,270 @@
+package lang
+
+import (
+	"repro/internal/element"
+)
+
+// ParseExpr parses a complete expression from src.
+func ParseExpr(src string) (Expr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	c := NewCursor(toks)
+	e, err := ParseExprFrom(c)
+	if err != nil {
+		return nil, err
+	}
+	if c.Peek().Kind != TokEOF {
+		return nil, errf(c.Peek().Pos, "unexpected %s after expression", describe(c.Peek()))
+	}
+	return e, nil
+}
+
+// ParseExprFrom parses an expression starting at the cursor, leaving the
+// cursor after the expression. The rule and query parsers call this for
+// embedded expressions.
+func ParseExprFrom(c *Cursor) (Expr, error) { return parseOr(c) }
+
+// Reserved keywords that terminate an expression when they appear where a
+// binary operator could: rule/query clause keywords. Without this, "WHERE x
+// THEN ..." would try to parse THEN as an operand.
+var exprStopKeywords = map[string]bool{
+	"then": true, "when": true, "where": true, "from": true, "until": true,
+	"as": true, "emit": true, "assert": true, "replace": true, "retract": true,
+	"order": true, "by": true, "limit": true, "group": true, "asof": true,
+	"during": true, "history": true, "current": true, "select": true,
+	"within": true, "on": true, "rule": true, "with": true, "having": true,
+	"desc": true, "asc": true, "set": true, "to": true,
+}
+
+func atStopKeyword(c *Cursor) bool {
+	t := c.Peek()
+	return t.Kind == TokIdent && exprStopKeywords[lowerASCII(t.Text)]
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i, ch := range b {
+		if ch >= 'A' && ch <= 'Z' {
+			b[i] = ch + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func parseOr(c *Cursor) (Expr, error) {
+	l, err := parseAnd(c)
+	if err != nil {
+		return nil, err
+	}
+	for !atStopKeyword(c) && c.AcceptKeyword("or") {
+		r, err := parseAnd(c)
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func parseAnd(c *Cursor) (Expr, error) {
+	l, err := parseNot(c)
+	if err != nil {
+		return nil, err
+	}
+	for !atStopKeyword(c) && c.AcceptKeyword("and") {
+		r, err := parseNot(c)
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func parseNot(c *Cursor) (Expr, error) {
+	if c.AcceptKeyword("not") {
+		x, err := parseNot(c)
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "not", X: x}, nil
+	}
+	return parseComparison(c)
+}
+
+var cmpOps = map[TokenKind]string{
+	TokEq: "=", TokNeq: "!=", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+}
+
+func parseComparison(c *Cursor) (Expr, error) {
+	l, err := parseAdd(c)
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[c.Peek().Kind]; ok {
+		c.Next()
+		r, err := parseAdd(c)
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func parseAdd(c *Cursor) (Expr, error) {
+	l, err := parseMul(c)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch c.Peek().Kind {
+		case TokPlus:
+			op = "+"
+		case TokMinus:
+			op = "-"
+		default:
+			return l, nil
+		}
+		c.Next()
+		r, err := parseMul(c)
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func parseMul(c *Cursor) (Expr, error) {
+	l, err := parseUnary(c)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch c.Peek().Kind {
+		case TokStar:
+			op = "*"
+		case TokSlash:
+			op = "/"
+		case TokPercent:
+			op = "%"
+		default:
+			return l, nil
+		}
+		c.Next()
+		r, err := parseUnary(c)
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func parseUnary(c *Cursor) (Expr, error) {
+	if _, ok := c.Accept(TokMinus); ok {
+		x, err := parseUnary(c)
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return parsePrimary(c)
+}
+
+func parsePrimary(c *Cursor) (Expr, error) {
+	t := c.Peek()
+	switch t.Kind {
+	case TokInt:
+		c.Next()
+		return &Lit{Value: element.Int(t.Int)}, nil
+	case TokFloat:
+		c.Next()
+		return &Lit{Value: element.Float(t.Float)}, nil
+	case TokString:
+		c.Next()
+		return &Lit{Value: element.String(t.Text)}, nil
+	case TokDuration:
+		c.Next()
+		return &Duration{Nanos: t.Int}, nil
+	case TokLParen:
+		c.Next()
+		e, err := ParseExprFrom(c)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.Expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		switch lowerASCII(t.Text) {
+		case "true":
+			c.Next()
+			return &Lit{Value: element.Bool(true)}, nil
+		case "false":
+			c.Next()
+			return &Lit{Value: element.Bool(false)}, nil
+		case "null":
+			c.Next()
+			return &Lit{Value: element.Null}, nil
+		case "exists":
+			c.Next()
+			name, err := c.Expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := c.Expect(TokLParen); err != nil {
+				return nil, err
+			}
+			ent, err := ParseExprFrom(c)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := c.Expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return &Exists{Attr: name.Text, Entity: ent}, nil
+		}
+		c.Next()
+		// ident(...) is a builtin call or a state lookup.
+		if _, ok := c.Accept(TokLParen); ok {
+			var args []Expr
+			if c.Peek().Kind != TokRParen {
+				for {
+					a, err := ParseExprFrom(c)
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if _, ok := c.Accept(TokComma); !ok {
+						break
+					}
+				}
+			}
+			if _, err := c.Expect(TokRParen); err != nil {
+				return nil, err
+			}
+			if Builtins[lowerASCII(t.Text)] {
+				return &Call{Name: lowerASCII(t.Text), Args: args}, nil
+			}
+			if len(args) != 1 {
+				return nil, errf(t.Pos, "state lookup %s(...) takes exactly one entity argument", t.Text)
+			}
+			return &StateRef{Attr: t.Text, Entity: args[0]}, nil
+		}
+		// ident.ident is a field reference.
+		if _, ok := c.Accept(TokDot); ok {
+			f, err := c.Expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			return &FieldRef{Var: t.Text, Field: f.Text}, nil
+		}
+		return &VarRef{Name: t.Text}, nil
+	}
+	return nil, errf(t.Pos, "expected expression, found %s", describe(t))
+}

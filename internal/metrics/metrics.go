@@ -1,0 +1,251 @@
+// Package metrics provides the measurement instruments for the experiment
+// harness: latency histograms with logarithmic buckets, throughput meters,
+// and heap probes. All experiments in EXPERIMENTS.md report numbers
+// collected through this package.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Histogram records durations in logarithmic buckets (one per power of
+// ~1.25 between 1ns and ~1h) plus exact min/max/sum. The zero value is
+// ready to use. Not safe for concurrent use.
+type Histogram struct {
+	counts [256]uint64
+	n      uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+const bucketBase = 1.25
+
+func bucketFor(d time.Duration) int {
+	if d < 1 {
+		d = 1
+	}
+	b := int(math.Log(float64(d)) / math.Log(bucketBase))
+	if b < 0 {
+		b = 0
+	}
+	if b > 255 {
+		b = 255
+	}
+	return b
+}
+
+func bucketValue(b int) time.Duration {
+	return time.Duration(math.Pow(bucketBase, float64(b)))
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	h.counts[bucketFor(d)]++
+	h.n++
+	h.sum += d
+	if h.n == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the exact mean of all observations.
+func (h *Histogram) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.n)
+}
+
+// Min returns the smallest observation.
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1), accurate to
+// the bucket resolution (~25%).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.n))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for b, c := range h.counts {
+		seen += c
+		if seen >= target {
+			return bucketValue(b)
+		}
+	}
+	return h.max
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.n, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.max)
+}
+
+// Merge folds another histogram into this one.
+func (h *Histogram) Merge(o *Histogram) {
+	for b, c := range o.counts {
+		h.counts[b] += c
+	}
+	if o.n > 0 {
+		if h.n == 0 || o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// Throughput measures events per second over a wall-clock run.
+type Throughput struct {
+	start  time.Time
+	events uint64
+}
+
+// StartThroughput begins a measurement.
+func StartThroughput() *Throughput { return &Throughput{start: time.Now()} }
+
+// Add counts n events.
+func (t *Throughput) Add(n uint64) { t.events += n }
+
+// Events returns the event count.
+func (t *Throughput) Events() uint64 { return t.events }
+
+// PerSecond returns events per wall-clock second so far.
+func (t *Throughput) PerSecond() float64 {
+	el := time.Since(t.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(t.events) / el
+}
+
+// HeapAlloc returns the current live-heap estimate after a GC, in bytes.
+// Experiments use before/after deltas to attribute retained memory to a
+// structure under test.
+func HeapAlloc() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// Table accumulates rows for an experiment report and renders them as an
+// aligned text table (the EXPERIMENTS.md format).
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Rows returns the accumulated rows.
+func (t *Table) Rows() [][]string { return t.rows }
+
+// SortByFirstColumn orders rows lexicographically by their first cell.
+func (t *Table) SortByFirstColumn() {
+	sort.SliceStable(t.rows, func(i, j int) bool { return t.rows[i][0] < t.rows[j][0] })
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, hn := range t.Headers {
+		widths[i] = len(hn)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := ""
+	if t.Title != "" {
+		out += "## " + t.Title + "\n"
+	}
+	line := func(cells []string) string {
+		s := ""
+		for i, c := range cells {
+			if i > 0 {
+				s += "  "
+			}
+			s += pad(c, widths[i])
+		}
+		return s + "\n"
+	}
+	out += line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = dashes(widths[i])
+	}
+	out += line(sep)
+	for _, row := range t.rows {
+		out += line(row)
+	}
+	return out
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("zero histogram")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count: %d", h.Count())
+	}
+	if h.Min() != time.Microsecond || h.Max() != 100*time.Microsecond {
+		t.Errorf("min/max: %v %v", h.Min(), h.Max())
+	}
+	wantMean := time.Duration(50500) * time.Nanosecond
+	if h.Mean() != wantMean {
+		t.Errorf("mean: %v want %v", h.Mean(), wantMean)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 30*time.Microsecond || p50 > 80*time.Microsecond {
+		t.Errorf("p50 out of tolerance: %v", p50)
+	}
+	if h.Quantile(1.0) < h.Quantile(0.5) {
+		t.Error("quantiles must be monotone")
+	}
+	if !strings.Contains(h.String(), "n=100") {
+		t.Errorf("string: %s", h.String())
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Record(0)             // clamps to 1ns bucket
+	h.Record(2 * time.Hour) // clamps to last bucket
+	if h.Count() != 2 {
+		t.Error("count")
+	}
+	if h.Quantile(0.01) > time.Microsecond {
+		t.Errorf("low quantile: %v", h.Quantile(0.01))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Millisecond)
+	b.Record(2 * time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Max() != 3*time.Millisecond || a.Min() != time.Millisecond {
+		t.Errorf("merge: %s", a.String())
+	}
+	var empty Histogram
+	empty.Merge(&a)
+	if empty.Count() != 3 || empty.Min() != time.Millisecond {
+		t.Error("merge into empty")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := StartThroughput()
+	tp.Add(500)
+	tp.Add(500)
+	if tp.Events() != 1000 {
+		t.Errorf("events: %d", tp.Events())
+	}
+	if tp.PerSecond() <= 0 {
+		t.Errorf("rate: %f", tp.PerSecond())
+	}
+}
+
+func TestHeapAlloc(t *testing.T) {
+	before := HeapAlloc()
+	buf := make([]byte, 8<<20)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	after := HeapAlloc()
+	if after <= before {
+		t.Skip("allocation not visible; GC timing")
+	}
+	_ = buf[0]
+}
+
+func TestTable(t *testing.T) {
+	tab := NewTable("E1: demo", "param", "metric")
+	tab.AddRow("b", 2.5)
+	tab.AddRow("a", 10.0)
+	tab.SortByFirstColumn()
+	s := tab.String()
+	if !strings.Contains(s, "## E1: demo") || !strings.Contains(s, "param") {
+		t.Errorf("table:\n%s", s)
+	}
+	if strings.Index(s, "\na ") > strings.Index(s, "\nb ") {
+		t.Errorf("sorting failed:\n%s", s)
+	}
+	if !strings.Contains(s, "10") || !strings.Contains(s, "2.500") {
+		t.Errorf("float formatting:\n%s", s)
+	}
+	if len(tab.Rows()) != 2 {
+		t.Error("rows")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if formatFloat(1234.5678) != "1234.6" {
+		t.Errorf("large: %s", formatFloat(1234.5678))
+	}
+	if formatFloat(3) != "3" {
+		t.Errorf("integral: %s", formatFloat(3))
+	}
+	if formatFloat(0.1234) != "0.123" {
+		t.Errorf("small: %s", formatFloat(0.1234))
+	}
+}

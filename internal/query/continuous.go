@@ -1,0 +1,136 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/state"
+	"repro/internal/temporal"
+)
+
+// Continuous is a standing query over the state repository: it
+// re-evaluates whenever a state change touches its attribute and
+// delivers the new result to the subscriber if it differs from the
+// previous one. This completes the Figure 1 "Queries" arrow: the paper's
+// managers "want to receive constant updates", not only one-time
+// answers.
+//
+// Evaluation is change-triggered, not change-incremental: the query
+// re-runs against the store on every relevant change. For the paper's
+// management-dashboard queries (small result sets over current state)
+// this is the right trade-off; the E4 numbers bound the cost per
+// re-evaluation.
+type Continuous struct {
+	// Name identifies the standing query.
+	Name string
+
+	mu      sync.Mutex
+	q       *Query
+	ex      *Executor
+	last    string
+	updates int
+	result  *Result
+	onDiff  func(*Result)
+	stopped bool
+}
+
+// ContinuousOption configures a standing query.
+type ContinuousOption func(*Continuous)
+
+// OnUpdate registers a callback invoked (synchronously, under the
+// store's watcher dispatch) whenever the result changes.
+func OnUpdate(fn func(*Result)) ContinuousOption {
+	return func(c *Continuous) { c.onDiff = fn }
+}
+
+// RegisterContinuous parses src and attaches it to the store as a
+// standing query: it re-evaluates after every committed change to its
+// attribute. The query must target a single attribute (FROM * would
+// re-run on every change of anything) and may not use WITH INFERENCE
+// (standing queries fire from watcher callbacks; reasoner
+// rematerialization there would recurse into watcher dispatch).
+// now supplies the evaluation instant per re-run; nil pins it just
+// before Forever, which makes CURRENT queries see the latest state.
+func RegisterContinuous(name, src string, st *state.Store, now func() temporal.Instant, opts ...ContinuousOption) (*Continuous, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if q.Inference {
+		return nil, fmt.Errorf("query: standing queries do not support WITH INFERENCE")
+	}
+	if q.Attr == "*" {
+		return nil, fmt.Errorf("query: standing queries must target one attribute")
+	}
+	c := &Continuous{Name: name, q: q}
+	for _, opt := range opts {
+		opt(c)
+	}
+	c.ex = &Executor{Store: st}
+	nowFn := now
+	if nowFn == nil {
+		nowFn = func() temporal.Instant { return temporal.Forever - 1 }
+	}
+	evaluate := func() (*Result, error) {
+		c.ex.Now = nowFn()
+		return c.ex.Execute(c.q)
+	}
+	res, err := evaluate()
+	if err != nil {
+		return nil, fmt.Errorf("query: standing query %q: %w", name, err)
+	}
+	c.result = res
+	c.last = res.String()
+
+	st.Watch(func(ch state.Change) {
+		if ch.Fact.Attribute != c.q.Attr {
+			return
+		}
+		c.mu.Lock()
+		if c.stopped {
+			c.mu.Unlock()
+			return
+		}
+		res, err := evaluate()
+		if err != nil {
+			c.mu.Unlock()
+			return
+		}
+		rendered := res.String()
+		changed := rendered != c.last
+		if changed {
+			c.result = res
+			c.last = rendered
+			c.updates++
+		}
+		cb := c.onDiff
+		c.mu.Unlock()
+		if changed && cb != nil {
+			cb(res)
+		}
+	})
+	return c, nil
+}
+
+// Result returns the latest evaluation.
+func (c *Continuous) Result() *Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.result
+}
+
+// Updates reports how many times the result has changed since
+// registration.
+func (c *Continuous) Updates() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.updates
+}
+
+// Stop detaches the query: subsequent state changes no longer trigger
+// re-evaluation. (The store watcher slot remains but becomes inert.)
+func (c *Continuous) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stopped = true
+}

@@ -1,0 +1,52 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/element"
+	"repro/internal/state"
+)
+
+// FuzzParseQuery asserts the query parser never panics, successful
+// parses are print/reparse stable, and execution against a small store
+// never panics.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"SELECT entity, value FROM position",
+		"SELECT * FROM * HISTORY LIMIT 3",
+		"SELECT value, count(*) FROM position ASOF now() - 5m GROUP BY value ORDER BY value DESC",
+		"SELECT entity FROM position DURING 0 TO 100 WHERE value = 'lab'",
+		"SELECT entity FROM t WITH INFERENCE",
+		"SELECT",
+		"SELECT entity FROM",
+		"select lower from position",
+		"SELECT min(start), max(end) FROM * HISTORY",
+		"SELECT entity FROM position WHERE EXISTS badge(entity) ORDER BY entity LIMIT 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	st := state.NewStore()
+	st.Put("ann", "position", element.String("hall"), 0)
+	st.Put("ann", "position", element.String("lab"), 50)
+	st.Put("ann", "badge", element.Int(7), 0)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		q1, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := q1.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed query does not reparse: %q -> %q: %v", src, printed, err)
+		}
+		if q2.String() != printed {
+			t.Fatalf("unstable print: %q -> %q -> %q", src, printed, q2.String())
+		}
+		// Execution must not panic; errors (e.g. inference without a
+		// reasoner) are acceptable.
+		ex := &Executor{Store: st, Now: 100}
+		_, _ = ex.Execute(q1)
+	})
+}

@@ -1,0 +1,233 @@
+// Package rules implements the state management rule language and runtime:
+// the component of Figure 1 that "elaborates the input data according to a
+// set of deployed state management rules to update the current state of
+// the system".
+//
+// A rule has the shape
+//
+//	RULE visitor_position
+//	ON RoomEntry AS e
+//	THEN REPLACE position(e.visitor) = e.room
+//
+// with three clauses:
+//
+//   - ON declares the trigger: a single stream element (ON Stream AS x
+//     [WHERE expr]) or — answering §3.3's "state transition ... determined
+//     by multiple streaming elements" — an event pattern
+//     (ON SEQ(A AS a, NOT B, C AS c) [WITHIN 5m] [WHERE expr]) matched by
+//     the CEP engine, where WHERE may correlate the bound events.
+//   - WHEN optionally gates the rule on the current state
+//     (WHEN EXISTS active(e.user)).
+//   - THEN lists actions: REPLACE / ASSERT / RETRACT mutate the state
+//     repository; EMIT produces derived stream elements.
+//
+// Rules are deployed into a Set, which the engine invokes for every input
+// element in timestamp order.
+package rules
+
+import (
+	"strings"
+
+	"repro/internal/lang"
+	"repro/internal/temporal"
+)
+
+// Rule is a parsed state management rule.
+type Rule struct {
+	// Name identifies the rule; it becomes the Source of facts it asserts.
+	Name string
+	// Trigger declares when the rule fires.
+	Trigger Trigger
+	// Where optionally filters trigger matches; it may reference all
+	// bound aliases.
+	Where lang.Expr
+	// When optionally gates on state, evaluated against the state view at
+	// the trigger instant.
+	When lang.Expr
+	// Actions run in order when the rule fires.
+	Actions []Action
+}
+
+// Trigger is either a StreamTrigger or a PatternTrigger.
+type Trigger interface {
+	// String renders the trigger's ON clause body.
+	String() string
+	triggerNode()
+}
+
+// StreamTrigger fires on every element of one stream.
+type StreamTrigger struct {
+	Stream string
+	Alias  string
+}
+
+// PatternKind selects the combinator of a PatternTrigger.
+type PatternKind int
+
+// Pattern trigger combinators.
+const (
+	// PatternSeq matches items in temporal order (supports NOT guards).
+	PatternSeq PatternKind = iota
+	// PatternAll matches items in any order (conjunction).
+	PatternAll
+	// PatternAny matches when any one item occurs (disjunction).
+	PatternAny
+)
+
+// String names the combinator as it appears in rule text.
+func (k PatternKind) String() string {
+	switch k {
+	case PatternAll:
+		return "ALL"
+	case PatternAny:
+		return "ANY"
+	}
+	return "SEQ"
+}
+
+// PatternTrigger fires on every match of an event pattern.
+type PatternTrigger struct {
+	Kind  PatternKind
+	Items []PatternItem
+	// Within bounds the match span; zero means unconstrained.
+	Within temporal.Instant
+}
+
+// PatternItem is one step of a pattern trigger.
+type PatternItem struct {
+	Stream  string
+	Alias   string
+	Negated bool
+}
+
+func (*StreamTrigger) triggerNode()  {}
+func (*PatternTrigger) triggerNode() {}
+
+// String implements Trigger.
+func (t *StreamTrigger) String() string {
+	if t.Alias != "" && t.Alias != t.Stream {
+		return t.Stream + " AS " + t.Alias
+	}
+	return t.Stream
+}
+
+// String implements Trigger.
+func (t *PatternTrigger) String() string {
+	parts := make([]string, len(t.Items))
+	for i, it := range t.Items {
+		s := it.Stream
+		if it.Alias != "" && it.Alias != it.Stream {
+			s += " AS " + it.Alias
+		}
+		if it.Negated {
+			s = "NOT " + s
+		}
+		parts[i] = s
+	}
+	s := t.Kind.String() + "(" + strings.Join(parts, ", ") + ")"
+	if t.Within > 0 {
+		s += " WITHIN " + (&lang.Duration{Nanos: int64(t.Within)}).String()
+	}
+	return s
+}
+
+// Action is one THEN clause item.
+type Action interface {
+	// String renders the action.
+	String() string
+	actionNode()
+}
+
+// ReplaceAction terminates the current version of attr(entity) and asserts
+// the new value from the trigger instant — the canonical "most recent
+// position invalidates any previous position" transition of §1.
+type ReplaceAction struct {
+	Attr   string
+	Entity lang.Expr
+	Value  lang.Expr
+}
+
+// AssertAction asserts attr(entity) = value with explicit validity. From
+// defaults to the trigger instant, Until to Forever.
+type AssertAction struct {
+	Attr   string
+	Entity lang.Expr
+	Value  lang.Expr
+	From   lang.Expr // optional
+	Until  lang.Expr // optional
+}
+
+// RetractAction terminates the current version of attr(entity) at the
+// trigger instant.
+type RetractAction struct {
+	Attr   string
+	Entity lang.Expr
+}
+
+// EmitAction produces a derived stream element.
+type EmitAction struct {
+	Stream string
+	Fields []EmitField
+}
+
+// EmitField is one named output field of an EMIT action.
+type EmitField struct {
+	Name string
+	Expr lang.Expr
+}
+
+func (*ReplaceAction) actionNode() {}
+func (*AssertAction) actionNode()  {}
+func (*RetractAction) actionNode() {}
+func (*EmitAction) actionNode()    {}
+
+// String implements Action.
+func (a *ReplaceAction) String() string {
+	return "REPLACE " + a.Attr + "(" + a.Entity.String() + ") = " + a.Value.String()
+}
+
+// String implements Action.
+func (a *AssertAction) String() string {
+	s := "ASSERT " + a.Attr + "(" + a.Entity.String() + ") = " + a.Value.String()
+	if a.From != nil {
+		s += " FROM " + a.From.String()
+	}
+	if a.Until != nil {
+		s += " UNTIL " + a.Until.String()
+	}
+	return s
+}
+
+// String implements Action.
+func (a *RetractAction) String() string {
+	return "RETRACT " + a.Attr + "(" + a.Entity.String() + ")"
+}
+
+// String implements Action.
+func (a *EmitAction) String() string {
+	parts := make([]string, len(a.Fields))
+	for i, f := range a.Fields {
+		parts[i] = f.Name + " = " + f.Expr.String()
+	}
+	return "EMIT " + a.Stream + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// String renders the whole rule in re-parseable syntax.
+func (r *Rule) String() string {
+	var sb strings.Builder
+	sb.WriteString("RULE " + r.Name + "\nON " + r.Trigger.String())
+	if r.Where != nil {
+		sb.WriteString("\nWHERE " + r.Where.String())
+	}
+	if r.When != nil {
+		sb.WriteString("\nWHEN " + r.When.String())
+	}
+	sb.WriteString("\nTHEN ")
+	for i, a := range r.Actions {
+		if i > 0 {
+			sb.WriteString(",\n     ")
+		}
+		sb.WriteString(a.String())
+	}
+	return sb.String()
+}

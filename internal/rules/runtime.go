@@ -1,0 +1,307 @@
+package rules
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cep"
+	"repro/internal/element"
+	"repro/internal/lang"
+	"repro/internal/state"
+	"repro/internal/temporal"
+)
+
+// Set is a deployed collection of compiled state management rules. The
+// engine feeds it every input element in timestamp order; the Set updates
+// the state repository and returns any derived (EMIT) elements.
+type Set struct {
+	rules []*compiledRule
+	// emitted counts derived elements, for diagnostics.
+	emitted uint64
+}
+
+type compiledRule struct {
+	rule    *Rule
+	matcher *cep.Matcher // nil for stream triggers
+	trigger *StreamTrigger
+}
+
+// NewSet compiles the given rules. Pattern triggers are compiled to CEP
+// matchers; compilation errors name the offending rule.
+func NewSet(rs ...*Rule) (*Set, error) {
+	s := &Set{}
+	for _, r := range rs {
+		cr := &compiledRule{rule: r}
+		switch t := r.Trigger.(type) {
+		case *StreamTrigger:
+			cr.trigger = t
+		case *PatternTrigger:
+			var p cep.Pattern
+			switch t.Kind {
+			case PatternSeq:
+				items := make([]cep.SeqItem, len(t.Items))
+				for i, it := range t.Items {
+					items[i] = cep.SeqItem{
+						Pattern: cep.EventAs(it.Stream, it.Alias),
+						Negated: it.Negated,
+					}
+				}
+				p = &cep.Seq{Items: items}
+			case PatternAll, PatternAny:
+				pats := make([]cep.Pattern, len(t.Items))
+				for i, it := range t.Items {
+					pats[i] = cep.EventAs(it.Stream, it.Alias)
+				}
+				if t.Kind == PatternAll {
+					p = &cep.All{Patterns: pats}
+				} else {
+					p = &cep.Any{Patterns: pats}
+				}
+			default:
+				return nil, fmt.Errorf("rules: rule %q: unknown pattern kind %d", r.Name, t.Kind)
+			}
+			if t.Within > 0 {
+				p = &cep.Within{P: p, D: t.Within}
+			}
+			m, err := cep.NewMatcher(p)
+			if err != nil {
+				return nil, fmt.Errorf("rules: rule %q: %w", r.Name, err)
+			}
+			cr.matcher = m
+		default:
+			return nil, fmt.Errorf("rules: rule %q: unknown trigger %T", r.Name, r.Trigger)
+		}
+		if len(r.Actions) == 0 {
+			return nil, fmt.Errorf("rules: rule %q has no actions", r.Name)
+		}
+		s.rules = append(s.rules, cr)
+	}
+	return s, nil
+}
+
+// ParseSet parses and compiles a rule file.
+func ParseSet(src string) (*Set, error) {
+	rs, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	return NewSet(rs...)
+}
+
+// Len reports the number of deployed rules.
+func (s *Set) Len() int { return len(s.rules) }
+
+// Emitted reports the number of derived elements produced so far.
+func (s *Set) Emitted() uint64 { return s.emitted }
+
+// Apply feeds one input element: rules whose trigger matches fire their
+// actions against the store at the element's timestamp. It returns any
+// EMIT-derived elements. Elements must arrive in timestamp order.
+func (s *Set) Apply(el *element.Element, store *state.Store) ([]*element.Element, error) {
+	var out []*element.Element
+	for _, cr := range s.rules {
+		if cr.trigger != nil {
+			if cr.trigger.Stream != el.Stream {
+				continue
+			}
+			env := &ruleEnv{
+				bindings: map[string]*element.Element{cr.trigger.Alias: el},
+				store:    store,
+				now:      el.Timestamp,
+			}
+			emitted, err := s.fire(cr, env)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, emitted...)
+			continue
+		}
+		for _, m := range cr.matcher.Observe(el) {
+			env := &ruleEnv{
+				bindings: m.Bindings,
+				store:    store,
+				now:      el.Timestamp,
+			}
+			emitted, err := s.fire(cr, env)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, emitted...)
+		}
+	}
+	return out, nil
+}
+
+// AdvanceTo propagates a watermark to pattern matchers so stale partial
+// matches are pruned.
+func (s *Set) AdvanceTo(wm temporal.Instant) {
+	for _, cr := range s.rules {
+		if cr.matcher != nil {
+			cr.matcher.AdvanceTo(wm)
+		}
+	}
+}
+
+func (s *Set) fire(cr *compiledRule, env *ruleEnv) ([]*element.Element, error) {
+	r := cr.rule
+	if r.Where != nil {
+		ok, err := lang.EvalBool(r.Where, env)
+		if err != nil {
+			return nil, fmt.Errorf("rules: rule %q WHERE: %w", r.Name, err)
+		}
+		if !ok {
+			return nil, nil
+		}
+	}
+	if r.When != nil {
+		ok, err := lang.EvalBool(r.When, env)
+		if err != nil {
+			return nil, fmt.Errorf("rules: rule %q WHEN: %w", r.Name, err)
+		}
+		if !ok {
+			return nil, nil
+		}
+	}
+	var out []*element.Element
+	for _, a := range r.Actions {
+		emitted, err := s.execute(r, a, env)
+		if err != nil {
+			return out, fmt.Errorf("rules: rule %q: %w", r.Name, err)
+		}
+		if emitted != nil {
+			out = append(out, emitted)
+		}
+	}
+	return out, nil
+}
+
+func (s *Set) execute(r *Rule, a Action, env *ruleEnv) (*element.Element, error) {
+	switch act := a.(type) {
+	case *ReplaceAction:
+		entity, err := evalEntity(act.Entity, env)
+		if err != nil {
+			return nil, err
+		}
+		v, err := lang.Eval(act.Value, env)
+		if err != nil {
+			return nil, err
+		}
+		return nil, env.store.Put(entity, act.Attr, v, env.now)
+
+	case *AssertAction:
+		entity, err := evalEntity(act.Entity, env)
+		if err != nil {
+			return nil, err
+		}
+		v, err := lang.Eval(act.Value, env)
+		if err != nil {
+			return nil, err
+		}
+		from := env.now
+		if act.From != nil {
+			if from, err = evalInstant(act.From, env); err != nil {
+				return nil, err
+			}
+		}
+		until := temporal.Forever
+		if act.Until != nil {
+			if until, err = evalInstant(act.Until, env); err != nil {
+				return nil, err
+			}
+		}
+		f := element.NewFact(entity, act.Attr, v, temporal.NewInterval(from, until))
+		f.Source = r.Name
+		return nil, env.store.Assert(f)
+
+	case *RetractAction:
+		entity, err := evalEntity(act.Entity, env)
+		if err != nil {
+			return nil, err
+		}
+		// Retracting an absent fact is a no-op: rules often fire "close"
+		// transitions for keys that were never opened.
+		if err := env.store.Retract(entity, act.Attr, env.now); err != nil &&
+			!errors.Is(err, state.ErrNoCurrent) {
+			return nil, err
+		}
+		return nil, nil
+
+	case *EmitAction:
+		fields := make([]element.Field, len(act.Fields))
+		vals := make([]element.Value, len(act.Fields))
+		for i, f := range act.Fields {
+			v, err := lang.Eval(f.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = element.Field{Name: f.Name, Kind: v.Kind()}
+			vals[i] = v
+		}
+		tuple := element.NewTuple(element.NewSchema(fields...), vals...)
+		el := element.New(act.Stream, env.now, tuple)
+		el.Seq = s.emitted
+		s.emitted++
+		return el, nil
+	}
+	return nil, fmt.Errorf("unknown action %T", a)
+}
+
+func evalEntity(e lang.Expr, env *ruleEnv) (string, error) {
+	v, err := lang.Eval(e, env)
+	if err != nil {
+		return "", err
+	}
+	if v.IsNull() {
+		return "", fmt.Errorf("entity expression %s is null", e)
+	}
+	return v.String(), nil
+}
+
+func evalInstant(e lang.Expr, env *ruleEnv) (temporal.Instant, error) {
+	v, err := lang.Eval(e, env)
+	if err != nil {
+		return 0, err
+	}
+	if t, ok := v.AsTime(); ok {
+		return t, nil
+	}
+	if n, ok := v.AsInt(); ok {
+		return temporal.Instant(n), nil
+	}
+	return 0, fmt.Errorf("expression %s is not a time", e)
+}
+
+// ruleEnv implements lang.Env for rule evaluation: variables resolve to
+// event bindings' fields, and state lookups read the store as of the
+// trigger instant.
+type ruleEnv struct {
+	bindings map[string]*element.Element
+	store    *state.Store
+	now      temporal.Instant
+}
+
+// Var implements lang.Env. Bare variables are not values in rule scope.
+func (e *ruleEnv) Var(string) (element.Value, bool) { return element.Null, false }
+
+// Field implements lang.Env.
+func (e *ruleEnv) Field(varName, field string) (element.Value, bool) {
+	el, ok := e.bindings[varName]
+	if !ok {
+		return element.Null, false
+	}
+	return el.Get(field)
+}
+
+// State implements lang.Env: lookups observe the state as of the trigger
+// instant, so rules see the effects of earlier rules at the same tick
+// (StateFirst policy is enforced by the engine's invocation order).
+func (e *ruleEnv) State(attr string, entity element.Value) (element.Value, bool) {
+	f, ok := e.store.ValidAt(entity.String(), attr, e.now)
+	if !ok {
+		return element.Null, false
+	}
+	return f.Value, true
+}
+
+// Now implements lang.Env.
+func (e *ruleEnv) Now() temporal.Instant { return e.now }

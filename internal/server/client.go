@@ -1,0 +1,127 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/element"
+	"repro/internal/query"
+	"repro/internal/temporal"
+)
+
+// Client queries a remote state service.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://host:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the service at baseURL.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Query runs a temporal query remotely and returns the result table.
+func (c *Client) Query(q string) (*query.Result, error) {
+	body, err := json.Marshal(queryRequest{Query: q})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Post(c.BaseURL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("server: query: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("server: query failed (%d): %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var wire queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("server: decode: %w", err)
+	}
+	out := &query.Result{Columns: wire.Columns}
+	for _, row := range wire.Rows {
+		vals := make([]element.Value, len(row))
+		for i, wv := range row {
+			vals[i] = wv.Value()
+		}
+		out.Rows = append(out.Rows, vals)
+	}
+	return out, nil
+}
+
+// Current fetches the current fact for (entity, attr) from the remote
+// store.
+func (c *Client) Current(entity, attr string) (*element.Fact, bool, error) {
+	return c.fact(fmt.Sprintf("%s/fact?entity=%s&attr=%s", c.BaseURL, entity, attr))
+}
+
+// ValidAt fetches the fact valid at t for (entity, attr).
+func (c *Client) ValidAt(entity, attr string, t temporal.Instant) (*element.Fact, bool, error) {
+	return c.fact(fmt.Sprintf("%s/fact?entity=%s&attr=%s&at=%d", c.BaseURL, entity, attr, int64(t)))
+}
+
+func (c *Client) fact(url string) (*element.Fact, bool, error) {
+	resp, err := c.http().Get(url)
+	if err != nil {
+		return nil, false, fmt.Errorf("server: fact: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, false, fmt.Errorf("server: fact failed (%d): %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var fr factResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		return nil, false, fmt.Errorf("server: decode: %w", err)
+	}
+	if !fr.Found {
+		return nil, false, nil
+	}
+	f := element.NewFact(fr.Fact.Entity, fr.Fact.Attribute, fr.Fact.Value.Value(),
+		temporal.NewInterval(temporal.Instant(fr.Fact.Start), temporal.Instant(fr.Fact.End)))
+	f.Derived = fr.Fact.Derived
+	f.Source = fr.Fact.Source
+	return f, true, nil
+}
+
+// Stats fetches remote store occupancy.
+func (c *Client) Stats() (map[string]int, error) {
+	resp, err := c.http().Get(c.BaseURL + "/stats")
+	if err != nil {
+		return nil, fmt.Errorf("server: stats: %w", err)
+	}
+	defer resp.Body.Close()
+	var out map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("server: decode: %w", err)
+	}
+	return out, nil
+}
+
+// RemoteState adapts a Client to the lookup shape gates use, so one
+// engine's stream processing can be conditioned on another engine's
+// state (the §3.2 interoperability scenario). Lookups are synchronous
+// HTTP round trips; cache in front if the remote state changes slowly.
+type RemoteState struct {
+	Client *Client
+}
+
+// Lookup returns the current remote value of attr(entity).
+func (r *RemoteState) Lookup(attr string, entity element.Value) (element.Value, bool) {
+	f, ok, err := r.Client.Current(entity.String(), attr)
+	if err != nil || !ok {
+		return element.Null, false
+	}
+	return f.Value, true
+}

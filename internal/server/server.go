@@ -1,0 +1,220 @@
+// Package server exposes a state repository over HTTP, realizing the
+// interoperability benefit of §3.2: "queryable state can promote
+// interoperability, since stream processing systems can expose their
+// state and query the state of other systems."
+//
+// The service is deliberately small and schemaless: one query endpoint
+// accepting the temporal query language of internal/query, plus point
+// lookup and stats endpoints. A matching Client provides programmatic
+// access, and RemoteStore adapts a remote service to the same lookup
+// shape engines use locally — one engine's gates can therefore consult
+// another engine's state.
+//
+// Endpoints:
+//
+//	POST /query        {"query": "SELECT ..."}        → {"columns": [...], "rows": [[...]]}
+//	GET  /fact?entity=E&attr=A[&at=NANOS]             → {"found": true, "fact": {...}}
+//	GET  /stats                                       → {"keys": n, "versions": n, ...}
+//	GET  /healthz                                     → 200 ok
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/element"
+	"repro/internal/query"
+	"repro/internal/reason"
+	"repro/internal/state"
+	"repro/internal/temporal"
+)
+
+// Server serves one state repository over HTTP.
+type Server struct {
+	store    *state.Store
+	reasoner *reason.Reasoner // optional: enables WITH INFERENCE remotely
+	// NowFunc anchors now() in received queries; defaults to the largest
+	// validity start in the store.
+	NowFunc func() temporal.Instant
+	mux     *http.ServeMux
+}
+
+// New builds a server over the store. The reasoner may be nil.
+func New(store *state.Store, reasoner *reason.Reasoner) *Server {
+	s := &Server{store: store, reasoner: reasoner}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/fact", s.handleFact)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) now() temporal.Instant {
+	if s.NowFunc != nil {
+		return s.NowFunc()
+	}
+	var horizon temporal.Instant
+	for _, f := range s.store.CurrentAll() {
+		if f.Validity.Start > horizon {
+			horizon = f.Validity.Start
+		}
+	}
+	return horizon + 1
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	Query string `json:"query"`
+}
+
+// queryResponse is the POST /query reply.
+type queryResponse struct {
+	Columns []string      `json:"columns"`
+	Rows    [][]wireValue `json:"rows"`
+}
+
+// wireValue is the JSON encoding of one element.Value with its kind.
+type wireValue struct {
+	Kind   string  `json:"kind"`
+	Bool   bool    `json:"bool,omitempty"`
+	Int    int64   `json:"int,omitempty"`
+	Float  float64 `json:"float,omitempty"`
+	String string  `json:"string,omitempty"`
+	Time   int64   `json:"time,omitempty"`
+}
+
+func toWire(v element.Value) wireValue {
+	switch v.Kind() {
+	case element.KindBool:
+		b, _ := v.AsBool()
+		return wireValue{Kind: "bool", Bool: b}
+	case element.KindInt:
+		i, _ := v.AsInt()
+		return wireValue{Kind: "int", Int: i}
+	case element.KindFloat:
+		f, _ := v.AsFloat()
+		return wireValue{Kind: "float", Float: f}
+	case element.KindString:
+		s, _ := v.AsString()
+		return wireValue{Kind: "string", String: s}
+	case element.KindTime:
+		t, _ := v.AsTime()
+		return wireValue{Kind: "time", Time: int64(t)}
+	}
+	return wireValue{Kind: "null"}
+}
+
+// Value converts the wire encoding back to an element.Value.
+func (w wireValue) Value() element.Value {
+	switch w.Kind {
+	case "bool":
+		return element.Bool(w.Bool)
+	case "int":
+		return element.Int(w.Int)
+	case "float":
+		return element.Float(w.Float)
+	case "string":
+		return element.String(w.String)
+	case "time":
+		return element.Time(temporal.Instant(w.Time))
+	}
+	return element.Null
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ex := &query.Executor{Store: s.store, Reasoner: s.reasoner, Now: s.now()}
+	res, err := ex.Run(req.Query)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	resp := queryResponse{Columns: res.Columns}
+	for _, row := range res.Rows {
+		wr := make([]wireValue, len(row))
+		for i, v := range row {
+			wr[i] = toWire(v)
+		}
+		resp.Rows = append(resp.Rows, wr)
+	}
+	writeJSON(w, resp)
+}
+
+// wireFact is the JSON encoding of a fact.
+type wireFact struct {
+	Entity    string    `json:"entity"`
+	Attribute string    `json:"attribute"`
+	Value     wireValue `json:"value"`
+	Start     int64     `json:"start"`
+	End       int64     `json:"end"`
+	Derived   bool      `json:"derived,omitempty"`
+	Source    string    `json:"source,omitempty"`
+}
+
+type factResponse struct {
+	Found bool      `json:"found"`
+	Fact  *wireFact `json:"fact,omitempty"`
+}
+
+func (s *Server) handleFact(w http.ResponseWriter, r *http.Request) {
+	entity := r.URL.Query().Get("entity")
+	attr := r.URL.Query().Get("attr")
+	if entity == "" || attr == "" {
+		http.Error(w, "entity and attr are required", http.StatusBadRequest)
+		return
+	}
+	var f *element.Fact
+	var ok bool
+	if atStr := r.URL.Query().Get("at"); atStr != "" {
+		at, err := strconv.ParseInt(atStr, 10, 64)
+		if err != nil {
+			http.Error(w, "bad at: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		f, ok = s.store.ValidAt(entity, attr, temporal.Instant(at))
+	} else {
+		f, ok = s.store.Current(entity, attr)
+	}
+	resp := factResponse{Found: ok}
+	if ok {
+		resp.Fact = &wireFact{
+			Entity: f.Entity, Attribute: f.Attribute, Value: toWire(f.Value),
+			Start: int64(f.Validity.Start), End: int64(f.Validity.End),
+			Derived: f.Derived, Source: f.Source,
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.store.Stats()
+	writeJSON(w, map[string]int{
+		"keys":       st.Keys,
+		"versions":   st.Versions,
+		"current":    st.Current,
+		"attributes": st.Attributes,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

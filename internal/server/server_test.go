@@ -1,0 +1,206 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/element"
+	"repro/internal/reason"
+	"repro/internal/state"
+	"repro/internal/temporal"
+)
+
+func testService(t *testing.T) (*state.Store, *Client, func()) {
+	t.Helper()
+	st := state.NewStore()
+	st.Put("ann", "position", element.String("hall"), 10)
+	st.Put("ann", "position", element.String("lab"), 50)
+	st.Put("bob", "position", element.String("hall"), 20)
+	srv := httptest.NewServer(New(st, nil))
+	return st, NewClient(srv.URL), srv.Close
+}
+
+func TestQueryEndToEnd(t *testing.T) {
+	_, client, done := testService(t)
+	defer done()
+
+	res, err := client.Query("SELECT entity, value FROM position ORDER BY entity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][1].MustString() != "lab" {
+		t.Fatalf("remote query: %v", res.Rows)
+	}
+	// Historical query across the wire.
+	res, err = client.Query("SELECT value FROM position ASOF 30 WHERE entity = 'ann'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].MustString() != "hall" {
+		t.Fatalf("remote as-of: %v", res.Rows)
+	}
+}
+
+func TestQueryErrorsPropagate(t *testing.T) {
+	_, client, done := testService(t)
+	defer done()
+	if _, err := client.Query("SELECT nosuch FROM position"); err == nil {
+		t.Fatal("bad query should error")
+	} else if !strings.Contains(err.Error(), "422") {
+		t.Fatalf("want 422 in error, got %v", err)
+	}
+}
+
+func TestFactEndpoints(t *testing.T) {
+	_, client, done := testService(t)
+	defer done()
+
+	f, ok, err := client.Current("ann", "position")
+	if err != nil || !ok || f.Value.MustString() != "lab" {
+		t.Fatalf("current: %v %v %v", f, ok, err)
+	}
+	if f.Validity.Start != 50 || !f.Validity.IsOpen() {
+		t.Fatalf("validity round trip: %v", f.Validity)
+	}
+	f, ok, err = client.ValidAt("ann", "position", 30)
+	if err != nil || !ok || f.Value.MustString() != "hall" {
+		t.Fatalf("valid-at: %v %v %v", f, ok, err)
+	}
+	_, ok, err = client.Current("zoe", "position")
+	if err != nil || ok {
+		t.Fatalf("absent: %v %v", ok, err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, client, done := testService(t)
+	defer done()
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["keys"] != 2 || stats["versions"] != 3 || stats["current"] != 2 {
+		t.Fatalf("stats: %v", stats)
+	}
+}
+
+func TestRemoteStateLookup(t *testing.T) {
+	_, client, done := testService(t)
+	defer done()
+	rs := &RemoteState{Client: client}
+	v, ok := rs.Lookup("position", element.String("bob"))
+	if !ok || v.MustString() != "hall" {
+		t.Fatalf("remote lookup: %v %v", v, ok)
+	}
+	if _, ok := rs.Lookup("position", element.String("zoe")); ok {
+		t.Fatal("absent remote lookup")
+	}
+}
+
+func TestInferenceOverHTTP(t *testing.T) {
+	st := state.NewStore()
+	ont := reason.NewOntology()
+	if err := ont.SubClassOf("novel", "books"); err != nil {
+		t.Fatal(err)
+	}
+	r := reason.NewReasoner(st, ont)
+	st.Put("p1", "type", element.String("novel"), 0)
+	srv := httptest.NewServer(New(st, r))
+	defer srv.Close()
+	client := NewClient(srv.URL)
+	res, err := client.Query("SELECT entity FROM type WHERE value = 'books' WITH INFERENCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].MustString() != "p1" {
+		t.Fatalf("remote inference: %v", res.Rows)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	st := state.NewStore()
+	srv := httptest.NewServer(New(st, nil))
+	defer srv.Close()
+
+	// GET on /query.
+	resp, err := http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query: %d", resp.StatusCode)
+	}
+	// Malformed body.
+	resp, err = http.Post(srv.URL+"/query", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: %d", resp.StatusCode)
+	}
+	// Missing fact params.
+	resp, err = http.Get(srv.URL + "/fact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing params: %d", resp.StatusCode)
+	}
+	// Bad at param.
+	resp, err = http.Get(srv.URL + "/fact?entity=a&attr=b&at=xyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad at: %d", resp.StatusCode)
+	}
+	// Health.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+}
+
+func TestWireValueRoundTrip(t *testing.T) {
+	vals := []element.Value{
+		element.Null,
+		element.Bool(true),
+		element.Int(-42),
+		element.Float(2.5),
+		element.String("héllo"),
+		element.Time(temporal.Instant(123456789)),
+	}
+	for _, v := range vals {
+		got := toWire(v).Value()
+		if !got.Equal(v) && !(got.IsNull() && v.IsNull()) {
+			t.Errorf("round trip %s: got %s", v, got)
+		}
+		if got.Kind() != v.Kind() {
+			t.Errorf("kind %s: got %s", v.Kind(), got.Kind())
+		}
+	}
+}
+
+func TestNowAnchorsCurrentQueries(t *testing.T) {
+	st := state.NewStore()
+	st.Put("e", "a", element.Int(1), 100)
+	srv := httptest.NewServer(New(st, nil))
+	defer srv.Close()
+	res, err := NewClient(srv.URL).Query("SELECT value FROM a WHERE entity = 'e'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("default now should see latest state: %v", res.Rows)
+	}
+}

@@ -1,0 +1,155 @@
+package state
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/element"
+	"repro/internal/temporal"
+)
+
+// TestConcurrentReadersAndWriters hammers the store from parallel
+// writers (disjoint key ranges, so per-key monotonicity holds) and
+// parallel readers running the full read API. Run with -race; the test
+// also checks reader-visible invariants (per-key version ordering).
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	st := NewStore()
+	const (
+		writers       = 4
+		keysPerWriter = 50
+		opsPerWriter  = 500
+		readers       = 4
+	)
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i%keysPerWriter)
+				at := temporal.Instant(i)
+				switch i % 5 {
+				case 4:
+					_ = st.Retract(key, "v", at)
+				default:
+					if err := st.Put(key, "v", element.Int(int64(i)), at); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	var reads atomic.Int64
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("w%d-k%d", i%writers, i%keysPerWriter)
+				st.Current(key, "v")
+				st.ValidAt(key, "v", temporal.Instant(i%opsPerWriter))
+				if i%50 == 0 {
+					st.CurrentByAttribute("v")
+					st.AsOf(temporal.Instant(i % opsPerWriter))
+					st.Stats()
+				}
+				hist := st.History(key, "v")
+				for j := 1; j < len(hist); j++ {
+					if hist[j-1].Validity.Overlaps(hist[j].Validity) {
+						t.Errorf("reader saw overlapping versions for %s", key)
+						return
+					}
+				}
+				reads.Add(1)
+			}
+		}(r)
+	}
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if reads.Load() == 0 {
+		t.Error("readers never ran")
+	}
+	stats := st.Stats()
+	if stats.Keys == 0 || stats.Versions == 0 {
+		t.Errorf("stats after run: %+v", stats)
+	}
+}
+
+// TestConcurrentViews checks that point-in-time views stay stable while
+// later-timestamped writes land concurrently.
+func TestConcurrentViews(t *testing.T) {
+	st := NewStore()
+	for i := 0; i < 100; i++ {
+		st.Put("e", "v", element.Int(int64(i)), temporal.Instant(i*10))
+	}
+	view := st.ViewAt(500)
+	want, ok := view.Get("e", "v")
+	if !ok {
+		t.Fatal("view get")
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 100; i < 200; i++ {
+			st.Put("e", "v", element.Int(int64(i)), temporal.Instant(i*10))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			got, ok := view.Get("e", "v")
+			if !ok || !got.Value.Equal(want.Value) {
+				t.Errorf("view drifted: %v", got)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestWatcherOrdering checks that watcher callbacks observe changes in
+// mutation order even with concurrent readers present.
+func TestWatcherOrdering(t *testing.T) {
+	st := NewStore()
+	var seen []temporal.Instant
+	st.Watch(func(c Change) {
+		if c.Kind == Asserted {
+			seen = append(seen, c.At)
+		}
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			st.CurrentAll()
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		st.Put("e", "v", element.Int(int64(i)), temporal.Instant(i))
+	}
+	wg.Wait()
+	if len(seen) != 100 {
+		t.Fatalf("watcher saw %d assertions", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatal("watcher saw out-of-order changes")
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package state
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/element"
+	"repro/internal/temporal"
+)
+
+// Log is an append-only record of store mutations, sufficient to rebuild
+// the full bitemporal state (all versions, not just current) by replay.
+// Together with WriteSnapshot/ReadSnapshot it gives the state repository
+// the durability of the "temporal database" the paper sketches in §3.3.
+//
+// Records are gob-encoded logRecord values. The log is not safe for
+// concurrent use on its own; the store serializes appends under its lock.
+type Log struct {
+	w   io.Writer
+	c   io.Closer
+	enc *gob.Encoder
+	n   int
+}
+
+type opKind uint8
+
+const (
+	opPut opKind = iota
+	opAssert
+	opRetract
+)
+
+// logRecord is the wire format of one mutation.
+type logRecord struct {
+	Op      opKind
+	Entity  string
+	Attr    string
+	Value   element.Value
+	At      temporal.Instant // Put/Retract application time
+	Start   temporal.Instant // Assert validity
+	End     temporal.Instant
+	Derived bool
+	Source  string
+}
+
+// NewLog wraps a writer in a mutation log.
+func NewLog(w io.Writer) *Log {
+	l := &Log{w: w, enc: gob.NewEncoder(w)}
+	if c, ok := w.(io.Closer); ok {
+		l.c = c
+	}
+	return l
+}
+
+// CreateLog creates (truncating) a log file at path.
+func CreateLog(path string) (*Log, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("state: create log: %w", err)
+	}
+	return NewLog(f), nil
+}
+
+// Len reports the number of records appended through this Log.
+func (l *Log) Len() int { return l.n }
+
+// Close closes the underlying writer when it is closable.
+func (l *Log) Close() error {
+	if l.c != nil {
+		return l.c.Close()
+	}
+	return nil
+}
+
+func (l *Log) appendPut(entity, attr string, v element.Value, at temporal.Instant) error {
+	l.n++
+	return l.enc.Encode(logRecord{Op: opPut, Entity: entity, Attr: attr, Value: v, At: at})
+}
+
+func (l *Log) appendAssert(f *element.Fact) error {
+	l.n++
+	return l.enc.Encode(logRecord{
+		Op: opAssert, Entity: f.Entity, Attr: f.Attribute, Value: f.Value,
+		Start: f.Validity.Start, End: f.Validity.End,
+		Derived: f.Derived, Source: f.Source,
+	})
+}
+
+func (l *Log) appendRetract(entity, attr string, at temporal.Instant) error {
+	l.n++
+	return l.enc.Encode(logRecord{Op: opRetract, Entity: entity, Attr: attr, At: at})
+}
+
+// Replay applies every record from r to the store, in order. The store
+// should be empty (or a snapshot-restored prefix of the log's history).
+// It returns the number of records applied.
+func Replay(r io.Reader, s *Store) (int, error) {
+	dec := gob.NewDecoder(r)
+	n := 0
+	for {
+		var rec logRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil
+			}
+			return n, fmt.Errorf("state: replay record %d: %w", n, err)
+		}
+		var err error
+		switch rec.Op {
+		case opPut:
+			err = s.Put(rec.Entity, rec.Attr, rec.Value, rec.At)
+		case opAssert:
+			f := element.NewFact(rec.Entity, rec.Attr, rec.Value,
+				temporal.NewInterval(rec.Start, rec.End))
+			f.Derived = rec.Derived
+			f.Source = rec.Source
+			err = s.Assert(f)
+		case opRetract:
+			err = s.Retract(rec.Entity, rec.Attr, rec.At)
+		default:
+			err = fmt.Errorf("state: unknown op %d", rec.Op)
+		}
+		if err != nil {
+			return n, fmt.Errorf("state: replay record %d: %w", n, err)
+		}
+		n++
+	}
+}
+
+// ReplayFile replays a log file into the store.
+func ReplayFile(path string, s *Store) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("state: open log: %w", err)
+	}
+	defer f.Close()
+	return Replay(f, s)
+}
+
+// snapshotRecord is the wire format of one fact version in a snapshot.
+type snapshotRecord struct {
+	Entity  string
+	Attr    string
+	Value   element.Value
+	Start   temporal.Instant
+	End     temporal.Instant
+	Derived bool
+	Source  string
+}
+
+// WriteSnapshot serializes every version in the store to w. A snapshot plus
+// the log suffix written after it reconstructs the store; snapshots are the
+// compaction mechanism for the log.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	facts := s.Scan(nil)
+	if err := enc.Encode(len(facts)); err != nil {
+		return fmt.Errorf("state: snapshot header: %w", err)
+	}
+	for _, f := range facts {
+		rec := snapshotRecord{
+			Entity: f.Entity, Attr: f.Attribute, Value: f.Value,
+			Start: f.Validity.Start, End: f.Validity.End,
+			Derived: f.Derived, Source: f.Source,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("state: snapshot record: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadSnapshot loads a snapshot into an empty store.
+func ReadSnapshot(r io.Reader, s *Store) error {
+	dec := gob.NewDecoder(r)
+	var n int
+	if err := dec.Decode(&n); err != nil {
+		return fmt.Errorf("state: snapshot header: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		var rec snapshotRecord
+		if err := dec.Decode(&rec); err != nil {
+			return fmt.Errorf("state: snapshot record %d: %w", i, err)
+		}
+		f := element.NewFact(rec.Entity, rec.Attr, rec.Value,
+			temporal.NewInterval(rec.Start, rec.End))
+		f.Derived = rec.Derived
+		f.Source = rec.Source
+		if err := s.loadVersion(f); err != nil {
+			return fmt.Errorf("state: snapshot record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// loadVersion inserts a version during snapshot load, bypassing the log
+// and watchers. Versions arrive in Scan order (attribute, entity, start),
+// so per-lineage append order is preserved.
+func (s *Store) loadVersion(f *element.Fact) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.lineageLocked(f.Key(), true)
+	if n := len(l.versions); n > 0 {
+		last := l.versions[n-1]
+		if last.Validity.Overlaps(f.Validity) || f.Validity.Start < last.Validity.Start {
+			return fmt.Errorf("state: snapshot version disorder for %s", f.Key())
+		}
+	}
+	l.versions = append(l.versions, f)
+	s.versions++
+	return nil
+}

@@ -1,0 +1,588 @@
+// Package state implements the state repository of Figure 1: a bitemporal
+// fact store where every fact carries a validity interval, with point
+// (as-of) and range (during) temporal queries, change notification,
+// compaction, and append-only log persistence with recovery.
+//
+// The store realizes the paper's §3 proposal — "we model state as a
+// collection of data elements annotated with their time of validity" — and
+// the §3.3 suggestion to "implement the state component as a temporal
+// database, thus enabling the query and retrieval of both the current
+// state and historical data".
+//
+// The unit of storage is a lineage: the ordered, non-overlapping sequence
+// of versions of one (entity, attribute) key. Replace semantics (Put)
+// terminate the open version and begin a new one at the same instant, so
+// exactly one version holds at every point in time — this is what prevents
+// the "visitor simultaneously in multiple rooms" contradictions of §1.
+package state
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/element"
+	"repro/internal/temporal"
+)
+
+// Errors returned by store mutations.
+var (
+	// ErrOutOfOrder reports a mutation earlier than the key's latest
+	// version start; per-key updates must be timestamp-monotonic.
+	ErrOutOfOrder = errors.New("state: mutation out of timestamp order for key")
+	// ErrOverlap reports an explicit-interval assertion that overlaps an
+	// existing version of the same key.
+	ErrOverlap = errors.New("state: validity interval overlaps existing version")
+	// ErrNoCurrent reports a retraction of a key with no open version.
+	ErrNoCurrent = errors.New("state: no current version to retract")
+)
+
+// ChangeKind classifies a state change event.
+type ChangeKind int
+
+// Change kinds delivered to watchers.
+const (
+	// Asserted: a new version became part of the state.
+	Asserted ChangeKind = iota
+	// Terminated: an open version's validity was closed.
+	Terminated
+)
+
+// String names the change kind.
+func (k ChangeKind) String() string {
+	if k == Asserted {
+		return "asserted"
+	}
+	return "terminated"
+}
+
+// Change describes one state transition, delivered synchronously to
+// watchers in mutation order.
+type Change struct {
+	Kind ChangeKind
+	// Fact is the affected version. For Terminated changes the validity
+	// reflects the new (closed) interval.
+	Fact *element.Fact
+	// At is the application time of the transition.
+	At temporal.Instant
+}
+
+// Watcher observes state changes. Watchers run synchronously after the
+// mutation commits (outside the store lock), in mutation order for a
+// single mutator; they may read back into the store — standing queries
+// (internal/query.RegisterContinuous) rely on this. Under concurrent
+// mutators, a watcher may observe store state newer than its Change.
+type Watcher func(Change)
+
+// lineage is the version history of one key, ordered by validity start,
+// with pairwise disjoint intervals.
+type lineage struct {
+	key      element.FactKey
+	versions []*element.Fact
+}
+
+// current returns the open version, if any. Only the last version can be
+// open because intervals are disjoint and ordered.
+func (l *lineage) current() *element.Fact {
+	if n := len(l.versions); n > 0 && l.versions[n-1].IsCurrent() {
+		return l.versions[n-1]
+	}
+	return nil
+}
+
+// validAt binary-searches for the version valid at t.
+func (l *lineage) validAt(t temporal.Instant) *element.Fact {
+	i := sort.Search(len(l.versions), func(k int) bool {
+		return l.versions[k].Validity.End > t
+	})
+	if i < len(l.versions) && l.versions[i].Validity.Contains(t) {
+		return l.versions[i]
+	}
+	return nil
+}
+
+// Store is the state repository. It is safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	byKey    map[element.FactKey]*lineage
+	byAttr   map[string]map[string]*lineage // attribute → entity → lineage
+	versions int
+	watchers []Watcher
+	log      *Log
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		byKey:  make(map[element.FactKey]*lineage),
+		byAttr: make(map[string]map[string]*lineage),
+	}
+}
+
+// AttachLog makes the store append every mutation to the given log. Attach
+// before the first mutation; mutations made earlier are not re-logged.
+func (s *Store) AttachLog(l *Log) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = l
+}
+
+// Watch registers a watcher for all subsequent changes.
+func (s *Store) Watch(w Watcher) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.watchers = append(s.watchers, w)
+}
+
+// notifyAll dispatches committed changes to the given watcher snapshot;
+// call only after releasing the store lock.
+func notifyAll(ws []Watcher, changes []Change) {
+	for _, c := range changes {
+		for _, w := range ws {
+			w(c)
+		}
+	}
+}
+
+func (s *Store) lineageLocked(key element.FactKey, create bool) *lineage {
+	l := s.byKey[key]
+	if l == nil && create {
+		l = &lineage{key: key}
+		s.byKey[key] = l
+		ents := s.byAttr[key.Attribute]
+		if ents == nil {
+			ents = make(map[string]*lineage)
+			s.byAttr[key.Attribute] = ents
+		}
+		ents[key.Entity] = l
+	}
+	return l
+}
+
+// Put applies replace semantics: the current version of (entity, attr), if
+// any, is terminated at `at`, and a new version valid over [at, Forever)
+// is asserted. This is the paper's canonical state transition ("the most
+// recent position invalidates and updates any previous position", §1).
+// Put at the exact start of the current version overwrites it in place.
+func (s *Store) Put(entity, attr string, v element.Value, at temporal.Instant) error {
+	var changes []Change
+	var ws []Watcher
+	err := func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		ws = s.watchers
+		key := element.FactKey{Entity: entity, Attribute: attr}
+		l := s.lineageLocked(key, true)
+		if n := len(l.versions); n > 0 {
+			last := l.versions[n-1]
+			if at < last.Validity.Start {
+				return fmt.Errorf("%w: %s at %s before %s", ErrOutOfOrder, key, at, last.Validity.Start)
+			}
+			if at == last.Validity.Start {
+				// Same-instant overwrite: replace the version's value.
+				old := *last
+				last.Value = v
+				if s.log != nil {
+					if err := s.log.appendPut(entity, attr, v, at); err != nil {
+						*last = old
+						return err
+					}
+				}
+				changes = append(changes, Change{Kind: Asserted, Fact: last.Clone(), At: at})
+				return nil
+			}
+			if last.IsCurrent() {
+				last.Validity = last.Validity.ClampEnd(at)
+				changes = append(changes, Change{Kind: Terminated, Fact: last.Clone(), At: at})
+			}
+		}
+		f := element.NewFact(entity, attr, v, temporal.Since(at))
+		l.versions = append(l.versions, f)
+		s.versions++
+		if s.log != nil {
+			if err := s.log.appendPut(entity, attr, v, at); err != nil {
+				return err
+			}
+		}
+		changes = append(changes, Change{Kind: Asserted, Fact: f.Clone(), At: at})
+		return nil
+	}()
+	if err != nil {
+		return err
+	}
+	notifyAll(ws, changes)
+	return nil
+}
+
+// Assert inserts a fact with an explicit validity interval. The interval
+// must not overlap any existing version of the same key and must start no
+// earlier than the latest version's start (per-key monotonic appends).
+// Use Assert for facts whose full validity is known, e.g. bounded
+// reservations, or for reasoner-derived facts.
+func (s *Store) Assert(f *element.Fact) error {
+	if f.Validity.IsEmpty() {
+		return fmt.Errorf("state: assert %s: empty validity", f.Key())
+	}
+	var ws []Watcher
+	err := func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		ws = s.watchers
+		l := s.lineageLocked(f.Key(), true)
+		if n := len(l.versions); n > 0 {
+			last := l.versions[n-1]
+			if f.Validity.Start < last.Validity.Start {
+				return fmt.Errorf("%w: %s", ErrOutOfOrder, f.Key())
+			}
+			if last.Validity.Overlaps(f.Validity) {
+				return fmt.Errorf("%w: %s: %s overlaps %s", ErrOverlap, f.Key(), f.Validity, last.Validity)
+			}
+		}
+		cp := f.Clone()
+		l.versions = append(l.versions, cp)
+		s.versions++
+		if s.log != nil {
+			if err := s.log.appendAssert(cp); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	if err != nil {
+		return err
+	}
+	notifyAll(ws, []Change{{Kind: Asserted, Fact: f.Clone(), At: f.Validity.Start}})
+	return nil
+}
+
+// Retract terminates the current version of (entity, attr) at `at`. If the
+// version started exactly at `at` it is removed entirely (it would have
+// empty validity).
+func (s *Store) Retract(entity, attr string, at temporal.Instant) error {
+	var ws []Watcher
+	var change Change
+	err := func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		ws = s.watchers
+		key := element.FactKey{Entity: entity, Attribute: attr}
+		l := s.lineageLocked(key, false)
+		if l == nil {
+			return fmt.Errorf("%w: %s", ErrNoCurrent, key)
+		}
+		cur := l.current()
+		if cur == nil {
+			return fmt.Errorf("%w: %s", ErrNoCurrent, key)
+		}
+		if at < cur.Validity.Start {
+			return fmt.Errorf("%w: retract %s at %s", ErrOutOfOrder, key, at)
+		}
+		if at == cur.Validity.Start {
+			l.versions = l.versions[:len(l.versions)-1]
+			s.versions--
+		} else {
+			cur.Validity = cur.Validity.ClampEnd(at)
+		}
+		if s.log != nil {
+			if err := s.log.appendRetract(entity, attr, at); err != nil {
+				return err
+			}
+		}
+		change = Change{Kind: Terminated, Fact: cur.Clone(), At: at}
+		return nil
+	}()
+	if err != nil {
+		return err
+	}
+	notifyAll(ws, []Change{change})
+	return nil
+}
+
+// Current returns the open version of (entity, attr), if any.
+func (s *Store) Current(entity, attr string) (*element.Fact, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l := s.byKey[element.FactKey{Entity: entity, Attribute: attr}]
+	if l == nil {
+		return nil, false
+	}
+	if cur := l.current(); cur != nil {
+		return cur.Clone(), true
+	}
+	return nil, false
+}
+
+// ValidAt returns the version of (entity, attr) valid at t, if any.
+func (s *Store) ValidAt(entity, attr string, t temporal.Instant) (*element.Fact, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l := s.byKey[element.FactKey{Entity: entity, Attribute: attr}]
+	if l == nil {
+		return nil, false
+	}
+	if f := l.validAt(t); f != nil {
+		return f.Clone(), true
+	}
+	return nil, false
+}
+
+// History returns all versions of (entity, attr) in validity order.
+func (s *Store) History(entity, attr string) []*element.Fact {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l := s.byKey[element.FactKey{Entity: entity, Attribute: attr}]
+	if l == nil {
+		return nil
+	}
+	out := make([]*element.Fact, len(l.versions))
+	for i, f := range l.versions {
+		out[i] = f.Clone()
+	}
+	return out
+}
+
+// CurrentByAttribute returns the open versions of every entity for the
+// given attribute, sorted by entity.
+func (s *Store) CurrentByAttribute(attr string) []*element.Fact {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byAttributeLocked(attr, func(l *lineage) *element.Fact { return l.current() })
+}
+
+// AsOfByAttribute returns, for the given attribute, the version of every
+// entity valid at t, sorted by entity.
+func (s *Store) AsOfByAttribute(attr string, t temporal.Instant) []*element.Fact {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byAttributeLocked(attr, func(l *lineage) *element.Fact { return l.validAt(t) })
+}
+
+func (s *Store) byAttributeLocked(attr string, pick func(*lineage) *element.Fact) []*element.Fact {
+	ents := s.byAttr[attr]
+	if len(ents) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(ents))
+	for e := range ents {
+		names = append(names, e)
+	}
+	sort.Strings(names)
+	out := make([]*element.Fact, 0, len(names))
+	for _, e := range names {
+		if f := pick(ents[e]); f != nil {
+			out = append(out, f.Clone())
+		}
+	}
+	return out
+}
+
+// AsOf returns every fact valid at t, sorted by (attribute, entity).
+func (s *Store) AsOf(t temporal.Instant) []*element.Fact {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.scanLocked(func(l *lineage) []*element.Fact {
+		if f := l.validAt(t); f != nil {
+			return []*element.Fact{f}
+		}
+		return nil
+	})
+}
+
+// CurrentAll returns every open fact, sorted by (attribute, entity).
+func (s *Store) CurrentAll() []*element.Fact {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.scanLocked(func(l *lineage) []*element.Fact {
+		if f := l.current(); f != nil {
+			return []*element.Fact{f}
+		}
+		return nil
+	})
+}
+
+// During returns every version whose validity overlaps iv, sorted by
+// (attribute, entity, start).
+func (s *Store) During(iv temporal.Interval) []*element.Fact {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.scanLocked(func(l *lineage) []*element.Fact {
+		var out []*element.Fact
+		// First version that could overlap: End > iv.Start.
+		i := sort.Search(len(l.versions), func(k int) bool {
+			return l.versions[k].Validity.End > iv.Start
+		})
+		for ; i < len(l.versions) && l.versions[i].Validity.Start < iv.End; i++ {
+			out = append(out, l.versions[i])
+		}
+		return out
+	})
+}
+
+// Scan returns clones of every version (current and historical) matching
+// pred, sorted by (attribute, entity, start). A nil pred matches all.
+func (s *Store) Scan(pred func(*element.Fact) bool) []*element.Fact {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.scanLocked(func(l *lineage) []*element.Fact {
+		var out []*element.Fact
+		for _, f := range l.versions {
+			if pred == nil || pred(f) {
+				out = append(out, f)
+			}
+		}
+		return out
+	})
+}
+
+// scanLocked iterates lineages in deterministic key order, clones the
+// picked facts and returns them.
+func (s *Store) scanLocked(pick func(*lineage) []*element.Fact) []*element.Fact {
+	keys := make([]element.FactKey, 0, len(s.byKey))
+	for k := range s.byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Attribute != keys[j].Attribute {
+			return keys[i].Attribute < keys[j].Attribute
+		}
+		return keys[i].Entity < keys[j].Entity
+	})
+	var out []*element.Fact
+	for _, k := range keys {
+		for _, f := range pick(s.byKey[k]) {
+			out = append(out, f.Clone())
+		}
+	}
+	return out
+}
+
+// ValiditySet returns the coalesced set of intervals over which
+// (entity, attr) had any value.
+func (s *Store) ValiditySet(entity, attr string) *temporal.Set {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := temporal.NewSet()
+	if l := s.byKey[element.FactKey{Entity: entity, Attribute: attr}]; l != nil {
+		for _, f := range l.versions {
+			set.Add(f.Validity)
+		}
+	}
+	return set
+}
+
+// CompactBefore drops every closed version whose validity ends at or
+// before t, bounding history growth. Open versions are always retained.
+// It returns the number of versions removed.
+func (s *Store) CompactBefore(t temporal.Instant) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for key, l := range s.byKey {
+		i := 0
+		for i < len(l.versions) && l.versions[i].Validity.End <= t {
+			i++
+		}
+		if i > 0 {
+			l.versions = append([]*element.Fact(nil), l.versions[i:]...)
+			removed += i
+		}
+		if len(l.versions) == 0 {
+			delete(s.byKey, key)
+			if ents := s.byAttr[key.Attribute]; ents != nil {
+				delete(ents, key.Entity)
+				if len(ents) == 0 {
+					delete(s.byAttr, key.Attribute)
+				}
+			}
+		}
+	}
+	s.versions -= removed
+	return removed
+}
+
+// DropDerived removes every derived version (facts materialized by the
+// reasoner), returning how many were dropped. The reasoner uses this to
+// rematerialize from scratch after a retraction.
+func (s *Store) DropDerived() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for key, l := range s.byKey {
+		kept := l.versions[:0]
+		for _, f := range l.versions {
+			if f.Derived {
+				removed++
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		l.versions = kept
+		if len(l.versions) == 0 {
+			delete(s.byKey, key)
+			if ents := s.byAttr[key.Attribute]; ents != nil {
+				delete(ents, key.Entity)
+				if len(ents) == 0 {
+					delete(s.byAttr, key.Attribute)
+				}
+			}
+		}
+	}
+	s.versions -= removed
+	return removed
+}
+
+// Stats summarizes store occupancy.
+type Stats struct {
+	// Keys is the number of (entity, attribute) lineages.
+	Keys int
+	// Versions is the total number of stored fact versions.
+	Versions int
+	// Current is the number of open versions.
+	Current int
+	// Attributes is the number of distinct attributes.
+	Attributes int
+}
+
+// Stats returns current occupancy counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Keys: len(s.byKey), Versions: s.versions, Attributes: len(s.byAttr)}
+	for _, l := range s.byKey {
+		if l.current() != nil {
+			st.Current++
+		}
+	}
+	return st
+}
+
+// View is a read-only, point-in-time view of the store, used by the
+// engine's Snapshot interaction policy: stream rules evaluated against a
+// View cannot observe updates later than its instant. Views are cheap —
+// they borrow the store's history rather than copying it — and remain
+// consistent as long as future mutations carry timestamps >= the view
+// instant, which the engine's timestamp-ordered processing guarantees.
+type View struct {
+	store *Store
+	at    temporal.Instant
+}
+
+// ViewAt returns a read-only view of the state as of t.
+func (s *Store) ViewAt(t temporal.Instant) *View { return &View{store: s, at: t} }
+
+// At reports the view's instant.
+func (v *View) At() temporal.Instant { return v.at }
+
+// Get returns the version of (entity, attr) valid at the view instant.
+func (v *View) Get(entity, attr string) (*element.Fact, bool) {
+	return v.store.ValidAt(entity, attr, v.at)
+}
+
+// ByAttribute returns all facts for attr valid at the view instant.
+func (v *View) ByAttribute(attr string) []*element.Fact {
+	return v.store.AsOfByAttribute(attr, v.at)
+}
+
+// All returns every fact valid at the view instant.
+func (v *View) All() []*element.Fact { return v.store.AsOf(v.at) }

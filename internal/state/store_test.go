@@ -1,0 +1,354 @@
+package state
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/element"
+	"repro/internal/temporal"
+)
+
+func TestPutReplaceSemantics(t *testing.T) {
+	s := NewStore()
+	if err := s.Put("v1", "position", element.String("hall"), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("v1", "position", element.String("lab"), 20); err != nil {
+		t.Fatal(err)
+	}
+	cur, ok := s.Current("v1", "position")
+	if !ok || cur.Value.MustString() != "lab" || cur.Validity != temporal.Since(20) {
+		t.Fatalf("current: %v %v", cur, ok)
+	}
+	// The invariant the paper's security use case needs: at no instant are
+	// two positions valid.
+	if f, _ := s.ValidAt("v1", "position", 15); f.Value.MustString() != "hall" {
+		t.Error("as-of 15 should be hall")
+	}
+	if f, _ := s.ValidAt("v1", "position", 20); f.Value.MustString() != "lab" {
+		t.Error("as-of 20 should be lab (half-open boundary)")
+	}
+	hist := s.History("v1", "position")
+	if len(hist) != 2 || hist[0].Validity != temporal.NewInterval(10, 20) {
+		t.Fatalf("history: %v", hist)
+	}
+}
+
+func TestPutSameInstantOverwrites(t *testing.T) {
+	s := NewStore()
+	s.Put("e", "a", element.Int(1), 10)
+	if err := s.Put("e", "a", element.Int(2), 10); err != nil {
+		t.Fatal(err)
+	}
+	hist := s.History("e", "a")
+	if len(hist) != 1 || hist[0].Value.MustInt() != 2 {
+		t.Fatalf("overwrite: %v", hist)
+	}
+}
+
+func TestPutOutOfOrder(t *testing.T) {
+	s := NewStore()
+	s.Put("e", "a", element.Int(1), 10)
+	err := s.Put("e", "a", element.Int(2), 5)
+	if !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("want ErrOutOfOrder, got %v", err)
+	}
+}
+
+func TestAssertExplicitInterval(t *testing.T) {
+	s := NewStore()
+	f := element.NewFact("e", "a", element.Int(1), temporal.NewInterval(10, 20))
+	if err := s.Assert(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assert(element.NewFact("e", "a", element.Int(2), temporal.NewInterval(15, 25))); !errors.Is(err, ErrOverlap) {
+		t.Fatalf("want ErrOverlap, got %v", err)
+	}
+	if err := s.Assert(element.NewFact("e", "a", element.Int(2), temporal.NewInterval(20, 30))); err != nil {
+		t.Fatalf("adjacent assert should work: %v", err)
+	}
+	if err := s.Assert(element.NewFact("e", "a", element.Int(3), temporal.NewInterval(5, 8))); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("want ErrOutOfOrder, got %v", err)
+	}
+	if err := s.Assert(element.NewFact("e", "a", element.Int(3), temporal.Interval{})); err == nil {
+		t.Fatal("empty validity should error")
+	}
+	// Mutating the caller's fact must not affect the store.
+	f.Value = element.Int(99)
+	if got, _ := s.ValidAt("e", "a", 12); got.Value.MustInt() != 1 {
+		t.Error("store should hold a clone")
+	}
+}
+
+func TestRetract(t *testing.T) {
+	s := NewStore()
+	s.Put("e", "a", element.Int(1), 10)
+	if err := s.Retract("e", "a", 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Current("e", "a"); ok {
+		t.Error("retracted key should have no current")
+	}
+	if f, ok := s.ValidAt("e", "a", 20); !ok || f.Validity != temporal.NewInterval(10, 30) {
+		t.Errorf("history preserved: %v %v", f, ok)
+	}
+	if err := s.Retract("e", "a", 40); !errors.Is(err, ErrNoCurrent) {
+		t.Fatalf("want ErrNoCurrent, got %v", err)
+	}
+	if err := s.Retract("x", "a", 40); !errors.Is(err, ErrNoCurrent) {
+		t.Fatalf("unknown key: want ErrNoCurrent, got %v", err)
+	}
+}
+
+func TestRetractAtStartRemovesVersion(t *testing.T) {
+	s := NewStore()
+	s.Put("e", "a", element.Int(1), 10)
+	if err := s.Retract("e", "a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.History("e", "a")) != 0 {
+		t.Error("zero-length version should be removed")
+	}
+	if got := s.Stats().Versions; got != 0 {
+		t.Errorf("versions: %d", got)
+	}
+}
+
+func TestRetractBeforeStartIsOutOfOrder(t *testing.T) {
+	s := NewStore()
+	s.Put("e", "a", element.Int(1), 10)
+	if err := s.Retract("e", "a", 5); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("want ErrOutOfOrder, got %v", err)
+	}
+}
+
+func TestCurrentByAttributeSorted(t *testing.T) {
+	s := NewStore()
+	s.Put("bob", "position", element.String("r2"), 5)
+	s.Put("ann", "position", element.String("r1"), 5)
+	s.Put("ann", "badge", element.Int(7), 5)
+	got := s.CurrentByAttribute("position")
+	if len(got) != 2 || got[0].Entity != "ann" || got[1].Entity != "bob" {
+		t.Fatalf("by attribute: %v", got)
+	}
+	if s.CurrentByAttribute("nope") != nil {
+		t.Error("unknown attribute should be empty")
+	}
+}
+
+func TestAsOfAndDuring(t *testing.T) {
+	s := NewStore()
+	s.Put("ann", "position", element.String("r1"), 0)
+	s.Put("ann", "position", element.String("r2"), 10)
+	s.Put("bob", "position", element.String("r3"), 5)
+	s.Retract("bob", "position", 8)
+
+	asof := s.AsOf(6)
+	if len(asof) != 2 {
+		t.Fatalf("as-of 6: %v", asof)
+	}
+	asof = s.AsOf(9)
+	if len(asof) != 1 || asof[0].Entity != "ann" {
+		t.Fatalf("as-of 9: %v", asof)
+	}
+	during := s.During(temporal.NewInterval(6, 11))
+	if len(during) != 3 {
+		t.Fatalf("during [6,11): %v", during)
+	}
+	if len(s.During(temporal.NewInterval(100, 200))) != 1 {
+		t.Error("open version overlaps far future")
+	}
+}
+
+func TestScanAndValiditySet(t *testing.T) {
+	s := NewStore()
+	s.Put("e", "a", element.Int(1), 0)
+	s.Retract("e", "a", 10)
+	s.Put("e", "a", element.Int(2), 20)
+	all := s.Scan(nil)
+	if len(all) != 2 {
+		t.Fatalf("scan: %v", all)
+	}
+	only2 := s.Scan(func(f *element.Fact) bool { return f.Value.MustInt() == 2 })
+	if len(only2) != 1 {
+		t.Fatalf("scan pred: %v", only2)
+	}
+	vs := s.ValiditySet("e", "a")
+	ivs := vs.Intervals()
+	if len(ivs) != 2 || ivs[0] != temporal.NewInterval(0, 10) || ivs[1] != temporal.Since(20) {
+		t.Fatalf("validity set: %s", vs)
+	}
+}
+
+func TestCompactBefore(t *testing.T) {
+	s := NewStore()
+	for i := int64(0); i < 10; i++ {
+		s.Put("e", "a", element.Int(i), temporal.Instant(i*10))
+	}
+	st := s.Stats()
+	if st.Versions != 10 || st.Current != 1 {
+		t.Fatalf("pre-compact stats: %+v", st)
+	}
+	removed := s.CompactBefore(50)
+	if removed != 5 {
+		t.Fatalf("removed: %d", removed)
+	}
+	if got := s.Stats().Versions; got != 5 {
+		t.Errorf("versions after compaction: %d", got)
+	}
+	if cur, ok := s.Current("e", "a"); !ok || cur.Value.MustInt() != 9 {
+		t.Error("current must survive compaction")
+	}
+	// Fully-closed lineage disappears when compacted away.
+	s2 := NewStore()
+	s2.Put("x", "a", element.Int(1), 0)
+	s2.Retract("x", "a", 5)
+	s2.CompactBefore(10)
+	if st := s2.Stats(); st.Keys != 0 || st.Attributes != 0 {
+		t.Errorf("empty lineage should be dropped: %+v", st)
+	}
+}
+
+func TestDropDerived(t *testing.T) {
+	s := NewStore()
+	s.Put("e", "a", element.Int(1), 0)
+	d := element.NewFact("e", "b", element.Int(2), temporal.Since(0))
+	d.Derived = true
+	s.Assert(d)
+	if got := s.DropDerived(); got != 1 {
+		t.Fatalf("dropped: %d", got)
+	}
+	if _, ok := s.Current("e", "b"); ok {
+		t.Error("derived fact should be gone")
+	}
+	if _, ok := s.Current("e", "a"); !ok {
+		t.Error("asserted fact should remain")
+	}
+}
+
+func TestWatchers(t *testing.T) {
+	s := NewStore()
+	var changes []Change
+	s.Watch(func(c Change) { changes = append(changes, c) })
+	s.Put("e", "a", element.Int(1), 10)
+	s.Put("e", "a", element.Int(2), 20) // terminate + assert
+	s.Retract("e", "a", 30)
+	kinds := []ChangeKind{Asserted, Terminated, Asserted, Terminated}
+	if len(changes) != len(kinds) {
+		t.Fatalf("changes: %d", len(changes))
+	}
+	for i, k := range kinds {
+		if changes[i].Kind != k {
+			t.Errorf("change %d: got %v want %v", i, changes[i].Kind, k)
+		}
+	}
+	if changes[1].Fact.Validity != temporal.NewInterval(10, 20) {
+		t.Errorf("terminated validity: %v", changes[1].Fact.Validity)
+	}
+	if Asserted.String() != "asserted" || Terminated.String() != "terminated" {
+		t.Error("kind strings")
+	}
+}
+
+func TestViewSnapshotIsolation(t *testing.T) {
+	s := NewStore()
+	s.Put("e", "a", element.Int(1), 10)
+	v := s.ViewAt(15)
+	if v.At() != 15 {
+		t.Error("view instant")
+	}
+	// A later mutation must not change what the view sees.
+	s.Put("e", "a", element.Int(2), 20)
+	f, ok := v.Get("e", "a")
+	if !ok || f.Value.MustInt() != 1 {
+		t.Fatalf("view get: %v %v", f, ok)
+	}
+	if got := v.ByAttribute("a"); len(got) != 1 || got[0].Value.MustInt() != 1 {
+		t.Fatalf("view by attribute: %v", got)
+	}
+	if got := v.All(); len(got) != 1 {
+		t.Fatalf("view all: %v", got)
+	}
+}
+
+// TestLineageInvariantRandomized drives the store with random valid
+// mutations and checks the core invariant: per-key versions are ordered,
+// disjoint, and at most the last is open. It cross-checks ValidAt against
+// a naive timeline model.
+func TestLineageInvariantRandomized(t *testing.T) {
+	const horizon = 200
+	rng := rand.New(rand.NewSource(99))
+	entities := []string{"a", "b", "c"}
+	for trial := 0; trial < 50; trial++ {
+		s := NewStore()
+		// model[entity][t] = value or -1
+		model := map[string][]int64{}
+		last := map[string]temporal.Instant{}
+		for _, e := range entities {
+			tl := make([]int64, horizon)
+			for i := range tl {
+				tl[i] = -1
+			}
+			model[e] = tl
+		}
+		for op := 0; op < 100; op++ {
+			e := entities[rng.Intn(len(entities))]
+			at := last[e] + temporal.Instant(rng.Intn(5))
+			if at >= horizon {
+				continue
+			}
+			last[e] = at
+			if rng.Intn(4) == 0 {
+				if err := s.Retract(e, "x", at); err == nil {
+					for i := at; i < horizon; i++ {
+						model[e][i] = -1
+					}
+				}
+			} else {
+				val := int64(rng.Intn(100))
+				if err := s.Put(e, "x", element.Int(val), at); err != nil {
+					t.Fatalf("put: %v", err)
+				}
+				for i := at; i < horizon; i++ {
+					model[e][i] = val
+				}
+			}
+		}
+		for _, e := range entities {
+			hist := s.History(e, "x")
+			for i := 1; i < len(hist); i++ {
+				if hist[i-1].Validity.Overlaps(hist[i].Validity) {
+					t.Fatalf("overlapping versions: %v %v", hist[i-1], hist[i])
+				}
+				if hist[i-1].Validity.Start > hist[i].Validity.Start {
+					t.Fatalf("unordered versions")
+				}
+				if hist[i-1].IsCurrent() {
+					t.Fatalf("non-last open version")
+				}
+			}
+			for ti := temporal.Instant(0); ti < horizon; ti += 7 {
+				f, ok := s.ValidAt(e, "x", ti)
+				want := model[e][ti]
+				if (want == -1) == ok {
+					t.Fatalf("trial %d: validAt(%s,%d): ok=%v want value %d", trial, e, ti, ok, want)
+				}
+				if ok && f.Value.MustInt() != want {
+					t.Fatalf("trial %d: validAt(%s,%d)=%d want %d", trial, e, ti, f.Value.MustInt(), want)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsAttributes(t *testing.T) {
+	s := NewStore()
+	s.Put("e1", "a", element.Int(1), 0)
+	s.Put("e2", "a", element.Int(1), 0)
+	s.Put("e1", "b", element.Int(1), 0)
+	st := s.Stats()
+	if st.Keys != 3 || st.Attributes != 2 || st.Current != 3 || st.Versions != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

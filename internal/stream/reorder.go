@@ -1,0 +1,88 @@
+package stream
+
+import (
+	"container/heap"
+
+	"repro/internal/element"
+	"repro/internal/temporal"
+)
+
+// Reorderer buffers out-of-order elements and releases them in
+// (timestamp, seq) order when watermarks advance: on a watermark w, every
+// buffered element with timestamp < w is emitted in order, followed by
+// the watermark itself. Elements at or after the current watermark are
+// late by definition and are counted and dropped (the engine's
+// correctness depends on in-order delivery; see DESIGN.md §3).
+//
+// Place a Reorderer at the front of a pipeline whose source cannot
+// guarantee order:
+//
+//	p := stream.NewPipeline(stream.NewReorderer(), gate, query)
+type Reorderer struct {
+	buf       elementHeap
+	watermark temporal.Instant
+	late      uint64
+}
+
+// NewReorderer returns an empty reorder buffer.
+func NewReorderer() *Reorderer {
+	return &Reorderer{watermark: temporal.MinInstant}
+}
+
+// Process implements Operator.
+func (r *Reorderer) Process(m Message) []Message {
+	if !m.IsWatermark {
+		if m.El.Timestamp < r.watermark {
+			r.late++
+			return nil
+		}
+		heap.Push(&r.buf, m.El)
+		return nil
+	}
+	if m.Watermark <= r.watermark {
+		return nil
+	}
+	r.watermark = m.Watermark
+	var out []Message
+	for r.buf.Len() > 0 && r.buf[0].Timestamp < m.Watermark {
+		out = append(out, ElementMsg(heap.Pop(&r.buf).(*element.Element)))
+	}
+	return append(out, m)
+}
+
+// Pending reports the number of buffered elements.
+func (r *Reorderer) Pending() int { return r.buf.Len() }
+
+// Late reports how many elements arrived behind the watermark and were
+// dropped.
+func (r *Reorderer) Late() uint64 { return r.late }
+
+// Flush releases everything still buffered, in order, with a final
+// watermark past the last element. Call at end of input.
+func (r *Reorderer) Flush() []Message {
+	var out []Message
+	last := r.watermark
+	for r.buf.Len() > 0 {
+		el := heap.Pop(&r.buf).(*element.Element)
+		if el.Timestamp+1 > last {
+			last = el.Timestamp + 1
+		}
+		out = append(out, ElementMsg(el))
+	}
+	return append(out, WatermarkMsg(last))
+}
+
+// elementHeap orders elements by (timestamp, seq).
+type elementHeap []*element.Element
+
+func (h elementHeap) Len() int            { return len(h) }
+func (h elementHeap) Less(i, j int) bool  { return h[i].Before(h[j]) }
+func (h elementHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *elementHeap) Push(x interface{}) { *h = append(*h, x.(*element.Element)) }
+func (h *elementHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	el := old[n-1]
+	*h = old[:n-1]
+	return el
+}

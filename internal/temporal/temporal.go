@@ -1,0 +1,317 @@
+// Package temporal provides the time algebra that underpins explicit state
+// management: instants, half-open validity intervals, Allen's interval
+// relations, and coalesced interval sets.
+//
+// The paper models state as "a collection of data elements annotated with
+// their time of validity" (Margara et al., EDBT 2017, §3). This package is
+// the foundation for those validity annotations: the state store
+// (internal/state) attaches an Interval to every fact version, the CEP
+// matcher (internal/cep) gives detected situations interval semantics, and
+// the reasoner (internal/reason) intersects premise intervals to derive the
+// validity of inferred facts.
+package temporal
+
+import (
+	"fmt"
+	"time"
+)
+
+// Instant is a point on the application time line, expressed in nanoseconds
+// since the Unix epoch. Using a plain integer (rather than time.Time) keeps
+// elements and fact versions compact, comparable with <, and trivially
+// serializable in the state log.
+type Instant int64
+
+// Distinguished instants. The valid range for application timestamps is
+// [MinInstant, Forever); Forever marks the open end of a fact that is still
+// valid ("until further notice").
+const (
+	// MinInstant is the earliest representable instant.
+	MinInstant Instant = -1 << 62
+	// Forever marks an unbounded interval end: the fact is valid until it
+	// is explicitly retracted or replaced.
+	Forever Instant = 1<<63 - 1
+)
+
+// FromTime converts a time.Time to an Instant.
+func FromTime(t time.Time) Instant { return Instant(t.UnixNano()) }
+
+// FromMillis converts a millisecond epoch timestamp to an Instant.
+func FromMillis(ms int64) Instant { return Instant(ms) * Instant(time.Millisecond) }
+
+// FromSeconds converts a second epoch timestamp to an Instant.
+func FromSeconds(s int64) Instant { return Instant(s) * Instant(time.Second) }
+
+// Time converts the instant back to a time.Time. Forever and MinInstant do
+// not round-trip; callers should test for them explicitly.
+func (i Instant) Time() time.Time { return time.Unix(0, int64(i)) }
+
+// Millis reports the instant as milliseconds since the epoch, truncating.
+func (i Instant) Millis() int64 { return int64(i) / int64(time.Millisecond) }
+
+// Add returns the instant shifted by d. Forever and MinInstant absorb
+// shifts, so open interval ends stay open under arithmetic.
+func (i Instant) Add(d time.Duration) Instant {
+	if i == Forever || i == MinInstant {
+		return i
+	}
+	return i + Instant(d)
+}
+
+// Sub returns the duration between two finite instants.
+func (i Instant) Sub(j Instant) time.Duration { return time.Duration(i - j) }
+
+// Before reports whether i precedes j.
+func (i Instant) Before(j Instant) bool { return i < j }
+
+// After reports whether i follows j.
+func (i Instant) After(j Instant) bool { return i > j }
+
+// Min returns the earlier of two instants.
+func Min(a, b Instant) Instant {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the later of two instants.
+func Max(a, b Instant) Instant {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders the instant; the two sentinels print symbolically.
+func (i Instant) String() string {
+	switch i {
+	case Forever:
+		return "+inf"
+	case MinInstant:
+		return "-inf"
+	}
+	return i.Time().UTC().Format(time.RFC3339Nano)
+}
+
+// Interval is a half-open time interval [Start, End). Half-open intervals
+// compose without double counting: a fact replaced at time t is valid in
+// [s, t) and its successor in [t, ...), so exactly one version holds at
+// every instant. An interval with End == Forever is still open.
+type Interval struct {
+	Start Instant
+	End   Instant
+}
+
+// NewInterval returns the half-open interval [start, end).
+func NewInterval(start, end Instant) Interval { return Interval{Start: start, End: end} }
+
+// Since returns the open-ended interval [start, Forever).
+func Since(start Instant) Interval { return Interval{Start: start, End: Forever} }
+
+// At returns the smallest non-empty interval containing t: [t, t+1).
+func At(t Instant) Interval { return Interval{Start: t, End: t + 1} }
+
+// Always is the interval covering all representable time.
+func Always() Interval { return Interval{Start: MinInstant, End: Forever} }
+
+// IsEmpty reports whether the interval contains no instants.
+func (iv Interval) IsEmpty() bool { return iv.End <= iv.Start }
+
+// IsOpen reports whether the interval extends to Forever.
+func (iv Interval) IsOpen() bool { return iv.End == Forever }
+
+// Contains reports whether t lies in [Start, End).
+func (iv Interval) Contains(t Instant) bool { return t >= iv.Start && t < iv.End }
+
+// ContainsInterval reports whether o is entirely inside iv.
+func (iv Interval) ContainsInterval(o Interval) bool {
+	return o.Start >= iv.Start && o.End <= iv.End && !o.IsEmpty()
+}
+
+// Overlaps reports whether the two intervals share at least one instant.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Start < o.End && o.Start < iv.End && !iv.IsEmpty() && !o.IsEmpty()
+}
+
+// Adjacent reports whether the intervals abut without overlapping
+// (iv.End == o.Start or o.End == iv.Start).
+func (iv Interval) Adjacent(o Interval) bool {
+	return iv.End == o.Start || o.End == iv.Start
+}
+
+// Intersect returns the largest interval contained in both. The result may
+// be empty; test with IsEmpty.
+func (iv Interval) Intersect(o Interval) Interval {
+	r := Interval{Start: Max(iv.Start, o.Start), End: Min(iv.End, o.End)}
+	if r.IsEmpty() {
+		return Interval{}
+	}
+	return r
+}
+
+// Union returns the smallest interval containing both, and true, when the
+// intervals overlap or are adjacent; otherwise it returns the zero interval
+// and false (the union would not be contiguous).
+func (iv Interval) Union(o Interval) (Interval, bool) {
+	if !iv.Overlaps(o) && !iv.Adjacent(o) {
+		return Interval{}, false
+	}
+	if iv.IsEmpty() {
+		return o, true
+	}
+	if o.IsEmpty() {
+		return iv, true
+	}
+	return Interval{Start: Min(iv.Start, o.Start), End: Max(iv.End, o.End)}, true
+}
+
+// Subtract removes o from iv and returns the remaining pieces in order.
+// The result has zero, one, or two intervals.
+func (iv Interval) Subtract(o Interval) []Interval {
+	if iv.IsEmpty() {
+		return nil
+	}
+	if !iv.Overlaps(o) {
+		return []Interval{iv}
+	}
+	var out []Interval
+	if iv.Start < o.Start {
+		out = append(out, Interval{Start: iv.Start, End: o.Start})
+	}
+	if o.End < iv.End {
+		out = append(out, Interval{Start: o.End, End: iv.End})
+	}
+	return out
+}
+
+// ClampEnd returns the interval truncated so that it ends no later than t.
+// Truncating an open interval is how the state store terminates the
+// previous version of a fact on replace.
+func (iv Interval) ClampEnd(t Instant) Interval {
+	if t < iv.End {
+		return Interval{Start: iv.Start, End: t}
+	}
+	return iv
+}
+
+// Duration returns the length of a finite interval. Open intervals report
+// the duration until Forever, which callers should treat as unbounded.
+func (iv Interval) Duration() time.Duration { return time.Duration(iv.End - iv.Start) }
+
+// String renders the interval in [start, end) form.
+func (iv Interval) String() string { return fmt.Sprintf("[%s, %s)", iv.Start, iv.End) }
+
+// Relation is one of Allen's thirteen interval relations. Relations are
+// named from the perspective of the first interval: a Before b, a Meets b,
+// and so on.
+type Relation int
+
+// The thirteen Allen relations.
+const (
+	RelBefore Relation = iota
+	RelAfter
+	RelMeets
+	RelMetBy
+	RelOverlaps
+	RelOverlappedBy
+	RelStarts
+	RelStartedBy
+	RelDuring
+	RelContains
+	RelFinishes
+	RelFinishedBy
+	RelEquals
+)
+
+var relationNames = [...]string{
+	RelBefore:       "before",
+	RelAfter:        "after",
+	RelMeets:        "meets",
+	RelMetBy:        "met-by",
+	RelOverlaps:     "overlaps",
+	RelOverlappedBy: "overlapped-by",
+	RelStarts:       "starts",
+	RelStartedBy:    "started-by",
+	RelDuring:       "during",
+	RelContains:     "contains",
+	RelFinishes:     "finishes",
+	RelFinishedBy:   "finished-by",
+	RelEquals:       "equals",
+}
+
+// String returns the conventional name of the relation.
+func (r Relation) String() string {
+	if int(r) < len(relationNames) {
+		return relationNames[r]
+	}
+	return fmt.Sprintf("relation(%d)", int(r))
+}
+
+// Inverse returns the converse relation: if Relate(a, b) == r then
+// Relate(b, a) == r.Inverse().
+func (r Relation) Inverse() Relation {
+	switch r {
+	case RelBefore:
+		return RelAfter
+	case RelAfter:
+		return RelBefore
+	case RelMeets:
+		return RelMetBy
+	case RelMetBy:
+		return RelMeets
+	case RelOverlaps:
+		return RelOverlappedBy
+	case RelOverlappedBy:
+		return RelOverlaps
+	case RelStarts:
+		return RelStartedBy
+	case RelStartedBy:
+		return RelStarts
+	case RelDuring:
+		return RelContains
+	case RelContains:
+		return RelDuring
+	case RelFinishes:
+		return RelFinishedBy
+	case RelFinishedBy:
+		return RelFinishes
+	default:
+		return RelEquals
+	}
+}
+
+// Relate classifies the position of a relative to b as one of Allen's
+// thirteen relations. Both intervals must be non-empty.
+func Relate(a, b Interval) Relation {
+	switch {
+	case a.Start == b.Start && a.End == b.End:
+		return RelEquals
+	case a.End < b.Start:
+		return RelBefore
+	case b.End < a.Start:
+		return RelAfter
+	case a.End == b.Start:
+		return RelMeets
+	case b.End == a.Start:
+		return RelMetBy
+	case a.Start == b.Start:
+		if a.End < b.End {
+			return RelStarts
+		}
+		return RelStartedBy
+	case a.End == b.End:
+		if a.Start > b.Start {
+			return RelFinishes
+		}
+		return RelFinishedBy
+	case a.Start > b.Start && a.End < b.End:
+		return RelDuring
+	case a.Start < b.Start && a.End > b.End:
+		return RelContains
+	case a.Start < b.Start:
+		return RelOverlaps
+	default:
+		return RelOverlappedBy
+	}
+}

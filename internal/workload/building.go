@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/element"
+	"repro/internal/temporal"
+)
+
+// EntrySchema is the schema of RoomEntry and BuildingExit events in the
+// security workload.
+var EntrySchema = element.NewSchema(
+	element.Field{Name: "visitor", Kind: element.KindString},
+	element.Field{Name: "room", Kind: element.KindString},
+)
+
+// Stay is one ground-truth occupancy: the visitor was in the room
+// throughout the interval.
+type Stay struct {
+	Visitor  string
+	Room     string
+	Interval temporal.Interval
+}
+
+// BuildingConfig parameterizes the security-monitoring generator.
+type BuildingConfig struct {
+	// Visitors is the number of concurrently tracked visitors.
+	Visitors int
+	// Rooms is the number of distinct rooms.
+	Rooms int
+	// MovesPerVisitor is how many room transitions each visitor makes.
+	MovesPerVisitor int
+	// MeanDwell is the mean time a visitor stays in one room.
+	MeanDwell temporal.Instant
+	// Seed makes the generation deterministic.
+	Seed int64
+}
+
+// DefaultBuilding returns a moderate configuration.
+func DefaultBuilding() BuildingConfig {
+	return BuildingConfig{
+		Visitors:        20,
+		Rooms:           10,
+		MovesPerVisitor: 30,
+		MeanDwell:       temporal.FromSeconds(120),
+		Seed:            1,
+	}
+}
+
+// Building generates RoomEntry events (each visitor's random walk through
+// the building, ending with a BuildingExit) plus the ground-truth stays.
+// The truth is the paper's intended semantics: "the most recent position
+// invalidates and updates any previous position of the same visitor" (§1).
+func Building(cfg BuildingConfig) ([]*element.Element, []Stay) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var els []*element.Element
+	var truth []Stay
+	for v := 0; v < cfg.Visitors; v++ {
+		visitor := fmt.Sprintf("visitor%03d", v)
+		t := temporal.Instant(rng.Int63n(int64(cfg.MeanDwell) + 1))
+		room := -1
+		for m := 0; m < cfg.MovesPerVisitor; m++ {
+			next := rng.Intn(cfg.Rooms)
+			for next == room {
+				next = rng.Intn(cfg.Rooms)
+			}
+			room = next
+			name := fmt.Sprintf("room%02d", room)
+			els = append(els, element.New("RoomEntry", t,
+				element.NewTuple(EntrySchema, element.String(visitor), element.String(name))))
+			dwell := expDuration(rng, cfg.MeanDwell)
+			truth = append(truth, Stay{
+				Visitor:  visitor,
+				Room:     name,
+				Interval: temporal.NewInterval(t, t+dwell),
+			})
+			t += dwell
+		}
+		els = append(els, element.New("BuildingExit", t,
+			element.NewTuple(EntrySchema, element.String(visitor), element.String("-"))))
+	}
+	element.SortElements(els)
+	for i, el := range els {
+		el.Seq = uint64(i)
+	}
+	return els, truth
+}
+
+// TrueRoomAt returns the ground-truth room of the visitor at instant t,
+// or "" if the visitor is not in the building.
+func TrueRoomAt(truth []Stay, visitor string, t temporal.Instant) string {
+	for _, s := range truth {
+		if s.Visitor == visitor && s.Interval.Contains(t) {
+			return s.Room
+		}
+	}
+	return ""
+}

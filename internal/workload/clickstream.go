@@ -1,0 +1,143 @@
+// Package workload generates the synthetic event streams for the paper's
+// three use cases: click-stream monitoring (§1), building security (§1),
+// and the e-commerce decision-support case study (§3.1).
+//
+// The paper describes these scenarios qualitatively and names no datasets,
+// so each generator is a seeded, deterministic synthesizer faithful to the
+// prose, and each emits ground truth alongside the events (true sessions,
+// true trajectories, true classifications) so experiments can score
+// window-based baselines against the explicit-state system.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/element"
+	"repro/internal/temporal"
+)
+
+// Click-stream schemas. Enter/Leave delimit a user's visit; Click and
+// Purchase happen inside it.
+var (
+	// ClickSchema is shared by Enter, Leave, and Click events.
+	ClickSchema = element.NewSchema(
+		element.Field{Name: "visitor", Kind: element.KindString},
+		element.Field{Name: "page", Kind: element.KindString},
+	)
+	// PurchaseSchema extends clicks with an amount.
+	PurchaseSchema = element.NewSchema(
+		element.Field{Name: "visitor", Kind: element.KindString},
+		element.Field{Name: "page", Kind: element.KindString},
+		element.Field{Name: "amount", Kind: element.KindFloat},
+	)
+)
+
+// Session is the ground truth for one user visit.
+type Session struct {
+	User string
+	// Interval spans from the Enter event to just past the Leave event.
+	Interval temporal.Interval
+	// Events counts all events in the session, including Enter and Leave.
+	Events int
+}
+
+// ClickstreamConfig parameterizes the click-stream generator.
+type ClickstreamConfig struct {
+	// Users is the number of distinct visitors.
+	Users int
+	// SessionsPerUser is the number of visits each user makes.
+	SessionsPerUser int
+	// MeanEvents is the mean number of clicks inside a session.
+	MeanEvents int
+	// MeanThink is the mean time between events within a session.
+	MeanThink temporal.Instant
+	// MeanGap is the mean idle time between a user's sessions.
+	MeanGap temporal.Instant
+	// PurchaseProb is the probability that a session ends with a purchase.
+	PurchaseProb float64
+	// Seed makes the generation deterministic.
+	Seed int64
+}
+
+// DefaultClickstream returns a moderate configuration.
+func DefaultClickstream() ClickstreamConfig {
+	return ClickstreamConfig{
+		Users:           50,
+		SessionsPerUser: 4,
+		MeanEvents:      8,
+		MeanThink:       temporal.FromSeconds(30),
+		MeanGap:         temporal.FromSeconds(3600),
+		PurchaseProb:    0.3,
+		Seed:            1,
+	}
+}
+
+// Clickstream generates the event stream and its ground-truth sessions.
+// Events are returned sorted by timestamp; streams are "Enter", "Click",
+// "Purchase", "Leave".
+func Clickstream(cfg ClickstreamConfig) ([]*element.Element, []Session) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var els []*element.Element
+	var truth []Session
+	for u := 0; u < cfg.Users; u++ {
+		user := fmt.Sprintf("user%04d", u)
+		// Stagger users so sessions interleave.
+		t := temporal.Instant(rng.Int63n(int64(cfg.MeanGap) + 1))
+		for s := 0; s < cfg.SessionsPerUser; s++ {
+			start := t
+			events := 2 // enter + leave
+			els = append(els, element.New("Enter", t,
+				element.NewTuple(ClickSchema, element.String(user), element.String("/"))))
+			n := 1 + poissonish(rng, cfg.MeanEvents)
+			for i := 0; i < n; i++ {
+				t += expDuration(rng, cfg.MeanThink)
+				page := fmt.Sprintf("/p/%d", rng.Intn(100))
+				els = append(els, element.New("Click", t,
+					element.NewTuple(ClickSchema, element.String(user), element.String(page))))
+				events++
+			}
+			if rng.Float64() < cfg.PurchaseProb {
+				t += expDuration(rng, cfg.MeanThink)
+				els = append(els, element.New("Purchase", t,
+					element.NewTuple(PurchaseSchema, element.String(user), element.String("/cart"),
+						element.Float(1+rng.Float64()*99))))
+				events++
+			}
+			t += expDuration(rng, cfg.MeanThink)
+			els = append(els, element.New("Leave", t,
+				element.NewTuple(ClickSchema, element.String(user), element.String("/"))))
+			truth = append(truth, Session{
+				User:     user,
+				Interval: temporal.NewInterval(start, t+1),
+				Events:   events,
+			})
+			t += expDuration(rng, cfg.MeanGap)
+		}
+	}
+	element.SortElements(els)
+	for i, el := range els {
+		el.Seq = uint64(i)
+	}
+	return els, truth
+}
+
+// expDuration draws an exponentially distributed duration with the given
+// mean, floored at 1ns so time always advances.
+func expDuration(rng *rand.Rand, mean temporal.Instant) temporal.Instant {
+	d := temporal.Instant(rng.ExpFloat64() * float64(mean))
+	if d < 1 {
+		return 1
+	}
+	return d
+}
+
+// poissonish draws a small non-negative integer with the given mean using
+// a clamped normal approximation — adequate for workload shaping.
+func poissonish(rng *rand.Rand, mean int) int {
+	n := int(rng.NormFloat64()*float64(mean)/3) + mean
+	if n < 0 {
+		return 0
+	}
+	return n
+}

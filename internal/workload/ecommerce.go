@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/element"
+	"repro/internal/temporal"
+)
+
+// E-commerce schemas: Sale events and Reclassify events (the "different
+// division of the company" of §3.1 updating the product catalogue).
+var (
+	// SaleSchema: one product sale.
+	SaleSchema = element.NewSchema(
+		element.Field{Name: "product", Kind: element.KindString},
+		element.Field{Name: "amount", Kind: element.KindFloat},
+	)
+	// ReclassifySchema: a catalogue update assigning a product to a class.
+	ReclassifySchema = element.NewSchema(
+		element.Field{Name: "product", Kind: element.KindString},
+		element.Field{Name: "class", Kind: element.KindString},
+	)
+)
+
+// Classification is one ground-truth catalogue interval: the product
+// belonged to the class throughout Interval.
+type Classification struct {
+	Product  string
+	Class    string
+	Interval temporal.Interval
+}
+
+// EcommerceConfig parameterizes the decision-support generator.
+type EcommerceConfig struct {
+	// Products is the catalogue size.
+	Products int
+	// Classes is the number of product classes.
+	Classes int
+	// Sales is the total number of Sale events.
+	Sales int
+	// MeanInterarrival is the mean time between sales.
+	MeanInterarrival temporal.Instant
+	// ReclassifyEvery is the mean number of sales between catalogue
+	// updates; zero disables reclassification.
+	ReclassifyEvery int
+	// Seed makes the generation deterministic.
+	Seed int64
+}
+
+// DefaultEcommerce returns a moderate configuration.
+func DefaultEcommerce() EcommerceConfig {
+	return EcommerceConfig{
+		Products:         100,
+		Classes:          10,
+		Sales:            5000,
+		MeanInterarrival: temporal.FromMillis(200),
+		ReclassifyEvery:  50,
+		Seed:             1,
+	}
+}
+
+// Ecommerce generates the interleaved Sale and Reclassify streams plus the
+// ground-truth classification timeline. Initial classifications arrive as
+// Reclassify events at t=0.
+func Ecommerce(cfg EcommerceConfig) ([]*element.Element, []Classification) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var els []*element.Element
+	var truth []Classification
+
+	class := make([]int, cfg.Products)
+	classStart := make([]temporal.Instant, cfg.Products)
+	for p := range class {
+		class[p] = rng.Intn(cfg.Classes)
+		els = append(els, reclassifyEvent(0, p, class[p]))
+	}
+
+	t := temporal.Instant(0)
+	for s := 0; s < cfg.Sales; s++ {
+		t += expDuration(rng, cfg.MeanInterarrival)
+		p := rng.Intn(cfg.Products)
+		els = append(els, element.New("Sale", t,
+			element.NewTuple(SaleSchema,
+				element.String(productName(p)),
+				element.Float(1+rng.Float64()*99))))
+		if cfg.ReclassifyEvery > 0 && rng.Intn(cfg.ReclassifyEvery) == 0 {
+			rp := rng.Intn(cfg.Products)
+			next := rng.Intn(cfg.Classes)
+			for next == class[rp] && cfg.Classes > 1 {
+				next = rng.Intn(cfg.Classes)
+			}
+			// The update takes effect strictly after the sale at t, so a
+			// same-instant sale unambiguously belongs to the old class.
+			at := t + 1
+			truth = append(truth, Classification{
+				Product:  productName(rp),
+				Class:    className(class[rp]),
+				Interval: temporal.NewInterval(classStart[rp], at),
+			})
+			class[rp] = next
+			classStart[rp] = at
+			els = append(els, reclassifyEvent(at, rp, next))
+		}
+	}
+	// Close the open classification intervals.
+	for p := range class {
+		truth = append(truth, Classification{
+			Product:  productName(p),
+			Class:    className(class[p]),
+			Interval: temporal.Since(classStart[p]),
+		})
+	}
+	element.SortElements(els)
+	for i, el := range els {
+		el.Seq = uint64(i)
+	}
+	return els, truth
+}
+
+func reclassifyEvent(t temporal.Instant, product, class int) *element.Element {
+	return element.New("Reclassify", t,
+		element.NewTuple(ReclassifySchema,
+			element.String(productName(product)),
+			element.String(className(class))))
+}
+
+func productName(p int) string { return fmt.Sprintf("product%04d", p) }
+
+func className(c int) string { return fmt.Sprintf("class%02d", c) }
+
+// TrueClassAt returns the ground-truth class of the product at instant t.
+func TrueClassAt(truth []Classification, product string, t temporal.Instant) string {
+	for _, c := range truth {
+		if c.Product == product && c.Interval.Contains(t) {
+			return c.Class
+		}
+	}
+	return ""
+}

@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/temporal"
+)
+
+func TestClickstreamDeterministic(t *testing.T) {
+	cfg := DefaultClickstream()
+	a, truthA := Clickstream(cfg)
+	b, truthB := Clickstream(cfg)
+	if len(a) != len(b) || len(truthA) != len(truthB) {
+		t.Fatal("same seed must give same sizes")
+	}
+	for i := range a {
+		if a[i].Timestamp != b[i].Timestamp || a[i].Stream != b[i].Stream {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+	cfg.Seed = 2
+	c, _ := Clickstream(cfg)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].Timestamp != c[i].Timestamp {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestClickstreamShape(t *testing.T) {
+	cfg := DefaultClickstream()
+	els, truth := Clickstream(cfg)
+	if len(truth) != cfg.Users*cfg.SessionsPerUser {
+		t.Fatalf("sessions: %d", len(truth))
+	}
+	// Sorted by timestamp.
+	for i := 1; i < len(els); i++ {
+		if els[i].Timestamp < els[i-1].Timestamp {
+			t.Fatal("events out of order")
+		}
+	}
+	// Every session has at least Enter+Leave and positive duration.
+	counts := map[string]int{}
+	for _, s := range truth {
+		if s.Events < 2 || s.Interval.IsEmpty() {
+			t.Fatalf("bad session: %+v", s)
+		}
+		counts[s.User]++
+	}
+	if len(counts) != cfg.Users {
+		t.Fatalf("users: %d", len(counts))
+	}
+	// Event count matches session truth.
+	total := 0
+	for _, s := range truth {
+		total += s.Events
+	}
+	if total != len(els) {
+		t.Fatalf("truth events %d != stream events %d", total, len(els))
+	}
+	// Enter/Leave balance per user.
+	streams := map[string]int{}
+	for _, el := range els {
+		streams[el.Stream]++
+	}
+	if streams["Enter"] != streams["Leave"] || streams["Enter"] != len(truth) {
+		t.Fatalf("enter/leave balance: %v", streams)
+	}
+}
+
+func TestClickstreamSessionsDisjointPerUser(t *testing.T) {
+	_, truth := Clickstream(DefaultClickstream())
+	byUser := map[string][]Session{}
+	for _, s := range truth {
+		byUser[s.User] = append(byUser[s.User], s)
+	}
+	for user, ss := range byUser {
+		for i := 1; i < len(ss); i++ {
+			if ss[i-1].Interval.Overlaps(ss[i].Interval) {
+				t.Fatalf("user %s sessions overlap: %v %v", user, ss[i-1], ss[i])
+			}
+		}
+	}
+}
+
+func TestBuildingShape(t *testing.T) {
+	cfg := DefaultBuilding()
+	els, truth := Building(cfg)
+	if len(truth) != cfg.Visitors*cfg.MovesPerVisitor {
+		t.Fatalf("stays: %d", len(truth))
+	}
+	entries, exits := 0, 0
+	for _, el := range els {
+		switch el.Stream {
+		case "RoomEntry":
+			entries++
+		case "BuildingExit":
+			exits++
+		}
+	}
+	if entries != len(truth) || exits != cfg.Visitors {
+		t.Fatalf("entries %d exits %d", entries, exits)
+	}
+	for i := 1; i < len(els); i++ {
+		if els[i].Timestamp < els[i-1].Timestamp {
+			t.Fatal("out of order")
+		}
+	}
+}
+
+func TestBuildingTruthNoOverlapAndNoSelfMove(t *testing.T) {
+	_, truth := Building(DefaultBuilding())
+	byVisitor := map[string][]Stay{}
+	for _, s := range truth {
+		byVisitor[s.Visitor] = append(byVisitor[s.Visitor], s)
+	}
+	for v, ss := range byVisitor {
+		for i := 1; i < len(ss); i++ {
+			if ss[i-1].Interval.Overlaps(ss[i].Interval) {
+				t.Fatalf("visitor %s in two rooms: %v %v", v, ss[i-1], ss[i])
+			}
+			if ss[i-1].Room == ss[i].Room {
+				t.Fatalf("visitor %s self-move to %s", v, ss[i].Room)
+			}
+			if ss[i-1].Interval.End != ss[i].Interval.Start {
+				t.Fatalf("visitor %s gap in occupancy", v)
+			}
+		}
+	}
+}
+
+func TestTrueRoomAt(t *testing.T) {
+	truth := []Stay{
+		{Visitor: "v", Room: "a", Interval: temporal.NewInterval(0, 10)},
+		{Visitor: "v", Room: "b", Interval: temporal.NewInterval(10, 20)},
+	}
+	if TrueRoomAt(truth, "v", 5) != "a" || TrueRoomAt(truth, "v", 10) != "b" {
+		t.Error("TrueRoomAt")
+	}
+	if TrueRoomAt(truth, "v", 25) != "" || TrueRoomAt(truth, "x", 5) != "" {
+		t.Error("absent cases")
+	}
+}
+
+func TestEcommerceShape(t *testing.T) {
+	cfg := DefaultEcommerce()
+	els, truth := Ecommerce(cfg)
+	sales, reclass := 0, 0
+	for _, el := range els {
+		switch el.Stream {
+		case "Sale":
+			sales++
+		case "Reclassify":
+			reclass++
+		}
+	}
+	if sales != cfg.Sales {
+		t.Fatalf("sales: %d", sales)
+	}
+	if reclass < cfg.Products { // at least the initial classifications
+		t.Fatalf("reclassify events: %d", reclass)
+	}
+	if len(truth) < cfg.Products {
+		t.Fatalf("truth: %d", len(truth))
+	}
+	for i := 1; i < len(els); i++ {
+		if els[i].Timestamp < els[i-1].Timestamp {
+			t.Fatal("out of order")
+		}
+	}
+}
+
+func TestEcommerceTruthConsistentWithEvents(t *testing.T) {
+	cfg := DefaultEcommerce()
+	cfg.Sales = 1000
+	els, truth := Ecommerce(cfg)
+	// For every sale, the ground-truth class at sale time must equal the
+	// latest Reclassify event for that product at or before the sale.
+	latest := map[string]string{}
+	for _, el := range els {
+		switch el.Stream {
+		case "Reclassify":
+			latest[el.MustGet("product").MustString()] = el.MustGet("class").MustString()
+		case "Sale":
+			p := el.MustGet("product").MustString()
+			want := latest[p]
+			got := TrueClassAt(truth, p, el.Timestamp)
+			if got != want {
+				t.Fatalf("sale %s at %d: truth %q events %q", p, el.Timestamp, got, want)
+			}
+		}
+	}
+}
+
+func TestEcommerceNoReclassification(t *testing.T) {
+	cfg := DefaultEcommerce()
+	cfg.ReclassifyEvery = 0
+	cfg.Sales = 100
+	els, truth := Ecommerce(cfg)
+	reclass := 0
+	for _, el := range els {
+		if el.Stream == "Reclassify" {
+			reclass++
+		}
+	}
+	if reclass != cfg.Products {
+		t.Fatalf("only initial classifications expected: %d", reclass)
+	}
+	if len(truth) != cfg.Products {
+		t.Fatalf("truth: %d", len(truth))
+	}
+}

@@ -1,0 +1,355 @@
+// Package statestream is a stream processing library with explicit state
+// management, reproducing the model of Margara, Dell'Aglio, and Bernstein,
+// "Break the Windows: Explicit State Management for Stream Processing
+// Systems" (EDBT 2017).
+//
+// The paper's Figure 1 architecture maps onto this API as follows:
+//
+//   - Input streams are timestamped Elements fed to an Engine in
+//     timestamp order (Engine.Process / Engine.Run).
+//   - State management rules, written in a textual rule language
+//     (Engine.DeployRules), turn input elements into updates of the state
+//     repository: facts annotated with their time of validity.
+//   - Stream processing rules are Processors (Engine.DeployProcessor):
+//     CQL-style continuous queries over windows, optionally preceded by a
+//     state-condition Gate and state Enrichment.
+//   - The state repository is queryable on demand (Engine.Query) with a
+//     temporal SELECT dialect: CURRENT, ASOF t, DURING a TO b, HISTORY.
+//   - A Reasoner (Engine.EnableReasoning) materializes implicit facts
+//     from ontologies and Horn rules, augmenting both queries and gates.
+//
+// Minimal example — the paper's building-security use case:
+//
+//	engine := statestream.New(statestream.StateFirst)
+//	engine.DeployRules(`
+//	    RULE position ON RoomEntry AS r
+//	    THEN REPLACE position(r.visitor) = r.room`)
+//	engine.Run(msgs) // timestamp-ordered elements + watermarks
+//	res, _ := engine.Query("SELECT entity, value FROM position")
+//
+// See examples/ for complete programs and DESIGN.md for the system
+// inventory.
+package statestream
+
+import (
+	"time"
+
+	"repro/internal/cep"
+	"repro/internal/core"
+	"repro/internal/cql"
+	"repro/internal/element"
+	"repro/internal/lang"
+	"repro/internal/query"
+	"repro/internal/reason"
+	"repro/internal/rules"
+	"repro/internal/state"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+	"repro/internal/window"
+)
+
+// Core engine types (Figure 1).
+type (
+	// Engine is the explicit-state stream processing system.
+	Engine = core.Engine
+	// Processor is one deployed stream processing pipeline.
+	Processor = core.Processor
+	// EnrichSpec adds a state-derived field to stream elements.
+	EnrichSpec = core.EnrichSpec
+	// Policy fixes the state/stream interaction semantics (§3.3).
+	Policy = core.Policy
+	// ProcessorStats reports per-processor element counters.
+	ProcessorStats = core.ProcessorStats
+)
+
+// Interaction policies (see Policy).
+const (
+	StateFirst  = core.StateFirst
+	StreamFirst = core.StreamFirst
+	Snapshot    = core.Snapshot
+)
+
+// New returns an engine with the given interaction policy.
+func New(policy Policy) *Engine { return core.New(policy) }
+
+// Data model.
+type (
+	// Value is a dynamically typed scalar.
+	Value = element.Value
+	// Kind is a Value's dynamic type.
+	Kind = element.Kind
+	// Field is one named, typed schema attribute.
+	Field = element.Field
+	// Schema describes the tuples of one stream.
+	Schema = element.Schema
+	// Tuple is one row conforming to a schema.
+	Tuple = element.Tuple
+	// Element is one stream element: tuple + stream name + timestamp.
+	Element = element.Element
+	// Fact is one timed state element: attr(entity)=value over a
+	// validity interval.
+	Fact = element.Fact
+	// FactKey identifies a fact lineage.
+	FactKey = element.FactKey
+)
+
+// Value kinds.
+const (
+	KindNull   = element.KindNull
+	KindBool   = element.KindBool
+	KindInt    = element.KindInt
+	KindFloat  = element.KindFloat
+	KindString = element.KindString
+	KindTime   = element.KindTime
+)
+
+// Value constructors.
+var (
+	// Null is the absent value.
+	Null = element.Null
+)
+
+// Bool wraps a boolean value.
+func Bool(b bool) Value { return element.Bool(b) }
+
+// Int wraps an integer value.
+func Int(i int64) Value { return element.Int(i) }
+
+// Float wraps a float value.
+func Float(f float64) Value { return element.Float(f) }
+
+// String wraps a string value.
+func String(s string) Value { return element.String(s) }
+
+// Time wraps an instant value.
+func Time(t Instant) Value { return element.Time(t) }
+
+// NewSchema builds a schema from fields.
+func NewSchema(fields ...Field) *Schema { return element.NewSchema(fields...) }
+
+// NewTuple pairs a schema with values.
+func NewTuple(schema *Schema, values ...Value) *Tuple { return element.NewTuple(schema, values...) }
+
+// NewElement builds a stream element.
+func NewElement(stream string, ts Instant, tuple *Tuple) *Element {
+	return element.New(stream, ts, tuple)
+}
+
+// NewFact builds a fact with explicit validity.
+func NewFact(entity, attribute string, v Value, validity Interval) *Fact {
+	return element.NewFact(entity, attribute, v, validity)
+}
+
+// Time algebra.
+type (
+	// Instant is a point on the application time line (ns since epoch).
+	Instant = temporal.Instant
+	// Interval is a half-open validity interval [Start, End).
+	Interval = temporal.Interval
+)
+
+// Distinguished instants.
+const (
+	// Forever marks a still-open validity interval end.
+	Forever = temporal.Forever
+	// MinInstant is the earliest representable instant.
+	MinInstant = temporal.MinInstant
+)
+
+// FromTime converts a time.Time to an Instant.
+func FromTime(t time.Time) Instant { return temporal.FromTime(t) }
+
+// FromMillis converts epoch milliseconds to an Instant.
+func FromMillis(ms int64) Instant { return temporal.FromMillis(ms) }
+
+// NewInterval returns [start, end).
+func NewInterval(start, end Instant) Interval { return temporal.NewInterval(start, end) }
+
+// Since returns the open interval [start, Forever).
+func Since(start Instant) Interval { return temporal.Since(start) }
+
+// Streams and messages.
+type (
+	// Message is one unit of stream input: an element or a watermark.
+	Message = stream.Message
+	// Operator is a synchronous stream transformer.
+	Operator = stream.Operator
+	// Collector is a sink operator retaining elements.
+	Collector = stream.Collector
+)
+
+// ElementMsg wraps an element in a message.
+func ElementMsg(el *Element) Message { return stream.ElementMsg(el) }
+
+// WatermarkMsg builds a watermark message asserting no earlier elements
+// will follow.
+func WatermarkMsg(t Instant) Message { return stream.WatermarkMsg(t) }
+
+// FromElements converts a timestamp-sorted batch to messages with a final
+// flushing watermark.
+func FromElements(els []*Element) []Message { return stream.FromElements(els) }
+
+// WithPeriodicWatermarks interleaves watermarks every period.
+func WithPeriodicWatermarks(els []*Element, period Instant) []Message {
+	return stream.WithPeriodicWatermarks(els, period)
+}
+
+// MergeSorted merges timestamp-sorted streams deterministically.
+func MergeSorted(inputs ...[]*Element) []*Element { return stream.MergeSorted(inputs...) }
+
+// Windows (the baselines of §2, usable inside Processors).
+type (
+	// Windower is the incremental window evaluation interface.
+	Windower = window.Windower
+	// Pane is one closed window with its contents.
+	Pane = window.Pane
+)
+
+// NewTumblingTime returns fixed consecutive time windows.
+func NewTumblingTime(size Instant) Windower { return window.NewTumblingTime(size) }
+
+// NewSlidingTime returns overlapping time windows.
+func NewSlidingTime(size, slide Instant) Windower { return window.NewSlidingTime(size, slide) }
+
+// NewTumblingCount returns fixed-size count windows.
+func NewTumblingCount(n int) Windower { return window.NewTumblingCount(n) }
+
+// NewSlidingCount returns sliding count windows.
+func NewSlidingCount(n, slide int) Windower { return window.NewSlidingCount(n, slide) }
+
+// NewSessionWindow returns gap-based per-key session windows [1].
+func NewSessionWindow(gap Instant, key func(*Element) string) Windower {
+	return window.NewSession(gap, key)
+}
+
+// NewPredicateWindow returns content-delimited per-key windows [8].
+func NewPredicateWindow(key func(*Element) string, opens, closes func(*Element) bool) Windower {
+	return window.NewPredicate(key, opens, closes)
+}
+
+// Continuous queries (CQL [3]).
+type (
+	// ContinuousQuery is a deployed CQL query (implements Operator).
+	ContinuousQuery = cql.Query
+	// AggSpec is one aggregate column of a continuous query.
+	AggSpec = cql.AggSpec
+	// EmitMode selects IStream/DStream/RStream output.
+	EmitMode = cql.EmitMode
+	// RelOp is an incremental relational operator.
+	RelOp = cql.RelOp
+)
+
+// Relation-to-stream modes.
+const (
+	IStream = cql.IStream
+	DStream = cql.DStream
+	RStream = cql.RStream
+)
+
+// Aggregate functions.
+const (
+	Count = cql.Count
+	Sum   = cql.Sum
+	Avg   = cql.Avg
+	Min   = cql.Min
+	Max   = cql.Max
+)
+
+// NewContinuousQuery builds a continuous query: stream → window →
+// relational chain → stream. Set keyed for per-key windowers (sessions,
+// predicate windows).
+func NewContinuousQuery(name, source string, w Windower, keyed bool, mode EmitMode, ops ...RelOp) *ContinuousQuery {
+	return cql.NewQuery(name, source, w, keyed, mode, ops...)
+}
+
+// Select returns a filtering relational operator.
+func Select(pred func(*Tuple) bool) RelOp { return cql.NewSelect(pred) }
+
+// Project returns a projecting relational operator.
+func Project(fields ...string) RelOp { return cql.NewProject(fields...) }
+
+// Aggregate returns a grouping/aggregating relational operator.
+func Aggregate(groupBy []string, specs ...AggSpec) RelOp {
+	return cql.NewAggregate(groupBy, specs...)
+}
+
+// Expressions, rules, queries.
+type (
+	// Expr is a parsed expression (gates, rule clauses).
+	Expr = lang.Expr
+	// Rule is a parsed state management rule.
+	Rule = rules.Rule
+	// RuleSet is a compiled set of state management rules.
+	RuleSet = rules.Set
+	// QueryResult is the output table of an on-demand state query.
+	QueryResult = query.Result
+	// StandingQuery is a deployed continuous state query
+	// (Engine.RegisterStateQuery): it re-evaluates on relevant state
+	// changes and pushes changed results.
+	StandingQuery = query.Continuous
+)
+
+// ParseExpr parses an expression, e.g. a processor gate:
+// "EXISTS active(e.user) AND e.amount > 10".
+func ParseExpr(src string) (Expr, error) { return lang.ParseExpr(src) }
+
+// ParseRules parses a rule file into a compiled rule set.
+func ParseRules(src string) (*RuleSet, error) { return rules.ParseSet(src) }
+
+// State repository and reasoning.
+type (
+	// Store is the state repository (reachable via Engine.Store).
+	Store = state.Store
+	// StoreStats summarizes store occupancy.
+	StoreStats = state.Stats
+	// Ontology holds class/property taxonomies and domain/range axioms.
+	Ontology = reason.Ontology
+	// Reasoner materializes implicit facts over the store.
+	Reasoner = reason.Reasoner
+	// HornRule is one user-defined derivation rule.
+	HornRule = reason.HornRule
+	// TriplePattern is one premise or conclusion of a HornRule.
+	TriplePattern = reason.TriplePattern
+	// Term is a variable or constant in a TriplePattern.
+	Term = reason.Term
+)
+
+// NewStore returns a standalone state repository (engines create their
+// own; use this for direct store experiments).
+func NewStore() *Store { return state.NewStore() }
+
+// NewOntology returns an empty ontology.
+func NewOntology() *Ontology { return reason.NewOntology() }
+
+// NewReasoner builds a standalone reasoner over a store (engines attach
+// their own via Engine.EnableReasoning).
+func NewReasoner(st *Store, ont *Ontology) *Reasoner { return reason.NewReasoner(st, ont) }
+
+// Var returns a variable term for Horn rules.
+func Var(name string) Term { return reason.V(name) }
+
+// Const returns a constant term for Horn rules.
+func Const(v Value) Term { return reason.C(v) }
+
+// Event patterns (CEP, usable in rule triggers via ON SEQ(...) and
+// directly through the cep matcher).
+type (
+	// Pattern is a CEP situation declaration.
+	Pattern = cep.Pattern
+	// PatternMatch is one detected situation with interval semantics.
+	PatternMatch = cep.Match
+	// Matcher evaluates a pattern over a stream.
+	Matcher = cep.Matcher
+)
+
+// NewMatcher compiles a pattern.
+func NewMatcher(p Pattern) (*Matcher, error) { return cep.NewMatcher(p) }
+
+// EventPattern matches any element of the stream.
+func EventPattern(stream string) Pattern { return cep.Event(stream) }
+
+// SequencePattern matches its sub-patterns in temporal order.
+func SequencePattern(ps ...Pattern) Pattern { return cep.Sequence(ps...) }
+
+// WithinPattern bounds a pattern's span.
+func WithinPattern(p Pattern, d Instant) Pattern { return &cep.Within{P: p, D: d} }

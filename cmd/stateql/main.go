@@ -4,11 +4,17 @@
 // §3.2 "queryable state" benefit, offline: the state outlives the stream
 // processor that built it.
 //
+// The reconstructed repository is bitemporal: retroactive corrections in
+// the log replay with their original transaction times, so SYSTEM TIME
+// ASOF queries recover any past belief —
+//
+//	stateql -log state.log "SELECT entity, value FROM position ASOF 1m SYSTEM TIME ASOF 30s"
+//
 // Usage:
 //
 //	stateql -log state.log "SELECT entity, value FROM position" \
 //	                       "SELECT * FROM * HISTORY LIMIT 20"
-//	stateql -log state.log -i     # interactive REPL (\q quits)
+//	stateql -log state.log -i     # interactive REPL (\q quits, \stats, \help)
 package main
 
 import (
@@ -46,8 +52,8 @@ func run(logFile string, interactive bool, queries []string) error {
 		return err
 	}
 	st := store.Stats()
-	fmt.Printf("replayed %d mutations: %d keys, %d versions, %d current\n",
-		n, st.Keys, st.Versions, st.Current)
+	fmt.Printf("replayed %d mutations: %d keys, %d versions, %d current, %d superseded\n",
+		n, st.Keys, st.Versions, st.Current, st.Superseded)
 
 	// Anchor now() past every stored validity start so CURRENT sees the
 	// final state.
@@ -73,7 +79,8 @@ func run(logFile string, interactive bool, queries []string) error {
 }
 
 // repl reads queries line by line. Errors are reported, not fatal; \q or
-// EOF ends the session; \stats prints store occupancy.
+// EOF ends the session; \stats prints store occupancy; \help lists the
+// dialect.
 func repl(ex *query.Executor, store *state.Store) error {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -86,8 +93,14 @@ func repl(ex *query.Executor, store *state.Store) error {
 			return nil
 		case line == `\stats`:
 			st := store.Stats()
-			fmt.Printf("keys=%d versions=%d current=%d attributes=%d\n",
-				st.Keys, st.Versions, st.Current, st.Attributes)
+			fmt.Printf("keys=%d versions=%d current=%d attributes=%d records=%d superseded=%d\n",
+				st.Keys, st.Versions, st.Current, st.Attributes, st.Records, st.Superseded)
+		case line == `\help`:
+			fmt.Print(`SELECT cols FROM attr [CURRENT | ASOF t | DURING a TO b | HISTORY]
+       [SYSTEM TIME ASOF tt] [WHERE expr] [GROUP BY cols] [ORDER BY cols] [LIMIT n]
+columns: entity, attribute, value, start, end, recorded, superseded
+SYSTEM TIME ASOF tt queries the belief held at transaction time tt.
+`)
 		default:
 			res, err := ex.Run(line)
 			if err != nil {

@@ -65,16 +65,16 @@ func run(workloadName, policyName string, scale float64, rulesFile, logFile stri
 	if err != nil {
 		return err
 	}
-	engine := core.New(policy)
-
+	opts := []core.Option{core.WithPolicy(policy)}
 	if logFile != "" {
 		l, err := state.CreateLog(logFile)
 		if err != nil {
 			return err
 		}
 		defer l.Close()
-		engine.Store().AttachLog(l)
+		opts = append(opts, core.WithLog(l))
 	}
+	engine := core.New(opts...)
 
 	src := builtinRules[workloadName]
 	if rulesFile != "" {
@@ -93,8 +93,8 @@ func run(workloadName, policyName string, scale float64, rulesFile, logFile stri
 	}
 
 	st := engine.Store().Stats()
-	fmt.Printf("processed %d elements (policy %s); state: %d keys, %d versions, %d current\n",
-		engine.ElementsIn(), policy, st.Keys, st.Versions, st.Current)
+	fmt.Printf("processed %d elements (policy %s); state: %d keys, %d versions, %d current, %d records\n",
+		engine.ElementsIn(), policy, st.Keys, st.Versions, st.Current, st.Records)
 
 	for _, q := range queries {
 		fmt.Printf("\n> %s\n", q)

@@ -1,7 +1,9 @@
 // Command quickstart is the smallest end-to-end use of the library: a
 // state management rule turns a stream of temperature readings into
-// explicit state, and the state is queried on demand — both its current
-// values and its history.
+// explicit state, and the state is queried on demand — its current
+// values, its history, and (after a retroactive correction through the
+// bitemporal StateDB API) the belief the system held before the
+// correction was recorded.
 package main
 
 import (
@@ -12,7 +14,7 @@ import (
 )
 
 func main() {
-	engine := statestream.New(statestream.StateFirst)
+	engine := statestream.New(statestream.WithPolicy(statestream.StateFirst))
 
 	// One state management rule: every reading replaces the sensor's
 	// current temperature. The previous value is not lost — it stays in
@@ -67,5 +69,37 @@ THEN REPLACE temperature(r.sensor) = r.celsius`)
 		log.Fatal(err)
 	}
 	fmt.Println("\nHistory:")
+	fmt.Print(res)
+
+	// The kitchen sensor turns out to have been miscalibrated between
+	// t=1s and t=3s. Correct the record retroactively: the bitemporal
+	// store supersedes the affected versions instead of destroying them.
+	err = engine.DB().Put("kitchen", "temperature", statestream.Float(18.0),
+		statestream.WithValidTime(statestream.FromMillis(1000)),
+		statestream.WithEndValidTime(statestream.FromMillis(3000)),
+		statestream.WithTransactionTime(statestream.FromMillis(10000)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Default reads see the corrected timeline...
+	res, err = engine.Query(fmt.Sprintf(
+		"SELECT value FROM temperature ASOF %d WHERE entity = 'kitchen'",
+		statestream.FromMillis(2500)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nKitchen at t=2.5s after the correction:")
+	fmt.Print(res)
+
+	// ...while SYSTEM TIME ASOF recovers what was believed before the
+	// correction was recorded at t=10s.
+	res, err = engine.Query(fmt.Sprintf(
+		"SELECT value FROM temperature ASOF %d SYSTEM TIME ASOF %d WHERE entity = 'kitchen'",
+		statestream.FromMillis(2500), statestream.FromMillis(5000)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nKitchen at t=2.5s as believed at t=5s (pre-correction):")
 	fmt.Print(res)
 }

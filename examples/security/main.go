@@ -68,7 +68,7 @@ func windowConclusions(els []*statestream.Element) {
 
 // stateConclusions runs the explicit-state engine on the same stream.
 func stateConclusions(els []*statestream.Element) {
-	engine := statestream.New(statestream.StateFirst)
+	engine := statestream.New(statestream.WithPolicy(statestream.StateFirst))
 	if err := engine.DeployRules(`
 RULE position ON RoomEntry AS r
 THEN REPLACE position(r.visitor) = r.room`); err != nil {
@@ -100,6 +100,45 @@ THEN REPLACE position(r.visitor) = r.room`); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(res)
+
+	// Security review at t=10m: the lab badge reader was offline — mallory
+	// was actually in the server room between t=1m and t=3m. The
+	// bitemporal StateDB records the correction without destroying the
+	// original record, so the audit trail keeps both timelines.
+	err = engine.DB().Put("mallory", "position", statestream.String("serverroom"),
+		statestream.WithValidTime(statestream.Instant(1*time.Minute)),
+		statestream.WithEndValidTime(statestream.Instant(3*time.Minute)),
+		statestream.WithTransactionTime(statestream.Instant(10*time.Minute)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nCorrected: where was mallory at t=2m?")
+	res, err = engine.Query(fmt.Sprintf(
+		"SELECT value FROM position ASOF %d WHERE entity = 'mallory'",
+		statestream.Instant(2*time.Minute)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+
+	fmt.Println("\nAudit: what did the system believe at t=5m about t=2m?")
+	res, err = engine.Query(fmt.Sprintf(
+		"SELECT value FROM position ASOF %d SYSTEM TIME ASOF %d WHERE entity = 'mallory'",
+		statestream.Instant(2*time.Minute), statestream.Instant(5*time.Minute)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+
+	fmt.Println("\nAudit trail (every record, superseded ones included):")
+	for _, f := range engine.DB().History("mallory", "position", statestream.AllVersions()) {
+		marker := ""
+		if f.Superseded() {
+			marker = fmt.Sprintf("  [superseded at %s]", f.SupersededAt)
+		}
+		fmt.Printf("  %-10s %s recorded %s%s\n", f.Value, f.Validity, f.RecordedAt, marker)
+	}
 }
 
 // tailgatingPattern shows a multi-element state management rule (§3.3:

@@ -16,7 +16,10 @@ import (
 // repository itself. The paper's model stands or falls with the overhead
 // of keeping explicit, temporally annotated state, so we measure mutation
 // throughput across key populations, the effect of write-ahead logging,
-// compaction, and recovery (log replay and snapshot load).
+// compaction, and recovery (log replay and snapshot load) — plus, since
+// the store grew its transaction-time dimension, the read cost of the
+// bitemporal axes: current-belief point reads against the live index
+// versus transaction-time-pinned reads scanning record history.
 func E7StateStore(scale float64) *metrics.Table {
 	tab := metrics.NewTable("E7 — state repository cost",
 		"keys", "mode", "ops", "ops/s", "recovery", "versions-after")
@@ -26,6 +29,15 @@ func E7StateStore(scale float64) *metrics.Table {
 		// In-memory mutation throughput.
 		st, elapsed := mutateStore(keys, ops, nil)
 		tab.AddRow(keys, "in-memory", ops, float64(ops)/elapsed.Seconds(), "-", st.Stats().Versions)
+
+		// Bitemporal reads: retroactively correct 5% of keys, then
+		// measure point reads with and without a pinned belief.
+		correctRetroactively(st, keys, keys/20+1)
+		reads := ops / 10
+		rate := findThroughput(st, keys, reads, false)
+		tab.AddRow(keys, "find-current", reads, rate, "-", st.Stats().Versions)
+		rate = findThroughput(st, keys, reads, true)
+		tab.AddRow(keys, "find-systime", reads, rate, "-", st.Stats().Versions)
 
 		// Logged mutation throughput + replay recovery.
 		var buf bytes.Buffer
@@ -57,6 +69,42 @@ func E7StateStore(scale float64) *metrics.Table {
 			0.0, snapRecovery.Round(time.Millisecond).String(), fromSnap.Stats().Versions)
 	}
 	return tab
+}
+
+// correctRetroactively issues n bounded retroactive corrections through
+// the option-based StateDB surface, superseding slices of existing
+// history at transaction times after every original write.
+func correctRetroactively(st *state.Store, keys, n int) {
+	db := st.DB()
+	tx := st.Stats().TxHigh + 1
+	for c := 0; c < n; c++ {
+		name := fmt.Sprintf("k%06d", c%keys)
+		from := temporal.Instant(1 + c%64)
+		if err := db.Put(name, "value", element.Int(int64(-c)),
+			state.WithValidTime(from), state.WithEndValidTime(from+4),
+			state.WithTransactionTime(tx+temporal.Instant(c))); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// findThroughput measures point reads per second: current-belief reads
+// against the live index, or belief-pinned reads (systime) that consult
+// the record history.
+func findThroughput(st *state.Store, keys, reads int, systime bool) float64 {
+	db := st.DB()
+	tx := st.Stats().TxHigh
+	start := time.Now()
+	for i := 0; i < reads; i++ {
+		name := fmt.Sprintf("k%06d", i%keys)
+		if systime {
+			db.Find(name, "value", state.AsOfValidTime(temporal.Instant(i%64)),
+				state.AsOfTransactionTime(tx))
+		} else {
+			db.Find(name, "value")
+		}
+	}
+	return float64(reads) / time.Since(start).Seconds()
 }
 
 // mutateStore performs ops mutations (80% put / 10% bounded assert on a

@@ -50,9 +50,17 @@ const (
 	// updates by one tick.
 	StreamFirst
 	// Snapshot: processors observe an immutable view taken at the last
-	// watermark, as micro-batch systems do [14].
+	// watermark, as micro-batch systems do [14]. The view is
+	// transaction-time consistent: gates and enrichment read the state as
+	// believed at the watermark (state.AsOfTransactionTime), so even
+	// retroactive corrections recorded after the watermark cannot leak
+	// into the current micro-batch.
 	Snapshot
 )
+
+// applyOption makes Policy usable directly as an engine Option, so the
+// historical New(StateFirst) call sites keep working unchanged.
+func (p Policy) applyOption(e *Engine) { e.policy = p }
 
 // String names the policy.
 func (p Policy) String() string {
@@ -125,19 +133,59 @@ type Engine struct {
 	elements  uint64
 }
 
-// New returns an engine with the given interaction policy.
-func New(policy Policy) *Engine {
-	return &Engine{
-		policy:    policy,
+// Option configures an Engine at construction. Policy values implement
+// Option directly, so both styles work:
+//
+//	core.New(core.Snapshot)
+//	core.New(core.WithPolicy(core.Snapshot), core.WithLog(l), core.WithReasoning(ont))
+type Option interface{ applyOption(*Engine) }
+
+// optionFunc adapts a closure to the Option interface.
+type optionFunc func(*Engine)
+
+func (f optionFunc) applyOption(e *Engine) { f(e) }
+
+// WithPolicy selects the state/stream interaction policy (default
+// StateFirst).
+func WithPolicy(p Policy) Option {
+	return optionFunc(func(e *Engine) { e.policy = p })
+}
+
+// WithLog attaches an append-only mutation log to the state repository,
+// so the engine's state survives the process (replayable with
+// state.Replay / cmd/stateql).
+func WithLog(l *state.Log) Option {
+	return optionFunc(func(e *Engine) { e.store.AttachLog(l) })
+}
+
+// WithReasoning attaches a reasoner over the given ontology (nil for an
+// empty one), as EnableReasoning does.
+func WithReasoning(ont *reason.Ontology) Option {
+	return optionFunc(func(e *Engine) { e.reasoner = reason.NewReasoner(e.store, ont) })
+}
+
+// New returns an engine configured by the given options; with none it
+// uses the StateFirst policy over a fresh in-memory store.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		policy:    StateFirst,
 		store:     state.NewStore(),
 		watermark: temporal.MinInstant,
 		snapshot:  temporal.MinInstant,
 		outputs:   make(map[string][]*element.Element),
 	}
+	for _, o := range opts {
+		o.applyOption(e)
+	}
+	return e
 }
 
 // Store exposes the state repository (e.g. for seeding background state).
 func (e *Engine) Store() *state.Store { return e.store }
+
+// DB exposes the bitemporal option-based surface of the state repository
+// (retroactive corrections, transaction-time reads).
+func (e *Engine) DB() *state.DB { return e.store.DB() }
 
 // Policy reports the configured interaction policy.
 func (e *Engine) Policy() Policy { return e.policy }
@@ -246,13 +294,20 @@ func (e *Engine) applyRules(el *element.Element) ([]*element.Element, error) {
 }
 
 func (e *Engine) processStreams(el *element.Element, stateAt temporal.Instant) {
+	// Under the Snapshot policy, reads are pinned along both time axes to
+	// the watermark instant: valid time AND transaction time. The other
+	// policies read the current belief at the chosen valid-time instant.
+	readOpts := []state.ReadOpt{state.AsOfValidTime(stateAt)}
+	if e.policy == Snapshot {
+		readOpts = append(readOpts, state.AsOfTransactionTime(stateAt))
+	}
 	for _, p := range e.processors {
 		if p.Source != "" && p.Source != el.Stream {
 			continue
 		}
 		p.seen++
 		if p.Gate != nil {
-			env := &gateEnv{el: el, store: e.store, at: stateAt, reasoner: e.reasoner}
+			env := &gateEnv{el: el, store: e.store, at: stateAt, readOpts: readOpts, reasoner: e.reasoner}
 			ok, err := lang.EvalBool(p.Gate, env)
 			if err != nil || !ok {
 				p.gated++
@@ -261,7 +316,7 @@ func (e *Engine) processStreams(el *element.Element, stateAt temporal.Instant) {
 		}
 		out := el
 		if len(p.Enrich) > 0 {
-			out = p.enrichElement(el, e.store, stateAt)
+			out = p.enrichElement(el, e.store, readOpts)
 		}
 		p.processed++
 		e.dispatch(p, stream.ElementMsg(out))
@@ -278,7 +333,7 @@ func (e *Engine) dispatch(p *Processor, m stream.Message) {
 	}
 }
 
-func (p *Processor) enrichElement(el *element.Element, st *state.Store, at temporal.Instant) *element.Element {
+func (p *Processor) enrichElement(el *element.Element, st *state.Store, readOpts []state.ReadOpt) *element.Element {
 	base := el.Tuple.Schema()
 	target := p.enrichSchemas[base]
 	vals := el.Tuple.Values()
@@ -286,7 +341,7 @@ func (p *Processor) enrichElement(el *element.Element, st *state.Store, at tempo
 	for _, spec := range p.Enrich {
 		ent, _ := el.Get(spec.EntityField)
 		v := element.Null
-		if f, ok := st.ValidAt(ent.String(), spec.Attr, at); ok {
+		if f, ok := st.Find(ent.String(), spec.Attr, readOpts...); ok {
 			v = f.Value
 		}
 		extra = append(extra, v)
@@ -373,12 +428,14 @@ func (e *Engine) RegisterStateQuery(name, src string, onUpdate func(*query.Resul
 }
 
 // gateEnv evaluates gate expressions: the element binds as "e" (and under
-// its stream name), state lookups read the store as of the policy-chosen
-// instant, augmented by the reasoner when attached.
+// its stream name), state lookups read the store with the policy-chosen
+// read options (valid-time instant, plus a pinned transaction time under
+// Snapshot), augmented by the reasoner when attached.
 type gateEnv struct {
 	el       *element.Element
 	store    *state.Store
 	at       temporal.Instant
+	readOpts []state.ReadOpt
 	reasoner *reason.Reasoner
 }
 
@@ -395,7 +452,7 @@ func (g *gateEnv) Field(varName, field string) (element.Value, bool) {
 
 // State implements lang.Env.
 func (g *gateEnv) State(attr string, entity element.Value) (element.Value, bool) {
-	if f, ok := g.store.ValidAt(entity.String(), attr, g.at); ok {
+	if f, ok := g.store.Find(entity.String(), attr, g.readOpts...); ok {
 		return f.Value, true
 	}
 	if g.reasoner != nil {

@@ -11,6 +11,13 @@ import (
 // had Value throughout Validity. The state store keys facts by
 // (entity, attribute); successive versions of the same key have disjoint
 // validity intervals.
+//
+// Facts are bitemporal: alongside the valid-time interval (when the fact
+// held in the modeled world) every stored version carries a transaction-time
+// interval [RecordedAt, SupersededAt) — when the store believed the version.
+// A retroactive correction does not destroy the record it corrects; it
+// closes the record's transaction-time interval and inserts replacements,
+// so "what did we believe at tx about validity at vt" stays answerable.
 type Fact struct {
 	// Entity identifies the subject, e.g. a visitor id or product id.
 	Entity string
@@ -20,6 +27,13 @@ type Fact struct {
 	Value Value
 	// Validity is the half-open interval during which the fact holds.
 	Validity temporal.Interval
+	// RecordedAt is the transaction time at which this version entered the
+	// store (the start of the record's belief interval).
+	RecordedAt temporal.Instant
+	// SupersededAt is the transaction time at which a later write
+	// superseded this version; Forever while the version is part of the
+	// store's current belief.
+	SupersededAt temporal.Instant
 	// Derived marks facts materialized by the reasoner rather than
 	// asserted by state management rules.
 	Derived bool
@@ -28,9 +42,14 @@ type Fact struct {
 	Source string
 }
 
-// NewFact builds an asserted fact valid over the given interval.
+// NewFact builds an asserted fact valid over the given interval. The
+// transaction-time dimension defaults to [validity.Start, Forever); the
+// state store overrides it with the actual commit time on insert.
 func NewFact(entity, attribute string, v Value, validity temporal.Interval) *Fact {
-	return &Fact{Entity: entity, Attribute: attribute, Value: v, Validity: validity}
+	return &Fact{
+		Entity: entity, Attribute: attribute, Value: v, Validity: validity,
+		RecordedAt: validity.Start, SupersededAt: temporal.Forever,
+	}
 }
 
 // Key returns the state-store key of the fact: entity and attribute.
@@ -41,6 +60,22 @@ func (f *Fact) ValidAt(t temporal.Instant) bool { return f.Validity.Contains(t) 
 
 // IsCurrent reports whether the fact's validity is still open.
 func (f *Fact) IsCurrent() bool { return f.Validity.IsOpen() }
+
+// Recorded returns the transaction-time interval [RecordedAt, SupersededAt)
+// over which the store believed this version.
+func (f *Fact) Recorded() temporal.Interval {
+	return temporal.NewInterval(f.RecordedAt, f.SupersededAt)
+}
+
+// Superseded reports whether a later write has revised this version out of
+// the store's current belief.
+func (f *Fact) Superseded() bool { return f.SupersededAt != temporal.Forever }
+
+// VisibleAt reports whether the version was part of the store's belief at
+// transaction time tt.
+func (f *Fact) VisibleAt(tt temporal.Instant) bool {
+	return f.RecordedAt <= tt && tt < f.SupersededAt
+}
 
 // Clone returns an independent copy of the fact.
 func (f *Fact) Clone() *Fact {

@@ -21,6 +21,8 @@ func FuzzParseQuery(f *testing.F) {
 		"SELECT entity FROM",
 		"select lower from position",
 		"SELECT min(start), max(end) FROM * HISTORY",
+		"SELECT entity, value FROM position ASOF 1m SYSTEM TIME ASOF 30s",
+		"SELECT entity, recorded, superseded FROM * HISTORY SYSTEM TIME ASOF now()",
 		"SELECT entity FROM position WHERE EXISTS badge(entity) ORDER BY entity LIMIT 1",
 	}
 	for _, s := range seeds {

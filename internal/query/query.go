@@ -12,10 +12,24 @@
 //	SELECT value, count(*) FROM position GROUP BY value
 //	SELECT entity FROM type WHERE value = 'books' WITH INFERENCE
 //
+// The store is bitemporal, and the dialect exposes the transaction-time
+// axis through a SYSTEM TIME clause composable with every qualifier
+// above: SYSTEM TIME ASOF tt evaluates the query against the belief the
+// store held at transaction time tt, making retroactive corrections
+// recorded after tt invisible. So
+//
+//	SELECT entity, value FROM position ASOF 1m SYSTEM TIME ASOF 30s
+//
+// answers "what did we believe at 30s about the position at 1m".
+//
 // Every fact version contributes a row with the pseudo-columns entity,
-// attribute, value, start, and end. WITH INFERENCE adds reasoner-derived
-// facts to the scanned set (Figure 1's reasoning component augmenting
-// one-time queries).
+// attribute, value, start, and end, plus the transaction-time columns
+// recorded (when the version entered the store) and superseded (when a
+// correction revised it out of the belief; +inf while believed).
+// WITH INFERENCE adds reasoner-derived facts to the scanned set
+// (Figure 1's reasoning component augmenting one-time queries); derived
+// facts are materialized in the current belief and are unaffected by
+// SYSTEM TIME.
 package query
 
 import (
@@ -77,6 +91,7 @@ type Query struct {
 	At        lang.Expr // AsOf instant
 	FromT     lang.Expr // During bounds
 	ToT       lang.Expr
+	SysTime   lang.Expr // SYSTEM TIME ASOF instant; nil = current belief
 	Where     lang.Expr
 	Inference bool
 	GroupBy   []string
@@ -101,6 +116,9 @@ func (q *Query) String() string {
 		sb.WriteString(" DURING " + q.FromT.String() + " TO " + q.ToT.String())
 	case History:
 		sb.WriteString(" HISTORY")
+	}
+	if q.SysTime != nil {
+		sb.WriteString(" SYSTEM TIME ASOF " + q.SysTime.String())
 	}
 	if q.Where != nil {
 		sb.WriteString(" WHERE " + q.Where.String())
@@ -172,6 +190,7 @@ func (r *Result) String() string {
 
 var pseudoColumns = map[string]bool{
 	"entity": true, "attribute": true, "value": true, "start": true, "end": true,
+	"recorded": true, "superseded": true,
 }
 
 var aggFuncs = map[string]bool{
@@ -248,6 +267,17 @@ func parseQuery(c *lang.Cursor) (*Query, error) {
 		q.Temporal = History
 	case c.AcceptKeyword("current"):
 		q.Temporal = Current
+	}
+	if c.AcceptKeyword("system") {
+		if err := c.ExpectKeyword("time"); err != nil {
+			return nil, err
+		}
+		if err := c.ExpectKeyword("asof"); err != nil {
+			return nil, err
+		}
+		if q.SysTime, err = lang.ParseExprFrom(c); err != nil {
+			return nil, err
+		}
 	}
 	if c.AcceptKeyword("where") {
 		if q.Where, err = lang.ParseExprFrom(c); err != nil {
@@ -409,13 +439,17 @@ func (e *Executor) Run(src string) (*Result, error) {
 
 // Execute runs a parsed query.
 func (e *Executor) Execute(q *Query) (*Result, error) {
-	facts, err := e.scan(q)
+	tx, err := e.systemTime(q)
+	if err != nil {
+		return nil, err
+	}
+	facts, err := e.scan(q, tx)
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]rowEnv, 0, len(facts))
 	for _, f := range facts {
-		rows = append(rows, rowEnv{fact: f, now: e.Now, store: e.Store})
+		rows = append(rows, rowEnv{fact: f, now: e.Now, store: e.Store, tx: tx})
 	}
 	if q.Where != nil {
 		kept := rows[:0]
@@ -438,7 +472,23 @@ func (e *Executor) Execute(q *Query) (*Result, error) {
 	return res, nil
 }
 
-func (e *Executor) scan(q *Query) ([]*element.Fact, error) {
+// systemTime evaluates the SYSTEM TIME ASOF clause, nil when absent.
+func (e *Executor) systemTime(q *Query) (*temporal.Instant, error) {
+	if q.SysTime == nil {
+		return nil, nil
+	}
+	v, err := lang.Eval(q.SysTime, &nowEnv{now: e.Now})
+	if err != nil {
+		return nil, err
+	}
+	tt, err := asInstant(v)
+	if err != nil {
+		return nil, err
+	}
+	return &tt, nil
+}
+
+func (e *Executor) scan(q *Query, tx *temporal.Instant) ([]*element.Fact, error) {
 	var at temporal.Instant
 	var iv temporal.Interval
 	env := &nowEnv{now: e.Now}
@@ -473,31 +523,24 @@ func (e *Executor) scan(q *Query) ([]*element.Fact, error) {
 		iv = temporal.NewInterval(from, to)
 	}
 
-	var facts []*element.Fact
-	switch q.Temporal {
-	case Current:
-		if q.Attr == "*" {
-			facts = e.Store.CurrentAll()
-		} else {
-			facts = e.Store.CurrentByAttribute(q.Attr)
-		}
-	case AsOf:
-		if q.Attr == "*" {
-			facts = e.Store.AsOf(at)
-		} else {
-			facts = e.Store.AsOfByAttribute(q.Attr, at)
-		}
-	case During:
-		facts = e.Store.During(iv)
-		if q.Attr != "*" {
-			facts = filterAttr(facts, q.Attr)
-		}
-	case History:
-		facts = e.Store.Scan(nil)
-		if q.Attr != "*" {
-			facts = filterAttr(facts, q.Attr)
-		}
+	// Every qualifier maps onto the store's option-based List; SYSTEM
+	// TIME composes as an AsOfTransactionTime option.
+	var opts []state.ReadOpt
+	if q.Attr != "*" {
+		opts = append(opts, state.WithAttribute(q.Attr))
 	}
+	if tx != nil {
+		opts = append(opts, state.AsOfTransactionTime(*tx))
+	}
+	switch q.Temporal {
+	case AsOf:
+		opts = append(opts, state.AsOfValidTime(at))
+	case During:
+		opts = append(opts, state.DuringValidTime(iv.Start, iv.End))
+	case History:
+		opts = append(opts, state.AllVersions())
+	}
+	facts := e.Store.List(opts...)
 	if q.Inference {
 		if e.Reasoner == nil {
 			return nil, fmt.Errorf("query: WITH INFERENCE requires a reasoner")
@@ -528,16 +571,6 @@ func (e *Executor) derivedFor(q *Query, at temporal.Instant, iv temporal.Interva
 		}
 	}
 	return out, nil
-}
-
-func filterAttr(fs []*element.Fact, attr string) []*element.Fact {
-	out := fs[:0]
-	for _, f := range fs {
-		if f.Attribute == attr {
-			out = append(out, f)
-		}
-	}
-	return out
 }
 
 func asInstant(v element.Value) (temporal.Instant, error) {
@@ -715,6 +748,7 @@ type rowEnv struct {
 	fact  *element.Fact
 	now   temporal.Instant
 	store *state.Store
+	tx    *temporal.Instant // SYSTEM TIME belief instant; nil = current
 }
 
 func (r *rowEnv) column(name string) element.Value {
@@ -729,6 +763,10 @@ func (r *rowEnv) column(name string) element.Value {
 		return element.Time(r.fact.Validity.Start)
 	case "end":
 		return element.Time(r.fact.Validity.End)
+	case "recorded":
+		return element.Time(r.fact.RecordedAt)
+	case "superseded":
+		return element.Time(r.fact.SupersededAt)
 	}
 	return element.Null
 }
@@ -745,9 +783,14 @@ func (r *rowEnv) Var(name string) (element.Value, bool) {
 func (r *rowEnv) Field(string, string) (element.Value, bool) { return element.Null, false }
 
 // State implements lang.Env: WHERE clauses may consult other state, e.g.
-// SELECT entity FROM position WHERE EXISTS watchlist(entity).
+// SELECT entity FROM position WHERE EXISTS watchlist(entity). Under
+// SYSTEM TIME the lookup observes the same belief as the scan.
 func (r *rowEnv) State(attr string, entity element.Value) (element.Value, bool) {
-	f, ok := r.store.ValidAt(entity.String(), attr, r.now)
+	opts := []state.ReadOpt{state.AsOfValidTime(r.now)}
+	if r.tx != nil {
+		opts = append(opts, state.AsOfTransactionTime(*r.tx))
+	}
+	f, ok := r.store.Find(entity.String(), attr, opts...)
 	if !ok {
 		return element.Null, false
 	}

@@ -257,3 +257,140 @@ func TestWhereOnTemporalColumns(t *testing.T) {
 		t.Fatalf("temporal where: %v", res.Rows)
 	}
 }
+
+// bitemporalStore builds a store with a retroactive correction: position
+// writes at tx 0/50, then a correction recorded at tx 80 revising [20,40).
+func bitemporalStore() *state.Store {
+	s := state.NewStore()
+	db := s.DB()
+	db.Put("ann", "position", element.String("hall"), state.WithValidTime(0), state.WithTransactionTime(0))
+	db.Put("ann", "position", element.String("lab"), state.WithValidTime(50), state.WithTransactionTime(50))
+	db.Put("ann", "position", element.String("vault"),
+		state.WithValidTime(20), state.WithEndValidTime(40), state.WithTransactionTime(80))
+	return s
+}
+
+func TestSystemTimeParsePrint(t *testing.T) {
+	q, err := Parse("SELECT entity, value FROM position ASOF 1m SYSTEM TIME ASOF 30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.SysTime == nil {
+		t.Fatal("SysTime not parsed")
+	}
+	printed := q.String()
+	if !strings.Contains(printed, "SYSTEM TIME ASOF") {
+		t.Fatalf("print: %s", printed)
+	}
+	q2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", printed, err)
+	}
+	if q2.String() != printed {
+		t.Fatalf("unstable print: %q vs %q", printed, q2.String())
+	}
+	// SYSTEM TIME composes with every qualifier and with WHERE.
+	for _, src := range []string{
+		"SELECT entity FROM position SYSTEM TIME ASOF 10",
+		"SELECT entity FROM position DURING 0 TO 50 SYSTEM TIME ASOF 10",
+		"SELECT entity FROM position HISTORY SYSTEM TIME ASOF 10 WHERE value = 'hall'",
+		"SELECT entity FROM * SYSTEM TIME ASOF now() - 5ns ORDER BY entity",
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("parse %q: %v", src, err)
+		}
+	}
+	// Incomplete clause errors.
+	for _, src := range []string{
+		"SELECT entity FROM position SYSTEM",
+		"SELECT entity FROM position SYSTEM TIME",
+		"SELECT entity FROM position SYSTEM TIME ASOF",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parse %q should fail", src)
+		}
+	}
+}
+
+func TestSystemTimeExecution(t *testing.T) {
+	ex := &Executor{Store: bitemporalStore(), Now: 100}
+	// Current belief about vt=30: the correction applies.
+	res, err := ex.Run("SELECT value FROM position ASOF 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].MustString() != "vault" {
+		t.Fatalf("corrected read: %v", res.Rows)
+	}
+	// The belief held at tx=60 predates the correction.
+	res, err = ex.Run("SELECT value FROM position ASOF 30 SYSTEM TIME ASOF 60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].MustString() != "hall" {
+		t.Fatalf("belief at 60: %v", res.Rows)
+	}
+	// HISTORY under SYSTEM TIME shows the uncorrected timeline.
+	res, err = ex.Run("SELECT value, start, end FROM position HISTORY SYSTEM TIME ASOF 60 ORDER BY start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].MustString() != "hall" || res.Rows[1][0].MustString() != "lab" {
+		t.Fatalf("history at 60: %v", res.Rows)
+	}
+	// ...and the corrected timeline without it: hall[0,20) vault[20,40) hall[40,50) lab[50,∞).
+	res, err = ex.Run("SELECT value FROM position HISTORY ORDER BY start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("corrected history: %v", res.Rows)
+	}
+	// DURING composes too: overlap [0,50) at belief 60 is the single
+	// uncorrected hall version.
+	res, err = ex.Run("SELECT value FROM position DURING 0 TO 50 SYSTEM TIME ASOF 60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].MustString() != "hall" {
+		t.Fatalf("during at 60: %v", res.Rows)
+	}
+	// CURRENT under an early belief: before tx 50 no open lab version...
+	res, err = ex.Run("SELECT value FROM position SYSTEM TIME ASOF 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].MustString() != "hall" {
+		t.Fatalf("current at belief 10: %v", res.Rows)
+	}
+}
+
+func TestRecordedSupersededColumns(t *testing.T) {
+	ex := &Executor{Store: bitemporalStore(), Now: 100}
+	res, err := ex.Run("SELECT value, recorded, superseded FROM position HISTORY ORDER BY recorded, start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	// Remnants and the correction were all recorded at tx 80.
+	recorded80 := 0
+	for _, row := range res.Rows {
+		if tt, ok := row[1].AsTime(); ok && tt == 80 {
+			recorded80++
+		}
+	}
+	if recorded80 != 3 {
+		t.Fatalf("recorded@80 rows: %d (%v)", recorded80, res.Rows)
+	}
+	// Filtering on transaction-time columns works in WHERE: versions
+	// recorded after their validity began are retroactive corrections.
+	res, err = ex.Run("SELECT value FROM position HISTORY WHERE recorded > start ORDER BY start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("where recorded > start: %v", res.Rows)
+	}
+}

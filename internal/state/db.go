@@ -1,0 +1,206 @@
+// Bitemporal StateDB surface: functional read/write options in the
+// XTDB/Snodgrass style over the state repository.
+//
+// Reads compose AsOfValidTime (which version held in the modeled world)
+// with AsOfTransactionTime (which version the store believed at the time):
+//
+//	st.Find("ann", "position")                                  // current belief, open version
+//	st.Find("ann", "position", AsOfValidTime(60))               // current belief about t=60
+//	st.Find("ann", "position", AsOfValidTime(60),
+//	        AsOfTransactionTime(30))                            // what we believed at 30 about 60
+//
+// Writes default to replace semantics from the store's transaction clock
+// onward (there is no wall clock: each default write commits one tick
+// past the clock's high-water mark) and accept explicit valid intervals
+// for retroactive corrections, which supersede — never destroy — the
+// record versions they revise:
+//
+//	db.Put("ann", "position", v)                                // [clock, Forever)
+//	db.Put("ann", "position", v, WithValidTime(10))             // retroactive, open end
+//	db.Put("ann", "position", v, WithValidTime(10),
+//	       WithEndValidTime(20))                                // bounded correction
+//	db.Delete("ann", "position", WithValidTime(10))             // retroactive retraction
+package state
+
+import (
+	"repro/internal/element"
+	"repro/internal/temporal"
+)
+
+// StateDB is the bitemporal database interface of §3.3 ("implement the
+// state component as a temporal database"): point reads, scans, and
+// writes, each parameterized by functional temporal options. *DB is the
+// in-memory implementation; the interface is the seam for future backends
+// (append-only storage, SQL).
+type StateDB interface {
+	// Find returns the version of (entity, attr) selected by the read
+	// options: by default the open version in the store's current belief.
+	Find(entity, attr string, opts ...ReadOpt) (*element.Fact, bool)
+	// List returns one selected version per (entity, attribute) key — or
+	// every version with AllVersions — sorted by (attribute, entity,
+	// validity start).
+	List(opts ...ReadOpt) []*element.Fact
+	// Put writes a value with replace semantics over the write options'
+	// valid interval. Overlapped portions of existing versions are
+	// superseded at the write's transaction time.
+	Put(entity, attr string, v element.Value, opts ...WriteOpt) error
+	// Delete removes any value over the write options' valid interval,
+	// superseding the overlapped versions. Deleting where nothing holds is
+	// a no-op.
+	Delete(entity, attr string, opts ...WriteOpt) error
+	// History returns the version history of one key: by default the
+	// current-belief versions in validity order; under AsOfTransactionTime
+	// the versions believed then; with AllVersions every record ever
+	// written, including superseded ones, in recording order.
+	History(entity, attr string, opts ...ReadOpt) []*element.Fact
+}
+
+// ReadOpt configures a temporal read.
+type ReadOpt func(*readCfg)
+
+type readCfg struct {
+	validAt     *temporal.Instant
+	validDuring *temporal.Interval
+	txAt        *temporal.Instant
+	attr        string
+	allVersions bool
+}
+
+func newReadCfg(opts []ReadOpt) readCfg {
+	var cfg readCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// AsOfValidTime selects the version valid at t in the modeled world.
+// Without it, point reads return the open ("until further notice") version.
+func AsOfValidTime(t temporal.Instant) ReadOpt {
+	return func(c *readCfg) { c.validAt = &t }
+}
+
+// AsOfTransactionTime selects the versions the store believed at
+// transaction time tt, making retroactive corrections recorded after tt
+// invisible. Without it, reads see the current belief.
+func AsOfTransactionTime(tt temporal.Instant) ReadOpt {
+	return func(c *readCfg) { c.txAt = &tt }
+}
+
+// DuringValidTime restricts List to versions whose validity overlaps
+// [from, to). Implies AllVersions semantics over the overlap range.
+func DuringValidTime(from, to temporal.Instant) ReadOpt {
+	iv := temporal.NewInterval(from, to)
+	return func(c *readCfg) {
+		c.validDuring = &iv
+		c.allVersions = true
+	}
+}
+
+// WithAttribute scopes List to one attribute.
+func WithAttribute(attr string) ReadOpt {
+	return func(c *readCfg) { c.attr = attr }
+}
+
+// AllVersions makes List return every version (not one per key) and
+// History return superseded records alongside believed ones.
+func AllVersions() ReadOpt {
+	return func(c *readCfg) { c.allVersions = true }
+}
+
+// WriteOpt configures a temporal write.
+type WriteOpt func(*writeCfg)
+
+type writeCfg struct {
+	validFrom *temporal.Instant
+	validTo   *temporal.Instant
+	tx        *temporal.Instant
+	derived   bool
+	source    string
+}
+
+func newWriteCfg(opts []WriteOpt) writeCfg {
+	var cfg writeCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithValidTime sets the start of the write's valid interval. A start
+// earlier than existing versions makes the write a retroactive correction.
+// Defaults to the write's transaction time.
+func WithValidTime(t temporal.Instant) WriteOpt {
+	return func(c *writeCfg) { c.validFrom = &t }
+}
+
+// WithEndValidTime bounds the write's valid interval: the value holds over
+// [WithValidTime, end) instead of [WithValidTime, Forever).
+func WithEndValidTime(end temporal.Instant) WriteOpt {
+	return func(c *writeCfg) { c.validTo = &end }
+}
+
+// WithTransactionTime pins the write's transaction time instead of the
+// store's transaction clock (one tick past the high-water mark of times
+// seen so far). Transaction times should be non-decreasing; the engine
+// uses stream timestamps, which its ordering guarantees. Out-of-order
+// explicit times are accepted but drop the lineage to linear-scan belief
+// reads.
+func WithTransactionTime(tt temporal.Instant) WriteOpt {
+	return func(c *writeCfg) { c.tx = &tt }
+}
+
+// WithSource labels the written version with the producing rule's name.
+func WithSource(source string) WriteOpt {
+	return func(c *writeCfg) { c.source = source }
+}
+
+// WithDerived marks the written version as reasoner-materialized, so
+// DropDerived removes it.
+func WithDerived() WriteOpt {
+	return func(c *writeCfg) { c.derived = true }
+}
+
+// DB is the in-memory StateDB: an adapter over *Store carrying the
+// option-based bitemporal API. It shares the store's data, lock, log, and
+// watchers — legacy positional methods and DB methods interleave safely.
+type DB struct {
+	s *Store
+}
+
+var _ StateDB = (*DB)(nil)
+
+// DB returns the bitemporal database view of the store.
+func (s *Store) DB() *DB { return &DB{s: s} }
+
+// Store returns the underlying repository (for the legacy surface,
+// watchers, stats, and persistence).
+func (db *DB) Store() *Store { return db.s }
+
+// Find implements StateDB.
+func (db *DB) Find(entity, attr string, opts ...ReadOpt) (*element.Fact, bool) {
+	return db.s.Find(entity, attr, opts...)
+}
+
+// List implements StateDB.
+func (db *DB) List(opts ...ReadOpt) []*element.Fact { return db.s.List(opts...) }
+
+// Put implements StateDB.
+func (db *DB) Put(entity, attr string, v element.Value, opts ...WriteOpt) error {
+	cfg := newWriteCfg(opts)
+	return db.s.apply(writeReq{
+		entity: entity, attr: attr, value: v,
+		validFrom: cfg.validFrom, validTo: cfg.validTo, tx: cfg.tx,
+		derived: cfg.derived, source: cfg.source,
+	})
+}
+
+// Delete implements StateDB.
+func (db *DB) Delete(entity, attr string, opts ...WriteOpt) error {
+	return db.s.Delete(entity, attr, opts...)
+}
+
+// History implements StateDB.
+func (db *DB) History(entity, attr string, opts ...ReadOpt) []*element.Fact {
+	return db.s.History(entity, attr, opts...)
+}

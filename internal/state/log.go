@@ -31,6 +31,10 @@ const (
 	opPut opKind = iota
 	opAssert
 	opRetract
+	// opPutBi and opDeleteBi are option-based bitemporal writes carrying
+	// an explicit valid interval and transaction time.
+	opPutBi
+	opDeleteBi
 )
 
 // logRecord is the wire format of one mutation.
@@ -40,8 +44,9 @@ type logRecord struct {
 	Attr    string
 	Value   element.Value
 	At      temporal.Instant // Put/Retract application time
-	Start   temporal.Instant // Assert validity
+	Start   temporal.Instant // Assert / bitemporal validity
 	End     temporal.Instant
+	Tx      temporal.Instant // bitemporal transaction time
 	Derived bool
 	Source  string
 }
@@ -94,6 +99,23 @@ func (l *Log) appendRetract(entity, attr string, at temporal.Instant) error {
 	return l.enc.Encode(logRecord{Op: opRetract, Entity: entity, Attr: attr, At: at})
 }
 
+func (l *Log) appendPutBi(f *element.Fact) error {
+	l.n++
+	return l.enc.Encode(logRecord{
+		Op: opPutBi, Entity: f.Entity, Attr: f.Attribute, Value: f.Value,
+		Start: f.Validity.Start, End: f.Validity.End, Tx: f.RecordedAt,
+		Derived: f.Derived, Source: f.Source,
+	})
+}
+
+func (l *Log) appendDelete(entity, attr string, w temporal.Interval, tx temporal.Instant) error {
+	l.n++
+	return l.enc.Encode(logRecord{
+		Op: opDeleteBi, Entity: entity, Attr: attr,
+		Start: w.Start, End: w.End, Tx: tx,
+	})
+}
+
 // Replay applies every record from r to the store, in order. The store
 // should be empty (or a snapshot-restored prefix of the log's history).
 // It returns the number of records applied.
@@ -120,6 +142,17 @@ func Replay(r io.Reader, s *Store) (int, error) {
 			err = s.Assert(f)
 		case opRetract:
 			err = s.Retract(rec.Entity, rec.Attr, rec.At)
+		case opPutBi:
+			err = s.apply(writeReq{
+				entity: rec.Entity, attr: rec.Attr, value: rec.Value,
+				validFrom: &rec.Start, validTo: &rec.End, tx: &rec.Tx,
+				derived: rec.Derived, source: rec.Source,
+			})
+		case opDeleteBi:
+			err = s.apply(writeReq{
+				entity: rec.Entity, attr: rec.Attr, isDelete: true,
+				validFrom: &rec.Start, validTo: &rec.End, tx: &rec.Tx,
+			})
 		default:
 			err = fmt.Errorf("state: unknown op %d", rec.Op)
 		}
@@ -140,23 +173,27 @@ func ReplayFile(path string, s *Store) (int, error) {
 	return Replay(f, s)
 }
 
-// snapshotRecord is the wire format of one fact version in a snapshot.
+// snapshotRecord is the wire format of one fact record in a snapshot.
 type snapshotRecord struct {
-	Entity  string
-	Attr    string
-	Value   element.Value
-	Start   temporal.Instant
-	End     temporal.Instant
-	Derived bool
-	Source  string
+	Entity       string
+	Attr         string
+	Value        element.Value
+	Start        temporal.Instant
+	End          temporal.Instant
+	RecordedAt   temporal.Instant
+	SupersededAt temporal.Instant
+	Derived      bool
+	Source       string
 }
 
-// WriteSnapshot serializes every version in the store to w. A snapshot plus
-// the log suffix written after it reconstructs the store; snapshots are the
-// compaction mechanism for the log.
+// WriteSnapshot serializes every record in the store to w — including
+// versions superseded by retroactive corrections, so transaction-time
+// queries survive recovery. A snapshot plus the log suffix written after
+// it reconstructs the store; snapshots are the compaction mechanism for
+// the log.
 func (s *Store) WriteSnapshot(w io.Writer) error {
 	enc := gob.NewEncoder(w)
-	facts := s.Scan(nil)
+	facts := s.allRecords()
 	if err := enc.Encode(len(facts)); err != nil {
 		return fmt.Errorf("state: snapshot header: %w", err)
 	}
@@ -164,6 +201,7 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		rec := snapshotRecord{
 			Entity: f.Entity, Attr: f.Attribute, Value: f.Value,
 			Start: f.Validity.Start, End: f.Validity.End,
+			RecordedAt: f.RecordedAt, SupersededAt: f.SupersededAt,
 			Derived: f.Derived, Source: f.Source,
 		}
 		if err := enc.Encode(rec); err != nil {
@@ -171,6 +209,14 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// allRecords clones every record — believed and superseded — in
+// deterministic key order, preserving per-lineage recording order.
+func (s *Store) allRecords() []*element.Fact {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.scanLocked(func(l *lineage) []*element.Fact { return l.records })
 }
 
 // ReadSnapshot loads a snapshot into an empty store.
@@ -187,29 +233,39 @@ func ReadSnapshot(r io.Reader, s *Store) error {
 		}
 		f := element.NewFact(rec.Entity, rec.Attr, rec.Value,
 			temporal.NewInterval(rec.Start, rec.End))
+		f.RecordedAt = rec.RecordedAt
+		f.SupersededAt = rec.SupersededAt
 		f.Derived = rec.Derived
 		f.Source = rec.Source
-		if err := s.loadVersion(f); err != nil {
+		if err := s.loadRecord(f); err != nil {
 			return fmt.Errorf("state: snapshot record %d: %w", i, err)
 		}
 	}
 	return nil
 }
 
-// loadVersion inserts a version during snapshot load, bypassing the log
-// and watchers. Versions arrive in Scan order (attribute, entity, start),
-// so per-lineage append order is preserved.
-func (s *Store) loadVersion(f *element.Fact) error {
+// loadRecord inserts a record during snapshot load, bypassing the log and
+// watchers. Records arrive in per-lineage recording order; believed ones
+// additionally join the live index, which must stay disjoint.
+func (s *Store) loadRecord(f *element.Fact) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	l := s.lineageLocked(f.Key(), true)
-	if n := len(l.versions); n > 0 {
-		last := l.versions[n-1]
-		if last.Validity.Overlaps(f.Validity) || f.Validity.Start < last.Validity.Start {
-			return fmt.Errorf("state: snapshot version disorder for %s", f.Key())
-		}
+	s.appendRecordLocked(l, f)
+	if f.RecordedAt > s.txHigh {
+		s.txHigh = f.RecordedAt
 	}
-	l.versions = append(l.versions, f)
+	if f.Superseded() {
+		if f.SupersededAt > s.txHigh {
+			s.txHigh = f.SupersededAt
+		}
+		return nil
+	}
+	if over := l.overlappingLive(f.Validity); len(over) > 0 {
+		return fmt.Errorf("state: snapshot version disorder for %s: %s overlaps %s",
+			f.Key(), f.Validity, over[0].Validity)
+	}
+	l.insertLive(f)
 	s.versions++
 	return nil
 }

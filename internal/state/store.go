@@ -1,7 +1,9 @@
-// Package state implements the state repository of Figure 1: a bitemporal
-// fact store where every fact carries a validity interval, with point
-// (as-of) and range (during) temporal queries, change notification,
-// compaction, and append-only log persistence with recovery.
+// Package state implements the state repository of Figure 1 as a
+// bitemporal database: every fact version carries a valid-time interval
+// (when it held in the modeled world) and a transaction-time interval
+// (when the store believed it), with point (as-of) and range (during)
+// temporal queries along both axes, change notification, compaction, and
+// append-only log persistence with recovery.
 //
 // The store realizes the paper's §3 proposal — "we model state as a
 // collection of data elements annotated with their time of validity" — and
@@ -9,11 +11,20 @@
 // database, thus enabling the query and retrieval of both the current
 // state and historical data".
 //
-// The unit of storage is a lineage: the ordered, non-overlapping sequence
-// of versions of one (entity, attribute) key. Replace semantics (Put)
-// terminate the open version and begin a new one at the same instant, so
-// exactly one version holds at every point in time — this is what prevents
-// the "visitor simultaneously in multiple rooms" contradictions of §1.
+// The unit of storage is a lineage: the record history of one
+// (entity, attribute) key. At every transaction time the believed versions
+// of a lineage form an ordered, non-overlapping sequence, so exactly one
+// version holds at every valid-time point — this is what prevents the
+// "visitor simultaneously in multiple rooms" contradictions of §1.
+// Retroactive writes supersede (never destroy) the record versions they
+// revise: the superseded record keeps its original validity with a closed
+// transaction-time interval, and trimmed replacements join the current
+// belief. AsOfTransactionTime reads recover any past belief exactly.
+//
+// The preferred API is the option-based bitemporal surface in db.go
+// (Find/List/Put/Delete/History with ReadOpt/WriteOpt). The positional
+// methods (Put/Assert/Retract/Current/ValidAt/AsOf/...) are retained as
+// thin deprecated wrappers with their historical semantics.
 package state
 
 import (
@@ -28,8 +39,10 @@ import (
 
 // Errors returned by store mutations.
 var (
-	// ErrOutOfOrder reports a mutation earlier than the key's latest
-	// version start; per-key updates must be timestamp-monotonic.
+	// ErrOutOfOrder reports a positional mutation earlier than the key's
+	// latest believed version start; the legacy surface requires per-key
+	// timestamp-monotonic updates. (The option-based surface instead
+	// treats such writes as retroactive corrections.)
 	ErrOutOfOrder = errors.New("state: mutation out of timestamp order for key")
 	// ErrOverlap reports an explicit-interval assertion that overlaps an
 	// existing version of the same key.
@@ -45,7 +58,8 @@ type ChangeKind int
 const (
 	// Asserted: a new version became part of the state.
 	Asserted ChangeKind = iota
-	// Terminated: an open version's validity was closed.
+	// Terminated: an open version's validity was closed (or a version was
+	// superseded by a retroactive correction).
 	Terminated
 )
 
@@ -75,31 +89,141 @@ type Change struct {
 // mutators, a watcher may observe store state newer than its Change.
 type Watcher func(Change)
 
-// lineage is the version history of one key, ordered by validity start,
-// with pairwise disjoint intervals.
+// lineage is the bitemporal record history of one key. records holds
+// every version ever written, in recording order; live is the
+// current-belief subset (SupersededAt == Forever), ordered by validity
+// start with pairwise disjoint intervals. The slices share *Fact pointers.
+// txOrdered tracks whether records are non-decreasing in RecordedAt —
+// always true unless a caller pinned out-of-order explicit transaction
+// times — enabling binary-searched belief reads.
 type lineage struct {
-	key      element.FactKey
-	versions []*element.Fact
+	key       element.FactKey
+	records   []*element.Fact
+	live      []*element.Fact
+	txOrdered bool
 }
 
-// current returns the open version, if any. Only the last version can be
-// open because intervals are disjoint and ordered.
+// current returns the believed open version, if any. Only the last live
+// version can be open because live intervals are disjoint and ordered.
 func (l *lineage) current() *element.Fact {
-	if n := len(l.versions); n > 0 && l.versions[n-1].IsCurrent() {
-		return l.versions[n-1]
+	if n := len(l.live); n > 0 && l.live[n-1].IsCurrent() {
+		return l.live[n-1]
 	}
 	return nil
 }
 
-// validAt binary-searches for the version valid at t.
+// validAt binary-searches the current belief for the version valid at t.
 func (l *lineage) validAt(t temporal.Instant) *element.Fact {
-	i := sort.Search(len(l.versions), func(k int) bool {
-		return l.versions[k].Validity.End > t
+	i := sort.Search(len(l.live), func(k int) bool {
+		return l.live[k].Validity.End > t
 	})
-	if i < len(l.versions) && l.versions[i].Validity.Contains(t) {
-		return l.versions[i]
+	if i < len(l.live) && l.live[i].Validity.Contains(t) {
+		return l.live[i]
 	}
 	return nil
+}
+
+// pick resolves a point read: the version selected by validAt/txAt.
+func (l *lineage) pick(cfg readCfg) *element.Fact {
+	if cfg.txAt == nil {
+		if cfg.validAt == nil {
+			return l.current()
+		}
+		return l.validAt(*cfg.validAt)
+	}
+	tt := *cfg.txAt
+	matches := func(f *element.Fact) bool {
+		if cfg.validAt == nil {
+			return f.IsCurrent()
+		}
+		return f.Validity.Contains(*cfg.validAt)
+	}
+	if l.txOrdered {
+		// Records are ordered by RecordedAt, so the belief at tt lives in
+		// the recorded-by-tt prefix; scanning it backwards, the first
+		// visible match is the unique believed version (beliefs are
+		// disjoint, and anything recorded later in the prefix supersedes
+		// earlier overlapping records). For recent tt — the Snapshot
+		// policy's per-element reads — the match sits near the prefix end.
+		hi := sort.Search(len(l.records), func(k int) bool {
+			return l.records[k].RecordedAt > tt
+		})
+		for i := hi - 1; i >= 0; i-- {
+			if f := l.records[i]; f.VisibleAt(tt) && matches(f) {
+				return f
+			}
+		}
+		return nil
+	}
+	var best *element.Fact
+	for _, f := range l.records {
+		if !f.VisibleAt(tt) || !matches(f) {
+			continue
+		}
+		if best == nil || f.RecordedAt > best.RecordedAt {
+			best = f
+		}
+	}
+	return best
+}
+
+// believed returns the versions believed at txAt (the current belief when
+// txAt is nil), ordered by validity start.
+func (l *lineage) believed(txAt *temporal.Instant) []*element.Fact {
+	if txAt == nil {
+		return l.live
+	}
+	tt := *txAt
+	var out []*element.Fact
+	for _, f := range l.records {
+		if f.VisibleAt(tt) {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Validity.Start != out[j].Validity.Start {
+			return out[i].Validity.Start < out[j].Validity.Start
+		}
+		return out[i].RecordedAt < out[j].RecordedAt
+	})
+	return out
+}
+
+// insertLive places f into the live slice, keeping validity-start order.
+func (l *lineage) insertLive(f *element.Fact) {
+	i := sort.Search(len(l.live), func(k int) bool {
+		return l.live[k].Validity.Start >= f.Validity.Start
+	})
+	l.live = append(l.live, nil)
+	copy(l.live[i+1:], l.live[i:])
+	l.live[i] = f
+}
+
+// removeLive splices the exact version out of the live slice.
+func (l *lineage) removeLive(f *element.Fact) {
+	for i, v := range l.live {
+		if v == f {
+			l.live = append(l.live[:i], l.live[i+1:]...)
+			return
+		}
+	}
+}
+
+// overlappingLive returns the live versions overlapping w, in order.
+func (l *lineage) overlappingLive(w temporal.Interval) []*element.Fact {
+	i := sort.Search(len(l.live), func(k int) bool {
+		return l.live[k].Validity.End > w.Start
+	})
+	j := i
+	for j < len(l.live) && l.live[j].Validity.Start < w.End {
+		j++
+	}
+	if i == j {
+		return nil
+	}
+	out := make([]*element.Fact, j-i)
+	copy(out, l.live[i:j])
+	return out
 }
 
 // Store is the state repository. It is safe for concurrent use.
@@ -107,7 +231,9 @@ type Store struct {
 	mu       sync.RWMutex
 	byKey    map[element.FactKey]*lineage
 	byAttr   map[string]map[string]*lineage // attribute → entity → lineage
-	versions int
+	versions int                            // believed (live) versions
+	records  int                            // all records, including superseded
+	txHigh   temporal.Instant               // transaction clock high-water mark
 	watchers []Watcher
 	log      *Log
 }
@@ -148,7 +274,7 @@ func notifyAll(ws []Watcher, changes []Change) {
 func (s *Store) lineageLocked(key element.FactKey, create bool) *lineage {
 	l := s.byKey[key]
 	if l == nil && create {
-		l = &lineage{key: key}
+		l = &lineage{key: key, txOrdered: true}
 		s.byKey[key] = l
 		ents := s.byAttr[key.Attribute]
 		if ents == nil {
@@ -160,52 +286,144 @@ func (s *Store) lineageLocked(key element.FactKey, create bool) *lineage {
 	return l
 }
 
-// Put applies replace semantics: the current version of (entity, attr), if
-// any, is terminated at `at`, and a new version valid over [at, Forever)
-// is asserted. This is the paper's canonical state transition ("the most
-// recent position invalidates and updates any previous position", §1).
-// Put at the exact start of the current version overwrites it in place.
-func (s *Store) Put(entity, attr string, v element.Value, at temporal.Instant) error {
+// writeReq is one resolved-or-resolvable mutation against a lineage. The
+// option-based and legacy surfaces both funnel into apply.
+type writeReq struct {
+	entity, attr string
+	value        element.Value
+	validFrom    *temporal.Instant // nil: the resolved transaction time
+	validTo      *temporal.Instant // nil: Forever
+	tx           *temporal.Instant // nil: the store's transaction clock
+	derived      bool
+	source       string
+	isDelete     bool
+
+	// Legacy-surface semantics flags.
+	legacy         bool // log in the positional wire format
+	monotonic      bool // reject validFrom earlier than the latest believed start
+	requireCurrent bool // ErrNoCurrent unless an open version exists
+	noOverlap      bool // ErrOverlap instead of superseding (Assert)
+}
+
+// apply validates, commits, logs, and notifies one mutation. It is the
+// single write path of the store.
+func (s *Store) apply(r writeReq) error {
 	var changes []Change
 	var ws []Watcher
 	err := func() error {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		ws = s.watchers
-		key := element.FactKey{Entity: entity, Attribute: attr}
-		l := s.lineageLocked(key, true)
-		if n := len(l.versions); n > 0 {
-			last := l.versions[n-1]
-			if at < last.Validity.Start {
-				return fmt.Errorf("%w: %s at %s before %s", ErrOutOfOrder, key, at, last.Validity.Start)
-			}
-			if at == last.Validity.Start {
-				// Same-instant overwrite: replace the version's value.
-				old := *last
-				last.Value = v
-				if s.log != nil {
-					if err := s.log.appendPut(entity, attr, v, at); err != nil {
-						*last = old
-						return err
-					}
-				}
-				changes = append(changes, Change{Kind: Asserted, Fact: last.Clone(), At: at})
-				return nil
-			}
-			if last.IsCurrent() {
-				last.Validity = last.Validity.ClampEnd(at)
-				changes = append(changes, Change{Kind: Terminated, Fact: last.Clone(), At: at})
+
+		// Resolve the transaction time and valid interval. Without an
+		// explicit WithTransactionTime, the write commits one tick past
+		// the transaction clock's high-water mark (or at its valid-time
+		// start, whichever is later), so consecutive default writes get
+		// distinct belief intervals and every superseded belief stays
+		// recoverable.
+		var tx temporal.Instant
+		if r.tx != nil {
+			tx = *r.tx
+		} else {
+			tx = s.txHigh + 1
+			if r.validFrom != nil && *r.validFrom > tx {
+				tx = *r.validFrom
 			}
 		}
-		f := element.NewFact(entity, attr, v, temporal.Since(at))
-		l.versions = append(l.versions, f)
-		s.versions++
+		from := tx
+		if r.validFrom != nil {
+			from = *r.validFrom
+		}
+		to := temporal.Forever
+		if r.validTo != nil {
+			to = *r.validTo
+		}
+		w := temporal.NewInterval(from, to)
+		key := element.FactKey{Entity: r.entity, Attribute: r.attr}
+		if w.IsEmpty() {
+			return fmt.Errorf("state: write %s: empty validity %s", key, w)
+		}
+
+		l := s.lineageLocked(key, !r.isDelete)
+		if r.requireCurrent && (l == nil || l.current() == nil) {
+			return fmt.Errorf("%w: %s", ErrNoCurrent, key)
+		}
+		if l == nil {
+			// Option-based delete of a key with no believed state: no-op.
+			return nil
+		}
+		if n := len(l.live); n > 0 {
+			last := l.live[n-1]
+			if r.monotonic && from < last.Validity.Start {
+				return fmt.Errorf("%w: %s at %s before %s", ErrOutOfOrder, key, from, last.Validity.Start)
+			}
+			if r.noOverlap && last.Validity.Overlaps(w) {
+				return fmt.Errorf("%w: %s: %s overlaps %s", ErrOverlap, key, w, last.Validity)
+			}
+		}
+
+		var put *element.Fact
+		if !r.isDelete {
+			put = element.NewFact(r.entity, r.attr, r.value, w)
+			put.Derived = r.derived
+			put.Source = r.source
+			put.RecordedAt = tx
+			put.SupersededAt = temporal.Forever
+		}
+
+		// Log before mutating: validation is complete and the mutation
+		// below cannot fail, so a log error leaves the store untouched.
 		if s.log != nil {
-			if err := s.log.appendPut(entity, attr, v, at); err != nil {
+			var err error
+			switch {
+			case r.legacy && r.noOverlap:
+				err = s.log.appendAssert(put)
+			case r.legacy && r.isDelete:
+				err = s.log.appendRetract(r.entity, r.attr, from)
+			case r.legacy:
+				err = s.log.appendPut(r.entity, r.attr, r.value, from)
+			case r.isDelete:
+				err = s.log.appendDelete(r.entity, r.attr, w, tx)
+			default:
+				err = s.log.appendPutBi(put)
+			}
+			if err != nil {
 				return err
 			}
 		}
-		changes = append(changes, Change{Kind: Asserted, Fact: f.Clone(), At: at})
+		if tx > s.txHigh {
+			s.txHigh = tx
+		}
+
+		// Supersede the believed versions the write overlaps, re-recording
+		// the portions outside the write interval as fresh records. Every
+		// superseded version emits one Terminated change: with the left
+		// remnant's closed validity when the write truncates it, with its
+		// original validity when the write covers it entirely.
+		for _, v := range l.overlappingLive(w) {
+			v.SupersededAt = tx
+			l.removeLive(v)
+			s.versions--
+			var left *element.Fact
+			if v.Validity.Start < w.Start {
+				left = s.reRecordLocked(l, v, temporal.NewInterval(v.Validity.Start, w.Start), tx)
+			}
+			if w.End < v.Validity.End {
+				s.reRecordLocked(l, v, temporal.NewInterval(w.End, v.Validity.End), tx)
+			}
+			ev := v.Clone()
+			if left != nil {
+				ev = left.Clone()
+			}
+			changes = append(changes, Change{Kind: Terminated, Fact: ev, At: tx})
+		}
+
+		if put != nil {
+			s.appendRecordLocked(l, put)
+			l.insertLive(put)
+			s.versions++
+			changes = append(changes, Change{Kind: Asserted, Fact: put.Clone(), At: w.Start})
+		}
 		return nil
 	}()
 	if err != nil {
@@ -215,150 +433,195 @@ func (s *Store) Put(entity, attr string, v element.Value, at temporal.Instant) e
 	return nil
 }
 
-// Assert inserts a fact with an explicit validity interval. The interval
-// must not overlap any existing version of the same key and must start no
-// earlier than the latest version's start (per-key monotonic appends).
-// Use Assert for facts whose full validity is known, e.g. bounded
-// reservations, or for reasoner-derived facts.
-func (s *Store) Assert(f *element.Fact) error {
-	if f.Validity.IsEmpty() {
-		return fmt.Errorf("state: assert %s: empty validity", f.Key())
+// appendRecordLocked appends to the lineage's record history, keeping
+// the counters and the RecordedAt-ordering flag current.
+func (s *Store) appendRecordLocked(l *lineage, f *element.Fact) {
+	if n := len(l.records); n > 0 && f.RecordedAt < l.records[n-1].RecordedAt {
+		l.txOrdered = false
 	}
-	var ws []Watcher
-	err := func() error {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		ws = s.watchers
-		l := s.lineageLocked(f.Key(), true)
-		if n := len(l.versions); n > 0 {
-			last := l.versions[n-1]
-			if f.Validity.Start < last.Validity.Start {
-				return fmt.Errorf("%w: %s", ErrOutOfOrder, f.Key())
-			}
-			if last.Validity.Overlaps(f.Validity) {
-				return fmt.Errorf("%w: %s: %s overlaps %s", ErrOverlap, f.Key(), f.Validity, last.Validity)
-			}
-		}
-		cp := f.Clone()
-		l.versions = append(l.versions, cp)
-		s.versions++
-		if s.log != nil {
-			if err := s.log.appendAssert(cp); err != nil {
-				return err
-			}
-		}
-		return nil
-	}()
-	if err != nil {
-		return err
-	}
-	notifyAll(ws, []Change{{Kind: Asserted, Fact: f.Clone(), At: f.Validity.Start}})
-	return nil
+	l.records = append(l.records, f)
+	s.records++
 }
 
-// Retract terminates the current version of (entity, attr) at `at`. If the
-// version started exactly at `at` it is removed entirely (it would have
-// empty validity).
-func (s *Store) Retract(entity, attr string, at temporal.Instant) error {
-	var ws []Watcher
-	var change Change
-	err := func() error {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		ws = s.watchers
-		key := element.FactKey{Entity: entity, Attribute: attr}
-		l := s.lineageLocked(key, false)
-		if l == nil {
-			return fmt.Errorf("%w: %s", ErrNoCurrent, key)
-		}
-		cur := l.current()
-		if cur == nil {
-			return fmt.Errorf("%w: %s", ErrNoCurrent, key)
-		}
-		if at < cur.Validity.Start {
-			return fmt.Errorf("%w: retract %s at %s", ErrOutOfOrder, key, at)
-		}
-		if at == cur.Validity.Start {
-			l.versions = l.versions[:len(l.versions)-1]
-			s.versions--
-		} else {
-			cur.Validity = cur.Validity.ClampEnd(at)
-		}
-		if s.log != nil {
-			if err := s.log.appendRetract(entity, attr, at); err != nil {
-				return err
-			}
-		}
-		change = Change{Kind: Terminated, Fact: cur.Clone(), At: at}
-		return nil
-	}()
-	if err != nil {
-		return err
-	}
-	notifyAll(ws, []Change{change})
-	return nil
+// reRecordLocked inserts a trimmed replacement for a superseded version:
+// same value and provenance, validity iv, recorded at tx.
+func (s *Store) reRecordLocked(l *lineage, v *element.Fact, iv temporal.Interval, tx temporal.Instant) *element.Fact {
+	c := v.Clone()
+	c.Validity = iv
+	c.RecordedAt = tx
+	c.SupersededAt = temporal.Forever
+	s.appendRecordLocked(l, c)
+	l.insertLive(c)
+	s.versions++
+	return c
 }
 
-// Current returns the open version of (entity, attr), if any.
-func (s *Store) Current(entity, attr string) (*element.Fact, bool) {
+// Find returns the version of (entity, attr) selected by the read options:
+// by default the open version in the current belief; AsOfValidTime selects
+// by valid time, AsOfTransactionTime by belief.
+func (s *Store) Find(entity, attr string, opts ...ReadOpt) (*element.Fact, bool) {
+	cfg := newReadCfg(opts)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	l := s.byKey[element.FactKey{Entity: entity, Attribute: attr}]
 	if l == nil {
 		return nil, false
 	}
-	if cur := l.current(); cur != nil {
-		return cur.Clone(), true
-	}
-	return nil, false
-}
-
-// ValidAt returns the version of (entity, attr) valid at t, if any.
-func (s *Store) ValidAt(entity, attr string, t temporal.Instant) (*element.Fact, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	l := s.byKey[element.FactKey{Entity: entity, Attribute: attr}]
-	if l == nil {
-		return nil, false
-	}
-	if f := l.validAt(t); f != nil {
+	if f := l.pick(cfg); f != nil {
 		return f.Clone(), true
 	}
 	return nil, false
 }
 
-// History returns all versions of (entity, attr) in validity order.
-func (s *Store) History(entity, attr string) []*element.Fact {
+// List returns one selected version per key — or, with AllVersions /
+// DuringValidTime, every matching version — sorted by (attribute, entity,
+// validity start). WithAttribute scopes the scan to one attribute.
+func (s *Store) List(opts ...ReadOpt) []*element.Fact {
+	cfg := newReadCfg(opts)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pick := func(l *lineage) []*element.Fact {
+		if !cfg.allVersions {
+			if f := l.pick(cfg); f != nil {
+				return []*element.Fact{f}
+			}
+			return nil
+		}
+		var out []*element.Fact
+		for _, f := range l.believed(cfg.txAt) {
+			if cfg.validDuring != nil && !f.Validity.Overlaps(*cfg.validDuring) {
+				continue
+			}
+			if cfg.validAt != nil && !f.Validity.Contains(*cfg.validAt) {
+				continue
+			}
+			out = append(out, f)
+		}
+		return out
+	}
+	if cfg.attr != "" {
+		return s.byAttributeAllLocked(cfg.attr, pick)
+	}
+	return s.scanLocked(pick)
+}
+
+// Delete removes any value of (entity, attr) over the write options' valid
+// interval (default [transaction time, Forever)), superseding the
+// overlapped versions at the write's transaction time. Deleting where
+// nothing is believed is a no-op.
+func (s *Store) Delete(entity, attr string, opts ...WriteOpt) error {
+	cfg := newWriteCfg(opts)
+	return s.apply(writeReq{
+		entity: entity, attr: attr, isDelete: true,
+		validFrom: cfg.validFrom, validTo: cfg.validTo, tx: cfg.tx,
+	})
+}
+
+// History returns the version history of (entity, attr): by default the
+// current-belief versions in validity order; under AsOfTransactionTime the
+// versions believed then; with AllVersions every record ever written —
+// including superseded ones — in recording order.
+func (s *Store) History(entity, attr string, opts ...ReadOpt) []*element.Fact {
+	cfg := newReadCfg(opts)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	l := s.byKey[element.FactKey{Entity: entity, Attribute: attr}]
 	if l == nil {
 		return nil
 	}
-	out := make([]*element.Fact, len(l.versions))
-	for i, f := range l.versions {
+	src := l.believed(cfg.txAt)
+	if cfg.allVersions && cfg.txAt == nil {
+		src = l.records
+	}
+	out := make([]*element.Fact, len(src))
+	for i, f := range src {
 		out[i] = f.Clone()
 	}
 	return out
 }
 
+// Put applies replace semantics on the positional surface: the current
+// version of (entity, attr), if any, is terminated at `at`, and a new
+// version valid over [at, Forever) is asserted with transaction time `at`.
+// This is the paper's canonical state transition ("the most recent
+// position invalidates and updates any previous position", §1).
+//
+// Deprecated: use the option-based Put (db.go) — this wrapper remains for
+// timestamp-monotonic callers such as the rule engine.
+func (s *Store) Put(entity, attr string, v element.Value, at temporal.Instant) error {
+	return s.apply(writeReq{
+		entity: entity, attr: attr, value: v,
+		validFrom: &at, tx: &at,
+		legacy: true, monotonic: true,
+	})
+}
+
+// Assert inserts a fact with an explicit validity interval. The interval
+// must not overlap any believed version of the same key and must start no
+// earlier than the latest believed version's start (per-key monotonic
+// appends). Use Assert for facts whose full validity is known, e.g.
+// bounded reservations, or for reasoner-derived facts.
+//
+// Deprecated: use the option-based Put with WithValidTime/WithEndValidTime
+// (db.go), which supersedes overlaps instead of rejecting them.
+func (s *Store) Assert(f *element.Fact) error {
+	if f.Validity.IsEmpty() {
+		return fmt.Errorf("state: assert %s: empty validity", f.Key())
+	}
+	return s.apply(writeReq{
+		entity: f.Entity, attr: f.Attribute, value: f.Value,
+		validFrom: &f.Validity.Start, validTo: &f.Validity.End, tx: &f.Validity.Start,
+		derived: f.Derived, source: f.Source,
+		legacy: true, monotonic: true, noOverlap: true,
+	})
+}
+
+// Retract terminates the current version of (entity, attr) at `at`. A
+// version that started exactly at `at` leaves the current belief entirely
+// (it would have empty validity); as with every mutation, the superseded
+// record remains reachable under AsOfTransactionTime.
+//
+// Deprecated: use the option-based Delete (db.go).
+func (s *Store) Retract(entity, attr string, at temporal.Instant) error {
+	return s.apply(writeReq{
+		entity: entity, attr: attr, isDelete: true,
+		validFrom: &at, tx: &at,
+		legacy: true, monotonic: true, requireCurrent: true,
+	})
+}
+
+// Current returns the open version of (entity, attr), if any.
+//
+// Deprecated: use Find.
+func (s *Store) Current(entity, attr string) (*element.Fact, bool) {
+	return s.Find(entity, attr)
+}
+
+// ValidAt returns the version of (entity, attr) valid at t, if any.
+//
+// Deprecated: use Find with AsOfValidTime.
+func (s *Store) ValidAt(entity, attr string, t temporal.Instant) (*element.Fact, bool) {
+	return s.Find(entity, attr, AsOfValidTime(t))
+}
+
 // CurrentByAttribute returns the open versions of every entity for the
 // given attribute, sorted by entity.
+//
+// Deprecated: use List with WithAttribute.
 func (s *Store) CurrentByAttribute(attr string) []*element.Fact {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.byAttributeLocked(attr, func(l *lineage) *element.Fact { return l.current() })
+	return s.List(WithAttribute(attr))
 }
 
 // AsOfByAttribute returns, for the given attribute, the version of every
 // entity valid at t, sorted by entity.
+//
+// Deprecated: use List with WithAttribute and AsOfValidTime.
 func (s *Store) AsOfByAttribute(attr string, t temporal.Instant) []*element.Fact {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.byAttributeLocked(attr, func(l *lineage) *element.Fact { return l.validAt(t) })
+	return s.List(WithAttribute(attr), AsOfValidTime(t))
 }
 
-func (s *Store) byAttributeLocked(attr string, pick func(*lineage) *element.Fact) []*element.Fact {
+// byAttributeAllLocked iterates one attribute's lineages in entity order.
+func (s *Store) byAttributeAllLocked(attr string, pick func(*lineage) []*element.Fact) []*element.Fact {
 	ents := s.byAttr[attr]
 	if len(ents) == 0 {
 		return nil
@@ -368,9 +631,9 @@ func (s *Store) byAttributeLocked(attr string, pick func(*lineage) *element.Fact
 		names = append(names, e)
 	}
 	sort.Strings(names)
-	out := make([]*element.Fact, 0, len(names))
+	var out []*element.Fact
 	for _, e := range names {
-		if f := pick(ents[e]); f != nil {
+		for _, f := range pick(ents[e]) {
 			out = append(out, f.Clone())
 		}
 	}
@@ -378,55 +641,36 @@ func (s *Store) byAttributeLocked(attr string, pick func(*lineage) *element.Fact
 }
 
 // AsOf returns every fact valid at t, sorted by (attribute, entity).
+//
+// Deprecated: use List with AsOfValidTime.
 func (s *Store) AsOf(t temporal.Instant) []*element.Fact {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.scanLocked(func(l *lineage) []*element.Fact {
-		if f := l.validAt(t); f != nil {
-			return []*element.Fact{f}
-		}
-		return nil
-	})
+	return s.List(AsOfValidTime(t))
 }
 
 // CurrentAll returns every open fact, sorted by (attribute, entity).
+//
+// Deprecated: use List.
 func (s *Store) CurrentAll() []*element.Fact {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.scanLocked(func(l *lineage) []*element.Fact {
-		if f := l.current(); f != nil {
-			return []*element.Fact{f}
-		}
-		return nil
-	})
+	return s.List()
 }
 
-// During returns every version whose validity overlaps iv, sorted by
-// (attribute, entity, start).
+// During returns every believed version whose validity overlaps iv, sorted
+// by (attribute, entity, start).
+//
+// Deprecated: use List with DuringValidTime.
 func (s *Store) During(iv temporal.Interval) []*element.Fact {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.scanLocked(func(l *lineage) []*element.Fact {
-		var out []*element.Fact
-		// First version that could overlap: End > iv.Start.
-		i := sort.Search(len(l.versions), func(k int) bool {
-			return l.versions[k].Validity.End > iv.Start
-		})
-		for ; i < len(l.versions) && l.versions[i].Validity.Start < iv.End; i++ {
-			out = append(out, l.versions[i])
-		}
-		return out
-	})
+	return s.List(DuringValidTime(iv.Start, iv.End))
 }
 
-// Scan returns clones of every version (current and historical) matching
-// pred, sorted by (attribute, entity, start). A nil pred matches all.
+// Scan returns clones of every believed version (current and historical)
+// matching pred, sorted by (attribute, entity, start). A nil pred matches
+// all.
 func (s *Store) Scan(pred func(*element.Fact) bool) []*element.Fact {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.scanLocked(func(l *lineage) []*element.Fact {
 		var out []*element.Fact
-		for _, f := range l.versions {
+		for _, f := range l.live {
 			if pred == nil || pred(f) {
 				out = append(out, f)
 			}
@@ -458,74 +702,99 @@ func (s *Store) scanLocked(pick func(*lineage) []*element.Fact) []*element.Fact 
 }
 
 // ValiditySet returns the coalesced set of intervals over which
-// (entity, attr) had any value.
+// (entity, attr) is believed to have had any value.
 func (s *Store) ValiditySet(entity, attr string) *temporal.Set {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	set := temporal.NewSet()
 	if l := s.byKey[element.FactKey{Entity: entity, Attribute: attr}]; l != nil {
-		for _, f := range l.versions {
+		for _, f := range l.live {
 			set.Add(f.Validity)
 		}
 	}
 	return set
 }
 
-// CompactBefore drops every closed version whose validity ends at or
-// before t, bounding history growth. Open versions are always retained.
-// It returns the number of versions removed.
+// CompactBefore bounds history growth along both time axes: it drops every
+// believed version whose validity ends at or before t, and every
+// superseded record whose belief interval closed at or before t. Open
+// versions are always retained. Compaction is lossy for transaction-time
+// queries about the dropped records, exactly as it is for valid-time
+// queries about dropped history. It returns the number of believed
+// versions removed.
 func (s *Store) CompactBefore(t temporal.Instant) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	removed := 0
 	for key, l := range s.byKey {
-		i := 0
-		for i < len(l.versions) && l.versions[i].Validity.End <= t {
-			i++
-		}
-		if i > 0 {
-			l.versions = append([]*element.Fact(nil), l.versions[i:]...)
-			removed += i
-		}
-		if len(l.versions) == 0 {
-			delete(s.byKey, key)
-			if ents := s.byAttr[key.Attribute]; ents != nil {
-				delete(ents, key.Entity)
-				if len(ents) == 0 {
-					delete(s.byAttr, key.Attribute)
-				}
+		keptLive := l.live[:0]
+		for _, f := range l.live {
+			if f.Validity.End <= t {
+				removed++
+			} else {
+				keptLive = append(keptLive, f)
 			}
+		}
+		l.live = keptLive
+		keptRecords := l.records[:0]
+		for _, f := range l.records {
+			drop := (!f.Superseded() && f.Validity.End <= t) ||
+				(f.Superseded() && f.SupersededAt <= t)
+			if drop {
+				s.records--
+			} else {
+				keptRecords = append(keptRecords, f)
+			}
+		}
+		l.records = keptRecords
+		if len(l.records) == 0 {
+			s.dropLineageLocked(key)
 		}
 	}
 	s.versions -= removed
 	return removed
 }
 
+func (s *Store) dropLineageLocked(key element.FactKey) {
+	delete(s.byKey, key)
+	if ents := s.byAttr[key.Attribute]; ents != nil {
+		delete(ents, key.Entity)
+		if len(ents) == 0 {
+			delete(s.byAttr, key.Attribute)
+		}
+	}
+}
+
 // DropDerived removes every derived version (facts materialized by the
-// reasoner), returning how many were dropped. The reasoner uses this to
-// rematerialize from scratch after a retraction.
+// reasoner), returning how many believed versions were dropped. The
+// reasoner uses this to rematerialize from scratch after a retraction.
+// Derived records are removed physically — they are a cache over the
+// asserted state, not part of the audit history.
 func (s *Store) DropDerived() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	removed := 0
 	for key, l := range s.byKey {
-		kept := l.versions[:0]
-		for _, f := range l.versions {
+		keptLive := l.live[:0]
+		for _, f := range l.live {
 			if f.Derived {
 				removed++
 			} else {
-				kept = append(kept, f)
+				keptLive = append(keptLive, f)
 			}
 		}
-		l.versions = kept
-		if len(l.versions) == 0 {
-			delete(s.byKey, key)
-			if ents := s.byAttr[key.Attribute]; ents != nil {
-				delete(ents, key.Entity)
-				if len(ents) == 0 {
-					delete(s.byAttr, key.Attribute)
-				}
+		l.live = keptLive
+		keptRecords := l.records[:0]
+		for _, f := range l.records {
+			if f.Derived {
+				s.records--
+			} else {
+				keptRecords = append(keptRecords, f)
 			}
+		}
+		l.records = keptRecords
+		if len(l.records) == 0 {
+			s.dropLineageLocked(key)
 		}
 	}
 	s.versions -= removed
@@ -536,19 +805,30 @@ func (s *Store) DropDerived() int {
 type Stats struct {
 	// Keys is the number of (entity, attribute) lineages.
 	Keys int
-	// Versions is the total number of stored fact versions.
+	// Versions is the number of believed fact versions.
 	Versions int
-	// Current is the number of open versions.
+	// Current is the number of open believed versions.
 	Current int
 	// Attributes is the number of distinct attributes.
 	Attributes int
+	// Records is the total number of stored records, including versions
+	// superseded by retroactive corrections.
+	Records int
+	// Superseded is the number of records no longer part of the current
+	// belief (Records - Versions).
+	Superseded int
+	// TxHigh is the transaction clock's high-water mark.
+	TxHigh temporal.Instant
 }
 
 // Stats returns current occupancy counters.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	st := Stats{Keys: len(s.byKey), Versions: s.versions, Attributes: len(s.byAttr)}
+	st := Stats{
+		Keys: len(s.byKey), Versions: s.versions, Attributes: len(s.byAttr),
+		Records: s.records, Superseded: s.records - s.versions, TxHigh: s.txHigh,
+	}
 	for _, l := range s.byKey {
 		if l.current() != nil {
 			st.Current++
@@ -557,18 +837,18 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// View is a read-only, point-in-time view of the store, used by the
-// engine's Snapshot interaction policy: stream rules evaluated against a
-// View cannot observe updates later than its instant. Views are cheap —
-// they borrow the store's history rather than copying it — and remain
-// consistent as long as future mutations carry timestamps >= the view
-// instant, which the engine's timestamp-ordered processing guarantees.
+// View is a read-only, point-in-time view of the store along both time
+// axes: reads resolve as of instant t in valid time AND transaction time,
+// so a View is immutable even under retroactive corrections recorded
+// later — the engine's Snapshot interaction policy is built on this.
+// Views are cheap: they borrow the store's bitemporal history rather than
+// copying it.
 type View struct {
 	store *Store
 	at    temporal.Instant
 }
 
-// ViewAt returns a read-only view of the state as of t.
+// ViewAt returns a read-only view of the state as believed and valid at t.
 func (s *Store) ViewAt(t temporal.Instant) *View { return &View{store: s, at: t} }
 
 // At reports the view's instant.
@@ -576,13 +856,15 @@ func (v *View) At() temporal.Instant { return v.at }
 
 // Get returns the version of (entity, attr) valid at the view instant.
 func (v *View) Get(entity, attr string) (*element.Fact, bool) {
-	return v.store.ValidAt(entity, attr, v.at)
+	return v.store.Find(entity, attr, AsOfValidTime(v.at), AsOfTransactionTime(v.at))
 }
 
 // ByAttribute returns all facts for attr valid at the view instant.
 func (v *View) ByAttribute(attr string) []*element.Fact {
-	return v.store.AsOfByAttribute(attr, v.at)
+	return v.store.List(WithAttribute(attr), AsOfValidTime(v.at), AsOfTransactionTime(v.at))
 }
 
 // All returns every fact valid at the view instant.
-func (v *View) All() []*element.Fact { return v.store.AsOf(v.at) }
+func (v *View) All() []*element.Fact {
+	return v.store.List(AsOfValidTime(v.at), AsOfTransactionTime(v.at))
+}

@@ -13,25 +13,37 @@
 //   - Stream processing rules are Processors (Engine.DeployProcessor):
 //     CQL-style continuous queries over windows, optionally preceded by a
 //     state-condition Gate and state Enrichment.
-//   - The state repository is queryable on demand (Engine.Query) with a
-//     temporal SELECT dialect: CURRENT, ASOF t, DURING a TO b, HISTORY.
-//   - A Reasoner (Engine.EnableReasoning) materializes implicit facts
-//     from ontologies and Horn rules, augmenting both queries and gates.
+//   - The state repository is a bitemporal database (§3.3's "temporal
+//     database"): every fact version carries a valid-time interval and a
+//     transaction-time interval. It is queryable on demand (Engine.Query)
+//     with a temporal SELECT dialect — CURRENT, ASOF t, DURING a TO b,
+//     HISTORY — each composable with SYSTEM TIME ASOF tt to query a past
+//     belief. The option-based StateDB surface (Engine.DB) supports
+//     retroactive corrections that supersede, never destroy, history.
+//   - A Reasoner (Engine.EnableReasoning or WithReasoning) materializes
+//     implicit facts from ontologies and Horn rules, augmenting both
+//     queries and gates.
 //
 // Minimal example — the paper's building-security use case:
 //
-//	engine := statestream.New(statestream.StateFirst)
+//	engine := statestream.New(statestream.StateFirst) // or New(WithPolicy(...), WithLog(...))
 //	engine.DeployRules(`
 //	    RULE position ON RoomEntry AS r
 //	    THEN REPLACE position(r.visitor) = r.room`)
 //	engine.Run(msgs) // timestamp-ordered elements + watermarks
 //	res, _ := engine.Query("SELECT entity, value FROM position")
 //
+//	// Retroactive correction + audit query:
+//	engine.DB().Put("ann", "position", statestream.String("vault"),
+//	    statestream.WithValidTime(10), statestream.WithEndValidTime(20))
+//	res, _ = engine.Query("SELECT entity, value FROM position ASOF 15 SYSTEM TIME ASOF 12")
+//
 // See examples/ for complete programs and DESIGN.md for the system
-// inventory.
+// inventory and the bitemporal API map.
 package statestream
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/cep"
@@ -60,6 +72,9 @@ type (
 	Policy = core.Policy
 	// ProcessorStats reports per-processor element counters.
 	ProcessorStats = core.ProcessorStats
+	// Option configures an Engine at construction (Policy values are
+	// Options themselves, so New(StateFirst) still works).
+	Option = core.Option
 )
 
 // Interaction policies (see Policy).
@@ -69,8 +84,20 @@ const (
 	Snapshot    = core.Snapshot
 )
 
-// New returns an engine with the given interaction policy.
-func New(policy Policy) *Engine { return core.New(policy) }
+// New returns an engine configured by the given options; with none it
+// uses the StateFirst policy. A bare Policy is accepted as an option.
+func New(opts ...Option) *Engine { return core.New(opts...) }
+
+// WithPolicy selects the state/stream interaction policy.
+func WithPolicy(p Policy) Option { return core.WithPolicy(p) }
+
+// WithLog attaches an append-only mutation log to the engine's state
+// repository.
+func WithLog(l *Log) Option { return core.WithLog(l) }
+
+// WithReasoning attaches a reasoner over the given ontology (nil for an
+// empty one).
+func WithReasoning(ont *Ontology) Option { return core.WithReasoning(ont) }
 
 // Data model.
 type (
@@ -300,6 +327,20 @@ func ParseRules(src string) (*RuleSet, error) { return rules.ParseSet(src) }
 type (
 	// Store is the state repository (reachable via Engine.Store).
 	Store = state.Store
+	// StateDB is the bitemporal database interface over the state
+	// repository: Find/List/Put/Delete/History with functional temporal
+	// options (reachable via Engine.DB or Store.DB).
+	StateDB = state.StateDB
+	// DB is the in-memory StateDB implementation.
+	DB = state.DB
+	// ReadOpt configures a temporal read (AsOfValidTime,
+	// AsOfTransactionTime, WithAttribute, AllVersions, DuringValidTime).
+	ReadOpt = state.ReadOpt
+	// WriteOpt configures a temporal write (WithValidTime,
+	// WithEndValidTime, WithTransactionTime, WithSource, WithDerived).
+	WriteOpt = state.WriteOpt
+	// Log is an append-only record of store mutations (see WithLog).
+	Log = state.Log
 	// StoreStats summarizes store occupancy.
 	StoreStats = state.Stats
 	// Ontology holds class/property taxonomies and domain/range axioms.
@@ -317,6 +358,49 @@ type (
 // NewStore returns a standalone state repository (engines create their
 // own; use this for direct store experiments).
 func NewStore() *Store { return state.NewStore() }
+
+// Temporal read options (see StateDB).
+
+// AsOfValidTime selects the version valid at t in the modeled world.
+func AsOfValidTime(t Instant) ReadOpt { return state.AsOfValidTime(t) }
+
+// AsOfTransactionTime selects the versions believed at transaction time
+// tt, hiding retroactive corrections recorded later.
+func AsOfTransactionTime(tt Instant) ReadOpt { return state.AsOfTransactionTime(tt) }
+
+// DuringValidTime restricts List to versions overlapping [from, to).
+func DuringValidTime(from, to Instant) ReadOpt { return state.DuringValidTime(from, to) }
+
+// WithAttribute scopes List to one attribute.
+func WithAttribute(attr string) ReadOpt { return state.WithAttribute(attr) }
+
+// AllVersions returns every version instead of one per key.
+func AllVersions() ReadOpt { return state.AllVersions() }
+
+// Temporal write options (see StateDB).
+
+// WithValidTime sets the start of a write's valid interval; a past start
+// makes the write a retroactive correction.
+func WithValidTime(t Instant) WriteOpt { return state.WithValidTime(t) }
+
+// WithEndValidTime bounds a write's valid interval.
+func WithEndValidTime(end Instant) WriteOpt { return state.WithEndValidTime(end) }
+
+// WithTransactionTime pins a write's transaction time (defaults to the
+// store's transaction clock).
+func WithTransactionTime(tt Instant) WriteOpt { return state.WithTransactionTime(tt) }
+
+// WithSource labels the written version with a producing rule name.
+func WithSource(source string) WriteOpt { return state.WithSource(source) }
+
+// WithDerived marks the written version as reasoner-materialized.
+func WithDerived() WriteOpt { return state.WithDerived() }
+
+// NewLog wraps a writer in a mutation log (see WithLog and cmd/stateql).
+func NewLog(w io.Writer) *Log { return state.NewLog(w) }
+
+// CreateLog creates (truncating) a log file at path.
+func CreateLog(path string) (*Log, error) { return state.CreateLog(path) }
 
 // NewOntology returns an empty ontology.
 func NewOntology() *Ontology { return reason.NewOntology() }

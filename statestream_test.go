@@ -1,6 +1,7 @@
 package statestream_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -216,5 +217,67 @@ func TestPublicAPIRelationalOps(t *testing.T) {
 	out := engine.Output("q")
 	if len(out) != 1 || out[0].Tuple.Schema().Len() != 1 {
 		t.Fatalf("relational chain: %v", out)
+	}
+}
+
+// TestPublicAPIBitemporal exercises the StateDB surface and the SYSTEM
+// TIME dialect through the facade only: option-based construction,
+// retroactive correction, belief-pinned reads and queries.
+func TestPublicAPIBitemporal(t *testing.T) {
+	engine := statestream.New(statestream.WithPolicy(statestream.StateFirst))
+	if err := engine.DeployRules(`
+RULE position ON RoomEntry AS r
+THEN REPLACE position(r.visitor) = r.room`); err != nil {
+		t.Fatal(err)
+	}
+	els := []*statestream.Element{
+		entry(1*time.Minute, "ann", "hall"),
+		entry(3*time.Minute, "ann", "lab"),
+	}
+	if err := engine.Run(statestream.FromElements(els)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Retroactive correction recorded at t=10m: ann was in the vault over
+	// [90s, 150s).
+	var db statestream.StateDB = engine.DB()
+	if err := db.Put("ann", "position", statestream.String("vault"),
+		statestream.WithValidTime(statestream.Instant(90*time.Second)),
+		statestream.WithEndValidTime(statestream.Instant(150*time.Second)),
+		statestream.WithTransactionTime(statestream.Instant(10*time.Minute))); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrected read through Find.
+	if f, ok := db.Find("ann", "position",
+		statestream.AsOfValidTime(statestream.Instant(2*time.Minute))); !ok || f.Value.MustString() != "vault" {
+		t.Fatalf("corrected find: %v %v", f, ok)
+	}
+	// Belief-pinned read predates the correction.
+	if f, ok := db.Find("ann", "position",
+		statestream.AsOfValidTime(statestream.Instant(2*time.Minute)),
+		statestream.AsOfTransactionTime(statestream.Instant(5*time.Minute))); !ok || f.Value.MustString() != "hall" {
+		t.Fatalf("belief-pinned find: %v %v", f, ok)
+	}
+	// The SYSTEM TIME dialect agrees.
+	res, err := engine.Query(fmt.Sprintf(
+		"SELECT value FROM position ASOF %d SYSTEM TIME ASOF %d WHERE entity = 'ann'",
+		statestream.Instant(2*time.Minute), statestream.Instant(5*time.Minute)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].MustString() != "hall" {
+		t.Fatalf("SYSTEM TIME query: %v", res.Rows)
+	}
+	// The audit trail retains the superseded record.
+	audit := db.History("ann", "position", statestream.AllVersions())
+	superseded := 0
+	for _, f := range audit {
+		if f.Superseded() {
+			superseded++
+		}
+	}
+	if superseded == 0 {
+		t.Fatal("correction should supersede, not destroy")
 	}
 }

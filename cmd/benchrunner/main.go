@@ -5,12 +5,21 @@
 // Usage:
 //
 //	benchrunner [-scale 1.0] [-only E2,E5]
+//	benchrunner -json BENCH_PR2.json [-scale 0.05] [-compare BENCH_baseline.json] [-tolerance 0.30]
 //
 // The scale factor shrinks workloads proportionally for quick runs; the
 // recorded EXPERIMENTS.md numbers use -scale 1.
+//
+// With -json, benchrunner runs the benchmark-regression suite instead of
+// the experiment tables and writes machine-readable results (ns/op per
+// E7/bitemporal row) to the given file. With -compare it additionally
+// loads a baseline report and exits nonzero when any shared row regressed
+// by more than -tolerance (fractional ns/op increase) — the CI
+// benchmark-regression gate.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,10 +31,21 @@ import (
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 1.0, "workload scale factor (1 = EXPERIMENTS.md size)")
-		only  = flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E4)")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor (1 = EXPERIMENTS.md size)")
+		only      = flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E4)")
+		jsonOut   = flag.String("json", "", "run the regression suite and write results to this file (skips the experiment tables)")
+		compare   = flag.String("compare", "", "baseline regression JSON to compare against; exit 1 on regression")
+		tolerance = flag.Float64("tolerance", 0.30, "allowed fractional ns/op regression vs the -compare baseline")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" || *compare != "" {
+		if err := runRegression(*scale, *jsonOut, *compare, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	selected := map[string]bool{}
 	if *only != "" {
@@ -52,4 +72,142 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("ran %d experiments at scale %g in %s\n", ran, *scale, time.Since(start).Round(time.Millisecond))
+}
+
+// runRegression measures the regression suite, writes the JSON report,
+// and compares against a baseline when given.
+func runRegression(scale float64, jsonOut, baselinePath string, tolerance float64) error {
+	start := time.Now()
+	rep := bench.RegressionSuite(scale)
+	fmt.Printf("regression suite at scale %g (%d rows in %s, GOMAXPROCS=%d, NumCPU=%d)\n",
+		scale, len(rep.Results), time.Since(start).Round(time.Millisecond),
+		rep.GoMaxProcs, rep.NumCPU)
+	for _, m := range rep.Results {
+		fmt.Printf("  %-28s %12.1f ns/op %14.0f ops/s\n", m.Name, m.NsPerOp, m.OpsPerSec)
+	}
+
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encode report: %w", err)
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+
+	if baselinePath == "" {
+		return nil
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base bench.RegressionReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("decode baseline %s: %w", baselinePath, err)
+	}
+
+	failures := 0
+
+	// Absolute ns/op rows only compare meaningfully on the hardware class
+	// that recorded the baseline: cross-machine, per-core speed and real
+	// parallelism shift every row by more than any useful tolerance. On a
+	// hardware mismatch the absolute gate is skipped (with a loud note to
+	// refresh the baseline); the same-run contention invariant below still
+	// applies everywhere.
+	hwMatch := base.NumCPU == rep.NumCPU && base.GoMaxProcs == rep.GoMaxProcs
+	if !hwMatch {
+		fmt.Printf("note: baseline hardware (num_cpu=%d gomaxprocs=%d) differs from this machine "+
+			"(num_cpu=%d gomaxprocs=%d); absolute ns/op comparison skipped — refresh the baseline on "+
+			"this hardware class:\n  go run ./cmd/benchrunner -json %s -scale %g\n",
+			base.NumCPU, base.GoMaxProcs, rep.NumCPU, rep.GoMaxProcs, baselinePath, rep.Scale)
+	} else {
+		if base.Scale != rep.Scale {
+			fmt.Printf("note: baseline scale %g differs from run scale %g\n", base.Scale, rep.Scale)
+		}
+		curByName := make(map[string]bench.Measurement, len(rep.Results))
+		for _, m := range rep.Results {
+			curByName[m.Name] = m
+		}
+		baseNames := make(map[string]bool, len(base.Results))
+		fmt.Printf("comparing against %s (tolerance %.0f%%):\n", baselinePath, tolerance*100)
+		for _, b := range base.Results {
+			baseNames[b.Name] = true
+			m, ok := curByName[b.Name]
+			if !ok {
+				// A baseline row with no current counterpart means a
+				// benchmark was renamed or deleted without refreshing the
+				// baseline — fail rather than silently ungate the path.
+				fmt.Printf("  %-28s MISSING from current run\n", b.Name)
+				failures++
+				continue
+			}
+			if b.NsPerOp <= 0 {
+				continue
+			}
+			ratio := m.NsPerOp / b.NsPerOp
+			status := "ok"
+			if ratio > 1+tolerance {
+				status = "REGRESSED"
+				failures++
+			}
+			fmt.Printf("  %-28s %12.1f ns/op   baseline %10.1f   %.2fx  %s\n",
+				b.Name, m.NsPerOp, b.NsPerOp, ratio, status)
+		}
+		for _, m := range rep.Results {
+			if !baseNames[m.Name] {
+				fmt.Printf("  %-28s %12.1f ns/op   (new row, no baseline)\n", m.Name, m.NsPerOp)
+			}
+		}
+	}
+
+	failures += checkContentionInvariant(rep)
+
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark gate failure(s) vs %s", failures, baselinePath)
+	}
+	fmt.Println("no regressions")
+	return nil
+}
+
+// shardedRatioLimit bounds how much slower the sharded store may run than
+// the single-lock baseline in the same report. On machines with cores to
+// spare the sharded rows should be well under 1x; on a single CPU the 8
+// goroutines time-share one core and the ratio hovers around 1x (striping
+// buys nothing, hashing costs a little). 1.5x catches a pathological
+// striping regression on any hardware without flaking on either.
+const shardedRatioLimit = 1.5
+
+// checkContentionInvariant enforces the same-run sharded-vs-single-lock
+// pairs — a hardware-independent gate, since both sides of each ratio are
+// measured on this machine in this process.
+func checkContentionInvariant(rep *bench.RegressionReport) int {
+	byName := make(map[string]bench.Measurement, len(rep.Results))
+	for _, m := range rep.Results {
+		byName[m.Name] = m
+	}
+	failures := 0
+	for _, pair := range []string{"e7/find-par8", "e7/put-par8"} {
+		sharded, ok1 := byName[pair+"/sharded"]
+		single, ok2 := byName[pair+"/single-lock"]
+		if !ok1 || !ok2 || single.NsPerOp <= 0 {
+			// The invariant rows disappearing means the suite was renamed
+			// without updating this gate — fail rather than silently
+			// ungate the sharding property.
+			fmt.Printf("  %-28s MISSING sharded/single-lock rows\n", pair)
+			failures++
+			continue
+		}
+		ratio := sharded.NsPerOp / single.NsPerOp
+		status := "ok"
+		if ratio > shardedRatioLimit {
+			status = "SHARDING REGRESSED"
+			failures++
+		}
+		fmt.Printf("  %-28s sharded/single-lock ratio %.2fx (limit %.1fx)  %s\n",
+			pair, ratio, shardedRatioLimit, status)
+	}
+	return failures
 }

@@ -19,7 +19,10 @@ import (
 // compaction, and recovery (log replay and snapshot load) — plus, since
 // the store grew its transaction-time dimension, the read cost of the
 // bitemporal axes: current-belief point reads against the live index
-// versus transaction-time-pinned reads scanning record history.
+// versus transaction-time-pinned reads scanning record history. The
+// final section measures multi-goroutine contention: the hash-partitioned
+// sharded store against a 1-shard (single global lock) baseline on
+// identical parallel read and write workloads.
 func E7StateStore(scale float64) *metrics.Table {
 	tab := metrics.NewTable("E7 — state repository cost",
 		"keys", "mode", "ops", "ops/s", "recovery", "versions-after")
@@ -34,10 +37,10 @@ func E7StateStore(scale float64) *metrics.Table {
 		// measure point reads with and without a pinned belief.
 		correctRetroactively(st, keys, keys/20+1)
 		reads := ops / 10
-		rate := findThroughput(st, keys, reads, false)
-		tab.AddRow(keys, "find-current", reads, rate, "-", st.Stats().Versions)
-		rate = findThroughput(st, keys, reads, true)
-		tab.AddRow(keys, "find-systime", reads, rate, "-", st.Stats().Versions)
+		elapsed = findThroughput(st, keys, reads, false)
+		tab.AddRow(keys, "find-current", reads, float64(reads)/elapsed.Seconds(), "-", st.Stats().Versions)
+		elapsed = findThroughput(st, keys, reads, true)
+		tab.AddRow(keys, "find-systime", reads, float64(reads)/elapsed.Seconds(), "-", st.Stats().Versions)
 
 		// Logged mutation throughput + replay recovery.
 		var buf bytes.Buffer
@@ -68,6 +71,27 @@ func E7StateStore(scale float64) *metrics.Table {
 		tab.AddRow(keys, fmt.Sprintf("compacted(-%d)", removed), ops,
 			0.0, snapRecovery.Round(time.Millisecond).String(), fromSnap.Stats().Versions)
 	}
+
+	// Parallel contention: identical 8-goroutine workloads against the
+	// sharded store and the single-lock baseline. On multi-core machines
+	// the sharded rows scale with cores; on one core they bound the
+	// striping overhead.
+	parKeys := scaleInt(10_000, scale)
+	parOps := scaleInt(200_000, scale)
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{{"sharded", 0}, {"single-lock", 1}} {
+		pst := state.NewStoreWithShards(cfg.shards)
+		seedCurrentValues(pst, parKeys)
+		elapsed := parallelFinds(pst, parKeys, parOps, regressionWorkers)
+		tab.AddRow(parKeys, "find-par8/"+cfg.name, parOps,
+			float64(parOps)/elapsed.Seconds(), "-", pst.Stats().Versions)
+		wst := state.NewStoreWithShards(cfg.shards)
+		elapsed = parallelPuts(wst, parOps, regressionWorkers)
+		tab.AddRow(parKeys, "put-par8/"+cfg.name, parOps,
+			float64(parOps)/elapsed.Seconds(), "-", wst.Stats().Versions)
+	}
 	return tab
 }
 
@@ -88,15 +112,17 @@ func correctRetroactively(st *state.Store, keys, n int) {
 	}
 }
 
-// findThroughput measures point reads per second: current-belief reads
-// against the live index, or belief-pinned reads (systime) that consult
-// the record history.
-func findThroughput(st *state.Store, keys, reads int, systime bool) float64 {
+// findThroughput times point reads over a mutateStore-shaped store:
+// current-belief reads against the live index, or belief-pinned reads
+// (systime) that consult the record history. Key names are pre-rendered
+// so the loop measures store cost, not fmt.Sprintf.
+func findThroughput(st *state.Store, keys, reads int, systime bool) time.Duration {
 	db := st.DB()
+	names := keyNames(keys)
 	tx := st.Stats().TxHigh
 	start := time.Now()
 	for i := 0; i < reads; i++ {
-		name := fmt.Sprintf("k%06d", i%keys)
+		name := names[i%keys]
 		if systime {
 			db.Find(name, "value", state.AsOfValidTime(temporal.Instant(i%64)),
 				state.AsOfTransactionTime(tx))
@@ -104,7 +130,7 @@ func findThroughput(st *state.Store, keys, reads int, systime bool) float64 {
 			db.Find(name, "value")
 		}
 	}
-	return float64(reads) / time.Since(start).Seconds()
+	return time.Since(start)
 }
 
 // mutateStore performs ops mutations (80% put / 10% bounded assert on a

@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/element"
+	"repro/internal/state"
+	"repro/internal/temporal"
+)
+
+// The benchmark-regression suite: the machine-readable face of the E7
+// state-store experiment and the bitemporal read microbenchmarks, emitted
+// by `benchrunner -json` and gated in CI against a committed baseline.
+// Every row is a (name, ns/op) pair so a baseline comparison is a single
+// ratio per row.
+
+// Measurement is one regression-suite row.
+type Measurement struct {
+	Name      string  `json:"name"`
+	Ops       int     `json:"ops"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// RegressionReport is the envelope written to BENCH_PR2.json. The
+// hardware fields record where the numbers were taken: parallel-row
+// ratios are only comparable against baselines from similar machines
+// (a single-CPU container cannot show multi-core speedups).
+type RegressionReport struct {
+	Scale      float64       `json:"scale"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Workers    int           `json:"parallel_workers"`
+	Shards     int           `json:"default_shards"`
+	Notes      string        `json:"notes,omitempty"`
+	Results    []Measurement `json:"results"`
+}
+
+// regressionWorkers is the goroutine count of the parallel rows.
+const regressionWorkers = 8
+
+// RegressionSuite measures the state-repository hot paths at the given
+// scale. Rows:
+//
+//	e7/put-seq                   sequential mixed mutations (mutateStore)
+//	e7/find-current              point reads against the live index
+//	e7/find-systime              belief-pinned point reads
+//	e7/find-par8/{sharded,single-lock}  8-goroutine parallel Find
+//	e7/put-par8/{sharded,single-lock}   8-goroutine parallel Put
+//	bitemporal/find-current, find-asof-valid, find-systime, history
+//
+// The par8 rows contrast the default sharded store with a 1-shard
+// (single-lock) baseline on identical workloads.
+func RegressionSuite(scale float64) *RegressionReport {
+	rep := &RegressionReport{
+		Scale:      scale,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    regressionWorkers,
+		Shards:     state.NewStore().ShardCount(),
+	}
+	if rep.NumCPU < regressionWorkers {
+		rep.Notes = fmt.Sprintf(
+			"measured with %d CPU(s): the par8 rows time-share cores, so the sharded/single-lock "+
+				"ratio understates the speedup available with >= %d CPUs",
+			rep.NumCPU, regressionWorkers)
+	}
+	// Every row is the best of five passes, and read rows rebuild their
+	// store inside the pass: CI runners are noisy neighbors, map seeds
+	// and heap layout vary per store, and the minimum over independent
+	// builds is the measurement least polluted by either.
+	add := func(name string, ops int, measure func() time.Duration) {
+		elapsed := measure()
+		for i := 1; i < 5; i++ {
+			if again := measure(); again < elapsed {
+				elapsed = again
+			}
+		}
+		ns := float64(elapsed.Nanoseconds()) / float64(ops)
+		rep.Results = append(rep.Results, Measurement{
+			Name: name, Ops: ops, NsPerOp: ns, OpsPerSec: 1e9 / ns,
+		})
+	}
+
+	// Sequential E7 rows.
+	keys := scaleInt(10_000, scale)
+	ops := scaleInt(100_000, scale)
+	add("e7/put-seq", ops, func() time.Duration {
+		_, elapsed := mutateStore(keys, ops, nil)
+		return elapsed
+	})
+	reads := scaleInt(100_000, scale)
+	e7Store := func() *state.Store {
+		st, _ := mutateStore(keys, ops, nil)
+		correctRetroactively(st, keys, keys/20+1)
+		return st
+	}
+	add("e7/find-current", reads, func() time.Duration { return findThroughput(e7Store(), keys, reads, false) })
+	add("e7/find-systime", reads, func() time.Duration { return findThroughput(e7Store(), keys, reads, true) })
+
+	// Parallel contention rows: sharded vs single-lock.
+	parOps := scaleInt(200_000, scale)
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{{"sharded", 0}, {"single-lock", 1}} {
+		shards := cfg.shards
+		add("e7/find-par8/"+cfg.name, parOps, func() time.Duration {
+			pst := state.NewStoreWithShards(shards)
+			seedCurrentValues(pst, keys)
+			return parallelFinds(pst, keys, parOps, regressionWorkers)
+		})
+		add("e7/put-par8/"+cfg.name, parOps, func() time.Duration {
+			return parallelPuts(state.NewStoreWithShards(shards), parOps, regressionWorkers)
+		})
+	}
+
+	// Bitemporal read rows over a corrected history.
+	bKeys := scaleInt(1_000, scale)
+	bStore := func() *state.Store {
+		return buildCorrectedStore(bKeys, 16, scaleInt(2_000, scale))
+	}
+	bReads := scaleInt(100_000, scale)
+	midValid := temporal.Instant(8 * 100)
+	midTx := temporal.Instant(16 * 100)
+	add("bitemporal/find-current", bReads, func() time.Duration {
+		return timeReads(bStore(), bKeys, bReads, nil)
+	})
+	add("bitemporal/find-asof-valid", bReads, func() time.Duration {
+		return timeReads(bStore(), bKeys, bReads, []state.ReadOpt{state.AsOfValidTime(midValid)})
+	})
+	add("bitemporal/find-systime", bReads, func() time.Duration {
+		return timeReads(bStore(), bKeys, bReads,
+			[]state.ReadOpt{state.AsOfValidTime(midValid), state.AsOfTransactionTime(midTx)})
+	})
+	histReads := scaleInt(20_000, scale)
+	add("bitemporal/history", histReads, func() time.Duration {
+		return timeHistories(bStore(), bKeys, histReads)
+	})
+	return rep
+}
+
+// keyNames pre-renders key names so hot loops measure store cost, not
+// fmt.Sprintf.
+func keyNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("k%06d", i)
+	}
+	return out
+}
+
+// seedCurrentValues gives every key one open version.
+func seedCurrentValues(st *state.Store, keys int) {
+	db := st.DB()
+	for i, name := range keyNames(keys) {
+		if err := db.Put(name, "value", element.Int(int64(i)),
+			state.WithValidTime(temporal.Instant(i)),
+			state.WithTransactionTime(temporal.Instant(i))); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// timeReads measures Finds with a fixed option set.
+func timeReads(st *state.Store, keys, reads int, opts []state.ReadOpt) time.Duration {
+	db := st.DB()
+	names := keyNames(keys)
+	start := time.Now()
+	for i := 0; i < reads; i++ {
+		db.Find(names[i%keys], "v", opts...)
+	}
+	return time.Since(start)
+}
+
+// timeHistories measures History scans.
+func timeHistories(st *state.Store, keys, reads int) time.Duration {
+	db := st.DB()
+	names := keyNames(keys)
+	start := time.Now()
+	for i := 0; i < reads; i++ {
+		db.History(names[i%keys], "v")
+	}
+	return time.Since(start)
+}
+
+// parallelFinds runs totalOps point reads split across workers goroutines
+// and returns the wall-clock duration — the contention-sensitive measure
+// the sharding refactor targets.
+func parallelFinds(st *state.Store, keys, totalOps, workers int) time.Duration {
+	db := st.DB()
+	names := keyNames(keys)
+	per := totalOps / workers
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Offset stride per worker so goroutines walk different keys.
+			i := w * 977
+			for n := 0; n < per; n++ {
+				db.Find(names[i%keys], "value")
+				i += 31
+			}
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// parallelPuts runs totalOps default-clock Puts split across workers
+// goroutines with disjoint per-worker key ranges, measuring write-path
+// contention: shard locks plus the shared transaction clock.
+func parallelPuts(st *state.Store, totalOps, workers int) time.Duration {
+	db := st.DB()
+	per := totalOps / workers
+	const keysPerWorker = 512
+	names := make([][]string, workers)
+	for w := range names {
+		names[w] = make([]string, keysPerWorker)
+		for k := range names[w] {
+			names[w][k] = fmt.Sprintf("w%02d-k%04d", w, k)
+		}
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; n < per; n++ {
+				if err := db.Put(names[w][n%keysPerWorker], "value", element.Int(int64(n))); err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// buildCorrectedStore builds a store with versioned history plus a layer
+// of retroactive corrections, so reads pay the realistic cost of the
+// transaction-time dimension. It mirrors the bitemporal benchmark store
+// of bitemporal_bench_test.go in non-test code for the regression suite.
+func buildCorrectedStore(keys, versions, corrections int) *state.Store {
+	st := state.NewStore()
+	db := st.DB()
+	names := keyNames(keys)
+	for k := 0; k < keys; k++ {
+		for v := 0; v < versions; v++ {
+			at := temporal.Instant(v * 100)
+			if err := db.Put(names[k], "v", element.Int(int64(v)),
+				state.WithValidTime(at), state.WithTransactionTime(at)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	txBase := temporal.Instant(versions * 100)
+	for c := 0; c < corrections; c++ {
+		from := temporal.Instant((c % versions) * 100)
+		if err := db.Put(names[c%keys], "v", element.Int(int64(-c)),
+			state.WithValidTime(from), state.WithEndValidTime(from+50),
+			state.WithTransactionTime(txBase+temporal.Instant(c))); err != nil {
+			panic(err)
+		}
+	}
+	return st
+}

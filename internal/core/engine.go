@@ -295,8 +295,12 @@ func (e *Engine) applyRules(el *element.Element) ([]*element.Element, error) {
 
 func (e *Engine) processStreams(el *element.Element, stateAt temporal.Instant) {
 	// Under the Snapshot policy, reads are pinned along both time axes to
-	// the watermark instant: valid time AND transaction time. The other
-	// policies read the current belief at the chosen valid-time instant.
+	// the watermark instant: valid time AND transaction time. Together
+	// with the AdvanceClock call in advance, the pinned transaction time
+	// makes each gate/enrich read resolve against the same consistent
+	// multi-shard state cut, even though each read locks only its own
+	// shard. The other policies read the current belief at the chosen
+	// valid-time instant.
 	readOpts := []state.ReadOpt{state.AsOfValidTime(stateAt)}
 	if e.policy == Snapshot {
 		readOpts = append(readOpts, state.AsOfTransactionTime(stateAt))
@@ -371,8 +375,13 @@ func (e *Engine) advance(wm temporal.Instant) error {
 		e.dispatch(p, stream.WatermarkMsg(wm))
 	}
 	// The Snapshot policy refreshes its view at watermarks (micro-batch
-	// boundary).
+	// boundary). Advancing the store's transaction clock in step pins the
+	// view across every shard: any later default-clock write commits
+	// strictly after wm, so the watermark-pinned reads below
+	// (AsOfTransactionTime(wm)) observe one consistent multi-shard cut
+	// for the whole micro-batch.
 	e.snapshot = wm
+	e.store.AdvanceClock(wm)
 	return nil
 }
 

@@ -162,8 +162,9 @@ func WithDerived() WriteOpt {
 }
 
 // DB is the in-memory StateDB: an adapter over *Store carrying the
-// option-based bitemporal API. It shares the store's data, lock, log, and
-// watchers — legacy positional methods and DB methods interleave safely.
+// option-based bitemporal API. It shares the store's data, shard locks,
+// log, and watchers — legacy positional methods and DB methods interleave
+// safely.
 type DB struct {
 	s *Store
 }

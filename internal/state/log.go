@@ -16,13 +16,20 @@ import (
 // Together with WriteSnapshot/ReadSnapshot it gives the state repository
 // the durability of the "temporal database" the paper sketches in §3.3.
 //
-// Records are gob-encoded logRecord values. The log is not safe for
-// concurrent use on its own; the store serializes appends under its lock.
+// Records are gob-encoded logRecord values. The sharded store commits
+// mutations under per-shard locks, so the log serializes concurrent
+// appends itself through a single-appender channel: whoever holds the
+// channel's token owns the encoder, and the token hand-off defines one
+// total append order. Every record carries its own transaction time (or
+// positional application time), so any interleaving the appender admits
+// replays to the identical bitemporal state.
 type Log struct {
-	w   io.Writer
 	c   io.Closer
 	enc *gob.Encoder
 	n   int
+	// appender is the single-appender channel: a one-slot token guarding
+	// enc and n. Acquire by sending, release by receiving.
+	appender chan struct{}
 }
 
 type opKind uint8
@@ -53,7 +60,7 @@ type logRecord struct {
 
 // NewLog wraps a writer in a mutation log.
 func NewLog(w io.Writer) *Log {
-	l := &Log{w: w, enc: gob.NewEncoder(w)}
+	l := &Log{enc: gob.NewEncoder(w), appender: make(chan struct{}, 1)}
 	if c, ok := w.(io.Closer); ok {
 		l.c = c
 	}
@@ -70,7 +77,19 @@ func CreateLog(path string) (*Log, error) {
 }
 
 // Len reports the number of records appended through this Log.
-func (l *Log) Len() int { return l.n }
+func (l *Log) Len() int {
+	l.appender <- struct{}{}
+	defer func() { <-l.appender }()
+	return l.n
+}
+
+// append serializes one record through the single-appender channel.
+func (l *Log) append(rec logRecord) error {
+	l.appender <- struct{}{}
+	defer func() { <-l.appender }()
+	l.n++
+	return l.enc.Encode(rec)
+}
 
 // Close closes the underlying writer when it is closable.
 func (l *Log) Close() error {
@@ -81,13 +100,11 @@ func (l *Log) Close() error {
 }
 
 func (l *Log) appendPut(entity, attr string, v element.Value, at temporal.Instant) error {
-	l.n++
-	return l.enc.Encode(logRecord{Op: opPut, Entity: entity, Attr: attr, Value: v, At: at})
+	return l.append(logRecord{Op: opPut, Entity: entity, Attr: attr, Value: v, At: at})
 }
 
 func (l *Log) appendAssert(f *element.Fact) error {
-	l.n++
-	return l.enc.Encode(logRecord{
+	return l.append(logRecord{
 		Op: opAssert, Entity: f.Entity, Attr: f.Attribute, Value: f.Value,
 		Start: f.Validity.Start, End: f.Validity.End,
 		Derived: f.Derived, Source: f.Source,
@@ -95,13 +112,11 @@ func (l *Log) appendAssert(f *element.Fact) error {
 }
 
 func (l *Log) appendRetract(entity, attr string, at temporal.Instant) error {
-	l.n++
-	return l.enc.Encode(logRecord{Op: opRetract, Entity: entity, Attr: attr, At: at})
+	return l.append(logRecord{Op: opRetract, Entity: entity, Attr: attr, At: at})
 }
 
 func (l *Log) appendPutBi(f *element.Fact) error {
-	l.n++
-	return l.enc.Encode(logRecord{
+	return l.append(logRecord{
 		Op: opPutBi, Entity: f.Entity, Attr: f.Attribute, Value: f.Value,
 		Start: f.Validity.Start, End: f.Validity.End, Tx: f.RecordedAt,
 		Derived: f.Derived, Source: f.Source,
@@ -109,8 +124,7 @@ func (l *Log) appendPutBi(f *element.Fact) error {
 }
 
 func (l *Log) appendDelete(entity, attr string, w temporal.Interval, tx temporal.Instant) error {
-	l.n++
-	return l.enc.Encode(logRecord{
+	return l.append(logRecord{
 		Op: opDeleteBi, Entity: entity, Attr: attr,
 		Start: w.Start, End: w.End, Tx: tx,
 	})
@@ -190,7 +204,8 @@ type snapshotRecord struct {
 // versions superseded by retroactive corrections, so transaction-time
 // queries survive recovery. A snapshot plus the log suffix written after
 // it reconstructs the store; snapshots are the compaction mechanism for
-// the log.
+// the log. The record set is one consistent cut: allRecords holds every
+// shard's read lock while gathering.
 func (s *Store) WriteSnapshot(w io.Writer) error {
 	enc := gob.NewEncoder(w)
 	facts := s.allRecords()
@@ -212,11 +227,12 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 }
 
 // allRecords clones every record — believed and superseded — in
-// deterministic key order, preserving per-lineage recording order.
+// deterministic key order, preserving per-lineage recording order. It
+// reads one consistent cut across all shards.
 func (s *Store) allRecords() []*element.Fact {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.scanLocked(func(l *lineage) []*element.Fact { return l.records })
+	s.rlockAll()
+	defer s.runlockAll()
+	return s.scanAllLocked(func(l *lineage) []*element.Fact { return l.records })
 }
 
 // ReadSnapshot loads a snapshot into an empty store.
@@ -248,17 +264,14 @@ func ReadSnapshot(r io.Reader, s *Store) error {
 // watchers. Records arrive in per-lineage recording order; believed ones
 // additionally join the live index, which must stay disjoint.
 func (s *Store) loadRecord(f *element.Fact) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	l := s.lineageLocked(f.Key(), true)
-	s.appendRecordLocked(l, f)
-	if f.RecordedAt > s.txHigh {
-		s.txHigh = f.RecordedAt
-	}
+	sh := s.shardFor(f.Entity, f.Attribute)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	l := sh.lineage(f.Key(), true)
+	sh.appendRecord(l, f)
+	s.clock.observe(f.RecordedAt)
 	if f.Superseded() {
-		if f.SupersededAt > s.txHigh {
-			s.txHigh = f.SupersededAt
-		}
+		s.clock.observe(f.SupersededAt)
 		return nil
 	}
 	if over := l.overlappingLive(f.Validity); len(over) > 0 {
@@ -266,6 +279,6 @@ func (s *Store) loadRecord(f *element.Fact) error {
 			f.Key(), f.Validity, over[0].Validity)
 	}
 	l.insertLive(f)
-	s.versions++
+	sh.versions++
 	return nil
 }

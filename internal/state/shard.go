@@ -1,0 +1,164 @@
+// Shard layout of the state repository. The store hash-partitions its
+// lineages into a power-of-two array of shards, each owning its mutex,
+// lineage map, attribute index, and occupancy counters, so mutations and
+// point reads of unrelated lineages never contend on a lock. The shard of
+// a lineage is fixed by an FNV-1a hash of its `entity#attribute` key, the
+// same key that names the lineage everywhere else.
+//
+// Locking protocol:
+//
+//   - Point operations (Find, Put, Delete, History, ValiditySet, and the
+//     positional wrappers) lock exactly one shard.
+//   - Cross-shard reads that must observe one consistent cut (List, Scan,
+//     Stats, WriteSnapshot) read-lock every shard in index order, gather,
+//     then release. Index-ordered acquisition makes the all-shard lock
+//     compose safely with itself and with single-shard locking: no path
+//     acquires a lower-indexed shard while holding a higher-indexed one.
+//   - Maintenance sweeps (CompactBefore, DropDerived) walk shards one at
+//     a time under that shard's write lock; they need per-lineage
+//     atomicity only, so they avoid a stop-the-world pause.
+//
+// The transaction clock and the WAL are intentionally not sharded: the
+// clock is a single atomic high-water mark (see txclock.go) and the log
+// serializes appends through its single-appender channel (see log.go), so
+// replay order — and therefore recovery — stays deterministic.
+package state
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/element"
+	"repro/internal/temporal"
+)
+
+// shard owns one partition of the store's lineages.
+type shard struct {
+	mu     sync.RWMutex
+	byKey  map[element.FactKey]*lineage
+	byAttr map[string]map[string]*lineage // attribute → entity → lineage
+	// versions counts believed (live) versions, records all records
+	// including superseded ones; both are guarded by mu and summed across
+	// shards by Stats.
+	versions int
+	records  int
+}
+
+// lineage returns the shard's lineage for key, creating it when create is
+// set. Callers hold the shard's write lock (or its read lock when create
+// is false).
+func (sh *shard) lineage(key element.FactKey, create bool) *lineage {
+	l := sh.byKey[key]
+	if l == nil && create {
+		l = &lineage{key: key, txOrdered: true}
+		sh.byKey[key] = l
+		ents := sh.byAttr[key.Attribute]
+		if ents == nil {
+			ents = make(map[string]*lineage)
+			sh.byAttr[key.Attribute] = ents
+		}
+		ents[key.Entity] = l
+	}
+	return l
+}
+
+// appendRecord appends to the lineage's record history, keeping the
+// shard's counters and the RecordedAt-ordering flag current.
+func (sh *shard) appendRecord(l *lineage, f *element.Fact) {
+	if n := len(l.records); n > 0 && f.RecordedAt < l.records[n-1].RecordedAt {
+		l.txOrdered = false
+	}
+	l.records = append(l.records, f)
+	sh.records++
+}
+
+// reRecord inserts a trimmed replacement for a superseded version: same
+// value and provenance, validity iv, recorded at tx.
+func (sh *shard) reRecord(l *lineage, v *element.Fact, iv temporal.Interval, tx temporal.Instant) *element.Fact {
+	c := v.Clone()
+	c.Validity = iv
+	c.RecordedAt = tx
+	c.SupersededAt = temporal.Forever
+	sh.appendRecord(l, c)
+	l.insertLive(c)
+	sh.versions++
+	return c
+}
+
+// dropLineage removes an emptied lineage from the shard's indexes.
+func (sh *shard) dropLineage(key element.FactKey) {
+	delete(sh.byKey, key)
+	if ents := sh.byAttr[key.Attribute]; ents != nil {
+		delete(ents, key.Entity)
+		if len(ents) == 0 {
+			delete(sh.byAttr, key.Attribute)
+		}
+	}
+}
+
+// FNV-1a parameters (64-bit).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// shardIndex hashes the lineage key `entity#attribute` with FNV-1a and
+// maps it onto the shard array. Hashing the two strings with the '#'
+// separator inline avoids allocating the joined key on every operation.
+func shardIndex(entity, attr string, mask uint64) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(entity); i++ {
+		h ^= uint64(entity[i])
+		h *= fnvPrime64
+	}
+	h ^= '#'
+	h *= fnvPrime64
+	for i := 0; i < len(attr); i++ {
+		h ^= uint64(attr[i])
+		h *= fnvPrime64
+	}
+	return h & mask
+}
+
+// shardFor returns the shard owning the (entity, attribute) lineage.
+func (s *Store) shardFor(entity, attr string) *shard {
+	return s.shards[shardIndex(entity, attr, s.shardMask)]
+}
+
+// defaultShardCount scales the shard array with the machine: the next
+// power of two at or above 4×GOMAXPROCS, floored at 8 so small machines
+// still spread independent lineages, capped at 256 to bound the cost of
+// cross-shard scans.
+func defaultShardCount() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	switch {
+	case n < 8:
+		n = 8
+	case n > 256:
+		n = 256
+	}
+	return nextPowerOfTwo(n)
+}
+
+// nextPowerOfTwo rounds n up to the nearest power of two (minimum 1).
+func nextPowerOfTwo(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// rlockAll / runlockAll acquire and release every shard's read lock in
+// index order, giving cross-shard readers one consistent cut.
+func (s *Store) rlockAll() {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+	}
+}
+
+func (s *Store) runlockAll() {
+	for _, sh := range s.shards {
+		sh.mu.RUnlock()
+	}
+}

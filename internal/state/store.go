@@ -21,6 +21,11 @@
 // transaction-time interval, and trimmed replacements join the current
 // belief. AsOfTransactionTime reads recover any past belief exactly.
 //
+// Lineages are hash-partitioned across an array of lock-striped shards
+// (see shard.go), so reads and writes of unrelated lineages never contend
+// on a lock; the transaction clock (txclock.go) and the WAL appender
+// (log.go) are the only cross-shard synchronization points.
+//
 // The preferred API is the option-based bitemporal surface in db.go
 // (Find/List/Put/Delete/History with ReadOpt/WriteOpt). The positional
 // methods (Put/Assert/Retract/Current/ValidAt/AsOf/...) are retained as
@@ -83,7 +88,7 @@ type Change struct {
 }
 
 // Watcher observes state changes. Watchers run synchronously after the
-// mutation commits (outside the store lock), in mutation order for a
+// mutation commits (outside the shard lock), in mutation order for a
 // single mutator; they may read back into the store — standing queries
 // (internal/query.RegisterContinuous) rely on this. Under concurrent
 // mutators, a watcher may observe store state newer than its Change.
@@ -226,64 +231,93 @@ func (l *lineage) overlappingLive(w temporal.Interval) []*element.Fact {
 	return out
 }
 
-// Store is the state repository. It is safe for concurrent use.
+// Store is the state repository. It is safe for concurrent use: lineages
+// are hash-partitioned across lock-striped shards (shard.go), so
+// operations on unrelated keys proceed in parallel.
 type Store struct {
-	mu       sync.RWMutex
-	byKey    map[element.FactKey]*lineage
-	byAttr   map[string]map[string]*lineage // attribute → entity → lineage
-	versions int                            // believed (live) versions
-	records  int                            // all records, including superseded
-	txHigh   temporal.Instant               // transaction clock high-water mark
+	shards    []*shard
+	shardMask uint64
+	clock     txClock
+
+	// obsMu guards the mutation observers: the watcher list and the
+	// attached log. Both are read at the start of every mutation and
+	// written only by Watch/AttachLog.
+	obsMu    sync.RWMutex
 	watchers []Watcher
 	log      *Log
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty store with a GOMAXPROCS-scaled shard count.
 func NewStore() *Store {
-	return &Store{
-		byKey:  make(map[element.FactKey]*lineage),
-		byAttr: make(map[string]map[string]*lineage),
-	}
+	return NewStoreWithShards(0)
 }
+
+// NewStoreWithShards returns an empty store with a fixed shard count,
+// rounded up to a power of two. n == 1 yields the single-lock layout of
+// the pre-sharding store (every lineage behind one mutex) — useful as a
+// contention baseline; n <= 0 selects the GOMAXPROCS-scaled default.
+func NewStoreWithShards(n int) *Store {
+	if n <= 0 {
+		n = defaultShardCount()
+	}
+	n = nextPowerOfTwo(n)
+	s := &Store{
+		shards:    make([]*shard, n),
+		shardMask: uint64(n - 1),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			byKey:  make(map[element.FactKey]*lineage),
+			byAttr: make(map[string]map[string]*lineage),
+		}
+	}
+	return s
+}
+
+// ShardCount reports the number of shards the store partitions its
+// lineages across.
+func (s *Store) ShardCount() int { return len(s.shards) }
 
 // AttachLog makes the store append every mutation to the given log. Attach
 // before the first mutation; mutations made earlier are not re-logged.
 func (s *Store) AttachLog(l *Log) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
 	s.log = l
 }
 
 // Watch registers a watcher for all subsequent changes.
 func (s *Store) Watch(w Watcher) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
 	s.watchers = append(s.watchers, w)
 }
 
+// observers snapshots the watcher list and attached log for one mutation.
+func (s *Store) observers() ([]Watcher, *Log) {
+	s.obsMu.RLock()
+	defer s.obsMu.RUnlock()
+	return s.watchers, s.log
+}
+
+// AdvanceClock advances the transaction clock's high-water mark to at
+// least t, so every subsequent default-clock write — on any shard —
+// commits strictly after t. The engine calls this when its watermark
+// advances: a micro-batch view pinned at the watermark (AsOfTransactionTime)
+// then reads one consistent multi-shard cut that later default writes
+// cannot disturb.
+func (s *Store) AdvanceClock(t temporal.Instant) {
+	s.clock.observe(t)
+}
+
 // notifyAll dispatches committed changes to the given watcher snapshot;
-// call only after releasing the store lock.
+// call only after releasing the shard lock.
 func notifyAll(ws []Watcher, changes []Change) {
 	for _, c := range changes {
 		for _, w := range ws {
 			w(c)
 		}
 	}
-}
-
-func (s *Store) lineageLocked(key element.FactKey, create bool) *lineage {
-	l := s.byKey[key]
-	if l == nil && create {
-		l = &lineage{key: key, txOrdered: true}
-		s.byKey[key] = l
-		ents := s.byAttr[key.Attribute]
-		if ents == nil {
-			ents = make(map[string]*lineage)
-			s.byAttr[key.Attribute] = ents
-		}
-		ents[key.Entity] = l
-	}
-	return l
 }
 
 // writeReq is one resolved-or-resolvable mutation against a lineage. The
@@ -306,29 +340,32 @@ type writeReq struct {
 }
 
 // apply validates, commits, logs, and notifies one mutation. It is the
-// single write path of the store.
+// single write path of the store; it locks exactly one shard.
 func (s *Store) apply(r writeReq) error {
+	ws, log := s.observers()
+	sh := s.shardFor(r.entity, r.attr)
 	var changes []Change
-	var ws []Watcher
 	err := func() error {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		ws = s.watchers
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
 
 		// Resolve the transaction time and valid interval. Without an
-		// explicit WithTransactionTime, the write commits one tick past
-		// the transaction clock's high-water mark (or at its valid-time
-		// start, whichever is later), so consecutive default writes get
-		// distinct belief intervals and every superseded belief stays
-		// recoverable.
+		// explicit WithTransactionTime, the write reserves the next tick
+		// of the transaction clock (one past its high-water mark, or the
+		// valid-time start when that is later), so concurrent default
+		// writes get distinct belief intervals and every superseded belief
+		// stays recoverable. A reserved tick is consumed even when
+		// validation or logging fails below: the clock only ever moves
+		// forward.
 		var tx temporal.Instant
 		if r.tx != nil {
 			tx = *r.tx
 		} else {
-			tx = s.txHigh + 1
-			if r.validFrom != nil && *r.validFrom > tx {
-				tx = *r.validFrom
+			floor := temporal.MinInstant
+			if r.validFrom != nil {
+				floor = *r.validFrom
 			}
+			tx = s.clock.reserve(floor)
 		}
 		from := tx
 		if r.validFrom != nil {
@@ -344,7 +381,7 @@ func (s *Store) apply(r writeReq) error {
 			return fmt.Errorf("state: write %s: empty validity %s", key, w)
 		}
 
-		l := s.lineageLocked(key, !r.isDelete)
+		l := sh.lineage(key, !r.isDelete)
 		if r.requireCurrent && (l == nil || l.current() == nil) {
 			return fmt.Errorf("%w: %s", ErrNoCurrent, key)
 		}
@@ -373,27 +410,27 @@ func (s *Store) apply(r writeReq) error {
 
 		// Log before mutating: validation is complete and the mutation
 		// below cannot fail, so a log error leaves the store untouched.
-		if s.log != nil {
+		// The log serializes appends from concurrent shards through its
+		// single-appender channel.
+		if log != nil {
 			var err error
 			switch {
 			case r.legacy && r.noOverlap:
-				err = s.log.appendAssert(put)
+				err = log.appendAssert(put)
 			case r.legacy && r.isDelete:
-				err = s.log.appendRetract(r.entity, r.attr, from)
+				err = log.appendRetract(r.entity, r.attr, from)
 			case r.legacy:
-				err = s.log.appendPut(r.entity, r.attr, r.value, from)
+				err = log.appendPut(r.entity, r.attr, r.value, from)
 			case r.isDelete:
-				err = s.log.appendDelete(r.entity, r.attr, w, tx)
+				err = log.appendDelete(r.entity, r.attr, w, tx)
 			default:
-				err = s.log.appendPutBi(put)
+				err = log.appendPutBi(put)
 			}
 			if err != nil {
 				return err
 			}
 		}
-		if tx > s.txHigh {
-			s.txHigh = tx
-		}
+		s.clock.observe(tx)
 
 		// Supersede the believed versions the write overlaps, re-recording
 		// the portions outside the write interval as fresh records. Every
@@ -403,13 +440,13 @@ func (s *Store) apply(r writeReq) error {
 		for _, v := range l.overlappingLive(w) {
 			v.SupersededAt = tx
 			l.removeLive(v)
-			s.versions--
+			sh.versions--
 			var left *element.Fact
 			if v.Validity.Start < w.Start {
-				left = s.reRecordLocked(l, v, temporal.NewInterval(v.Validity.Start, w.Start), tx)
+				left = sh.reRecord(l, v, temporal.NewInterval(v.Validity.Start, w.Start), tx)
 			}
 			if w.End < v.Validity.End {
-				s.reRecordLocked(l, v, temporal.NewInterval(w.End, v.Validity.End), tx)
+				sh.reRecord(l, v, temporal.NewInterval(w.End, v.Validity.End), tx)
 			}
 			ev := v.Clone()
 			if left != nil {
@@ -419,9 +456,9 @@ func (s *Store) apply(r writeReq) error {
 		}
 
 		if put != nil {
-			s.appendRecordLocked(l, put)
+			sh.appendRecord(l, put)
 			l.insertLive(put)
-			s.versions++
+			sh.versions++
 			changes = append(changes, Change{Kind: Asserted, Fact: put.Clone(), At: w.Start})
 		}
 		return nil
@@ -433,37 +470,16 @@ func (s *Store) apply(r writeReq) error {
 	return nil
 }
 
-// appendRecordLocked appends to the lineage's record history, keeping
-// the counters and the RecordedAt-ordering flag current.
-func (s *Store) appendRecordLocked(l *lineage, f *element.Fact) {
-	if n := len(l.records); n > 0 && f.RecordedAt < l.records[n-1].RecordedAt {
-		l.txOrdered = false
-	}
-	l.records = append(l.records, f)
-	s.records++
-}
-
-// reRecordLocked inserts a trimmed replacement for a superseded version:
-// same value and provenance, validity iv, recorded at tx.
-func (s *Store) reRecordLocked(l *lineage, v *element.Fact, iv temporal.Interval, tx temporal.Instant) *element.Fact {
-	c := v.Clone()
-	c.Validity = iv
-	c.RecordedAt = tx
-	c.SupersededAt = temporal.Forever
-	s.appendRecordLocked(l, c)
-	l.insertLive(c)
-	s.versions++
-	return c
-}
-
 // Find returns the version of (entity, attr) selected by the read options:
 // by default the open version in the current belief; AsOfValidTime selects
-// by valid time, AsOfTransactionTime by belief.
+// by valid time, AsOfTransactionTime by belief. Find locks only the
+// lineage's shard.
 func (s *Store) Find(entity, attr string, opts ...ReadOpt) (*element.Fact, bool) {
 	cfg := newReadCfg(opts)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	l := s.byKey[element.FactKey{Entity: entity, Attribute: attr}]
+	sh := s.shardFor(entity, attr)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	l := sh.byKey[element.FactKey{Entity: entity, Attribute: attr}]
 	if l == nil {
 		return nil, false
 	}
@@ -475,11 +491,13 @@ func (s *Store) Find(entity, attr string, opts ...ReadOpt) (*element.Fact, bool)
 
 // List returns one selected version per key — or, with AllVersions /
 // DuringValidTime, every matching version — sorted by (attribute, entity,
-// validity start). WithAttribute scopes the scan to one attribute.
+// validity start). WithAttribute scopes the scan to one attribute. List is
+// a cross-shard read: it holds every shard's read lock for the duration,
+// so the result is one consistent cut of the whole store.
 func (s *Store) List(opts ...ReadOpt) []*element.Fact {
 	cfg := newReadCfg(opts)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.rlockAll()
+	defer s.runlockAll()
 	pick := func(l *lineage) []*element.Fact {
 		if !cfg.allVersions {
 			if f := l.pick(cfg); f != nil {
@@ -502,7 +520,7 @@ func (s *Store) List(opts ...ReadOpt) []*element.Fact {
 	if cfg.attr != "" {
 		return s.byAttributeAllLocked(cfg.attr, pick)
 	}
-	return s.scanLocked(pick)
+	return s.scanAllLocked(pick)
 }
 
 // Delete removes any value of (entity, attr) over the write options' valid
@@ -523,9 +541,10 @@ func (s *Store) Delete(entity, attr string, opts ...WriteOpt) error {
 // including superseded ones — in recording order.
 func (s *Store) History(entity, attr string, opts ...ReadOpt) []*element.Fact {
 	cfg := newReadCfg(opts)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	l := s.byKey[element.FactKey{Entity: entity, Attribute: attr}]
+	sh := s.shardFor(entity, attr)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	l := sh.byKey[element.FactKey{Entity: entity, Attribute: attr}]
 	if l == nil {
 		return nil
 	}
@@ -620,20 +639,22 @@ func (s *Store) AsOfByAttribute(attr string, t temporal.Instant) []*element.Fact
 	return s.List(WithAttribute(attr), AsOfValidTime(t))
 }
 
-// byAttributeAllLocked iterates one attribute's lineages in entity order.
+// byAttributeAllLocked gathers one attribute's lineages from every shard
+// and iterates them in entity order. Callers hold every shard's lock.
 func (s *Store) byAttributeAllLocked(attr string, pick func(*lineage) []*element.Fact) []*element.Fact {
-	ents := s.byAttr[attr]
+	var ents []keyedLineage
+	for _, sh := range s.shards {
+		for e, l := range sh.byAttr[attr] {
+			ents = append(ents, keyedLineage{element.FactKey{Entity: e, Attribute: attr}, l})
+		}
+	}
 	if len(ents) == 0 {
 		return nil
 	}
-	names := make([]string, 0, len(ents))
-	for e := range ents {
-		names = append(names, e)
-	}
-	sort.Strings(names)
+	sort.Slice(ents, func(i, j int) bool { return ents[i].key.Entity < ents[j].key.Entity })
 	var out []*element.Fact
-	for _, e := range names {
-		for _, f := range pick(ents[e]) {
+	for _, e := range ents {
+		for _, f := range pick(e.l) {
 			out = append(out, f.Clone())
 		}
 	}
@@ -664,11 +685,11 @@ func (s *Store) During(iv temporal.Interval) []*element.Fact {
 
 // Scan returns clones of every believed version (current and historical)
 // matching pred, sorted by (attribute, entity, start). A nil pred matches
-// all.
+// all. Like List, Scan reads one consistent cut across all shards.
 func (s *Store) Scan(pred func(*element.Fact) bool) []*element.Fact {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.scanLocked(func(l *lineage) []*element.Fact {
+	s.rlockAll()
+	defer s.runlockAll()
+	return s.scanAllLocked(func(l *lineage) []*element.Fact {
 		var out []*element.Fact
 		for _, f := range l.live {
 			if pred == nil || pred(f) {
@@ -679,22 +700,36 @@ func (s *Store) Scan(pred func(*element.Fact) bool) []*element.Fact {
 	})
 }
 
-// scanLocked iterates lineages in deterministic key order, clones the
-// picked facts and returns them.
-func (s *Store) scanLocked(pick func(*lineage) []*element.Fact) []*element.Fact {
-	keys := make([]element.FactKey, 0, len(s.byKey))
-	for k := range s.byKey {
-		keys = append(keys, k)
+// keyedLineage pairs a lineage with its key so cross-shard gathers sort
+// once and avoid re-hashing keys back to shards in the output loop.
+type keyedLineage struct {
+	key element.FactKey
+	l   *lineage
+}
+
+// scanAllLocked iterates every shard's lineages in deterministic
+// (attribute, entity) key order, clones the picked facts and returns
+// them. Callers hold every shard's lock.
+func (s *Store) scanAllLocked(pick func(*lineage) []*element.Fact) []*element.Fact {
+	total := 0
+	for _, sh := range s.shards {
+		total += len(sh.byKey)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Attribute != keys[j].Attribute {
-			return keys[i].Attribute < keys[j].Attribute
+	pairs := make([]keyedLineage, 0, total)
+	for _, sh := range s.shards {
+		for k, l := range sh.byKey {
+			pairs = append(pairs, keyedLineage{k, l})
 		}
-		return keys[i].Entity < keys[j].Entity
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].key.Attribute != pairs[j].key.Attribute {
+			return pairs[i].key.Attribute < pairs[j].key.Attribute
+		}
+		return pairs[i].key.Entity < pairs[j].key.Entity
 	})
 	var out []*element.Fact
-	for _, k := range keys {
-		for _, f := range pick(s.byKey[k]) {
+	for _, p := range pairs {
+		for _, f := range pick(p.l) {
 			out = append(out, f.Clone())
 		}
 	}
@@ -704,10 +739,11 @@ func (s *Store) scanLocked(pick func(*lineage) []*element.Fact) []*element.Fact 
 // ValiditySet returns the coalesced set of intervals over which
 // (entity, attr) is believed to have had any value.
 func (s *Store) ValiditySet(entity, attr string) *temporal.Set {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sh := s.shardFor(entity, attr)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	set := temporal.NewSet()
-	if l := s.byKey[element.FactKey{Entity: entity, Attribute: attr}]; l != nil {
+	if l := sh.byKey[element.FactKey{Entity: entity, Attribute: attr}]; l != nil {
 		for _, f := range l.live {
 			set.Add(f.Validity)
 		}
@@ -722,82 +758,81 @@ func (s *Store) ValiditySet(entity, attr string) *temporal.Set {
 // queries about the dropped records, exactly as it is for valid-time
 // queries about dropped history. It returns the number of believed
 // versions removed.
+//
+// Compaction sweeps shards one at a time under that shard's write lock —
+// per-lineage atomicity is all it needs — so reads and writes on other
+// shards proceed while it runs.
 func (s *Store) CompactBefore(t temporal.Instant) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	removed := 0
-	for key, l := range s.byKey {
-		keptLive := l.live[:0]
-		for _, f := range l.live {
-			if f.Validity.End <= t {
-				removed++
-			} else {
-				keptLive = append(keptLive, f)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for key, l := range sh.byKey {
+			keptLive := l.live[:0]
+			for _, f := range l.live {
+				if f.Validity.End <= t {
+					removed++
+					sh.versions--
+				} else {
+					keptLive = append(keptLive, f)
+				}
+			}
+			l.live = keptLive
+			keptRecords := l.records[:0]
+			for _, f := range l.records {
+				drop := (!f.Superseded() && f.Validity.End <= t) ||
+					(f.Superseded() && f.SupersededAt <= t)
+				if drop {
+					sh.records--
+				} else {
+					keptRecords = append(keptRecords, f)
+				}
+			}
+			l.records = keptRecords
+			if len(l.records) == 0 {
+				sh.dropLineage(key)
 			}
 		}
-		l.live = keptLive
-		keptRecords := l.records[:0]
-		for _, f := range l.records {
-			drop := (!f.Superseded() && f.Validity.End <= t) ||
-				(f.Superseded() && f.SupersededAt <= t)
-			if drop {
-				s.records--
-			} else {
-				keptRecords = append(keptRecords, f)
-			}
-		}
-		l.records = keptRecords
-		if len(l.records) == 0 {
-			s.dropLineageLocked(key)
-		}
+		sh.mu.Unlock()
 	}
-	s.versions -= removed
 	return removed
-}
-
-func (s *Store) dropLineageLocked(key element.FactKey) {
-	delete(s.byKey, key)
-	if ents := s.byAttr[key.Attribute]; ents != nil {
-		delete(ents, key.Entity)
-		if len(ents) == 0 {
-			delete(s.byAttr, key.Attribute)
-		}
-	}
 }
 
 // DropDerived removes every derived version (facts materialized by the
 // reasoner), returning how many believed versions were dropped. The
 // reasoner uses this to rematerialize from scratch after a retraction.
 // Derived records are removed physically — they are a cache over the
-// asserted state, not part of the audit history.
+// asserted state, not part of the audit history. Like CompactBefore, it
+// sweeps one shard at a time.
 func (s *Store) DropDerived() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	removed := 0
-	for key, l := range s.byKey {
-		keptLive := l.live[:0]
-		for _, f := range l.live {
-			if f.Derived {
-				removed++
-			} else {
-				keptLive = append(keptLive, f)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for key, l := range sh.byKey {
+			keptLive := l.live[:0]
+			for _, f := range l.live {
+				if f.Derived {
+					removed++
+					sh.versions--
+				} else {
+					keptLive = append(keptLive, f)
+				}
+			}
+			l.live = keptLive
+			keptRecords := l.records[:0]
+			for _, f := range l.records {
+				if f.Derived {
+					sh.records--
+				} else {
+					keptRecords = append(keptRecords, f)
+				}
+			}
+			l.records = keptRecords
+			if len(l.records) == 0 {
+				sh.dropLineage(key)
 			}
 		}
-		l.live = keptLive
-		keptRecords := l.records[:0]
-		for _, f := range l.records {
-			if f.Derived {
-				s.records--
-			} else {
-				keptRecords = append(keptRecords, f)
-			}
-		}
-		l.records = keptRecords
-		if len(l.records) == 0 {
-			s.dropLineageLocked(key)
-		}
+		sh.mu.Unlock()
 	}
-	s.versions -= removed
 	return removed
 }
 
@@ -819,21 +854,32 @@ type Stats struct {
 	Superseded int
 	// TxHigh is the transaction clock's high-water mark.
 	TxHigh temporal.Instant
+	// Shards is the number of lock-striped partitions.
+	Shards int
 }
 
-// Stats returns current occupancy counters.
+// Stats returns current occupancy counters, summed over one consistent
+// cut of every shard.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := Stats{
-		Keys: len(s.byKey), Versions: s.versions, Attributes: len(s.byAttr),
-		Records: s.records, Superseded: s.records - s.versions, TxHigh: s.txHigh,
-	}
-	for _, l := range s.byKey {
-		if l.current() != nil {
-			st.Current++
+	s.rlockAll()
+	defer s.runlockAll()
+	st := Stats{TxHigh: s.clock.now(), Shards: len(s.shards)}
+	attrs := make(map[string]struct{})
+	for _, sh := range s.shards {
+		st.Keys += len(sh.byKey)
+		st.Versions += sh.versions
+		st.Records += sh.records
+		for a := range sh.byAttr {
+			attrs[a] = struct{}{}
+		}
+		for _, l := range sh.byKey {
+			if l.current() != nil {
+				st.Current++
+			}
 		}
 	}
+	st.Attributes = len(attrs)
+	st.Superseded = st.Records - st.Versions
 	return st
 }
 
@@ -842,13 +888,17 @@ func (s *Store) Stats() Stats {
 // so a View is immutable even under retroactive corrections recorded
 // later — the engine's Snapshot interaction policy is built on this.
 // Views are cheap: they borrow the store's bitemporal history rather than
-// copying it.
+// copying it. Multi-key reads (ByAttribute, All) take every shard's read
+// lock, so each call observes one consistent multi-shard cut.
 type View struct {
 	store *Store
 	at    temporal.Instant
 }
 
 // ViewAt returns a read-only view of the state as believed and valid at t.
+// Callers that coordinate views with their own clock (the engine pins
+// views at watermarks) should AdvanceClock(t) first, so no later
+// default-clock write can commit at or before the view instant.
 func (s *Store) ViewAt(t temporal.Instant) *View { return &View{store: s, at: t} }
 
 // At reports the view's instant.

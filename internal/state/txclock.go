@@ -1,0 +1,57 @@
+// The store's transaction clock. Sharding removes the global store lock,
+// so the clock — the one piece of state every default write consults —
+// becomes a single atomic high-water mark advanced with compare-and-swap
+// loops. Reserving a tick is the only cross-shard synchronization a
+// default write performs.
+package state
+
+import (
+	"sync/atomic"
+
+	"repro/internal/temporal"
+)
+
+// txClock is the transaction-time high-water mark. The zero value is a
+// clock at instant 0, matching the pre-sharding store: the first default
+// write commits at tick 1.
+type txClock struct {
+	high atomic.Int64
+}
+
+// now reports the high-water mark.
+func (c *txClock) now() temporal.Instant {
+	return temporal.Instant(c.high.Load())
+}
+
+// reserve allocates the next transaction tick: one past the high-water
+// mark, or floor when that is later (a write whose valid time starts in
+// the future commits at its valid-time start). The allocated tick
+// advances the mark, so concurrent default writes — even on different
+// shards — always obtain distinct, increasing transaction times and
+// every superseded belief stays recoverable.
+func (c *txClock) reserve(floor temporal.Instant) temporal.Instant {
+	for {
+		cur := c.high.Load()
+		next := cur + 1
+		if int64(floor) > next {
+			next = int64(floor)
+		}
+		if c.high.CompareAndSwap(cur, next) {
+			return temporal.Instant(next)
+		}
+	}
+}
+
+// observe advances the high-water mark to at least t (writes with an
+// explicit transaction time, log replay, snapshot load).
+func (c *txClock) observe(t temporal.Instant) {
+	for {
+		cur := c.high.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if c.high.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}

@@ -356,8 +356,16 @@ type (
 )
 
 // NewStore returns a standalone state repository (engines create their
-// own; use this for direct store experiments).
+// own; use this for direct store experiments). Lineages are
+// hash-partitioned across a GOMAXPROCS-scaled array of lock-striped
+// shards, so unrelated keys never contend.
 func NewStore() *Store { return state.NewStore() }
+
+// NewStoreWithShards returns a state repository with a fixed shard count
+// (rounded up to a power of two). 1 yields a single-lock store — the
+// pre-sharding layout, useful as a contention baseline; <= 0 selects the
+// GOMAXPROCS-scaled default.
+func NewStoreWithShards(n int) *Store { return state.NewStoreWithShards(n) }
 
 // Temporal read options (see StateDB).
 

@@ -83,7 +83,12 @@ func runRegression(scale float64, jsonOut, baselinePath string, tolerance float6
 		scale, len(rep.Results), time.Since(start).Round(time.Millisecond),
 		rep.GoMaxProcs, rep.NumCPU)
 	for _, m := range rep.Results {
-		fmt.Printf("  %-28s %12.1f ns/op %14.0f ops/s\n", m.Name, m.NsPerOp, m.OpsPerSec)
+		if m.AllocsPerOp > 0 {
+			fmt.Printf("  %-28s %12.1f ns/op %14.0f ops/s %10.2f allocs/op\n",
+				m.Name, m.NsPerOp, m.OpsPerSec, m.AllocsPerOp)
+		} else {
+			fmt.Printf("  %-28s %12.1f ns/op %14.0f ops/s\n", m.Name, m.NsPerOp, m.OpsPerSec)
+		}
 	}
 
 	if jsonOut != "" {
@@ -163,13 +168,91 @@ func runRegression(scale float64, jsonOut, baselinePath string, tolerance float6
 		}
 	}
 
+	// Allocation counts are hardware-independent, so the allocs/op gate
+	// applies even when the absolute ns/op comparison was skipped: a
+	// 1-CPU CI container still catches a hot path growing allocations.
+	failures += checkAllocRegressions(rep, &base, tolerance)
 	failures += checkContentionInvariant(rep)
+	failures += checkIngestScaling(rep)
 
 	if failures > 0 {
 		return fmt.Errorf("%d benchmark gate failure(s) vs %s", failures, baselinePath)
 	}
 	fmt.Println("no regressions")
 	return nil
+}
+
+// checkAllocRegressions compares allocs/op for rows both reports carry
+// the metric on, with the same fractional tolerance as ns/op.
+func checkAllocRegressions(rep, base *bench.RegressionReport, tolerance float64) int {
+	curByName := make(map[string]bench.Measurement, len(rep.Results))
+	for _, m := range rep.Results {
+		curByName[m.Name] = m
+	}
+	failures := 0
+	for _, b := range base.Results {
+		if b.AllocsPerOp <= 0 {
+			continue
+		}
+		m, ok := curByName[b.Name]
+		if !ok || m.AllocsPerOp <= 0 {
+			// A baseline row carried the metric but the current run does
+			// not: the allocation gate is the only gate on 1-CPU runners,
+			// so losing the metric must fail, not silently ungate.
+			fmt.Printf("  %-28s MISSING allocs_per_op in current run\n", b.Name)
+			failures++
+			continue
+		}
+		ratio := m.AllocsPerOp / b.AllocsPerOp
+		status := "ok"
+		if ratio > 1+tolerance {
+			status = "ALLOCS REGRESSED"
+			failures++
+		}
+		fmt.Printf("  %-28s %10.2f allocs/op  baseline %8.2f   %.2fx  %s\n",
+			b.Name, m.AllocsPerOp, b.AllocsPerOp, ratio, status)
+	}
+	return failures
+}
+
+// ingestSpeedupMin is the required serial/par4 elements-per-second ratio
+// on hardware that can actually run 4 workers in parallel. On fewer CPUs
+// (or a capped GOMAXPROCS) the workers time-share cores and the gate is
+// skipped — there the allocs/op gate on the serial row stands in.
+const ingestSpeedupMin = 1.5
+
+// checkIngestScaling enforces the parallel-ingestion payoff: with >= 4
+// CPUs available, 4 workers must move at least ingestSpeedupMin times the
+// serial elements/sec in the same report.
+func checkIngestScaling(rep *bench.RegressionReport) int {
+	byName := make(map[string]bench.Measurement, len(rep.Results))
+	for _, m := range rep.Results {
+		byName[m.Name] = m
+	}
+	serial, ok1 := byName["e7/ingest-serial"]
+	par4, ok2 := byName["e7/ingest-par4"]
+	if !ok1 || !ok2 || par4.NsPerOp <= 0 {
+		// The rows disappearing means the suite was renamed without
+		// updating this gate — fail rather than silently ungate the
+		// parallel pipeline.
+		fmt.Printf("  %-28s MISSING ingest-serial/ingest-par4 rows\n", "e7/ingest")
+		return 1
+	}
+	speedup := serial.NsPerOp / par4.NsPerOp
+	if rep.NumCPU < 4 || rep.GoMaxProcs < 4 {
+		fmt.Printf("  %-28s serial/par4 speedup %.2fx (not gated: num_cpu=%d gomaxprocs=%d < 4)\n",
+			"e7/ingest", speedup, rep.NumCPU, rep.GoMaxProcs)
+		return 0
+	}
+	status := "ok"
+	failures := 0
+	if speedup < ingestSpeedupMin {
+		status = "PARALLEL INGEST REGRESSED"
+		failures++
+	}
+	fmt.Printf("  %-28s serial/par4 speedup %.2fx (min %.1fx)  %s\n",
+		"e7/ingest", speedup, ingestSpeedupMin, status)
+	return failures
 }
 
 // shardedRatioLimit bounds how much slower the sharded store may run than

@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"testing"
+)
+
+// benchmarkIngest drives one fixed-size message batch through a fresh
+// engine per iteration, so ns/op and allocs/op are per 50k-element
+// pipeline run; the elems/s metric is the headline number.
+func benchmarkIngest(b *testing.B, workers int) {
+	const n = 50_000
+	msgs := ingestMessages(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := ingestEngine(workers)
+		if err := e.Run(msgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+}
+
+func BenchmarkIngestSerial(b *testing.B)    { benchmarkIngest(b, 1) }
+func BenchmarkIngestParallel4(b *testing.B) { benchmarkIngest(b, 4) }
+func BenchmarkIngestParallel8(b *testing.B) { benchmarkIngest(b, 8) }
+
+// BenchmarkPutBatch contrasts the group-committed write path with the
+// per-put path of BenchmarkShardedPutParallel / e7/put-seq.
+func BenchmarkPutBatch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		putBatchThroughput(1_000, 50_000)
+	}
+}

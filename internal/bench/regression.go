@@ -17,12 +17,16 @@ import (
 // Every row is a (name, ns/op) pair so a baseline comparison is a single
 // ratio per row.
 
-// Measurement is one regression-suite row.
+// Measurement is one regression-suite row. AllocsPerOp, when nonzero, is
+// the heap-allocation count per operation — unlike ns/op it is stable
+// across hardware classes, so the gate compares it even when absolute
+// timings are not comparable.
 type Measurement struct {
-	Name      string  `json:"name"`
-	Ops       int     `json:"ops"`
-	NsPerOp   float64 `json:"ns_per_op"`
-	OpsPerSec float64 `json:"ops_per_sec"`
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 // RegressionReport is the envelope written to BENCH_PR2.json. The
@@ -46,14 +50,19 @@ const regressionWorkers = 8
 // scale. Rows:
 //
 //	e7/put-seq                   sequential mixed mutations (mutateStore)
+//	e7/put-batch                 group-committed micro-batch Puts (PutBatch)
 //	e7/find-current              point reads against the live index
 //	e7/find-systime              belief-pinned point reads
 //	e7/find-par8/{sharded,single-lock}  8-goroutine parallel Find
 //	e7/put-par8/{sharded,single-lock}   8-goroutine parallel Put
+//	e7/ingest-serial             end-to-end Engine.Run, 1 worker (+allocs/op)
+//	e7/ingest-par4, ingest-par8  end-to-end Engine.Run, 4/8 workers
 //	bitemporal/find-current, find-asof-valid, find-systime, history
 //
 // The par8 rows contrast the default sharded store with a 1-shard
-// (single-lock) baseline on identical workloads.
+// (single-lock) baseline on identical workloads; the ingest rows contrast
+// the serial element loop with the watermark-delimited parallel pipeline
+// (the par rows only beat serial given >= that many CPUs).
 func RegressionSuite(scale float64) *RegressionReport {
 	rep := &RegressionReport{
 		Scale:      scale,
@@ -85,12 +94,31 @@ func RegressionSuite(scale float64) *RegressionReport {
 		})
 	}
 
+	// addAllocs also records allocations per op (taken from the pass that
+	// set the minimum elapsed time; allocation counts are deterministic
+	// for these single-goroutine workloads).
+	addAllocs := func(name string, ops int, measure func() (time.Duration, float64)) {
+		elapsed, allocs := measure()
+		for i := 1; i < 5; i++ {
+			if again, a := measure(); again < elapsed {
+				elapsed, allocs = again, a
+			}
+		}
+		ns := float64(elapsed.Nanoseconds()) / float64(ops)
+		rep.Results = append(rep.Results, Measurement{
+			Name: name, Ops: ops, NsPerOp: ns, OpsPerSec: 1e9 / ns, AllocsPerOp: allocs,
+		})
+	}
+
 	// Sequential E7 rows.
 	keys := scaleInt(10_000, scale)
 	ops := scaleInt(100_000, scale)
 	add("e7/put-seq", ops, func() time.Duration {
 		_, elapsed := mutateStore(keys, ops, nil)
 		return elapsed
+	})
+	add("e7/put-batch", ops, func() time.Duration {
+		return putBatchThroughput(keys, ops)
 	})
 	reads := scaleInt(100_000, scale)
 	e7Store := func() *state.Store {
@@ -115,6 +143,20 @@ func RegressionSuite(scale float64) *RegressionReport {
 		})
 		add("e7/put-par8/"+cfg.name, parOps, func() time.Duration {
 			return parallelPuts(state.NewStoreWithShards(shards), parOps, regressionWorkers)
+		})
+	}
+
+	// End-to-end ingestion rows: the whole Figure-1 pipeline. The serial
+	// row carries allocs/op — the hardware-independent hot-path gauge.
+	ingestOps := scaleInt(400_000, scale)
+	addAllocs("e7/ingest-serial", ingestOps, func() (time.Duration, float64) {
+		return ingestThroughput(1, ingestOps)
+	})
+	for _, workers := range []int{4, 8} {
+		workers := workers
+		add(fmt.Sprintf("e7/ingest-par%d", workers), ingestOps, func() time.Duration {
+			elapsed, _ := ingestThroughput(workers, ingestOps)
+			return elapsed
 		})
 	}
 

@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/element"
 	"repro/internal/lang"
@@ -126,11 +127,26 @@ type Engine struct {
 	processors []*Processor
 	reasoner   *reason.Reasoner
 
-	watermark temporal.Instant
+	// parallelism is the ingestion worker count; 1 is the serial path
+	// (see ingest.go). routingKey partitions elements onto workers.
+	parallelism int
+	routingKey  func(*element.Element) string
+	// pending buffers elements between watermarks when parallelism > 1.
+	pending []*element.Element
+
+	// watermark is read by on-demand Query callers concurrently with
+	// ingestion, hence atomic (it holds a temporal.Instant).
+	watermark atomic.Int64
 	snapshot  temporal.Instant // view instant for the Snapshot policy
-	outputs   map[string][]*element.Element
 	emitted   []*element.Element
-	elements  uint64
+	// emittedCap bounds the retained EMIT-derived elements (0 =
+	// unlimited): at least the most recent emittedCap are kept.
+	emittedCap int
+	elements   uint64
+
+	// gateScratch is the reusable gate evaluation environment; processors
+	// run single-threaded, so one scratch per engine suffices.
+	gateScratch gateEnv
 }
 
 // Option configures an Engine at construction. Policy values implement
@@ -164,16 +180,55 @@ func WithReasoning(ont *reason.Ontology) Option {
 	return optionFunc(func(e *Engine) { e.reasoner = reason.NewReasoner(e.store, ont) })
 }
 
+// WithParallelism sets the ingestion worker count (default 1, the exact
+// serial semantics). With n > 1 the engine micro-batches elements between
+// watermarks and fans rule application out across n workers partitioned
+// by routing key; see ingest.go for the pipeline and its determinism
+// conditions.
+func WithParallelism(n int) Option {
+	if n < 1 {
+		n = 1
+	}
+	return optionFunc(func(e *Engine) { e.parallelism = n })
+}
+
+// WithRoutingKey sets the partitioning key for parallel ingestion: all
+// elements with equal keys are applied by the same worker, in order. The
+// key should identify the state lineage(s) the element's rules touch —
+// typically the entity. The default uses the element's first tuple field
+// (falling back to the stream name), which matches rule sets keyed on the
+// leading field, e.g. REPLACE position(e.visitor) over (visitor, room)
+// tuples.
+func WithRoutingKey(fn func(*element.Element) string) Option {
+	return optionFunc(func(e *Engine) { e.routingKey = fn })
+}
+
+// DefaultEmittedRetention bounds Emitted's buffer unless overridden: a
+// long-running ingest no longer accumulates every derived element forever.
+const DefaultEmittedRetention = 1 << 16
+
+// WithEmittedRetention bounds how many EMIT-derived elements the engine
+// retains for Emitted: at least the most recent n are kept (n <= 0 keeps
+// everything, the historical behavior). Retention only trims the engine's
+// buffer — derived elements still flow to stream processors regardless.
+func WithEmittedRetention(n int) Option {
+	if n < 0 {
+		n = 0
+	}
+	return optionFunc(func(e *Engine) { e.emittedCap = n })
+}
+
 // New returns an engine configured by the given options; with none it
 // uses the StateFirst policy over a fresh in-memory store.
 func New(opts ...Option) *Engine {
 	e := &Engine{
-		policy:    StateFirst,
-		store:     state.NewStore(),
-		watermark: temporal.MinInstant,
-		snapshot:  temporal.MinInstant,
-		outputs:   make(map[string][]*element.Element),
+		policy:      StateFirst,
+		store:       state.NewStore(),
+		parallelism: 1,
+		emittedCap:  DefaultEmittedRetention,
+		snapshot:    temporal.MinInstant,
 	}
+	e.watermark.Store(int64(temporal.MinInstant))
 	for _, o := range opts {
 		o.applyOption(e)
 	}
@@ -231,13 +286,24 @@ func (e *Engine) EnableReasoning(ont *reason.Ontology) *reason.Reasoner {
 func (e *Engine) Reasoner() *reason.Reasoner { return e.reasoner }
 
 // Process feeds one message (element or watermark) through Figure 1.
-// Messages must arrive in timestamp order.
+// Messages must arrive in timestamp order. Under WithParallelism(n > 1)
+// elements buffer until the next watermark (the micro-batch boundary);
+// call Flush to force out a trailing partial batch.
 func (e *Engine) Process(m stream.Message) error {
+	if e.parallelism > 1 {
+		return e.processBuffered(m)
+	}
 	if m.IsWatermark {
 		return e.advance(m.Watermark)
 	}
 	el := m.El
 	e.elements++
+	return e.processElement(el)
+}
+
+// processElement is the serial per-element path: the policy-ordered
+// interleaving of rule application and stream processing.
+func (e *Engine) processElement(el *element.Element) error {
 	switch e.policy {
 	case StateFirst:
 		derived, err := e.applyRules(el)
@@ -271,15 +337,21 @@ func (e *Engine) Process(m stream.Message) error {
 	return nil
 }
 
-// Run drives a whole message batch and returns the first error.
+// Run drives a whole message batch and returns the first error. Under
+// WithParallelism(n > 1) it is the micro-batch driver — elements between
+// watermarks are partitioned across workers — and any trailing partial
+// batch is flushed before returning.
 func (e *Engine) Run(ms []stream.Message) error {
 	for _, m := range ms {
 		if err := e.Process(m); err != nil {
 			return err
 		}
 	}
-	return nil
+	return e.Flush()
 }
+
+// ProcessBatch drives one message batch, exactly as Run.
+func (e *Engine) ProcessBatch(ms []stream.Message) error { return e.Run(ms) }
 
 func (e *Engine) applyRules(el *element.Element) ([]*element.Element, error) {
 	if e.ruleSet == nil {
@@ -289,30 +361,59 @@ func (e *Engine) applyRules(el *element.Element) ([]*element.Element, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.emitted = append(e.emitted, derived...)
+	e.retainEmitted(derived)
 	return derived, nil
 }
 
-func (e *Engine) processStreams(el *element.Element, stateAt temporal.Instant) {
-	// Under the Snapshot policy, reads are pinned along both time axes to
-	// the watermark instant: valid time AND transaction time. Together
-	// with the AdvanceClock call in advance, the pinned transaction time
-	// makes each gate/enrich read resolve against the same consistent
-	// multi-shard state cut, even though each read locks only its own
-	// shard. The other policies read the current belief at the chosen
-	// valid-time instant.
-	readOpts := []state.ReadOpt{state.AsOfValidTime(stateAt)}
-	if e.policy == Snapshot {
-		readOpts = append(readOpts, state.AsOfTransactionTime(stateAt))
+// retainEmitted appends derived elements to the Emitted buffer, enforcing
+// the retention cap.
+func (e *Engine) retainEmitted(derived []*element.Element) {
+	e.emitted = append(e.emitted, derived...)
+	e.trimEmitted()
+}
+
+// trimEmitted enforces the retention cap. The buffer may overshoot to 2x
+// the cap before the oldest elements are dropped, keeping the amortized
+// per-append cost O(1) while always retaining at least the most recent
+// emittedCap elements.
+func (e *Engine) trimEmitted() {
+	if e.emittedCap > 0 && len(e.emitted) > 2*e.emittedCap {
+		n := copy(e.emitted, e.emitted[len(e.emitted)-e.emittedCap:])
+		tail := e.emitted[n:]
+		for i := range tail {
+			tail[i] = nil // release the dropped prefix for GC
+		}
+		e.emitted = e.emitted[:n]
 	}
+}
+
+// readSpec resolves the policy's state-read configuration for processors
+// evaluating with state pinned at stateAt. Under the Snapshot policy,
+// reads are pinned along both time axes to the watermark instant: valid
+// time AND transaction time. Together with the AdvanceClock call in
+// advance, the pinned transaction time makes each gate/enrich read
+// resolve against the same consistent multi-shard state cut, even though
+// each read locks only its own shard. The other policies read the current
+// belief at the chosen valid-time instant.
+func (e *Engine) readSpec(stateAt temporal.Instant) state.ReadSpec {
+	spec := state.ReadSpec{ValidAt: stateAt, HasValidAt: true}
+	if e.policy == Snapshot {
+		spec.TxAt, spec.HasTxAt = stateAt, true
+	}
+	return spec
+}
+
+func (e *Engine) processStreams(el *element.Element, stateAt temporal.Instant) {
+	spec := e.readSpec(stateAt)
 	for _, p := range e.processors {
 		if p.Source != "" && p.Source != el.Stream {
 			continue
 		}
 		p.seen++
 		if p.Gate != nil {
-			env := &gateEnv{el: el, store: e.store, at: stateAt, readOpts: readOpts, reasoner: e.reasoner}
-			ok, err := lang.EvalBool(p.Gate, env)
+			g := &e.gateScratch
+			g.el, g.store, g.at, g.spec, g.reasoner = el, e.store, stateAt, spec, e.reasoner
+			ok, err := lang.EvalBool(p.Gate, g)
 			if err != nil || !ok {
 				p.gated++
 				continue
@@ -320,7 +421,7 @@ func (e *Engine) processStreams(el *element.Element, stateAt temporal.Instant) {
 		}
 		out := el
 		if len(p.Enrich) > 0 {
-			out = p.enrichElement(el, e.store, readOpts)
+			out = p.enrichElement(el, e.store, spec)
 		}
 		p.processed++
 		e.dispatch(p, stream.ElementMsg(out))
@@ -337,7 +438,7 @@ func (e *Engine) dispatch(p *Processor, m stream.Message) {
 	}
 }
 
-func (p *Processor) enrichElement(el *element.Element, st *state.Store, readOpts []state.ReadOpt) *element.Element {
+func (p *Processor) enrichElement(el *element.Element, st *state.Store, read state.ReadSpec) *element.Element {
 	base := el.Tuple.Schema()
 	target := p.enrichSchemas[base]
 	vals := el.Tuple.Values()
@@ -345,8 +446,8 @@ func (p *Processor) enrichElement(el *element.Element, st *state.Store, readOpts
 	for _, spec := range p.Enrich {
 		ent, _ := el.Get(spec.EntityField)
 		v := element.Null
-		if f, ok := st.Find(ent.String(), spec.Attr, readOpts...); ok {
-			v = f.Value
+		if fv, ok := st.FindValue(ent.String(), spec.Attr, read); ok {
+			v = fv
 		}
 		extra = append(extra, v)
 	}
@@ -364,10 +465,10 @@ func (p *Processor) enrichElement(el *element.Element, st *state.Store, readOpts
 }
 
 func (e *Engine) advance(wm temporal.Instant) error {
-	if wm <= e.watermark {
+	if wm <= e.Watermark() {
 		return nil
 	}
-	e.watermark = wm
+	e.watermark.Store(int64(wm))
 	if e.ruleSet != nil {
 		e.ruleSet.AdvanceTo(wm)
 	}
@@ -385,8 +486,11 @@ func (e *Engine) advance(wm temporal.Instant) error {
 	return nil
 }
 
-// Watermark reports the engine's current watermark.
-func (e *Engine) Watermark() temporal.Instant { return e.watermark }
+// Watermark reports the engine's current watermark. It is safe to call
+// concurrently with ingestion (on-demand Query anchors now() on it).
+func (e *Engine) Watermark() temporal.Instant {
+	return temporal.Instant(e.watermark.Load())
+}
 
 // Output returns the elements collected for the named processor.
 func (e *Engine) Output(processor string) []*element.Element {
@@ -417,7 +521,7 @@ func (e *Engine) ElementsIn() uint64 { return e.elements }
 // anchored at the current watermark. WITH INFERENCE consults the attached
 // reasoner.
 func (e *Engine) Query(src string) (*query.Result, error) {
-	ex := &query.Executor{Store: e.store, Reasoner: e.reasoner, Now: e.watermark}
+	ex := &query.Executor{Store: e.store, Reasoner: e.reasoner, Now: e.Watermark()}
 	return ex.Run(src)
 }
 
@@ -438,13 +542,14 @@ func (e *Engine) RegisterStateQuery(name, src string, onUpdate func(*query.Resul
 
 // gateEnv evaluates gate expressions: the element binds as "e" (and under
 // its stream name), state lookups read the store with the policy-chosen
-// read options (valid-time instant, plus a pinned transaction time under
-// Snapshot), augmented by the reasoner when attached.
+// read spec (valid-time instant, plus a pinned transaction time under
+// Snapshot), augmented by the reasoner when attached. The engine reuses
+// one instance (Engine.gateScratch) across elements.
 type gateEnv struct {
 	el       *element.Element
 	store    *state.Store
 	at       temporal.Instant
-	readOpts []state.ReadOpt
+	spec     state.ReadSpec
 	reasoner *reason.Reasoner
 }
 
@@ -461,8 +566,8 @@ func (g *gateEnv) Field(varName, field string) (element.Value, bool) {
 
 // State implements lang.Env.
 func (g *gateEnv) State(attr string, entity element.Value) (element.Value, bool) {
-	if f, ok := g.store.Find(entity.String(), attr, g.readOpts...); ok {
-		return f.Value, true
+	if v, ok := g.store.FindValue(entity.String(), attr, g.spec); ok {
+		return v, true
 	}
 	if g.reasoner != nil {
 		if vals := g.reasoner.HoldsAt(entity.String(), attr, g.at); len(vals) > 0 {

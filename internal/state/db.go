@@ -58,10 +58,16 @@ type StateDB interface {
 // ReadOpt configures a temporal read.
 type ReadOpt func(*readCfg)
 
+// readCfg is the resolved form of a ReadOpt list. Its temporal selectors
+// are value+flag pairs (not pointers) so a cfg can live on the stack of a
+// hot read without forcing the instants to escape.
 type readCfg struct {
-	validAt     *temporal.Instant
-	validDuring *temporal.Interval
-	txAt        *temporal.Instant
+	validAt     temporal.Instant
+	hasValidAt  bool
+	validDuring temporal.Interval
+	hasDuring   bool
+	txAt        temporal.Instant
+	hasTxAt     bool
 	attr        string
 	allVersions bool
 }
@@ -74,17 +80,39 @@ func newReadCfg(opts []ReadOpt) readCfg {
 	return cfg
 }
 
+// ReadSpec is the pre-resolved, allocation-free form of a point-read
+// option list: the engine's per-element reads build one on the stack
+// instead of materializing ReadOpt closures. FindSpec and FindValue accept
+// it directly; the zero ReadSpec reads the open version in the current
+// belief, exactly like Find with no options.
+type ReadSpec struct {
+	// ValidAt selects by valid time when HasValidAt is set.
+	ValidAt    temporal.Instant
+	HasValidAt bool
+	// TxAt pins the belief (transaction time) when HasTxAt is set.
+	TxAt    temporal.Instant
+	HasTxAt bool
+}
+
+// cfg converts the spec to the internal read configuration.
+func (r ReadSpec) cfg() readCfg {
+	return readCfg{
+		validAt: r.ValidAt, hasValidAt: r.HasValidAt,
+		txAt: r.TxAt, hasTxAt: r.HasTxAt,
+	}
+}
+
 // AsOfValidTime selects the version valid at t in the modeled world.
 // Without it, point reads return the open ("until further notice") version.
 func AsOfValidTime(t temporal.Instant) ReadOpt {
-	return func(c *readCfg) { c.validAt = &t }
+	return func(c *readCfg) { c.validAt, c.hasValidAt = t, true }
 }
 
 // AsOfTransactionTime selects the versions the store believed at
 // transaction time tt, making retroactive corrections recorded after tt
 // invisible. Without it, reads see the current belief.
 func AsOfTransactionTime(tt temporal.Instant) ReadOpt {
-	return func(c *readCfg) { c.txAt = &tt }
+	return func(c *readCfg) { c.txAt, c.hasTxAt = tt, true }
 }
 
 // DuringValidTime restricts List to versions whose validity overlaps
@@ -92,7 +120,7 @@ func AsOfTransactionTime(tt temporal.Instant) ReadOpt {
 func DuringValidTime(from, to temporal.Instant) ReadOpt {
 	iv := temporal.NewInterval(from, to)
 	return func(c *readCfg) {
-		c.validDuring = &iv
+		c.validDuring, c.hasDuring = iv, true
 		c.allVersions = true
 	}
 }
@@ -125,6 +153,21 @@ func newWriteCfg(opts []WriteOpt) writeCfg {
 		o(&cfg)
 	}
 	return cfg
+}
+
+// fill copies the resolved options into a write request.
+func (c writeCfg) fill(r *writeReq) {
+	if c.validFrom != nil {
+		r.validFrom, r.hasValidFrom = *c.validFrom, true
+	}
+	if c.validTo != nil {
+		r.validTo, r.hasValidTo = *c.validTo, true
+	}
+	if c.tx != nil {
+		r.tx, r.hasTx = *c.tx, true
+	}
+	r.derived = c.derived
+	r.source = c.source
 }
 
 // WithValidTime sets the start of the write's valid interval. A start
@@ -189,11 +232,9 @@ func (db *DB) List(opts ...ReadOpt) []*element.Fact { return db.s.List(opts...) 
 // Put implements StateDB.
 func (db *DB) Put(entity, attr string, v element.Value, opts ...WriteOpt) error {
 	cfg := newWriteCfg(opts)
-	return db.s.apply(writeReq{
-		entity: entity, attr: attr, value: v,
-		validFrom: cfg.validFrom, validTo: cfg.validTo, tx: cfg.tx,
-		derived: cfg.derived, source: cfg.source,
-	})
+	r := writeReq{entity: entity, attr: attr, value: v}
+	cfg.fill(&r)
+	return db.s.apply(r)
 }
 
 // Delete implements StateDB.

@@ -42,6 +42,10 @@ const (
 	// an explicit valid interval and transaction time.
 	opPutBi
 	opDeleteBi
+	// opPutBatch is a group-committed micro-batch of positional Puts: one
+	// framed record carries every write of the batch (see Store.PutBatch),
+	// so the WAL pays one append per batch instead of one per element.
+	opPutBatch
 )
 
 // logRecord is the wire format of one mutation.
@@ -56,6 +60,8 @@ type logRecord struct {
 	Tx      temporal.Instant // bitemporal transaction time
 	Derived bool
 	Source  string
+	// Puts carries the writes of one opPutBatch frame; empty otherwise.
+	Puts []BatchPut
 }
 
 // NewLog wraps a writer in a mutation log.
@@ -130,6 +136,10 @@ func (l *Log) appendDelete(entity, attr string, w temporal.Interval, tx temporal
 	})
 }
 
+func (l *Log) appendPutBatch(puts []BatchPut) error {
+	return l.append(logRecord{Op: opPutBatch, Puts: puts})
+}
+
 // Replay applies every record from r to the store, in order. The store
 // should be empty (or a snapshot-restored prefix of the log's history).
 // It returns the number of records applied.
@@ -159,14 +169,27 @@ func Replay(r io.Reader, s *Store) (int, error) {
 		case opPutBi:
 			err = s.apply(writeReq{
 				entity: rec.Entity, attr: rec.Attr, value: rec.Value,
-				validFrom: &rec.Start, validTo: &rec.End, tx: &rec.Tx,
+				validFrom: rec.Start, hasValidFrom: true,
+				validTo: rec.End, hasValidTo: true,
+				tx: rec.Tx, hasTx: true,
 				derived: rec.Derived, source: rec.Source,
 			})
 		case opDeleteBi:
 			err = s.apply(writeReq{
 				entity: rec.Entity, attr: rec.Attr, isDelete: true,
-				validFrom: &rec.Start, validTo: &rec.End, tx: &rec.Tx,
+				validFrom: rec.Start, hasValidFrom: true,
+				validTo: rec.End, hasValidTo: true,
+				tx: rec.Tx, hasTx: true,
 			})
+		case opPutBatch:
+			// Replay applies the frame's writes one at a time: the group
+			// commit is a durability optimization, not a semantic unit, and
+			// per-key write order is preserved within the frame.
+			for _, p := range rec.Puts {
+				if err = s.Put(p.Entity, p.Attr, p.Value, p.At); err != nil {
+					break
+				}
+			}
 		default:
 			err = fmt.Errorf("state: unknown op %d", rec.Op)
 		}

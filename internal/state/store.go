@@ -35,8 +35,10 @@ package state
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/element"
 	"repro/internal/temporal"
@@ -130,18 +132,18 @@ func (l *lineage) validAt(t temporal.Instant) *element.Fact {
 
 // pick resolves a point read: the version selected by validAt/txAt.
 func (l *lineage) pick(cfg readCfg) *element.Fact {
-	if cfg.txAt == nil {
-		if cfg.validAt == nil {
+	if !cfg.hasTxAt {
+		if !cfg.hasValidAt {
 			return l.current()
 		}
-		return l.validAt(*cfg.validAt)
+		return l.validAt(cfg.validAt)
 	}
-	tt := *cfg.txAt
+	tt := cfg.txAt
 	matches := func(f *element.Fact) bool {
-		if cfg.validAt == nil {
+		if !cfg.hasValidAt {
 			return f.IsCurrent()
 		}
-		return f.Validity.Contains(*cfg.validAt)
+		return f.Validity.Contains(cfg.validAt)
 	}
 	if l.txOrdered {
 		// Records are ordered by RecordedAt, so the belief at tt lives in
@@ -173,12 +175,12 @@ func (l *lineage) pick(cfg readCfg) *element.Fact {
 }
 
 // believed returns the versions believed at txAt (the current belief when
-// txAt is nil), ordered by validity start.
-func (l *lineage) believed(txAt *temporal.Instant) []*element.Fact {
-	if txAt == nil {
+// hasTxAt is unset), ordered by validity start.
+func (l *lineage) believed(txAt temporal.Instant, hasTxAt bool) []*element.Fact {
+	if !hasTxAt {
 		return l.live
 	}
-	tt := *txAt
+	tt := txAt
 	var out []*element.Fact
 	for _, f := range l.records {
 		if f.VisibleAt(tt) {
@@ -321,13 +323,18 @@ func notifyAll(ws []Watcher, changes []Change) {
 }
 
 // writeReq is one resolved-or-resolvable mutation against a lineage. The
-// option-based and legacy surfaces both funnel into apply.
+// option-based and legacy surfaces both funnel into apply. Like readCfg,
+// its temporal selectors are value+flag pairs so building a request on the
+// hot write path does not heap-allocate the instants.
 type writeReq struct {
 	entity, attr string
 	value        element.Value
-	validFrom    *temporal.Instant // nil: the resolved transaction time
-	validTo      *temporal.Instant // nil: Forever
-	tx           *temporal.Instant // nil: the store's transaction clock
+	validFrom    temporal.Instant // meaningful when hasValidFrom; else the resolved transaction time
+	hasValidFrom bool
+	validTo      temporal.Instant // meaningful when hasValidTo; else Forever
+	hasValidTo   bool
+	tx           temporal.Instant // meaningful when hasTx; else the store's transaction clock
+	hasTx        bool
 	derived      bool
 	source       string
 	isDelete     bool
@@ -358,22 +365,22 @@ func (s *Store) apply(r writeReq) error {
 		// validation or logging fails below: the clock only ever moves
 		// forward.
 		var tx temporal.Instant
-		if r.tx != nil {
-			tx = *r.tx
+		if r.hasTx {
+			tx = r.tx
 		} else {
 			floor := temporal.MinInstant
-			if r.validFrom != nil {
-				floor = *r.validFrom
+			if r.hasValidFrom {
+				floor = r.validFrom
 			}
 			tx = s.clock.reserve(floor)
 		}
 		from := tx
-		if r.validFrom != nil {
-			from = *r.validFrom
+		if r.hasValidFrom {
+			from = r.validFrom
 		}
 		to := temporal.Forever
-		if r.validTo != nil {
-			to = *r.validTo
+		if r.hasValidTo {
+			to = r.validTo
 		}
 		w := temporal.NewInterval(from, to)
 		key := element.FactKey{Entity: r.entity, Attribute: r.attr}
@@ -431,36 +438,7 @@ func (s *Store) apply(r writeReq) error {
 			}
 		}
 		s.clock.observe(tx)
-
-		// Supersede the believed versions the write overlaps, re-recording
-		// the portions outside the write interval as fresh records. Every
-		// superseded version emits one Terminated change: with the left
-		// remnant's closed validity when the write truncates it, with its
-		// original validity when the write covers it entirely.
-		for _, v := range l.overlappingLive(w) {
-			v.SupersededAt = tx
-			l.removeLive(v)
-			sh.versions--
-			var left *element.Fact
-			if v.Validity.Start < w.Start {
-				left = sh.reRecord(l, v, temporal.NewInterval(v.Validity.Start, w.Start), tx)
-			}
-			if w.End < v.Validity.End {
-				sh.reRecord(l, v, temporal.NewInterval(w.End, v.Validity.End), tx)
-			}
-			ev := v.Clone()
-			if left != nil {
-				ev = left.Clone()
-			}
-			changes = append(changes, Change{Kind: Terminated, Fact: ev, At: tx})
-		}
-
-		if put != nil {
-			sh.appendRecord(l, put)
-			l.insertLive(put)
-			sh.versions++
-			changes = append(changes, Change{Kind: Asserted, Fact: put.Clone(), At: w.Start})
-		}
+		changes = sh.commit(l, put, w, tx, changes)
 		return nil
 	}()
 	if err != nil {
@@ -468,6 +446,40 @@ func (s *Store) apply(r writeReq) error {
 	}
 	notifyAll(ws, changes)
 	return nil
+}
+
+// commit mutates one lineage under the shard lock: it supersedes the
+// believed versions the write interval w overlaps — re-recording the
+// portions outside w as fresh records — and inserts put (when non-nil) as
+// a new believed version. Every superseded version appends one Terminated
+// change (with the left remnant's closed validity when the write truncates
+// it, with its original validity when the write covers it entirely); the
+// insert appends one Asserted change. Callers hold sh.mu.
+func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx temporal.Instant, changes []Change) []Change {
+	for _, v := range l.overlappingLive(w) {
+		v.SupersededAt = tx
+		l.removeLive(v)
+		sh.versions--
+		var left *element.Fact
+		if v.Validity.Start < w.Start {
+			left = sh.reRecord(l, v, temporal.NewInterval(v.Validity.Start, w.Start), tx)
+		}
+		if w.End < v.Validity.End {
+			sh.reRecord(l, v, temporal.NewInterval(w.End, v.Validity.End), tx)
+		}
+		ev := v.Clone()
+		if left != nil {
+			ev = left.Clone()
+		}
+		changes = append(changes, Change{Kind: Terminated, Fact: ev, At: tx})
+	}
+	if put != nil {
+		sh.appendRecord(l, put)
+		l.insertLive(put)
+		sh.versions++
+		changes = append(changes, Change{Kind: Asserted, Fact: put.Clone(), At: w.Start})
+	}
+	return changes
 }
 
 // Find returns the version of (entity, attr) selected by the read options:
@@ -489,6 +501,41 @@ func (s *Store) Find(entity, attr string, opts ...ReadOpt) (*element.Fact, bool)
 	return nil, false
 }
 
+// FindSpec is Find with a pre-resolved ReadSpec instead of a ReadOpt list:
+// the same selection semantics without allocating option closures. Hot
+// paths that issue one point read per stream element use it.
+func (s *Store) FindSpec(entity, attr string, spec ReadSpec) (*element.Fact, bool) {
+	sh := s.shardFor(entity, attr)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	l := sh.byKey[element.FactKey{Entity: entity, Attribute: attr}]
+	if l == nil {
+		return nil, false
+	}
+	if f := l.pick(spec.cfg()); f != nil {
+		return f.Clone(), true
+	}
+	return nil, false
+}
+
+// FindValue returns just the value of the version FindSpec would select.
+// Because element.Value is a plain struct, the read allocates nothing: no
+// option closures and no defensive Fact clone. This is the engine's
+// gate/enrichment read.
+func (s *Store) FindValue(entity, attr string, spec ReadSpec) (element.Value, bool) {
+	sh := s.shardFor(entity, attr)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	l := sh.byKey[element.FactKey{Entity: entity, Attribute: attr}]
+	if l == nil {
+		return element.Null, false
+	}
+	if f := l.pick(spec.cfg()); f != nil {
+		return f.Value, true
+	}
+	return element.Null, false
+}
+
 // List returns one selected version per key — or, with AllVersions /
 // DuringValidTime, every matching version — sorted by (attribute, entity,
 // validity start). WithAttribute scopes the scan to one attribute. List is
@@ -506,11 +553,11 @@ func (s *Store) List(opts ...ReadOpt) []*element.Fact {
 			return nil
 		}
 		var out []*element.Fact
-		for _, f := range l.believed(cfg.txAt) {
-			if cfg.validDuring != nil && !f.Validity.Overlaps(*cfg.validDuring) {
+		for _, f := range l.believed(cfg.txAt, cfg.hasTxAt) {
+			if cfg.hasDuring && !f.Validity.Overlaps(cfg.validDuring) {
 				continue
 			}
-			if cfg.validAt != nil && !f.Validity.Contains(*cfg.validAt) {
+			if cfg.hasValidAt && !f.Validity.Contains(cfg.validAt) {
 				continue
 			}
 			out = append(out, f)
@@ -529,10 +576,9 @@ func (s *Store) List(opts ...ReadOpt) []*element.Fact {
 // nothing is believed is a no-op.
 func (s *Store) Delete(entity, attr string, opts ...WriteOpt) error {
 	cfg := newWriteCfg(opts)
-	return s.apply(writeReq{
-		entity: entity, attr: attr, isDelete: true,
-		validFrom: cfg.validFrom, validTo: cfg.validTo, tx: cfg.tx,
-	})
+	r := writeReq{entity: entity, attr: attr, isDelete: true}
+	cfg.fill(&r)
+	return s.apply(r)
 }
 
 // History returns the version history of (entity, attr): by default the
@@ -548,8 +594,8 @@ func (s *Store) History(entity, attr string, opts ...ReadOpt) []*element.Fact {
 	if l == nil {
 		return nil
 	}
-	src := l.believed(cfg.txAt)
-	if cfg.allVersions && cfg.txAt == nil {
+	src := l.believed(cfg.txAt, cfg.hasTxAt)
+	if cfg.allVersions && !cfg.hasTxAt {
 		src = l.records
 	}
 	out := make([]*element.Fact, len(src))
@@ -570,7 +616,7 @@ func (s *Store) History(entity, attr string, opts ...ReadOpt) []*element.Fact {
 func (s *Store) Put(entity, attr string, v element.Value, at temporal.Instant) error {
 	return s.apply(writeReq{
 		entity: entity, attr: attr, value: v,
-		validFrom: &at, tx: &at,
+		validFrom: at, hasValidFrom: true, tx: at, hasTx: true,
 		legacy: true, monotonic: true,
 	})
 }
@@ -589,7 +635,9 @@ func (s *Store) Assert(f *element.Fact) error {
 	}
 	return s.apply(writeReq{
 		entity: f.Entity, attr: f.Attribute, value: f.Value,
-		validFrom: &f.Validity.Start, validTo: &f.Validity.End, tx: &f.Validity.Start,
+		validFrom: f.Validity.Start, hasValidFrom: true,
+		validTo: f.Validity.End, hasValidTo: true,
+		tx: f.Validity.Start, hasTx: true,
 		derived: f.Derived, source: f.Source,
 		legacy: true, monotonic: true, noOverlap: true,
 	})
@@ -604,7 +652,7 @@ func (s *Store) Assert(f *element.Fact) error {
 func (s *Store) Retract(entity, attr string, at temporal.Instant) error {
 	return s.apply(writeReq{
 		entity: entity, attr: attr, isDelete: true,
-		validFrom: &at, tx: &at,
+		validFrom: at, hasValidFrom: true, tx: at, hasTx: true,
 		legacy: true, monotonic: true, requireCurrent: true,
 	})
 }
@@ -759,41 +807,84 @@ func (s *Store) ValiditySet(entity, attr string) *temporal.Set {
 // queries about dropped history. It returns the number of believed
 // versions removed.
 //
-// Compaction sweeps shards one at a time under that shard's write lock —
-// per-lineage atomicity is all it needs — so reads and writes on other
-// shards proceed while it runs.
+// Compaction sweeps shards under their own write locks — per-lineage
+// atomicity is all it needs — so reads and writes on other shards proceed
+// while it runs. Shards are swept on up to GOMAXPROCS workers; use
+// CompactBeforeWithWorkers to bound the sweep explicitly (the engine
+// bounds it with its ingestion parallelism).
 func (s *Store) CompactBefore(t temporal.Instant) int {
+	return s.CompactBeforeWithWorkers(t, runtime.GOMAXPROCS(0))
+}
+
+// CompactBeforeWithWorkers is CompactBefore with an explicit worker
+// bound: shards are swept concurrently on min(workers, shards) goroutines
+// (workers <= 1 sweeps serially, shard by shard). Per-shard sweeps are
+// independent, so the removed count and resulting state do not depend on
+// the worker count.
+func (s *Store) CompactBeforeWithWorkers(t temporal.Instant, workers int) int {
+	if workers > len(s.shards) {
+		workers = len(s.shards)
+	}
+	if workers <= 1 {
+		removed := 0
+		for _, sh := range s.shards {
+			removed += sh.compactBefore(t)
+		}
+		return removed
+	}
+	var (
+		total atomic.Int64
+		next  atomic.Int64
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.shards) {
+					return
+				}
+				total.Add(int64(s.shards[i].compactBefore(t)))
+			}
+		}()
+	}
+	wg.Wait()
+	return int(total.Load())
+}
+
+// compactBefore sweeps one shard under its write lock; see CompactBefore.
+func (sh *shard) compactBefore(t temporal.Instant) int {
 	removed := 0
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		for key, l := range sh.byKey {
-			keptLive := l.live[:0]
-			for _, f := range l.live {
-				if f.Validity.End <= t {
-					removed++
-					sh.versions--
-				} else {
-					keptLive = append(keptLive, f)
-				}
-			}
-			l.live = keptLive
-			keptRecords := l.records[:0]
-			for _, f := range l.records {
-				drop := (!f.Superseded() && f.Validity.End <= t) ||
-					(f.Superseded() && f.SupersededAt <= t)
-				if drop {
-					sh.records--
-				} else {
-					keptRecords = append(keptRecords, f)
-				}
-			}
-			l.records = keptRecords
-			if len(l.records) == 0 {
-				sh.dropLineage(key)
+	sh.mu.Lock()
+	for key, l := range sh.byKey {
+		keptLive := l.live[:0]
+		for _, f := range l.live {
+			if f.Validity.End <= t {
+				removed++
+				sh.versions--
+			} else {
+				keptLive = append(keptLive, f)
 			}
 		}
-		sh.mu.Unlock()
+		l.live = keptLive
+		keptRecords := l.records[:0]
+		for _, f := range l.records {
+			drop := (!f.Superseded() && f.Validity.End <= t) ||
+				(f.Superseded() && f.SupersededAt <= t)
+			if drop {
+				sh.records--
+			} else {
+				keptRecords = append(keptRecords, f)
+			}
+		}
+		l.records = keptRecords
+		if len(l.records) == 0 {
+			sh.dropLineage(key)
+		}
 	}
+	sh.mu.Unlock()
 	return removed
 }
 

@@ -99,6 +99,24 @@ func WithLog(l *Log) Option { return core.WithLog(l) }
 // empty one).
 func WithReasoning(ont *Ontology) Option { return core.WithReasoning(ont) }
 
+// WithParallelism sets the ingestion worker count (default 1 = exact
+// serial semantics). With n > 1 the engine micro-batches elements between
+// watermarks and fans rule application out across n workers partitioned
+// by routing key; processor evaluation and CEP pattern matching stay
+// serial and deterministic. See DESIGN.md "Ingestion pipeline" for the
+// determinism conditions.
+func WithParallelism(n int) Option { return core.WithParallelism(n) }
+
+// WithRoutingKey sets the parallel-ingestion partitioning key: elements
+// with equal keys are applied by one worker, in order. Defaults to the
+// element's first tuple field.
+func WithRoutingKey(fn func(*Element) string) Option { return core.WithRoutingKey(fn) }
+
+// WithEmittedRetention bounds how many EMIT-derived elements the engine
+// retains for Emitted (default core.DefaultEmittedRetention; n <= 0 keeps
+// everything).
+func WithEmittedRetention(n int) Option { return core.WithEmittedRetention(n) }
+
 // Data model.
 type (
 	// Value is a dynamically typed scalar.
@@ -343,6 +361,12 @@ type (
 	Log = state.Log
 	// StoreStats summarizes store occupancy.
 	StoreStats = state.Stats
+	// ReadSpec is the pre-resolved, allocation-free form of a point-read
+	// option list (see Store.FindSpec / Store.FindValue).
+	ReadSpec = state.ReadSpec
+	// BatchPut is one replace-semantics write in a Store.PutBatch group
+	// commit (the micro-batch ingestion write path).
+	BatchPut = state.BatchPut
 	// Ontology holds class/property taxonomies and domain/range axioms.
 	Ontology = reason.Ontology
 	// Reasoner materializes implicit facts over the store.

@@ -174,6 +174,7 @@ func runRegression(scale float64, jsonOut, baselinePath string, tolerance float6
 	failures += checkAllocRegressions(rep, &base, tolerance)
 	failures += checkContentionInvariant(rep)
 	failures += checkIngestScaling(rep)
+	failures += checkScanUnderIngest(rep)
 
 	if failures > 0 {
 		return fmt.Errorf("%d benchmark gate failure(s) vs %s", failures, baselinePath)
@@ -252,6 +253,49 @@ func checkIngestScaling(rep *bench.RegressionReport) int {
 	}
 	fmt.Printf("  %-28s serial/par4 speedup %.2fx (min %.1fx)  %s\n",
 		"e7/ingest", speedup, ingestSpeedupMin, status)
+	return failures
+}
+
+// scanUnderIngestMin is the required lock-all/snapshot latency ratio for
+// wildcard scans racing 4 background writers: the snapshot-epoch read
+// path must be at least this much faster than the retained all-shard
+// read-lock gather. Like the ingest-scaling gate it only engages where
+// readers and writers can truly run in parallel; on fewer CPUs everything
+// time-shares one core and the ratio hovers near 1x, so the gate reports
+// without failing.
+const scanUnderIngestMin = 2.0
+
+// checkScanUnderIngest enforces the lock-free-scan payoff using the
+// same-run snapshot vs lock-all pair — hardware-independent in the same
+// sense as the contention invariant, gated only on >= 4 CPUs.
+func checkScanUnderIngest(rep *bench.RegressionReport) int {
+	byName := make(map[string]bench.Measurement, len(rep.Results))
+	for _, m := range rep.Results {
+		byName[m.Name] = m
+	}
+	snap, ok1 := byName["e7/scan-under-ingest/snapshot"]
+	lockAll, ok2 := byName["e7/scan-under-ingest/lock-all"]
+	if !ok1 || !ok2 || snap.NsPerOp <= 0 {
+		// The rows disappearing means the suite was renamed without
+		// updating this gate — fail rather than silently ungate the
+		// lock-free read path.
+		fmt.Printf("  %-28s MISSING snapshot/lock-all rows\n", "e7/scan-under-ingest")
+		return 1
+	}
+	ratio := lockAll.NsPerOp / snap.NsPerOp
+	if rep.NumCPU < 4 || rep.GoMaxProcs < 4 {
+		fmt.Printf("  %-28s lock-all/snapshot ratio %.2fx (not gated: num_cpu=%d gomaxprocs=%d < 4)\n",
+			"e7/scan-under-ingest", ratio, rep.NumCPU, rep.GoMaxProcs)
+		return 0
+	}
+	status := "ok"
+	failures := 0
+	if ratio < scanUnderIngestMin {
+		status = "LOCK-FREE SCAN REGRESSED"
+		failures++
+	}
+	fmt.Printf("  %-28s lock-all/snapshot ratio %.2fx (min %.1fx)  %s\n",
+		"e7/scan-under-ingest", ratio, scanUnderIngestMin, status)
 	return failures
 }
 

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/element"
+	"repro/internal/query"
+	"repro/internal/state"
+	"repro/internal/temporal"
+)
+
+// Reader latency under concurrent ingest: the snapshot-epoch refactor's
+// target metric. Background writers group-commit replace batches
+// (state.PutBatch, the engine's hot write path) while the measured
+// goroutine runs wildcard scans or on-demand queries. The lock-free read
+// path pins a transaction-time cut and gathers from published heads; the
+// retained ListLockAll baseline holds every shard's read lock for the
+// whole gather, so writers and the scan serialize — the regression gate
+// (cmd/benchrunner) requires the snapshot path to beat it by >= 2x when
+// the machine can actually run readers and writers in parallel.
+
+// ingestLoad runs background replace-batch writers over disjoint key
+// ranges until stopped. Returns a stop function that joins the writers.
+func ingestLoad(st *state.Store, keys, writers int) (stop func()) {
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	per := keys / writers
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			names := make([]string, per)
+			for k := range names {
+				names[k] = fmt.Sprintf("u%05d", w*per+k)
+			}
+			// Start past the seeded history: Put monotonicity is per key,
+			// and every key was seeded with a start at or below keys.
+			at := temporal.Instant(keys + 1)
+			batch := make([]state.BatchPut, 0, 256)
+			for round := int64(0); !done.Load(); round++ {
+				batch = batch[:0]
+				for k := 0; k < per && k < 256; k++ {
+					at++
+					batch = append(batch, state.BatchPut{
+						Entity: names[(int(round)*256+k)%per], Attr: "value",
+						Value: element.Int(round), At: at,
+					})
+				}
+				if err := st.PutBatch(batch); err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	return func() {
+		done.Store(true)
+		wg.Wait()
+	}
+}
+
+// seededScanStore builds the store the under-ingest rows read: one open
+// version per key plus a little superseded history, so scans pay a
+// realistic gather.
+func seededScanStore(keys int) *state.Store {
+	st := state.NewStore()
+	batch := make([]state.BatchPut, 0, 512)
+	flush := func() {
+		if err := st.PutBatch(batch); err != nil {
+			panic(err)
+		}
+		batch = batch[:0]
+	}
+	for i := 0; i < keys; i++ {
+		batch = append(batch, state.BatchPut{
+			Entity: fmt.Sprintf("u%05d", i), Attr: "value",
+			Value: element.Int(int64(i)), At: temporal.Instant(i + 1),
+		})
+		if len(batch) == cap(batch) {
+			flush()
+		}
+	}
+	flush()
+	return st
+}
+
+// scanUnderIngest measures wildcard List latency (ns per scan) while
+// writers ingest, over the lock-free snapshot path or the lock-all
+// baseline.
+func scanUnderIngest(lockAll bool, keys, scans, writers int) time.Duration {
+	st := seededScanStore(keys)
+	stop := ingestLoad(st, keys, writers)
+	defer stop()
+	start := time.Now()
+	for i := 0; i < scans; i++ {
+		if lockAll {
+			st.ListLockAll(state.WithAttribute("value"))
+		} else {
+			st.List(state.WithAttribute("value"))
+		}
+	}
+	return time.Since(start)
+}
+
+// queryUnderIngest measures on-demand temporal query latency while
+// writers ingest: each query pins a fresh snapshot handle (exactly what
+// engine.Query does) and evaluates against that consistent cut.
+func queryUnderIngest(keys, queries, writers int) time.Duration {
+	st := seededScanStore(keys)
+	stop := ingestLoad(st, keys, writers)
+	defer stop()
+	start := time.Now()
+	for i := 0; i < queries; i++ {
+		ex := &query.Executor{Store: st.Snapshot(), Now: temporal.Instant(keys + i)}
+		if _, err := ex.Run("SELECT entity, value FROM value"); err != nil {
+			panic(err)
+		}
+	}
+	return time.Since(start)
+}

@@ -46,6 +46,10 @@ type RegressionReport struct {
 // regressionWorkers is the goroutine count of the parallel rows.
 const regressionWorkers = 8
 
+// underIngestWriters is the background writer count of the
+// scan/query-under-ingest rows (matching the 4-way ingest leg).
+const underIngestWriters = 4
+
 // RegressionSuite measures the state-repository hot paths at the given
 // scale. Rows:
 //
@@ -57,6 +61,8 @@ const regressionWorkers = 8
 //	e7/put-par8/{sharded,single-lock}   8-goroutine parallel Put
 //	e7/ingest-serial             end-to-end Engine.Run, 1 worker (+allocs/op)
 //	e7/ingest-par4, ingest-par8  end-to-end Engine.Run, 4/8 workers
+//	e7/scan-under-ingest/{snapshot,lock-all}  wildcard List racing 4 writers
+//	e7/query-under-ingest        snapshot-pinned queries racing 4 writers
 //	bitemporal/find-current, find-asof-valid, find-systime, history
 //
 // The par8 rows contrast the default sharded store with a 1-shard
@@ -159,6 +165,25 @@ func RegressionSuite(scale float64) *RegressionReport {
 			return elapsed
 		})
 	}
+
+	// Reader-latency-under-ingest rows: wildcard scans and on-demand
+	// queries racing 4 background replace-batch writers. The snapshot row
+	// reads lock-free pinned cuts; the lock-all row is the pre-epoch
+	// all-shard-read-lock gather kept as the contention baseline. The
+	// benchrunner gate requires snapshot >= 2x faster than lock-all on
+	// machines with >= 4 CPUs (reader and writers truly parallel).
+	scanKeys := scaleInt(4_096, scale)
+	scans := scaleInt(600, scale)
+	add("e7/scan-under-ingest/snapshot", scans, func() time.Duration {
+		return scanUnderIngest(false, scanKeys, scans, underIngestWriters)
+	})
+	add("e7/scan-under-ingest/lock-all", scans, func() time.Duration {
+		return scanUnderIngest(true, scanKeys, scans, underIngestWriters)
+	})
+	queries := scaleInt(300, scale)
+	add("e7/query-under-ingest", queries, func() time.Duration {
+		return queryUnderIngest(scanKeys, queries, underIngestWriters)
+	})
 
 	// Bitemporal read rows over a corrected history.
 	bKeys := scaleInt(1_000, scale)

@@ -23,6 +23,7 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/element"
 	"repro/internal/lang"
@@ -137,8 +138,12 @@ type Engine struct {
 	// watermark is read by on-demand Query callers concurrently with
 	// ingestion, hence atomic (it holds a temporal.Instant).
 	watermark atomic.Int64
-	snapshot  temporal.Instant // view instant for the Snapshot policy
-	emitted   []*element.Element
+	// pinned is the snapshot handle taken at the last watermark: the
+	// Snapshot policy's view instant (pinned.At()) and the immutable cut
+	// its gate/enrich reads resolve against. Re-pinned (O(1)) each time
+	// the watermark advances.
+	pinned  *state.Snapshot
+	emitted []*element.Element
 	// emittedCap bounds the retained EMIT-derived elements (0 =
 	// unlimited): at least the most recent emittedCap are kept.
 	emittedCap int
@@ -203,6 +208,29 @@ func WithRoutingKey(fn func(*element.Element) string) Option {
 	return optionFunc(func(e *Engine) { e.routingKey = fn })
 }
 
+// WithAutoCompact schedules per-shard state compaction from ingest
+// progress: once any single shard of the store has accumulated growth new
+// records since its last sweep, the next write to that shard compacts its
+// history older than retain behind the engine's watermark. Only the
+// grown shard is swept — compaction load follows each shard's own write
+// rate instead of store-wide passes — and since compaction publishes
+// fresh lineage heads, in-flight lock-free readers are never blocked by
+// a sweep. Disabled by default; growth <= 0 disables it explicitly.
+func WithAutoCompact(retain time.Duration, growth int) Option {
+	return optionFunc(func(e *Engine) {
+		e.store.SetCompactionPolicy(&state.CompactionPolicy{
+			GrowthThreshold: growth,
+			Horizon: func() temporal.Instant {
+				wm := e.Watermark()
+				if wm == temporal.MinInstant {
+					return temporal.MinInstant
+				}
+				return wm.Add(-retain)
+			},
+		})
+	})
+}
+
 // DefaultEmittedRetention bounds Emitted's buffer unless overridden: a
 // long-running ingest no longer accumulates every derived element forever.
 const DefaultEmittedRetention = 1 << 16
@@ -226,8 +254,8 @@ func New(opts ...Option) *Engine {
 		store:       state.NewStore(),
 		parallelism: 1,
 		emittedCap:  DefaultEmittedRetention,
-		snapshot:    temporal.MinInstant,
 	}
+	e.pinned = e.store.SnapshotAt(temporal.MinInstant)
 	e.watermark.Store(int64(temporal.MinInstant))
 	for _, o := range opts {
 		o.applyOption(e)
@@ -325,13 +353,13 @@ func (e *Engine) processElement(el *element.Element) error {
 			e.processStreams(d, d.Timestamp-1)
 		}
 	case Snapshot:
-		e.processStreams(el, e.snapshot)
+		e.processStreams(el, e.pinned.At())
 		derived, err := e.applyRules(el)
 		if err != nil {
 			return err
 		}
 		for _, d := range derived {
-			e.processStreams(d, e.snapshot)
+			e.processStreams(d, e.pinned.At())
 		}
 	}
 	return nil
@@ -387,14 +415,22 @@ func (e *Engine) trimEmitted() {
 	}
 }
 
+// pointReader is the per-element state read surface gates and enrichment
+// resolve against: the live store under StateFirst/StreamFirst, the
+// watermark-pinned snapshot handle under the Snapshot policy. Both sides
+// are lock-free walks of the published lineage heads.
+type pointReader interface {
+	FindValue(entity, attr string, spec state.ReadSpec) (element.Value, bool)
+}
+
 // readSpec resolves the policy's state-read configuration for processors
 // evaluating with state pinned at stateAt. Under the Snapshot policy,
 // reads are pinned along both time axes to the watermark instant: valid
-// time AND transaction time. Together with the AdvanceClock call in
-// advance, the pinned transaction time makes each gate/enrich read
-// resolve against the same consistent multi-shard state cut, even though
-// each read locks only its own shard. The other policies read the current
-// belief at the chosen valid-time instant.
+// time AND transaction time — the handle's pin. Together with the
+// AdvanceClock call in advance, the pinned transaction time makes each
+// gate/enrich read resolve against the same consistent multi-shard cut.
+// The other policies read the current belief at the chosen valid-time
+// instant.
 func (e *Engine) readSpec(stateAt temporal.Instant) state.ReadSpec {
 	spec := state.ReadSpec{ValidAt: stateAt, HasValidAt: true}
 	if e.policy == Snapshot {
@@ -403,8 +439,21 @@ func (e *Engine) readSpec(stateAt temporal.Instant) state.ReadSpec {
 	return spec
 }
 
+// stateSource selects the point-read surface for the policy: the pinned
+// watermark snapshot for Snapshot (elements AT the watermark peel onto
+// the serial path and write at the pin, which the handle — a pin, not a
+// freeze — correctly exposes to later same-instant reads), the live
+// store otherwise.
+func (e *Engine) stateSource() pointReader {
+	if e.policy == Snapshot {
+		return e.pinned
+	}
+	return e.store
+}
+
 func (e *Engine) processStreams(el *element.Element, stateAt temporal.Instant) {
 	spec := e.readSpec(stateAt)
+	src := e.stateSource()
 	for _, p := range e.processors {
 		if p.Source != "" && p.Source != el.Stream {
 			continue
@@ -412,7 +461,7 @@ func (e *Engine) processStreams(el *element.Element, stateAt temporal.Instant) {
 		p.seen++
 		if p.Gate != nil {
 			g := &e.gateScratch
-			g.el, g.store, g.at, g.spec, g.reasoner = el, e.store, stateAt, spec, e.reasoner
+			g.el, g.store, g.at, g.spec, g.reasoner = el, src, stateAt, spec, e.reasoner
 			ok, err := lang.EvalBool(p.Gate, g)
 			if err != nil || !ok {
 				p.gated++
@@ -421,7 +470,7 @@ func (e *Engine) processStreams(el *element.Element, stateAt temporal.Instant) {
 		}
 		out := el
 		if len(p.Enrich) > 0 {
-			out = p.enrichElement(el, e.store, spec)
+			out = p.enrichElement(el, src, spec)
 		}
 		p.processed++
 		e.dispatch(p, stream.ElementMsg(out))
@@ -438,7 +487,7 @@ func (e *Engine) dispatch(p *Processor, m stream.Message) {
 	}
 }
 
-func (p *Processor) enrichElement(el *element.Element, st *state.Store, read state.ReadSpec) *element.Element {
+func (p *Processor) enrichElement(el *element.Element, st pointReader, read state.ReadSpec) *element.Element {
 	base := el.Tuple.Schema()
 	target := p.enrichSchemas[base]
 	vals := el.Tuple.Values()
@@ -477,12 +526,12 @@ func (e *Engine) advance(wm temporal.Instant) error {
 	}
 	// The Snapshot policy refreshes its view at watermarks (micro-batch
 	// boundary). Advancing the store's transaction clock in step pins the
-	// view across every shard: any later default-clock write commits
-	// strictly after wm, so the watermark-pinned reads below
-	// (AsOfTransactionTime(wm)) observe one consistent multi-shard cut
-	// for the whole micro-batch.
-	e.snapshot = wm
+	// cut across every shard — any later default-clock write commits
+	// strictly after wm — and the engine then takes a fresh O(1) snapshot
+	// handle at the watermark: the micro-batch's gate/enrich reads
+	// resolve against that one immutable multi-shard cut, lock-free.
 	e.store.AdvanceClock(wm)
+	e.pinned = e.store.SnapshotAt(wm)
 	return nil
 }
 
@@ -519,9 +568,12 @@ func (e *Engine) ElementsIn() uint64 { return e.elements }
 
 // Query runs an on-demand query against the state repository, with now()
 // anchored at the current watermark. WITH INFERENCE consults the attached
-// reasoner.
+// reasoner. The query evaluates against a snapshot handle pinned when the
+// call arrives: one consistent cut of every committed write, read without
+// any shard locks — an arbitrarily long analytical query never stalls
+// concurrent ingestion.
 func (e *Engine) Query(src string) (*query.Result, error) {
-	ex := &query.Executor{Store: e.store, Reasoner: e.reasoner, Now: e.Watermark()}
+	ex := &query.Executor{Store: e.store.Snapshot(), Reasoner: e.reasoner, Now: e.Watermark()}
 	return ex.Run(src)
 }
 
@@ -541,13 +593,15 @@ func (e *Engine) RegisterStateQuery(name, src string, onUpdate func(*query.Resul
 }
 
 // gateEnv evaluates gate expressions: the element binds as "e" (and under
-// its stream name), state lookups read the store with the policy-chosen
-// read spec (valid-time instant, plus a pinned transaction time under
-// Snapshot), augmented by the reasoner when attached. The engine reuses
-// one instance (Engine.gateScratch) across elements.
+// its stream name), state lookups read the policy's point-read source —
+// the live store, or the watermark-pinned snapshot handle under Snapshot
+// — with the policy-chosen read spec (valid-time instant, plus a pinned
+// transaction time under Snapshot), augmented by the reasoner when
+// attached. The engine reuses one instance (Engine.gateScratch) across
+// elements.
 type gateEnv struct {
 	el       *element.Element
-	store    *state.Store
+	store    pointReader
 	at       temporal.Instant
 	spec     state.ReadSpec
 	reasoner *reason.Reasoner

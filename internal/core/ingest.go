@@ -136,7 +136,7 @@ func (e *Engine) flushBatch() error {
 	// is invisible to snapshot reads.
 	if e.policy == Snapshot {
 		i := 0
-		for i < len(els) && els[i].Timestamp <= e.snapshot {
+		for i < len(els) && els[i].Timestamp <= e.pinned.At() {
 			if err := e.processElement(els[i]); err != nil {
 				return err
 			}
@@ -281,9 +281,9 @@ func (e *Engine) dispatchElement(el *element.Element, derived []rules.Fired) {
 			e.processStreams(d.El, d.El.Timestamp-1)
 		}
 	case Snapshot:
-		e.processStreams(el, e.snapshot)
+		e.processStreams(el, e.pinned.At())
 		for _, d := range derived {
-			e.processStreams(d.El, e.snapshot)
+			e.processStreams(d.El, e.pinned.At())
 		}
 	}
 }

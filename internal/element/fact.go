@@ -2,6 +2,7 @@ package element
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/temporal"
 )
@@ -19,6 +20,20 @@ import (
 // closes the record's transaction-time interval and inserts replacements,
 // so "what did we believe at tx about validity at vt" stays answerable.
 type Fact struct {
+	// SupersededAt is the transaction time at which a later write
+	// superseded this version; Forever while the version is part of the
+	// store's current belief.
+	//
+	// SupersededAt is the one fact field mutated after the fact has been
+	// published to readers (the state store closes belief intervals in
+	// place). Code that can race a writer — anything reading a fact still
+	// owned by a store rather than a Clone — must go through the atomic
+	// accessors (BeliefEnd, VisibleAt, Superseded, Recorded, Clone) and
+	// writers through MarkSuperseded; direct field access is safe only on
+	// clones and on facts not yet shared. The field is first in the
+	// struct so its offset is 64-bit aligned even on 32-bit platforms,
+	// which the sync/atomic 64-bit operations require.
+	SupersededAt temporal.Instant
 	// Entity identifies the subject, e.g. a visitor id or product id.
 	Entity string
 	// Attribute names the property, e.g. "position" or "class".
@@ -30,10 +45,6 @@ type Fact struct {
 	// RecordedAt is the transaction time at which this version entered the
 	// store (the start of the record's belief interval).
 	RecordedAt temporal.Instant
-	// SupersededAt is the transaction time at which a later write
-	// superseded this version; Forever while the version is part of the
-	// store's current belief.
-	SupersededAt temporal.Instant
 	// Derived marks facts materialized by the reasoner rather than
 	// asserted by state management rules.
 	Derived bool
@@ -61,25 +72,56 @@ func (f *Fact) ValidAt(t temporal.Instant) bool { return f.Validity.Contains(t) 
 // IsCurrent reports whether the fact's validity is still open.
 func (f *Fact) IsCurrent() bool { return f.Validity.IsOpen() }
 
+// BeliefEnd atomically reads SupersededAt. It is the raw accessor behind
+// VisibleAt/Superseded/Recorded for facts that may be shared with a
+// concurrent writer (see the SupersededAt field comment).
+func (f *Fact) BeliefEnd() temporal.Instant {
+	return temporal.Instant(atomic.LoadInt64((*int64)(&f.SupersededAt)))
+}
+
+// MarkSuperseded atomically closes the record's belief interval at tt.
+// The state store calls it under the owning shard's write lock when a
+// later write revises this version; the atomic store pairs with the
+// atomic loads in BeliefEnd so lock-free snapshot readers holding older
+// published heads can race the mutation safely.
+func (f *Fact) MarkSuperseded(tt temporal.Instant) {
+	atomic.StoreInt64((*int64)(&f.SupersededAt), int64(tt))
+}
+
 // Recorded returns the transaction-time interval [RecordedAt, SupersededAt)
 // over which the store believed this version.
 func (f *Fact) Recorded() temporal.Interval {
-	return temporal.NewInterval(f.RecordedAt, f.SupersededAt)
+	return temporal.NewInterval(f.RecordedAt, f.BeliefEnd())
 }
 
 // Superseded reports whether a later write has revised this version out of
 // the store's current belief.
-func (f *Fact) Superseded() bool { return f.SupersededAt != temporal.Forever }
+func (f *Fact) Superseded() bool { return f.BeliefEnd() != temporal.Forever }
 
 // VisibleAt reports whether the version was part of the store's belief at
 // transaction time tt.
 func (f *Fact) VisibleAt(tt temporal.Instant) bool {
-	return f.RecordedAt <= tt && tt < f.SupersededAt
+	return f.RecordedAt <= tt && tt < f.BeliefEnd()
 }
 
-// Clone returns an independent copy of the fact.
+// Copy returns an independent value copy of the fact. The copy is built
+// field by field (not by struct assignment) so the SupersededAt read is
+// atomic: copying a store-owned fact may race the write that supersedes
+// it. Returning a value lets scan loops reuse one scratch Fact without
+// allocating per candidate.
+func (f *Fact) Copy() Fact {
+	return Fact{
+		Entity: f.Entity, Attribute: f.Attribute, Value: f.Value,
+		Validity: f.Validity, RecordedAt: f.RecordedAt,
+		SupersededAt: f.BeliefEnd(),
+		Derived:      f.Derived, Source: f.Source,
+	}
+}
+
+// Clone returns an independent copy of the fact, with the same atomic
+// SupersededAt read as Copy.
 func (f *Fact) Clone() *Fact {
-	c := *f
+	c := f.Copy()
 	return &c
 }
 

@@ -418,10 +418,15 @@ func (q *Query) hasLabel(name string) bool {
 	return false
 }
 
-// Executor runs queries against a store, optionally consulting a reasoner
-// for WITH INFERENCE queries.
+// Executor runs queries against a state reader, optionally consulting a
+// reasoner for WITH INFERENCE queries.
 type Executor struct {
-	Store *state.Store
+	// Store is the temporal read surface the query scans: the live store,
+	// its DB adapter, or — the recommended source for queries that may
+	// run concurrently with ingestion — a pinned state.Snapshot handle,
+	// which evaluates the whole query against one consistent lock-free
+	// cut (engine.Query and the HTTP server pin one per query).
+	Store state.Reader
 	// Reasoner may be nil; WITH INFERENCE queries then fail.
 	Reasoner *reason.Reasoner
 	// Now anchors now() in temporal expressions.
@@ -747,7 +752,7 @@ func (e *Executor) orderAndLimit(q *Query, res *Result) {
 type rowEnv struct {
 	fact  *element.Fact
 	now   temporal.Instant
-	store *state.Store
+	store state.Reader
 	tx    *temporal.Instant // SYSTEM TIME belief instant; nil = current
 }
 

@@ -71,6 +71,22 @@ func (c *Client) ValidAt(entity, attr string, t temporal.Instant) (*element.Fact
 	return c.fact(fmt.Sprintf("%s/fact?entity=%s&attr=%s&at=%d", c.BaseURL, entity, attr, int64(t)))
 }
 
+// AsOf fetches the version of (entity, attr) the remote store believed at
+// transaction time systime about valid time at — the wire form of a
+// state.AsOfValidTime + state.AsOfTransactionTime read. Retroactive
+// corrections the remote store recorded after systime are invisible.
+func (c *Client) AsOf(entity, attr string, at, systime temporal.Instant) (*element.Fact, bool, error) {
+	return c.fact(fmt.Sprintf("%s/fact?entity=%s&attr=%s&at=%d&systime=%d",
+		c.BaseURL, entity, attr, int64(at), int64(systime)))
+}
+
+// CurrentAsOf fetches the open version of (entity, attr) as believed at
+// transaction time systime (no valid-time selector).
+func (c *Client) CurrentAsOf(entity, attr string, systime temporal.Instant) (*element.Fact, bool, error) {
+	return c.fact(fmt.Sprintf("%s/fact?entity=%s&attr=%s&systime=%d",
+		c.BaseURL, entity, attr, int64(systime)))
+}
+
 func (c *Client) fact(url string) (*element.Fact, bool, error) {
 	resp, err := c.http().Get(url)
 	if err != nil {
@@ -92,6 +108,15 @@ func (c *Client) fact(url string) (*element.Fact, bool, error) {
 		temporal.NewInterval(temporal.Instant(fr.Fact.Start), temporal.Instant(fr.Fact.End)))
 	f.Derived = fr.Fact.Derived
 	f.Source = fr.Fact.Source
+	// The current wire format always carries the transaction-time
+	// interval, and a found point read's superseded is always Forever
+	// (pinned reads restore post-pin supersessions to open), never 0. A
+	// zero therefore means the payload predates the bitemporal fields —
+	// keep NewFact's defaults rather than fabricating an empty belief.
+	if fr.Fact.Superseded != 0 {
+		f.RecordedAt = temporal.Instant(fr.Fact.Recorded)
+		f.SupersededAt = temporal.Instant(fr.Fact.Superseded)
+	}
 	return f, true, nil
 }
 

@@ -12,10 +12,21 @@
 //
 // Endpoints:
 //
-//	POST /query        {"query": "SELECT ..."}        → {"columns": [...], "rows": [[...]]}
-//	GET  /fact?entity=E&attr=A[&at=NANOS]             → {"found": true, "fact": {...}}
-//	GET  /stats                                       → {"keys": n, "versions": n, ...}
-//	GET  /healthz                                     → 200 ok
+//	POST /query        {"query": "SELECT ..."}          → {"columns": [...], "rows": [[...]]}
+//	GET  /fact?entity=E&attr=A[&at=NANOS][&systime=NANOS] → {"found": true, "fact": {...}}
+//	GET  /stats                                         → {"keys": n, "versions": n, ...}
+//	GET  /healthz                                       → 200 ok
+//
+// Both read endpoints are bitemporal: `at` selects by valid time and
+// `systime` pins the belief (transaction time) — the wire form of
+// state.AsOfTransactionTime, so remote callers can ask "what did this
+// store believe at tt" and retroactive corrections recorded after tt
+// stay invisible. Queries may equivalently use the SYSTEM TIME ASOF
+// clause. Queries are served from a snapshot handle pinned on arrival —
+// one consistent lock-free cut, so remote analytical reads never stall
+// the engine ingesting into the same store — while point reads resolve
+// against the atomically published head of their single lineage, which
+// needs no cross-shard pin.
 package server
 
 import (
@@ -139,7 +150,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	ex := &query.Executor{Store: s.store, Reasoner: s.reasoner, Now: s.now()}
+	// Pin one consistent cut for the whole query: the evaluation takes no
+	// shard locks, so a slow remote query cannot stall local writers.
+	ex := &query.Executor{Store: s.store.Snapshot(), Reasoner: s.reasoner, Now: s.now()}
 	res, err := ex.Run(req.Query)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
@@ -156,20 +169,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// wireFact is the JSON encoding of a fact.
+// wireFact is the JSON encoding of a fact. Recorded and Superseded carry
+// the transaction-time interval, so remote callers can audit when the
+// version entered the belief and when (if ever) a correction revised it.
 type wireFact struct {
-	Entity    string    `json:"entity"`
-	Attribute string    `json:"attribute"`
-	Value     wireValue `json:"value"`
-	Start     int64     `json:"start"`
-	End       int64     `json:"end"`
-	Derived   bool      `json:"derived,omitempty"`
-	Source    string    `json:"source,omitempty"`
+	Entity     string    `json:"entity"`
+	Attribute  string    `json:"attribute"`
+	Value      wireValue `json:"value"`
+	Start      int64     `json:"start"`
+	End        int64     `json:"end"`
+	Recorded   int64     `json:"recorded"`
+	Superseded int64     `json:"superseded"`
+	Derived    bool      `json:"derived,omitempty"`
+	Source     string    `json:"source,omitempty"`
 }
 
 type factResponse struct {
 	Found bool      `json:"found"`
 	Fact  *wireFact `json:"fact,omitempty"`
+}
+
+// instantParam parses an optional int64 nanosecond query parameter.
+func instantParam(r *http.Request, name string) (temporal.Instant, bool, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, false, nil
+	}
+	n, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad %s: %w", name, err)
+	}
+	return temporal.Instant(n), true, nil
 }
 
 func (s *Server) handleFact(w http.ResponseWriter, r *http.Request) {
@@ -179,23 +209,33 @@ func (s *Server) handleFact(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "entity and attr are required", http.StatusBadRequest)
 		return
 	}
-	var f *element.Fact
-	var ok bool
-	if atStr := r.URL.Query().Get("at"); atStr != "" {
-		at, err := strconv.ParseInt(atStr, 10, 64)
-		if err != nil {
-			http.Error(w, "bad at: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		f, ok = s.store.ValidAt(entity, attr, temporal.Instant(at))
-	} else {
-		f, ok = s.store.Current(entity, attr)
+	at, hasAt, err := instantParam(r, "at")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
+	systime, hasSystime, err := instantParam(r, "systime")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var opts []state.ReadOpt
+	if hasAt {
+		opts = append(opts, state.AsOfValidTime(at))
+	}
+	if hasSystime {
+		opts = append(opts, state.AsOfTransactionTime(systime))
+	}
+	// A point read resolves against one atomically published head: it
+	// needs no cross-shard snapshot pin, so skip the barrier Snapshot()
+	// would run.
+	f, ok := s.store.Find(entity, attr, opts...)
 	resp := factResponse{Found: ok}
 	if ok {
 		resp.Fact = &wireFact{
 			Entity: f.Entity, Attribute: f.Attribute, Value: toWire(f.Value),
 			Start: int64(f.Validity.Start), End: int64(f.Validity.End),
+			Recorded: int64(f.RecordedAt), Superseded: int64(f.SupersededAt),
 			Derived: f.Derived, Source: f.Source,
 		}
 	}
@@ -209,6 +249,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"versions":   st.Versions,
 		"current":    st.Current,
 		"attributes": st.Attributes,
+		"records":    st.Records,
+		"superseded": st.Superseded,
+		"shards":     st.Shards,
 	})
 }
 

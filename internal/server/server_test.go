@@ -204,3 +204,67 @@ func TestNowAnchorsCurrentQueries(t *testing.T) {
 		t.Fatalf("default now should see latest state: %v", res.Rows)
 	}
 }
+
+// TestTransactionTimeOverTheWire covers the remote SYSTEM TIME surface:
+// the /fact systime parameter and the SYSTEM TIME ASOF query clause must
+// both serve past beliefs — a retroactive correction recorded later stays
+// invisible at the earlier belief instant — from a snapshot handle pinned
+// per request.
+func TestTransactionTimeOverTheWire(t *testing.T) {
+	st := state.NewStore()
+	db := st.DB()
+	if err := db.Put("ann", "position", element.String("hall"),
+		state.WithValidTime(10), state.WithTransactionTime(10)); err != nil {
+		t.Fatal(err)
+	}
+	// Retroactive correction recorded at 50: ann was in the vault over
+	// [12, 18) all along.
+	if err := db.Put("ann", "position", element.String("vault"),
+		state.WithValidTime(12), state.WithEndValidTime(18),
+		state.WithTransactionTime(50)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(st, nil))
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	// Current belief about valid time 15: the correction.
+	f, ok, err := client.ValidAt("ann", "position", 15)
+	if err != nil || !ok || f.Value.MustString() != "vault" {
+		t.Fatalf("current belief: %v %v %v", f, ok, err)
+	}
+	// Belief at transaction time 30 about valid time 15: pre-correction.
+	f, ok, err = client.AsOf("ann", "position", 15, 30)
+	if err != nil || !ok || f.Value.MustString() != "hall" {
+		t.Fatalf("belief-at-30: %v %v %v", f, ok, err)
+	}
+	// The belief interval comes back as the belief at 30 knew it: the
+	// supersession recorded at 50 was not yet part of that cut, so the
+	// record is open (pinned reads are self-contained and repeatable).
+	if f.RecordedAt != 10 || f.SupersededAt != temporal.Forever {
+		t.Fatalf("wire fact transaction-time interval: %v", f.Recorded())
+	}
+	// Open version as believed at 30.
+	f, ok, err = client.CurrentAsOf("ann", "position", 30)
+	if err != nil || !ok || f.Value.MustString() != "hall" {
+		t.Fatalf("current-as-of-30: %v %v %v", f, ok, err)
+	}
+	// Belief before anything was recorded.
+	if _, ok, err = client.CurrentAsOf("ann", "position", 5); err != nil || ok {
+		t.Fatalf("belief-at-5 should be empty, got found=%v err=%v", ok, err)
+	}
+	// The composable query clause over the wire agrees.
+	res, err := client.Query("SELECT value FROM position ASOF 15 SYSTEM TIME ASOF 30")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].MustString() != "hall" {
+		t.Fatalf("SYSTEM TIME query: %v %v", res, err)
+	}
+	// Malformed systime is a 400, not a silent current-belief read.
+	resp, err := http.Get(srv.URL + "/fact?entity=ann&attr=position&systime=nonsense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad systime: status %d", resp.StatusCode)
+	}
+}

@@ -303,7 +303,7 @@ func TestLegacyPutStillMonotonic(t *testing.T) {
 
 func assertBitemporalEqual(t *testing.T, want, got *Store) {
 	t.Helper()
-	wf, gf := want.allRecords(), got.allRecords()
+	wf, gf := want.allRecordsAt(want.clock.now()), got.allRecordsAt(got.clock.now())
 	if len(wf) != len(gf) {
 		t.Fatalf("record count: want %d got %d", len(wf), len(gf))
 	}

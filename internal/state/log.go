@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"repro/internal/element"
 	"repro/internal/temporal"
@@ -227,11 +228,18 @@ type snapshotRecord struct {
 // versions superseded by retroactive corrections, so transaction-time
 // queries survive recovery. A snapshot plus the log suffix written after
 // it reconstructs the store; snapshots are the compaction mechanism for
-// the log. The record set is one consistent cut: allRecords holds every
-// shard's read lock while gathering.
+// the log. The record set is one consistent cut pinned at the transaction
+// clock's high-water mark, gathered lock-free from the published heads —
+// serializing a large store no longer stalls writers.
 func (s *Store) WriteSnapshot(w io.Writer) error {
+	return s.writeSnapshotAt(w, s.pinBarrier())
+}
+
+// writeSnapshotAt serializes the cut believed at tt (Snapshot.WriteTo
+// pins a handle's instant; WriteSnapshot pins the clock).
+func (s *Store) writeSnapshotAt(w io.Writer, tt temporal.Instant) error {
 	enc := gob.NewEncoder(w)
-	facts := s.allRecords()
+	facts := s.allRecordsAt(tt)
 	if err := enc.Encode(len(facts)); err != nil {
 		return fmt.Errorf("state: snapshot header: %w", err)
 	}
@@ -249,13 +257,16 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 	return nil
 }
 
-// allRecords clones every record — believed and superseded — in
-// deterministic key order, preserving per-lineage recording order. It
-// reads one consistent cut across all shards.
-func (s *Store) allRecords() []*element.Fact {
-	s.rlockAll()
-	defer s.runlockAll()
-	return s.scanAllLocked(func(l *lineage) []*element.Fact { return l.records })
+// allRecordsAt clones every record of the cut believed at tt, in
+// deterministic key order, preserving per-lineage recording order. The
+// gather is lock-free and the per-lineage cut reconstruction is
+// recordsAt's: records recorded after the pin are excluded, and a belief
+// interval closed after the pin is restored to open — the clone set is
+// exactly the bitemporal state as of tt.
+func (s *Store) allRecordsAt(tt temporal.Instant) []*element.Fact {
+	return s.scanAll(func(h *head, out []*element.Fact) []*element.Fact {
+		return recordsAt(h, tt, out)
+	})
 }
 
 // ReadSnapshot loads a snapshot into an empty store.
@@ -285,23 +296,52 @@ func ReadSnapshot(r io.Reader, s *Store) error {
 
 // loadRecord inserts a record during snapshot load, bypassing the log and
 // watchers. Records arrive in per-lineage recording order; believed ones
-// additionally join the live index, which must stay disjoint.
+// additionally join the belief slices, which must stay disjoint. Each
+// record publishes a successor head, exactly like a live mutation.
 func (s *Store) loadRecord(f *element.Fact) error {
 	sh := s.shardFor(f.Entity, f.Attribute)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	l := sh.lineage(f.Key(), true)
-	sh.appendRecord(l, f)
+	h := l.head.Load()
+	nh := &head{txOrdered: h.txOrdered, maxTx: h.maxTx}
+	if n := len(h.records); n > 0 && f.RecordedAt < h.records[n-1].RecordedAt {
+		nh.txOrdered = false
+	}
+	if f.RecordedAt > nh.maxTx {
+		nh.maxTx = f.RecordedAt
+	}
+	nh.records = append(h.records, f)
+	sh.records.Add(1)
 	s.clock.observe(f.RecordedAt)
 	if f.Superseded() {
 		s.clock.observe(f.SupersededAt)
+		if f.SupersededAt > nh.maxTx {
+			nh.maxTx = f.SupersededAt
+		}
+		nh.closed, nh.open = h.closed, h.open
+		l.head.Store(nh)
 		return nil
 	}
-	if over := l.overlappingLive(f.Validity); len(over) > 0 {
+	if over := h.overlappingLive(f.Validity); len(over) > 0 {
+		nh.closed, nh.open = h.closed, h.open
+		l.head.Store(nh)
 		return fmt.Errorf("state: snapshot version disorder for %s: %s overlaps %s",
 			f.Key(), f.Validity, over[0].Validity)
 	}
-	l.insertLive(f)
-	sh.versions++
+	if f.IsCurrent() {
+		nh.closed, nh.open = h.closed, f
+	} else {
+		i := sort.Search(len(h.closed), func(k int) bool {
+			return h.closed[k].Validity.Start >= f.Validity.Start
+		})
+		nc := make([]*element.Fact, 0, len(h.closed)+1)
+		nc = append(nc, h.closed[:i]...)
+		nc = append(nc, f)
+		nc = append(nc, h.closed[i:]...)
+		nh.closed, nh.open = nc, h.open
+	}
+	sh.versions.Add(1)
+	l.head.Store(nh)
 	return nil
 }

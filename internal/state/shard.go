@@ -1,22 +1,32 @@
 // Shard layout of the state repository. The store hash-partitions its
-// lineages into a power-of-two array of shards, each owning its mutex,
-// lineage map, attribute index, and occupancy counters, so mutations and
-// point reads of unrelated lineages never contend on a lock. The shard of
-// a lineage is fixed by an FNV-1a hash of its `entity#attribute` key, the
-// same key that names the lineage everywhere else.
+// lineages into a power-of-two array of shards; the shard of a lineage is
+// fixed by an FNV-1a hash of its `entity#attribute` key, the same key
+// that names the lineage everywhere else.
+//
+// Since the snapshot-epoch refactor the shard lock serializes WRITERS
+// only. Every lineage publishes an immutable head (see head in store.go)
+// through an atomic pointer, and each shard publishes an immutable
+// lineage directory (pubIndex) the same way, so the read side never
+// takes a shard lock for the data itself.
 //
 // Locking protocol:
 //
-//   - Point operations (Find, Put, Delete, History, ValiditySet, and the
-//     positional wrappers) lock exactly one shard.
-//   - Cross-shard reads that must observe one consistent cut (List, Scan,
-//     Stats, WriteSnapshot) read-lock every shard in index order, gather,
-//     then release. Index-ordered acquisition makes the all-shard lock
-//     compose safely with itself and with single-shard locking: no path
-//     acquires a lower-indexed shard while holding a higher-indexed one.
-//   - Maintenance sweeps (CompactBefore, DropDerived) walk shards one at
-//     a time under that shard's write lock; they need per-lineage
-//     atomicity only, so they avoid a stop-the-world pause.
+//   - Mutations (apply, PutBatch, compaction sweeps, DropDerived,
+//     loadRecord) take the owning shard's write lock: the lock orders
+//     writers of the same shard; readers are ordered by the atomic head
+//     publication instead.
+//   - Point reads (Find/FindSpec/FindValue, History, ValiditySet, and
+//     the positional wrappers) take the shard's read lock ONLY for the
+//     byKey map lookup — an O(1) critical section — then release it and
+//     walk the published head lock-free. A writer therefore never waits
+//     on a reader for longer than one map probe.
+//   - Cross-shard reads (List, Scan, Stats, WriteSnapshot, Snapshot
+//     handles) acquire NO shard locks at all: they pin a transaction-time
+//     instant from the clock, load each shard's published directory and
+//     each lineage's published head, and filter by belief visibility at
+//     the pin. See "Snapshot epochs" in DESIGN.md for the protocol and
+//     its memory model. ListLockAll retains the pre-epoch all-shard
+//     read-lock gather purely as a benchmark baseline.
 //
 // The transaction clock and the WAL are intentionally not sharded: the
 // clock is a single atomic high-water mark (see txclock.go) and the log
@@ -27,73 +37,95 @@ package state
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/element"
-	"repro/internal/temporal"
 )
 
 // shard owns one partition of the store's lineages.
 type shard struct {
-	mu     sync.RWMutex
-	byKey  map[element.FactKey]*lineage
-	byAttr map[string]map[string]*lineage // attribute → entity → lineage
+	// mu serializes mutators of this shard and guards byKey. Readers use
+	// it only for the O(1) byKey probe of point reads; the scan paths
+	// never take it.
+	mu    sync.RWMutex
+	byKey map[element.FactKey]*lineage
+
+	// pub is the published, immutable lineage directory for lock-free
+	// cross-shard readers. Swapped copy-on-write under mu whenever the
+	// shard's key set changes (new lineage, compaction drop) — never on
+	// ordinary writes, which only swap the touched lineage's head.
+	pub atomic.Pointer[pubIndex]
+
 	// versions counts believed (live) versions, records all records
-	// including superseded ones; both are guarded by mu and summed across
-	// shards by Stats.
-	versions int
-	records  int
+	// including superseded ones. Atomics so Stats sums them without the
+	// historical all-shard lock.
+	versions atomic.Int64
+	records  atomic.Int64
+
+	// growth counts records appended since this shard's last compaction
+	// sweep; the per-shard compaction scheduler (Store.maybeCompact)
+	// triggers a sweep of just this shard once it crosses the policy
+	// threshold.
+	growth atomic.Int64
 }
 
-// lineage returns the shard's lineage for key, creating it when create is
-// set. Callers hold the shard's write lock (or its read lock when create
-// is false).
+// pubIndex is a shard's published lineage directory: attribute → lineages
+// (unordered; cross-shard gathers sort their output) plus the total count.
+// A pubIndex and the slices it holds are immutable once published —
+// inserts append beyond every published length and swap a fresh index.
+type pubIndex struct {
+	byAttr map[string][]*lineage
+	n      int
+}
+
+// emptyPub is the directory of a freshly created shard.
+var emptyPub = &pubIndex{byAttr: map[string][]*lineage{}}
+
+// lineage returns the shard's lineage for key, creating (and publishing)
+// it when create is set. Callers hold the shard's write lock; callers
+// holding only the read lock must pass create=false.
 func (sh *shard) lineage(key element.FactKey, create bool) *lineage {
 	l := sh.byKey[key]
 	if l == nil && create {
-		l = &lineage{key: key, txOrdered: true}
+		l = &lineage{key: key}
+		l.head.Store(emptyHead)
 		sh.byKey[key] = l
-		ents := sh.byAttr[key.Attribute]
-		if ents == nil {
-			ents = make(map[string]*lineage)
-			sh.byAttr[key.Attribute] = ents
-		}
-		ents[key.Entity] = l
+		sh.publishInsert(l)
 	}
 	return l
 }
 
-// appendRecord appends to the lineage's record history, keeping the
-// shard's counters and the RecordedAt-ordering flag current.
-func (sh *shard) appendRecord(l *lineage, f *element.Fact) {
-	if n := len(l.records); n > 0 && f.RecordedAt < l.records[n-1].RecordedAt {
-		l.txOrdered = false
-	}
-	l.records = append(l.records, f)
-	sh.records++
+// get probes the shard's key map under the read lock — the only lock a
+// point read takes, released before the head is walked.
+func (sh *shard) get(key element.FactKey) *lineage {
+	sh.mu.RLock()
+	l := sh.byKey[key]
+	sh.mu.RUnlock()
+	return l
 }
 
-// reRecord inserts a trimmed replacement for a superseded version: same
-// value and provenance, validity iv, recorded at tx.
-func (sh *shard) reRecord(l *lineage, v *element.Fact, iv temporal.Interval, tx temporal.Instant) *element.Fact {
-	c := v.Clone()
-	c.Validity = iv
-	c.RecordedAt = tx
-	c.SupersededAt = temporal.Forever
-	sh.appendRecord(l, c)
-	l.insertLive(c)
-	sh.versions++
-	return c
+// publishInsert adds a new lineage to the published directory: the outer
+// map is copied (O(#attributes)), the touched attribute's slice is
+// extended by shared-backing append (readers of older indexes only ever
+// touch their own published length). Callers hold sh.mu.
+func (sh *shard) publishInsert(l *lineage) {
+	old := sh.pub.Load()
+	nm := make(map[string][]*lineage, len(old.byAttr)+1)
+	for a, ls := range old.byAttr {
+		nm[a] = ls
+	}
+	nm[l.key.Attribute] = append(old.byAttr[l.key.Attribute], l)
+	sh.pub.Store(&pubIndex{byAttr: nm, n: old.n + 1})
 }
 
-// dropLineage removes an emptied lineage from the shard's indexes.
-func (sh *shard) dropLineage(key element.FactKey) {
-	delete(sh.byKey, key)
-	if ents := sh.byAttr[key.Attribute]; ents != nil {
-		delete(ents, key.Entity)
-		if len(ents) == 0 {
-			delete(sh.byAttr, key.Attribute)
-		}
+// publishRebuild re-derives the published directory from byKey after
+// lineage removals (compaction, DropDerived). Callers hold sh.mu.
+func (sh *shard) publishRebuild() {
+	nm := make(map[string][]*lineage, len(sh.byKey))
+	for key, l := range sh.byKey {
+		nm[key.Attribute] = append(nm[key.Attribute], l)
 	}
+	sh.pub.Store(&pubIndex{byAttr: nm, n: len(sh.byKey)})
 }
 
 // FNV-1a parameters (64-bit).
@@ -162,7 +194,9 @@ func nextPowerOfTwo(n int) int {
 }
 
 // rlockAll / runlockAll acquire and release every shard's read lock in
-// index order, giving cross-shard readers one consistent cut.
+// index order. Since the snapshot-epoch refactor no production read path
+// uses them; they survive for ListLockAll, the lock-all contention
+// baseline the scan-under-ingest benchmark gate compares against.
 func (s *Store) rlockAll() {
 	for _, sh := range s.shards {
 		sh.mu.RLock()

@@ -1,0 +1,184 @@
+// Snapshot handles: cheap immutable views over one consistent cut of the
+// whole store, pinned at a transaction-clock instant.
+//
+// The snapshot-epoch protocol has no freeze step. Every lineage publishes
+// an immutable head through an atomic pointer (see head in store.go) and
+// every record carries its belief interval [RecordedAt, SupersededAt), so
+// "the cut at transaction time T" is fully determined by T alone: a
+// handle is just {store, T}. Readers load whatever heads are current and
+// filter by visibility at T — records committed after the pin carry later
+// transaction times and drop out, belief intervals closed after the pin
+// still satisfy SupersededAt > T. Old heads a reader has already loaded
+// stay alive by ordinary garbage collection until every such reader
+// drains; nothing blocks, nothing is copied, and writers never wait.
+//
+// The one caveat, inherited from the bitemporal model itself: a writer
+// that pins an explicit transaction time at or before an in-flight pin
+// (WithTransactionTime, or the positional surface's application times)
+// can commit "into" an already-pinned cut. Default-clock writes cannot —
+// the clock reserve makes their transaction times strictly later than
+// every instant already handed to a reader.
+package state
+
+import (
+	"io"
+
+	"repro/internal/element"
+	"repro/internal/temporal"
+)
+
+// Reader is the read-only temporal query surface shared by the live
+// store, the bitemporal DB adapter, and pinned snapshot handles. The
+// query layer (internal/query) evaluates against a Reader, so on-demand
+// queries can run on a snapshot handle — off the lock path entirely —
+// while the engine keeps ingesting.
+type Reader interface {
+	// Find returns the version of (entity, attr) selected by the read
+	// options.
+	Find(entity, attr string, opts ...ReadOpt) (*element.Fact, bool)
+	// List returns one selected version per key — or every matching
+	// version with AllVersions/DuringValidTime — sorted by (attribute,
+	// entity, validity start).
+	List(opts ...ReadOpt) []*element.Fact
+}
+
+var (
+	_ Reader = (*Store)(nil)
+	_ Reader = (*DB)(nil)
+	_ Reader = (*Snapshot)(nil)
+)
+
+// Snapshot is an immutable handle over one consistent multi-shard cut of
+// the store: the state as believed at the pinned transaction-clock
+// instant. Taking a handle is O(1) — it captures the pin, not the data —
+// and reading through it acquires no shard locks, so arbitrarily long
+// analytical reads never stall ingestion. Retroactive corrections
+// recorded after the pin are invisible through the handle.
+//
+// Compaction is the one operation that can reach into a pin: records
+// compacted away are gone for handles pinned before the sweep (exactly
+// as they are for AsOfTransactionTime reads), though gathers already in
+// flight keep the heads they have loaded.
+type Snapshot struct {
+	s  *Store
+	at temporal.Instant
+}
+
+// Snapshot returns a handle pinned at the transaction clock's current
+// high-water mark: one consistent cut containing every committed write.
+// Taking the handle runs the publication barrier (one O(1) lock
+// handshake per shard, never held across anything), so every write at or
+// before the pin is already published and re-reads through the handle
+// are repeatable.
+func (s *Store) Snapshot() *Snapshot { return &Snapshot{s: s, at: s.pinBarrier()} }
+
+// SnapshotAt returns a handle pinned at an explicit transaction-time
+// instant, without the publication barrier: the caller asserts that
+// writes at or before t have quiesced. Callers that coordinate pins with
+// their own clock (the engine pins watermarks between micro-batches)
+// should AdvanceClock(t) first, so no later default-clock write can
+// commit at or before the pin.
+func (s *Store) SnapshotAt(t temporal.Instant) *Snapshot {
+	return &Snapshot{s: s, at: t}
+}
+
+// At reports the handle's pinned transaction-time instant.
+func (sn *Snapshot) At() temporal.Instant { return sn.at }
+
+// clamp pins cfg's belief instant to the handle: reads default to the
+// pin, and an explicit AsOfTransactionTime may only look further into
+// the past, never past the pin.
+func (sn *Snapshot) clamp(cfg readCfg) readCfg {
+	if !cfg.hasTxAt || cfg.txAt > sn.at {
+		cfg.txAt, cfg.hasTxAt = sn.at, true
+	}
+	return cfg
+}
+
+// Find returns the version of (entity, attr) selected by the read options
+// within the pinned cut.
+func (sn *Snapshot) Find(entity, attr string, opts ...ReadOpt) (*element.Fact, bool) {
+	return sn.s.findClone(entity, attr, sn.clamp(newReadCfg(opts)))
+}
+
+// FindSpec is Find with a pre-resolved ReadSpec, clamped to the pin.
+func (sn *Snapshot) FindSpec(entity, attr string, spec ReadSpec) (*element.Fact, bool) {
+	return sn.s.findClone(entity, attr, sn.clamp(spec.cfg()))
+}
+
+// FindValue returns just the value of the version FindSpec would select —
+// the allocation-free point read, against the pinned cut.
+func (sn *Snapshot) FindValue(entity, attr string, spec ReadSpec) (element.Value, bool) {
+	if f := sn.s.findPick(entity, attr, sn.clamp(spec.cfg())); f != nil {
+		return f.Value, true
+	}
+	return element.Null, false
+}
+
+// List returns the cut's versions selected by the read options, exactly
+// as Store.List would at the pinned instant.
+func (sn *Snapshot) List(opts ...ReadOpt) []*element.Fact {
+	return sn.s.gatherList(sn.clamp(newReadCfg(opts)))
+}
+
+// Scan returns clones of every version believed at the pin matching pred,
+// sorted by (attribute, entity, start). A nil pred matches all.
+func (sn *Snapshot) Scan(pred func(*element.Fact) bool) []*element.Fact {
+	return sn.s.scanAt(sn.at, pred)
+}
+
+// History returns the version history of one key as believed at the pin:
+// by default the versions believed at the pinned instant in validity
+// order; with AllVersions the audit trail of the cut — superseded
+// records included — in recording order, with belief intervals closed
+// after the cut restored to open (the key-level analogue of
+// WriteSnapshot). An explicit AsOfTransactionTime moves the cut further
+// into the past, exactly as it does on Store.History.
+func (sn *Snapshot) History(entity, attr string, opts ...ReadOpt) []*element.Fact {
+	return sn.s.history(entity, attr, sn.clamp(newReadCfg(opts)))
+}
+
+// WriteSnapshot serializes the pinned cut in the snapshot file format
+// (see Store.WriteSnapshot): every record believed at the pin, with
+// belief intervals closed after the pin restored to open. ReadSnapshot
+// of the result reproduces the cut exactly.
+func (sn *Snapshot) WriteSnapshot(w io.Writer) error {
+	return sn.s.writeSnapshotAt(w, sn.at)
+}
+
+// View is a read-only, point-in-time view of the store along both time
+// axes: reads resolve as of instant t in valid time AND transaction time,
+// so a View is immutable even under retroactive corrections recorded
+// later — the engine's Snapshot interaction policy is built on this.
+// Views are cheap: like Snapshot handles they borrow the store's
+// published heads rather than copying anything, and since the
+// snapshot-epoch refactor their multi-key reads (ByAttribute, All) run
+// entirely lock-free.
+type View struct {
+	store *Store
+	at    temporal.Instant
+}
+
+// ViewAt returns a read-only view of the state as believed and valid at t.
+// Callers that coordinate views with their own clock (the engine pins
+// views at watermarks) should AdvanceClock(t) first, so no later
+// default-clock write can commit at or before the view instant.
+func (s *Store) ViewAt(t temporal.Instant) *View { return &View{store: s, at: t} }
+
+// At reports the view's instant.
+func (v *View) At() temporal.Instant { return v.at }
+
+// Get returns the version of (entity, attr) valid at the view instant.
+func (v *View) Get(entity, attr string) (*element.Fact, bool) {
+	return v.store.Find(entity, attr, AsOfValidTime(v.at), AsOfTransactionTime(v.at))
+}
+
+// ByAttribute returns all facts for attr valid at the view instant.
+func (v *View) ByAttribute(attr string) []*element.Fact {
+	return v.store.List(WithAttribute(attr), AsOfValidTime(v.at), AsOfTransactionTime(v.at))
+}
+
+// All returns every fact valid at the view instant.
+func (v *View) All() []*element.Fact {
+	return v.store.List(AsOfValidTime(v.at), AsOfTransactionTime(v.at))
+}

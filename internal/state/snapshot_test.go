@@ -1,0 +1,248 @@
+package state
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/element"
+	"repro/internal/temporal"
+)
+
+// TestSnapshotPinsBelief is the snapshot-pinning contract: a handle taken
+// before a retroactive correction still returns the pre-correction
+// belief, for point reads, scans, and the serialized cut alike.
+func TestSnapshotPinsBelief(t *testing.T) {
+	st := NewStore()
+	db := st.DB()
+	if err := db.Put("ann", "position", element.String("hall"),
+		WithValidTime(10), WithTransactionTime(10)); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := st.Snapshot()
+	if snap.At() != 10 {
+		t.Fatalf("pin at %v, want 10", snap.At())
+	}
+
+	// Retroactive correction recorded after the pin: ann was in the vault
+	// over [12, 18) all along — but the handle must not believe it.
+	if err := db.Put("ann", "position", element.String("vault"),
+		WithValidTime(12), WithEndValidTime(18)); err != nil {
+		t.Fatal(err)
+	}
+
+	if f, ok := st.Find("ann", "position", AsOfValidTime(15)); !ok || f.Value.MustString() != "vault" {
+		t.Fatalf("live store should believe the correction, got %v", f)
+	}
+	if f, ok := snap.Find("ann", "position", AsOfValidTime(15)); !ok || f.Value.MustString() != "hall" {
+		t.Fatalf("pinned handle leaked the correction: %v", f)
+	}
+	if got := snap.List(WithAttribute("position"), AsOfValidTime(15)); len(got) != 1 || got[0].Value.MustString() != "hall" {
+		t.Fatalf("pinned List leaked the correction: %v", got)
+	}
+	if got := snap.Scan(nil); len(got) != 1 || !got[0].IsCurrent() {
+		t.Fatalf("pinned Scan: %v", got)
+	}
+	if got := snap.History("ann", "position"); len(got) != 1 || got[0].Validity != temporal.Since(10) {
+		t.Fatalf("pinned History: %v", got)
+	}
+	// AllVersions through the handle is the cut's audit trail: only the
+	// records recorded by the pin, with post-pin supersessions undone —
+	// while the live store's trail carries the correction and remnants.
+	if got := snap.History("ann", "position", AllVersions()); len(got) != 1 || got[0].Superseded() {
+		t.Fatalf("pinned AllVersions history: %v", got)
+	}
+	if got := st.History("ann", "position", AllVersions()); len(got) != 4 {
+		t.Fatalf("live AllVersions history: %d records, want 4", len(got))
+	}
+	// AllVersions composed with an explicit earlier SYSTEM TIME agrees
+	// between the handle and the live store (the cut at min(tt, pin)).
+	snapAudit := fmt.Sprint(snap.History("ann", "position", AllVersions(), AsOfTransactionTime(10)))
+	liveAudit := fmt.Sprint(st.History("ann", "position", AllVersions(), AsOfTransactionTime(10)))
+	if snapAudit != liveAudit {
+		t.Fatalf("audit cut diverges: snap %s live %s", snapAudit, liveAudit)
+	}
+
+	// An explicit SYSTEM TIME deeper in the past composes; one past the
+	// pin clamps to the pin.
+	if _, ok := snap.Find("ann", "position", AsOfTransactionTime(5)); ok {
+		t.Error("belief before the first write should be empty")
+	}
+	if f, ok := snap.Find("ann", "position", AsOfValidTime(15), AsOfTransactionTime(temporal.Forever-1)); !ok || f.Value.MustString() != "hall" {
+		t.Fatalf("future systime must clamp to the pin, got %v", f)
+	}
+
+	// The serialized cut restores to the pre-correction belief.
+	var buf bytes.Buffer
+	if err := snap.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore()
+	if err := ReadSnapshot(&buf, restored); err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := restored.Find("ann", "position", AsOfValidTime(15)); !ok || f.Value.MustString() != "hall" {
+		t.Fatalf("restored cut leaked the correction: %v", f)
+	}
+	if got := restored.Stats().Records; got != 1 {
+		t.Fatalf("restored cut has %d records, want 1", got)
+	}
+}
+
+// TestSnapshotCutIsImmutableUnderWrites re-reads one handle across a
+// stream of later default-clock writes: every re-read must render the
+// identical cut.
+func TestSnapshotCutIsImmutableUnderWrites(t *testing.T) {
+	st := NewStore()
+	db := st.DB()
+	for i := 0; i < 64; i++ {
+		if err := db.Put(fmt.Sprintf("e%02d", i%16), "v", element.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := st.Snapshot()
+	before := fmt.Sprint(snap.List(WithAttribute("v")))
+	for i := 0; i < 64; i++ {
+		if err := db.Put(fmt.Sprintf("e%02d", i%16), "v", element.Int(int64(1000+i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Delete(fmt.Sprintf("e%02d", (i+7)%16), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := fmt.Sprint(snap.List(WithAttribute("v"))); after != before {
+		t.Fatalf("pinned cut changed under writes:\nbefore %s\nafter  %s", before, after)
+	}
+}
+
+// TestListLockAllEquivalence pins the benchmark baseline to the
+// production read path: on a quiescent store the lock-free List and the
+// lock-all gather return identical results for every option shape.
+func TestListLockAllEquivalence(t *testing.T) {
+	st := NewStore()
+	db := st.DB()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1500; i++ {
+		entity := fmt.Sprintf("e%02d", rng.Intn(32))
+		attr := []string{"position", "badge"}[rng.Intn(2)]
+		tx := temporal.Instant(i + 1)
+		switch rng.Intn(4) {
+		case 0:
+			from := temporal.Instant(rng.Intn(i + 1))
+			if err := db.Put(entity, attr, element.Int(int64(i)),
+				WithValidTime(from),
+				WithEndValidTime(from+1+temporal.Instant(rng.Intn(20))),
+				WithTransactionTime(tx)); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := db.Put(entity, attr, element.Int(int64(i)),
+				WithValidTime(tx), WithTransactionTime(tx)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, opts := range [][]ReadOpt{
+		nil,
+		{WithAttribute("position")},
+		{AsOfValidTime(700)},
+		{AsOfValidTime(700), AsOfTransactionTime(900)},
+		{AllVersions()},
+		{DuringValidTime(100, 800)},
+		{WithAttribute("badge"), AllVersions(), AsOfTransactionTime(600)},
+	} {
+		got := fmt.Sprint(st.List(opts...))
+		want := fmt.Sprint(st.ListLockAll(opts...))
+		if got != want {
+			t.Fatalf("List diverges from ListLockAll for %d opts:\n%s\nvs\n%s", len(opts), got, want)
+		}
+	}
+}
+
+// TestPerShardCompactionScheduling exercises the growth-triggered
+// per-shard sweeps: with a CompactionPolicy installed, history prunes
+// itself as writes accumulate — no store-wide CompactBefore call — and
+// the current belief survives.
+func TestPerShardCompactionScheduling(t *testing.T) {
+	st := NewStore()
+	var horizon atomic.Int64
+	st.SetCompactionPolicy(&CompactionPolicy{
+		GrowthThreshold: 64,
+		Horizon:         func() temporal.Instant { return temporal.Instant(horizon.Load()) },
+	})
+	const keys = 64
+	const ops = 8192
+	for i := 0; i < ops; i++ {
+		at := temporal.Instant(i + 1)
+		horizon.Store(int64(at) - 256)
+		key := fmt.Sprintf("k%02d", i%keys)
+		if err := st.Put(key, "v", element.Int(int64(i)), at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.Stats()
+	// Each put appends ~2 records (remnant + version); without compaction
+	// that is ~2*ops. The scheduler must have kept the store far below it.
+	if stats.Records > ops {
+		t.Fatalf("auto-compaction did not engage: %d records after %d puts", stats.Records, ops)
+	}
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("k%02d", k)
+		want := int64(ops - keys + k)
+		f, ok := st.Find(key, "v")
+		if !ok || f.Value.MustInt() != want {
+			t.Fatalf("open version of %s lost by compaction: got %v want %d", key, f, want)
+		}
+	}
+
+	// Removing the policy stops the sweeps.
+	st.SetCompactionPolicy(nil)
+	before := st.Stats().Records
+	for i := 0; i < 512; i++ {
+		at := temporal.Instant(ops + i + 1)
+		if err := st.Put(fmt.Sprintf("k%02d", i%keys), "v", element.Int(int64(i)), at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.Stats().Records; got <= before {
+		t.Fatalf("records should grow once the policy is removed: %d -> %d", before, got)
+	}
+}
+
+// TestFindOutOfOrderTransactionTimes pins the !txOrdered fallback of the
+// belief-pinned read path: with explicit out-of-order transaction times,
+// more than one current-shaped version can be visible at a historical
+// instant, so the read must resolve by latest RecordedAt — the live
+// fast path is only sound for tx-ordered lineages (or pins at/after
+// every write).
+func TestFindOutOfOrderTransactionTimes(t *testing.T) {
+	st := NewStore()
+	db := st.DB()
+	if err := db.Put("k", "a", element.Int(1), WithValidTime(1), WithTransactionTime(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put("k", "a", element.Int(2), WithValidTime(1), WithEndValidTime(50),
+		WithTransactionTime(30)); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order: recorded at 5, AFTER the tx-30 write.
+	if err := db.Put("k", "a", element.Int(3), WithValidTime(1), WithTransactionTime(5)); err != nil {
+		t.Fatal(err)
+	}
+	// Current belief: the last write wins.
+	if f, ok := st.Find("k", "a"); !ok || f.Value.MustInt() != 3 {
+		t.Fatalf("current belief: %v %v", f, ok)
+	}
+	// Belief at 15: both the tx-10 and tx-5 versions are visible and
+	// current-shaped; the latest-recorded one (tx 10) is the belief.
+	if f, ok := st.Find("k", "a", AsOfTransactionTime(15)); !ok || f.Value.MustInt() != 1 {
+		t.Fatalf("belief at 15: %v %v", f, ok)
+	}
+	// A pin at or after every write may use the live resolution.
+	if f, ok := st.Find("k", "a", AsOfTransactionTime(40)); !ok || f.Value.MustInt() != 3 {
+		t.Fatalf("belief at 40: %v %v", f, ok)
+	}
+}

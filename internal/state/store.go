@@ -21,10 +21,14 @@
 // transaction-time interval, and trimmed replacements join the current
 // belief. AsOfTransactionTime reads recover any past belief exactly.
 //
-// Lineages are hash-partitioned across an array of lock-striped shards
-// (see shard.go), so reads and writes of unrelated lineages never contend
-// on a lock; the transaction clock (txclock.go) and the WAL appender
-// (log.go) are the only cross-shard synchronization points.
+// Lineages are hash-partitioned across an array of shards (see shard.go)
+// whose locks serialize writers only: every lineage publishes an
+// immutable head — the record and belief slices readers walk — through an
+// atomic pointer, swapped on each mutation (copy-on-write with
+// shared-prefix appends on the monotonic hot path). Readers resolve
+// against published heads pinned at a transaction-clock instant, so
+// cross-shard scans and snapshot handles never hold a shard lock and
+// never stall a writer; see snapshot.go and DESIGN.md "Snapshot epochs".
 //
 // The preferred API is the option-based bitemporal surface in db.go
 // (Find/List/Put/Delete/History with ReadOpt/WriteOpt). The positional
@@ -96,74 +100,159 @@ type Change struct {
 // mutators, a watcher may observe store state newer than its Change.
 type Watcher func(Change)
 
-// lineage is the bitemporal record history of one key. records holds
-// every version ever written, in recording order; live is the
-// current-belief subset (SupersededAt == Forever), ordered by validity
-// start with pairwise disjoint intervals. The slices share *Fact pointers.
-// txOrdered tracks whether records are non-decreasing in RecordedAt —
-// always true unless a caller pinned out-of-order explicit transaction
-// times — enabling binary-searched belief reads.
+// lineage is the bitemporal record history of one key. All of its data
+// lives in the published head; the lineage itself is just the stable
+// identity the shard directory and key map point at.
 type lineage struct {
-	key       element.FactKey
-	records   []*element.Fact
-	live      []*element.Fact
+	key  element.FactKey
+	head atomic.Pointer[head]
+}
+
+// head is the published, immutable read state of one lineage. A mutation
+// builds a successor head and swaps the lineage's pointer; readers load
+// the pointer once and walk a consistent value without locks.
+//
+// Immutability is structural, with two deliberate sharing rules that keep
+// the monotonic hot path O(1):
+//
+//   - records and closed are append-only across successor heads: a
+//     successor may append into spare capacity of the shared backing
+//     array, beyond every previously published length. Readers never
+//     index past their own head's length, and the atomic head swap
+//     publishes the appended elements (release/acquire).
+//   - the facts themselves are immutable except SupersededAt, which a
+//     later write closes in place via Fact.MarkSuperseded; readers use
+//     the atomic accessors (Fact.VisibleAt / BeliefEnd / Clone).
+//
+// Any other shape of change (mid-slice insertion or removal) copies the
+// affected slices into fresh arrays.
+type head struct {
+	// records holds every version ever written, in recording order.
+	records []*element.Fact
+	// closed is the current belief's versions with closed validity, in
+	// validity order with pairwise disjoint intervals.
+	closed []*element.Fact
+	// open is the current belief's open ("until further notice") version,
+	// nil when none. Because beliefs are disjoint, open always follows
+	// every closed version in validity order.
+	open *element.Fact
+	// maxTx is the highest transaction time that has touched this
+	// lineage. A reader pinned at tt >= maxTx can resolve against the
+	// belief slices directly; earlier pins fall back to the record scan.
+	maxTx temporal.Instant
+	// txOrdered tracks whether records are non-decreasing in RecordedAt —
+	// always true unless a caller pinned out-of-order explicit transaction
+	// times — enabling binary-searched belief reads.
 	txOrdered bool
 }
 
-// current returns the believed open version, if any. Only the last live
-// version can be open because live intervals are disjoint and ordered.
-func (l *lineage) current() *element.Fact {
-	if n := len(l.live); n > 0 && l.live[n-1].IsCurrent() {
-		return l.live[n-1]
+// emptyHead is the shared head of a lineage with no records yet.
+var emptyHead = &head{maxTx: temporal.MinInstant, txOrdered: true}
+
+// nLive reports the number of believed versions.
+func (h *head) nLive() int {
+	n := len(h.closed)
+	if h.open != nil {
+		n++
+	}
+	return n
+}
+
+// liveAt returns the i-th believed version in validity order.
+func (h *head) liveAt(i int) *element.Fact {
+	if i < len(h.closed) {
+		return h.closed[i]
+	}
+	return h.open
+}
+
+// lastLive returns the believed version with the latest validity start.
+func (h *head) lastLive() *element.Fact {
+	if h.open != nil {
+		return h.open
+	}
+	if n := len(h.closed); n > 0 {
+		return h.closed[n-1]
 	}
 	return nil
 }
 
-// validAt binary-searches the current belief for the version valid at t.
-func (l *lineage) validAt(t temporal.Instant) *element.Fact {
-	i := sort.Search(len(l.live), func(k int) bool {
-		return l.live[k].Validity.End > t
+// validAt resolves the current belief's version valid at t.
+func (h *head) validAt(t temporal.Instant) *element.Fact {
+	i := sort.Search(len(h.closed), func(k int) bool {
+		return h.closed[k].Validity.End > t
 	})
-	if i < len(l.live) && l.live[i].Validity.Contains(t) {
-		return l.live[i]
+	if i < len(h.closed) && h.closed[i].Validity.Contains(t) {
+		return h.closed[i]
+	}
+	if h.open != nil && h.open.Validity.Contains(t) {
+		return h.open
 	}
 	return nil
 }
 
-// pick resolves a point read: the version selected by validAt/txAt.
-func (l *lineage) pick(cfg readCfg) *element.Fact {
+// pick resolves a point read against this head: the version selected by
+// validAt/txAt. Belief-pinned reads resolve against the live slices first
+// — for a pin at or after every write that touched the lineage (the
+// common case: scans pin the clock's high-water mark, the engine pins
+// watermarks) the believed version IS the belief at the pin, so the read
+// costs the same as a current-belief read. Only genuinely historical pins
+// walk the record history.
+func (h *head) pick(cfg readCfg) *element.Fact {
 	if !cfg.hasTxAt {
 		if !cfg.hasValidAt {
-			return l.current()
+			return h.open
 		}
-		return l.validAt(cfg.validAt)
+		return h.validAt(cfg.validAt)
 	}
 	tt := cfg.txAt
+	var cand *element.Fact
+	if !cfg.hasValidAt {
+		cand = h.open
+	} else {
+		cand = h.validAt(cfg.validAt)
+	}
+	if cand != nil && cand.VisibleAt(tt) && (h.txOrdered || h.maxTx <= tt) {
+		// cand is believed at tt and is the unique answer: with tx-ordered
+		// records, any other version visible at tt with the same shape
+		// would have been superseded when cand was recorded; with
+		// maxTx <= tt, the visible-at-tt set IS the live set (every
+		// supersession happened at or before tt). Out-of-order explicit
+		// transaction times void the first argument — an older-recorded
+		// version may remain visible at tt alongside cand — so such
+		// lineages take the best-by-RecordedAt scan below for genuinely
+		// historical pins.
+		return cand
+	}
+	if cand == nil && h.maxTx <= tt {
+		// Every record of this head was written at or before tt, so the
+		// live resolution above already was the belief at tt.
+		return nil
+	}
 	matches := func(f *element.Fact) bool {
 		if !cfg.hasValidAt {
 			return f.IsCurrent()
 		}
 		return f.Validity.Contains(cfg.validAt)
 	}
-	if l.txOrdered {
+	if h.txOrdered {
 		// Records are ordered by RecordedAt, so the belief at tt lives in
 		// the recorded-by-tt prefix; scanning it backwards, the first
 		// visible match is the unique believed version (beliefs are
 		// disjoint, and anything recorded later in the prefix supersedes
-		// earlier overlapping records). For recent tt — the Snapshot
-		// policy's per-element reads — the match sits near the prefix end.
-		hi := sort.Search(len(l.records), func(k int) bool {
-			return l.records[k].RecordedAt > tt
+		// earlier overlapping records).
+		hi := sort.Search(len(h.records), func(k int) bool {
+			return h.records[k].RecordedAt > tt
 		})
 		for i := hi - 1; i >= 0; i-- {
-			if f := l.records[i]; f.VisibleAt(tt) && matches(f) {
+			if f := h.records[i]; f.VisibleAt(tt) && matches(f) {
 				return f
 			}
 		}
 		return nil
 	}
 	var best *element.Fact
-	for _, f := range l.records {
+	for _, f := range h.records {
 		if !f.VisibleAt(tt) || !matches(f) {
 			continue
 		}
@@ -174,15 +263,25 @@ func (l *lineage) pick(cfg readCfg) *element.Fact {
 	return best
 }
 
-// believed returns the versions believed at txAt (the current belief when
-// hasTxAt is unset), ordered by validity start.
-func (l *lineage) believed(txAt temporal.Instant, hasTxAt bool) []*element.Fact {
-	if !hasTxAt {
-		return l.live
+// believedAt returns the versions believed at tt (the current belief when
+// pinned is false), ordered by validity start. The caller may not mutate
+// the result when it aliases the head's own slices; gather paths clone
+// facts as they copy them out.
+func (h *head) believedAt(tt temporal.Instant, pinned bool) []*element.Fact {
+	if !pinned || h.maxTx <= tt {
+		// The live slices are the belief at tt: versions superseded after
+		// the head was built carry BeliefEnd > maxTx. (A concurrent
+		// explicit past transaction time could violate that bound; such
+		// writes forfeit scan isolation — see DESIGN.md.)
+		if h.open == nil {
+			return h.closed
+		}
+		out := make([]*element.Fact, 0, len(h.closed)+1)
+		out = append(out, h.closed...)
+		return append(out, h.open)
 	}
-	tt := txAt
 	var out []*element.Fact
-	for _, f := range l.records {
+	for _, f := range h.records {
 		if f.VisibleAt(tt) {
 			out = append(out, f)
 		}
@@ -196,46 +295,28 @@ func (l *lineage) believed(txAt temporal.Instant, hasTxAt bool) []*element.Fact 
 	return out
 }
 
-// insertLive places f into the live slice, keeping validity-start order.
-func (l *lineage) insertLive(f *element.Fact) {
-	i := sort.Search(len(l.live), func(k int) bool {
-		return l.live[k].Validity.Start >= f.Validity.Start
-	})
-	l.live = append(l.live, nil)
-	copy(l.live[i+1:], l.live[i:])
-	l.live[i] = f
-}
-
-// removeLive splices the exact version out of the live slice.
-func (l *lineage) removeLive(f *element.Fact) {
-	for i, v := range l.live {
-		if v == f {
-			l.live = append(l.live[:i], l.live[i+1:]...)
-			return
-		}
-	}
-}
-
-// overlappingLive returns the live versions overlapping w, in order.
-func (l *lineage) overlappingLive(w temporal.Interval) []*element.Fact {
-	i := sort.Search(len(l.live), func(k int) bool {
-		return l.live[k].Validity.End > w.Start
+// overlappingLive returns the believed versions overlapping w, in order.
+func (h *head) overlappingLive(w temporal.Interval) []*element.Fact {
+	i := sort.Search(len(h.closed), func(k int) bool {
+		return h.closed[k].Validity.End > w.Start
 	})
 	j := i
-	for j < len(l.live) && l.live[j].Validity.Start < w.End {
+	for j < len(h.closed) && h.closed[j].Validity.Start < w.End {
 		j++
 	}
-	if i == j {
-		return nil
+	var out []*element.Fact
+	if i < j {
+		out = append(out, h.closed[i:j]...)
 	}
-	out := make([]*element.Fact, j-i)
-	copy(out, l.live[i:j])
+	if h.open != nil && h.open.Validity.Overlaps(w) {
+		out = append(out, h.open)
+	}
 	return out
 }
 
 // Store is the state repository. It is safe for concurrent use: lineages
-// are hash-partitioned across lock-striped shards (shard.go), so
-// operations on unrelated keys proceed in parallel.
+// are hash-partitioned across shards (shard.go) whose locks serialize
+// writers, while readers resolve against atomically published heads.
 type Store struct {
 	shards    []*shard
 	shardMask uint64
@@ -247,6 +328,10 @@ type Store struct {
 	obsMu    sync.RWMutex
 	watchers []Watcher
 	log      *Log
+
+	// compaction is the per-shard compaction scheduling policy; nil
+	// disables automatic sweeps. See SetCompactionPolicy.
+	compaction atomic.Pointer[CompactionPolicy]
 }
 
 // NewStore returns an empty store with a GOMAXPROCS-scaled shard count.
@@ -268,10 +353,9 @@ func NewStoreWithShards(n int) *Store {
 		shardMask: uint64(n - 1),
 	}
 	for i := range s.shards {
-		s.shards[i] = &shard{
-			byKey:  make(map[element.FactKey]*lineage),
-			byAttr: make(map[string]map[string]*lineage),
-		}
+		sh := &shard{byKey: make(map[element.FactKey]*lineage)}
+		sh.pub.Store(emptyPub)
+		s.shards[i] = sh
 	}
 	return s
 }
@@ -305,9 +389,8 @@ func (s *Store) observers() ([]Watcher, *Log) {
 // AdvanceClock advances the transaction clock's high-water mark to at
 // least t, so every subsequent default-clock write — on any shard —
 // commits strictly after t. The engine calls this when its watermark
-// advances: a micro-batch view pinned at the watermark (AsOfTransactionTime)
-// then reads one consistent multi-shard cut that later default writes
-// cannot disturb.
+// advances: a snapshot handle pinned at the watermark then reads one
+// consistent multi-shard cut that later default writes cannot disturb.
 func (s *Store) AdvanceClock(t temporal.Instant) {
 	s.clock.observe(t)
 }
@@ -347,7 +430,7 @@ type writeReq struct {
 }
 
 // apply validates, commits, logs, and notifies one mutation. It is the
-// single write path of the store; it locks exactly one shard.
+// single non-batched write path of the store; it locks exactly one shard.
 func (s *Store) apply(r writeReq) error {
 	ws, log := s.observers()
 	sh := s.shardFor(r.entity, r.attr)
@@ -389,15 +472,18 @@ func (s *Store) apply(r writeReq) error {
 		}
 
 		l := sh.lineage(key, !r.isDelete)
-		if r.requireCurrent && (l == nil || l.current() == nil) {
+		h := emptyHead
+		if l != nil {
+			h = l.head.Load()
+		}
+		if r.requireCurrent && (l == nil || h.open == nil) {
 			return fmt.Errorf("%w: %s", ErrNoCurrent, key)
 		}
 		if l == nil {
 			// Option-based delete of a key with no believed state: no-op.
 			return nil
 		}
-		if n := len(l.live); n > 0 {
-			last := l.live[n-1]
+		if last := h.lastLive(); last != nil {
 			if r.monotonic && from < last.Validity.Start {
 				return fmt.Errorf("%w: %s at %s before %s", ErrOutOfOrder, key, from, last.Validity.Start)
 			}
@@ -438,84 +524,221 @@ func (s *Store) apply(r writeReq) error {
 			}
 		}
 		s.clock.observe(tx)
-		changes = sh.commit(l, put, w, tx, changes)
+		changes = sh.commit(l, put, w, tx, changes, len(ws) > 0)
 		return nil
 	}()
 	if err != nil {
 		return err
 	}
 	notifyAll(ws, changes)
+	s.maybeCompact(sh)
 	return nil
 }
 
-// commit mutates one lineage under the shard lock: it supersedes the
-// believed versions the write interval w overlaps — re-recording the
-// portions outside w as fresh records — and inserts put (when non-nil) as
-// a new believed version. Every superseded version appends one Terminated
-// change (with the left remnant's closed validity when the write truncates
-// it, with its original validity when the write covers it entirely); the
-// insert appends one Asserted change. Callers hold sh.mu.
-func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx temporal.Instant, changes []Change) []Change {
-	for _, v := range l.overlappingLive(w) {
-		v.SupersededAt = tx
-		l.removeLive(v)
-		sh.versions--
+// commit applies one validated mutation to a lineage under the shard lock
+// and publishes the successor head. It supersedes the believed versions
+// the write interval w overlaps — re-recording the portions outside w as
+// fresh records — and inserts put (when non-nil) as a new believed
+// version. With record set, every superseded version appends one
+// Terminated change (with the left remnant's closed validity when the
+// write truncates it, with its original validity when the write covers it
+// entirely) and the insert appends one Asserted change; without watchers
+// the event clones are skipped entirely. Callers hold sh.mu.
+func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx temporal.Instant, changes []Change, record bool) []Change {
+	h := l.head.Load()
+	nh := &head{txOrdered: h.txOrdered, maxTx: h.maxTx}
+	if tx > nh.maxTx {
+		nh.maxTx = tx
+	}
+	if n := len(h.records); n > 0 && tx < h.records[n-1].RecordedAt {
+		nh.txOrdered = false
+	}
+	appended := 0
+
+	// Fast path: a replace-shaped write — open-ended interval starting at
+	// or after every believed version — touches at most the open version
+	// and only ever appends at the tails, so the successor head shares
+	// the records and closed backing arrays (shared-prefix append).
+	lastClosedEnd := temporal.MinInstant
+	if n := len(h.closed); n > 0 {
+		lastClosedEnd = h.closed[n-1].Validity.End
+	}
+	if put != nil && w.End == temporal.Forever && lastClosedEnd <= w.Start &&
+		(h.open == nil || w.Start >= h.open.Validity.Start) {
+		records, closed := h.records, h.closed
+		if o := h.open; o != nil {
+			o.MarkSuperseded(tx)
+			sh.versions.Add(-1)
+			var left *element.Fact
+			if o.Validity.Start < w.Start {
+				left = sh.reRecord(o, temporal.NewInterval(o.Validity.Start, w.Start), tx)
+				records = append(records, left)
+				closed = append(closed, left)
+				appended++
+				sh.versions.Add(1)
+			}
+			if record {
+				ev := o.Clone()
+				if left != nil {
+					ev = left.Clone()
+				}
+				changes = append(changes, Change{Kind: Terminated, Fact: ev, At: tx})
+			}
+		}
+		records = append(records, put)
+		appended++
+		sh.versions.Add(1)
+		nh.records, nh.closed, nh.open = records, closed, put
+		if record {
+			changes = append(changes, Change{Kind: Asserted, Fact: put.Clone(), At: w.Start})
+		}
+		sh.records.Add(int64(appended))
+		sh.growth.Add(int64(appended))
+		l.head.Store(nh)
+		return changes
+	}
+
+	// General path: retroactive or bounded writes and deletes. The belief
+	// slices are rebuilt into fresh arrays; records still appends onto the
+	// shared history.
+	over := h.overlappingLive(w)
+	if put == nil && len(over) == 0 {
+		// Delete with nothing believed over w: nothing to publish.
+		return changes
+	}
+	records := h.records
+	newLive := make([]*element.Fact, 0, h.nLive()+2)
+	for i, n := 0, h.nLive(); i < n; i++ {
+		f := h.liveAt(i)
+		superseded := false
+		for _, v := range over {
+			if v == f {
+				superseded = true
+				break
+			}
+		}
+		if !superseded {
+			newLive = append(newLive, f)
+		}
+	}
+	for _, v := range over {
+		v.MarkSuperseded(tx)
+		sh.versions.Add(-1)
 		var left *element.Fact
 		if v.Validity.Start < w.Start {
-			left = sh.reRecord(l, v, temporal.NewInterval(v.Validity.Start, w.Start), tx)
+			left = sh.reRecord(v, temporal.NewInterval(v.Validity.Start, w.Start), tx)
+			records = append(records, left)
+			newLive = append(newLive, left)
+			appended++
+			sh.versions.Add(1)
 		}
 		if w.End < v.Validity.End {
-			sh.reRecord(l, v, temporal.NewInterval(w.End, v.Validity.End), tx)
+			right := sh.reRecord(v, temporal.NewInterval(w.End, v.Validity.End), tx)
+			records = append(records, right)
+			newLive = append(newLive, right)
+			appended++
+			sh.versions.Add(1)
 		}
-		ev := v.Clone()
-		if left != nil {
-			ev = left.Clone()
+		if record {
+			ev := v.Clone()
+			if left != nil {
+				ev = left.Clone()
+			}
+			changes = append(changes, Change{Kind: Terminated, Fact: ev, At: tx})
 		}
-		changes = append(changes, Change{Kind: Terminated, Fact: ev, At: tx})
 	}
 	if put != nil {
-		sh.appendRecord(l, put)
-		l.insertLive(put)
-		sh.versions++
-		changes = append(changes, Change{Kind: Asserted, Fact: put.Clone(), At: w.Start})
+		records = append(records, put)
+		newLive = append(newLive, put)
+		appended++
+		sh.versions.Add(1)
+		if record {
+			changes = append(changes, Change{Kind: Asserted, Fact: put.Clone(), At: w.Start})
+		}
 	}
+	sort.Slice(newLive, func(i, j int) bool {
+		return newLive[i].Validity.Start < newLive[j].Validity.Start
+	})
+	if n := len(newLive); n > 0 && newLive[n-1].IsCurrent() {
+		nh.open = newLive[n-1]
+		newLive = newLive[:n-1]
+	}
+	nh.records, nh.closed = records, newLive
+	sh.records.Add(int64(appended))
+	sh.growth.Add(int64(appended))
+	l.head.Store(nh)
 	return changes
+}
+
+// reRecord builds a trimmed replacement for a superseded version: same
+// value and provenance, validity iv, recorded at tx. The caller links it
+// into the successor head's slices.
+func (sh *shard) reRecord(v *element.Fact, iv temporal.Interval, tx temporal.Instant) *element.Fact {
+	c := v.Clone()
+	c.Validity = iv
+	c.RecordedAt = tx
+	c.SupersededAt = temporal.Forever
+	return c
+}
+
+// findPick resolves one point read against the key's published head: the
+// shard's read lock covers only the O(1) byKey probe, the head walk is
+// lock-free. Every point-read surface (Store and Snapshot, Find and the
+// spec/value forms) funnels through it.
+func (s *Store) findPick(entity, attr string, cfg readCfg) *element.Fact {
+	l := s.shardFor(entity, attr).get(element.FactKey{Entity: entity, Attribute: attr})
+	if l == nil {
+		return nil
+	}
+	return l.head.Load().pick(cfg)
+}
+
+// restoreAt maps a record's belief end into the cut at tt: a
+// supersession recorded after tt was not yet part of that belief, so it
+// comes back open. This single helper carries the cut-reconstruction
+// invariant for every pinned read surface (cloneAt, scanAt, recordsAt),
+// keeping pinned reads self-contained and REPEATABLE — re-reading a
+// snapshot handle yields identical facts even after a later write closes
+// a record's belief interval in place — and matching what restoring the
+// cut's WriteSnapshot would return.
+func restoreAt(end, tt temporal.Instant) temporal.Instant {
+	if end > tt {
+		return temporal.Forever
+	}
+	return end
+}
+
+// cloneAt clones f for a reader, applying restoreAt for belief-pinned
+// configurations.
+func cloneAt(f *element.Fact, cfg readCfg) *element.Fact {
+	c := f.Clone()
+	if cfg.hasTxAt {
+		c.SupersededAt = restoreAt(c.SupersededAt, cfg.txAt)
+	}
+	return c
+}
+
+// findClone is findPick plus the pinned-read clone semantics.
+func (s *Store) findClone(entity, attr string, cfg readCfg) (*element.Fact, bool) {
+	if f := s.findPick(entity, attr, cfg); f != nil {
+		return cloneAt(f, cfg), true
+	}
+	return nil, false
 }
 
 // Find returns the version of (entity, attr) selected by the read options:
 // by default the open version in the current belief; AsOfValidTime selects
-// by valid time, AsOfTransactionTime by belief. Find locks only the
-// lineage's shard.
+// by valid time, AsOfTransactionTime by belief. Find locks the lineage's
+// shard only for the O(1) key-map probe; the head walk is lock-free.
 func (s *Store) Find(entity, attr string, opts ...ReadOpt) (*element.Fact, bool) {
-	cfg := newReadCfg(opts)
-	sh := s.shardFor(entity, attr)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	l := sh.byKey[element.FactKey{Entity: entity, Attribute: attr}]
-	if l == nil {
-		return nil, false
-	}
-	if f := l.pick(cfg); f != nil {
-		return f.Clone(), true
-	}
-	return nil, false
+	return s.findClone(entity, attr, newReadCfg(opts))
 }
 
 // FindSpec is Find with a pre-resolved ReadSpec instead of a ReadOpt list:
 // the same selection semantics without allocating option closures. Hot
 // paths that issue one point read per stream element use it.
 func (s *Store) FindSpec(entity, attr string, spec ReadSpec) (*element.Fact, bool) {
-	sh := s.shardFor(entity, attr)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	l := sh.byKey[element.FactKey{Entity: entity, Attribute: attr}]
-	if l == nil {
-		return nil, false
-	}
-	if f := l.pick(spec.cfg()); f != nil {
-		return f.Clone(), true
-	}
-	return nil, false
+	return s.findClone(entity, attr, spec.cfg())
 }
 
 // FindValue returns just the value of the version FindSpec would select.
@@ -523,51 +746,106 @@ func (s *Store) FindSpec(entity, attr string, spec ReadSpec) (*element.Fact, boo
 // option closures and no defensive Fact clone. This is the engine's
 // gate/enrichment read.
 func (s *Store) FindValue(entity, attr string, spec ReadSpec) (element.Value, bool) {
-	sh := s.shardFor(entity, attr)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	l := sh.byKey[element.FactKey{Entity: entity, Attribute: attr}]
-	if l == nil {
-		return element.Null, false
-	}
-	if f := l.pick(spec.cfg()); f != nil {
+	if f := s.findPick(entity, attr, spec.cfg()); f != nil {
 		return f.Value, true
 	}
 	return element.Null, false
 }
 
+// pinBarrier establishes a transaction-time pin with the publication
+// guarantee cross-shard readers need: when it returns, every write with a
+// transaction time at or before the returned instant has published its
+// head. It reads the clock's high-water mark, then handshakes each
+// shard's lock in index order — RLock immediately followed by RUnlock —
+// which drains any writer that was mid-commit when the mark was read
+// (writers reserve/observe their tick and publish inside one critical
+// section). Later default-clock writes reserve past the mark and filter
+// out of the pinned cut by visibility.
+//
+// The handshake never holds more than one lock and each hold is O(1), so
+// a spinning scanner delays any writer by at most one handshake — this,
+// not a lock held across the gather, is the entire lock footprint of the
+// scan paths. (A concurrent writer pinning an explicit transaction time
+// at or before the mark can still commit "into" the cut; see the caveat
+// in snapshot.go.)
+func (s *Store) pinBarrier() temporal.Instant {
+	t := s.clock.now()
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		_ = len(sh.byKey) // non-empty critical section; the lock pair is the barrier
+		sh.mu.RUnlock()
+	}
+	return t
+}
+
+// pinned returns the read configuration with its belief instant resolved:
+// a read without AsOfTransactionTime pins the clock's high-water mark
+// behind the publication barrier, so a cross-shard gather observes one
+// consistent cut — every default-clock write committing during the
+// gather carries a later transaction time and filters out. This is the
+// snapshot-epoch read protocol; see DESIGN.md "Snapshot epochs".
+func (s *Store) pinned(cfg readCfg) readCfg {
+	if !cfg.hasTxAt {
+		cfg.txAt, cfg.hasTxAt = s.pinBarrier(), true
+	} else {
+		// Explicit SYSTEM TIME reads still drain mid-commit writers, so a
+		// read at an instant the caller just wrote resolves completely.
+		s.pinBarrier()
+	}
+	return cfg
+}
+
 // List returns one selected version per key — or, with AllVersions /
 // DuringValidTime, every matching version — sorted by (attribute, entity,
 // validity start). WithAttribute scopes the scan to one attribute. List is
-// a cross-shard read: it holds every shard's read lock for the duration,
-// so the result is one consistent cut of the whole store.
+// a cross-shard read pinned at one transaction-clock instant: it acquires
+// no shard locks and never stalls a writer, yet the result is one
+// consistent cut of the whole store.
 func (s *Store) List(opts ...ReadOpt) []*element.Fact {
-	cfg := newReadCfg(opts)
+	return s.gatherList(s.pinned(newReadCfg(opts)))
+}
+
+// ListLockAll is List executed under every shard's read lock — the
+// pre-snapshot-epoch gather, in which a long scan stalls every writer for
+// its full duration. It is retained purely as the contention baseline for
+// the scan-under-ingest benchmark gate (as NewStoreWithShards(1) is for
+// lock striping); production callers should use List.
+func (s *Store) ListLockAll(opts ...ReadOpt) []*element.Fact {
 	s.rlockAll()
 	defer s.runlockAll()
-	pick := func(l *lineage) []*element.Fact {
+	cfg := newReadCfg(opts)
+	if !cfg.hasTxAt {
+		// Holding every shard lock IS the publication barrier here; taking
+		// pinBarrier's handshake on top would re-enter the held locks.
+		cfg.txAt, cfg.hasTxAt = s.clock.now(), true
+	}
+	return s.gatherList(cfg)
+}
+
+// gatherList runs the List gather for a pinned configuration.
+func (s *Store) gatherList(cfg readCfg) []*element.Fact {
+	pick := func(h *head, out []*element.Fact) []*element.Fact {
 		if !cfg.allVersions {
-			if f := l.pick(cfg); f != nil {
-				return []*element.Fact{f}
+			if f := h.pick(cfg); f != nil {
+				out = append(out, cloneAt(f, cfg))
 			}
-			return nil
+			return out
 		}
-		var out []*element.Fact
-		for _, f := range l.believed(cfg.txAt, cfg.hasTxAt) {
+		for _, f := range h.believedAt(cfg.txAt, cfg.hasTxAt) {
 			if cfg.hasDuring && !f.Validity.Overlaps(cfg.validDuring) {
 				continue
 			}
 			if cfg.hasValidAt && !f.Validity.Contains(cfg.validAt) {
 				continue
 			}
-			out = append(out, f)
+			out = append(out, cloneAt(f, cfg))
 		}
 		return out
 	}
 	if cfg.attr != "" {
-		return s.byAttributeAllLocked(cfg.attr, pick)
+		return s.byAttributeAll(cfg.attr, pick)
 	}
-	return s.scanAllLocked(pick)
+	return s.scanAll(pick)
 }
 
 // Delete removes any value of (entity, attr) over the write options' valid
@@ -584,25 +862,56 @@ func (s *Store) Delete(entity, attr string, opts ...WriteOpt) error {
 // History returns the version history of (entity, attr): by default the
 // current-belief versions in validity order; under AsOfTransactionTime the
 // versions believed then; with AllVersions every record ever written —
-// including superseded ones — in recording order.
+// including superseded ones — in recording order, and combined with
+// AsOfTransactionTime the audit trail of the cut at that instant (records
+// recorded by then, supersessions after it undone). Like Find, History
+// locks the shard only for the key probe.
 func (s *Store) History(entity, attr string, opts ...ReadOpt) []*element.Fact {
-	cfg := newReadCfg(opts)
-	sh := s.shardFor(entity, attr)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	l := sh.byKey[element.FactKey{Entity: entity, Attribute: attr}]
+	return s.history(entity, attr, newReadCfg(opts))
+}
+
+// history is History over a resolved configuration — the shared body
+// behind Store.History and Snapshot.History (which clamps cfg to its pin
+// first).
+func (s *Store) history(entity, attr string, cfg readCfg) []*element.Fact {
+	l := s.shardFor(entity, attr).get(element.FactKey{Entity: entity, Attribute: attr})
 	if l == nil {
 		return nil
 	}
-	src := l.believed(cfg.txAt, cfg.hasTxAt)
-	if cfg.allVersions && !cfg.hasTxAt {
-		src = l.records
+	h := l.head.Load()
+	if cfg.allVersions {
+		if cfg.hasTxAt {
+			return recordsAt(h, cfg.txAt, nil)
+		}
+		out := make([]*element.Fact, len(h.records))
+		for i, f := range h.records {
+			out[i] = f.Clone()
+		}
+		return out
 	}
+	src := h.believedAt(cfg.txAt, cfg.hasTxAt)
 	out := make([]*element.Fact, len(src))
 	for i, f := range src {
-		out[i] = f.Clone()
+		out[i] = cloneAt(f, cfg)
 	}
 	return out
+}
+
+// recordsAt clones one head's records of the cut at tt, in recording
+// order: records recorded after tt are excluded, and a belief interval
+// closed after tt is restored to open — the per-lineage form of the
+// WriteSnapshot cut. Shared by allRecordsAt and the AllVersions history
+// surfaces so the cut-reconstruction invariant lives in one place.
+func recordsAt(h *head, tt temporal.Instant, dst []*element.Fact) []*element.Fact {
+	for _, f := range h.records {
+		if f.RecordedAt > tt {
+			continue
+		}
+		c := f.Clone()
+		c.SupersededAt = restoreAt(c.SupersededAt, tt)
+		dst = append(dst, c)
+	}
+	return dst
 }
 
 // Put applies replace semantics on the positional surface: the current
@@ -687,24 +996,20 @@ func (s *Store) AsOfByAttribute(attr string, t temporal.Instant) []*element.Fact
 	return s.List(WithAttribute(attr), AsOfValidTime(t))
 }
 
-// byAttributeAllLocked gathers one attribute's lineages from every shard
-// and iterates them in entity order. Callers hold every shard's lock.
-func (s *Store) byAttributeAllLocked(attr string, pick func(*lineage) []*element.Fact) []*element.Fact {
-	var ents []keyedLineage
+// byAttributeAll gathers one attribute's lineages from every shard's
+// published directory and visits them in entity order — lock-free.
+func (s *Store) byAttributeAll(attr string, pick func(*head, []*element.Fact) []*element.Fact) []*element.Fact {
+	var lins []*lineage
 	for _, sh := range s.shards {
-		for e, l := range sh.byAttr[attr] {
-			ents = append(ents, keyedLineage{element.FactKey{Entity: e, Attribute: attr}, l})
-		}
+		lins = append(lins, sh.pub.Load().byAttr[attr]...)
 	}
-	if len(ents) == 0 {
+	if len(lins) == 0 {
 		return nil
 	}
-	sort.Slice(ents, func(i, j int) bool { return ents[i].key.Entity < ents[j].key.Entity })
+	sort.Slice(lins, func(i, j int) bool { return lins[i].key.Entity < lins[j].key.Entity })
 	var out []*element.Fact
-	for _, e := range ents {
-		for _, f := range pick(e.l) {
-			out = append(out, f.Clone())
-		}
+	for _, l := range lins {
+		out = pick(l.head.Load(), out)
 	}
 	return out
 }
@@ -731,55 +1036,57 @@ func (s *Store) During(iv temporal.Interval) []*element.Fact {
 	return s.List(DuringValidTime(iv.Start, iv.End))
 }
 
-// Scan returns clones of every believed version (current and historical)
-// matching pred, sorted by (attribute, entity, start). A nil pred matches
-// all. Like List, Scan reads one consistent cut across all shards.
+// Scan returns clones of every version believed at the scan's pinned
+// instant (current and historical) matching pred, sorted by (attribute,
+// entity, start). A nil pred matches all. Like List, Scan is pinned at
+// the clock's high-water mark and acquires no shard locks. The fact
+// passed to pred is a reused scratch copy valid only during the call;
+// the returned facts are independent clones.
 func (s *Store) Scan(pred func(*element.Fact) bool) []*element.Fact {
-	s.rlockAll()
-	defer s.runlockAll()
-	return s.scanAllLocked(func(l *lineage) []*element.Fact {
-		var out []*element.Fact
-		for _, f := range l.live {
-			if pred == nil || pred(f) {
-				out = append(out, f)
+	return s.scanAt(s.pinBarrier(), pred)
+}
+
+// scanAt is Scan pinned at an explicit belief instant. The predicate
+// never sees a store-owned fact: it is evaluated on a reused scratch
+// copy (taken with the atomic SupersededAt read), so predicates may read
+// any field directly without racing a concurrent writer's supersession —
+// the all-shard lock that used to provide that safety is gone — while
+// only MATCHING versions pay a heap clone. The predicate's argument is
+// valid only for the duration of the call; facts in the result are
+// fresh, private clones.
+func (s *Store) scanAt(tt temporal.Instant, pred func(*element.Fact) bool) []*element.Fact {
+	var scratch element.Fact
+	return s.scanAll(func(h *head, out []*element.Fact) []*element.Fact {
+		for _, f := range h.believedAt(tt, true) {
+			scratch = f.Copy()
+			scratch.SupersededAt = restoreAt(scratch.SupersededAt, tt)
+			if pred == nil || pred(&scratch) {
+				c := scratch
+				out = append(out, &c)
 			}
 		}
 		return out
 	})
 }
 
-// keyedLineage pairs a lineage with its key so cross-shard gathers sort
-// once and avoid re-hashing keys back to shards in the output loop.
-type keyedLineage struct {
-	key element.FactKey
-	l   *lineage
-}
-
-// scanAllLocked iterates every shard's lineages in deterministic
-// (attribute, entity) key order, clones the picked facts and returns
-// them. Callers hold every shard's lock.
-func (s *Store) scanAllLocked(pick func(*lineage) []*element.Fact) []*element.Fact {
-	total := 0
+// scanAll visits every lineage's published head in deterministic
+// (attribute, entity) key order, appending picked clones — lock-free.
+func (s *Store) scanAll(pick func(*head, []*element.Fact) []*element.Fact) []*element.Fact {
+	var lins []*lineage
 	for _, sh := range s.shards {
-		total += len(sh.byKey)
-	}
-	pairs := make([]keyedLineage, 0, total)
-	for _, sh := range s.shards {
-		for k, l := range sh.byKey {
-			pairs = append(pairs, keyedLineage{k, l})
+		for _, ls := range sh.pub.Load().byAttr {
+			lins = append(lins, ls...)
 		}
 	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].key.Attribute != pairs[j].key.Attribute {
-			return pairs[i].key.Attribute < pairs[j].key.Attribute
+	sort.Slice(lins, func(i, j int) bool {
+		if lins[i].key.Attribute != lins[j].key.Attribute {
+			return lins[i].key.Attribute < lins[j].key.Attribute
 		}
-		return pairs[i].key.Entity < pairs[j].key.Entity
+		return lins[i].key.Entity < lins[j].key.Entity
 	})
 	var out []*element.Fact
-	for _, p := range pairs {
-		for _, f := range pick(p.l) {
-			out = append(out, f.Clone())
-		}
+	for _, l := range lins {
+		out = pick(l.head.Load(), out)
 	}
 	return out
 }
@@ -787,16 +1094,57 @@ func (s *Store) scanAllLocked(pick func(*lineage) []*element.Fact) []*element.Fa
 // ValiditySet returns the coalesced set of intervals over which
 // (entity, attr) is believed to have had any value.
 func (s *Store) ValiditySet(entity, attr string) *temporal.Set {
-	sh := s.shardFor(entity, attr)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
 	set := temporal.NewSet()
-	if l := sh.byKey[element.FactKey{Entity: entity, Attribute: attr}]; l != nil {
-		for _, f := range l.live {
-			set.Add(f.Validity)
-		}
+	l := s.shardFor(entity, attr).get(element.FactKey{Entity: entity, Attribute: attr})
+	if l == nil {
+		return set
+	}
+	h := l.head.Load()
+	for i, n := 0, h.nLive(); i < n; i++ {
+		set.Add(h.liveAt(i).Validity)
 	}
 	return set
+}
+
+// CompactionPolicy schedules per-shard compaction from write growth: once
+// a shard has appended GrowthThreshold records since its last sweep, the
+// committing writer sweeps just that shard with CompactBefore semantics
+// at the instant Horizon returns. Shards therefore compact independently,
+// paced by their own write load, instead of store-wide passes.
+type CompactionPolicy struct {
+	// GrowthThreshold is the per-shard appended-record count that triggers
+	// a sweep; values <= 0 disable automatic compaction.
+	GrowthThreshold int
+	// Horizon returns the compact-before instant at sweep time (e.g. the
+	// engine's watermark minus a retention window). Returning MinInstant
+	// makes the sweep a no-op.
+	Horizon func() temporal.Instant
+}
+
+// SetCompactionPolicy installs (or, with nil, removes) the per-shard
+// compaction scheduling policy. Sweeps run on the committing writer's
+// goroutine after its mutation is published; in-flight snapshot readers
+// are unaffected because compaction publishes fresh heads and superseded
+// ones drain by garbage collection.
+func (s *Store) SetCompactionPolicy(p *CompactionPolicy) {
+	s.compaction.Store(p)
+}
+
+// maybeCompact sweeps sh when its record growth has crossed the policy
+// threshold. Called by writers after releasing the shard lock.
+func (s *Store) maybeCompact(sh *shard) {
+	p := s.compaction.Load()
+	if p == nil || p.GrowthThreshold <= 0 || p.Horizon == nil {
+		return
+	}
+	if sh.growth.Load() < int64(p.GrowthThreshold) {
+		return
+	}
+	t := p.Horizon()
+	if t == temporal.MinInstant {
+		return
+	}
+	sh.compactBefore(t)
 }
 
 // CompactBefore bounds history growth along both time axes: it drops every
@@ -804,12 +1152,15 @@ func (s *Store) ValiditySet(entity, attr string) *temporal.Set {
 // superseded record whose belief interval closed at or before t. Open
 // versions are always retained. Compaction is lossy for transaction-time
 // queries about the dropped records, exactly as it is for valid-time
-// queries about dropped history. It returns the number of believed
-// versions removed.
+// queries about dropped history; snapshot handles pinned before the sweep
+// keep whatever heads they have already loaded, but re-reads through an
+// old pin no longer see the dropped records. It returns the number of
+// believed versions removed.
 //
-// Compaction sweeps shards under their own write locks — per-lineage
-// atomicity is all it needs — so reads and writes on other shards proceed
-// while it runs. Shards are swept on up to GOMAXPROCS workers; use
+// Compaction sweeps shards under their own write locks and publishes a
+// fresh head per compacted lineage, so concurrent readers — including
+// in-flight lock-free scans — are never blocked and never observe a
+// half-swept lineage. Shards are swept on up to GOMAXPROCS workers; use
 // CompactBeforeWithWorkers to bound the sweep explicitly (the engine
 // bounds it with its ingestion parallelism).
 func (s *Store) CompactBefore(t temporal.Instant) int {
@@ -854,38 +1205,89 @@ func (s *Store) CompactBeforeWithWorkers(t temporal.Instant, workers int) int {
 	return int(total.Load())
 }
 
-// compactBefore sweeps one shard under its write lock; see CompactBefore.
-func (sh *shard) compactBefore(t temporal.Instant) int {
+// sweepLineage rebuilds one lineage's head without the records matching
+// drop, updating the shard counters, and publishes it. It returns how
+// many believed versions were removed and whether the lineage emptied
+// entirely (the caller then drops it from the indexes). A lineage with
+// nothing to drop keeps its published head untouched. Callers hold
+// sh.mu. This is the one shared body behind every physical-removal sweep
+// (CompactBefore, DropDerived); each supplies only its drop predicate.
+func (sh *shard) sweepLineage(l *lineage, drop func(*element.Fact) bool) (liveRemoved int, emptied bool) {
+	h := l.head.Load()
+	gone := 0
+	for _, f := range h.records {
+		if drop(f) {
+			gone++
+		}
+	}
+	if gone == 0 {
+		return 0, false
+	}
+	nh := &head{txOrdered: h.txOrdered, maxTx: h.maxTx,
+		records: make([]*element.Fact, 0, len(h.records)-gone)}
+	for _, f := range h.records {
+		if !drop(f) {
+			nh.records = append(nh.records, f)
+		}
+	}
+	for _, f := range h.closed {
+		if drop(f) {
+			liveRemoved++
+		} else {
+			nh.closed = append(nh.closed, f)
+		}
+	}
+	if h.open != nil {
+		if drop(h.open) {
+			liveRemoved++
+		} else {
+			nh.open = h.open
+		}
+	}
+	sh.versions.Add(int64(-liveRemoved))
+	sh.records.Add(int64(-gone))
+	if len(nh.records) == 0 {
+		return liveRemoved, true
+	}
+	l.head.Store(nh)
+	return liveRemoved, false
+}
+
+// sweep applies sweepLineage to every lineage of the shard under its
+// write lock, dropping emptied lineages and republishing the directory
+// when the key set changed.
+func (sh *shard) sweep(drop func(*element.Fact) bool) int {
 	removed := 0
 	sh.mu.Lock()
+	dropped := false
 	for key, l := range sh.byKey {
-		keptLive := l.live[:0]
-		for _, f := range l.live {
-			if f.Validity.End <= t {
-				removed++
-				sh.versions--
-			} else {
-				keptLive = append(keptLive, f)
-			}
+		liveRemoved, emptied := sh.sweepLineage(l, drop)
+		removed += liveRemoved
+		if emptied {
+			delete(sh.byKey, key)
+			dropped = true
 		}
-		l.live = keptLive
-		keptRecords := l.records[:0]
-		for _, f := range l.records {
-			drop := (!f.Superseded() && f.Validity.End <= t) ||
-				(f.Superseded() && f.SupersededAt <= t)
-			if drop {
-				sh.records--
-			} else {
-				keptRecords = append(keptRecords, f)
-			}
-		}
-		l.records = keptRecords
-		if len(l.records) == 0 {
-			sh.dropLineage(key)
-		}
+	}
+	if dropped {
+		sh.publishRebuild()
 	}
 	sh.mu.Unlock()
 	return removed
+}
+
+// compactBefore sweeps one shard; see CompactBefore. A record is dropped
+// when its belief closed at or before t (superseded records) or its
+// validity ended at or before t (believed ones). Untouched lineages keep
+// their published head; compacted ones get a fresh head built from fresh
+// arrays, never mutating slices an in-flight reader may hold.
+func (sh *shard) compactBefore(t temporal.Instant) int {
+	sh.growth.Store(0)
+	return sh.sweep(func(f *element.Fact) bool {
+		if end := f.BeliefEnd(); end != temporal.Forever {
+			return end <= t
+		}
+		return f.Validity.End <= t
+	})
 }
 
 // DropDerived removes every derived version (facts materialized by the
@@ -893,36 +1295,11 @@ func (sh *shard) compactBefore(t temporal.Instant) int {
 // reasoner uses this to rematerialize from scratch after a retraction.
 // Derived records are removed physically — they are a cache over the
 // asserted state, not part of the audit history. Like CompactBefore, it
-// sweeps one shard at a time.
+// sweeps one shard at a time and publishes fresh heads.
 func (s *Store) DropDerived() int {
 	removed := 0
 	for _, sh := range s.shards {
-		sh.mu.Lock()
-		for key, l := range sh.byKey {
-			keptLive := l.live[:0]
-			for _, f := range l.live {
-				if f.Derived {
-					removed++
-					sh.versions--
-				} else {
-					keptLive = append(keptLive, f)
-				}
-			}
-			l.live = keptLive
-			keptRecords := l.records[:0]
-			for _, f := range l.records {
-				if f.Derived {
-					sh.records--
-				} else {
-					keptRecords = append(keptRecords, f)
-				}
-			}
-			l.records = keptRecords
-			if len(l.records) == 0 {
-				sh.dropLineage(key)
-			}
-		}
-		sh.mu.Unlock()
+		removed += sh.sweep(func(f *element.Fact) bool { return f.Derived })
 	}
 	return removed
 }
@@ -949,63 +1326,30 @@ type Stats struct {
 	Shards int
 }
 
-// Stats returns current occupancy counters, summed over one consistent
-// cut of every shard.
+// Stats returns current occupancy counters. Since the snapshot-epoch
+// refactor the counters are per-shard atomics summed without any shard
+// lock, so Stats never stalls a writer; each counter is internally
+// consistent, and at quiescence the summary is exact. (No pin barrier:
+// the summary is a racy instantaneous reading by design, so draining
+// mid-commit writers would buy nothing.)
 func (s *Store) Stats() Stats {
-	s.rlockAll()
-	defer s.runlockAll()
 	st := Stats{TxHigh: s.clock.now(), Shards: len(s.shards)}
 	attrs := make(map[string]struct{})
 	for _, sh := range s.shards {
-		st.Keys += len(sh.byKey)
-		st.Versions += sh.versions
-		st.Records += sh.records
-		for a := range sh.byAttr {
+		pub := sh.pub.Load()
+		st.Keys += pub.n
+		st.Versions += int(sh.versions.Load())
+		st.Records += int(sh.records.Load())
+		for a, lins := range pub.byAttr {
 			attrs[a] = struct{}{}
-		}
-		for _, l := range sh.byKey {
-			if l.current() != nil {
-				st.Current++
+			for _, l := range lins {
+				if l.head.Load().open != nil {
+					st.Current++
+				}
 			}
 		}
 	}
 	st.Attributes = len(attrs)
 	st.Superseded = st.Records - st.Versions
 	return st
-}
-
-// View is a read-only, point-in-time view of the store along both time
-// axes: reads resolve as of instant t in valid time AND transaction time,
-// so a View is immutable even under retroactive corrections recorded
-// later — the engine's Snapshot interaction policy is built on this.
-// Views are cheap: they borrow the store's bitemporal history rather than
-// copying it. Multi-key reads (ByAttribute, All) take every shard's read
-// lock, so each call observes one consistent multi-shard cut.
-type View struct {
-	store *Store
-	at    temporal.Instant
-}
-
-// ViewAt returns a read-only view of the state as believed and valid at t.
-// Callers that coordinate views with their own clock (the engine pins
-// views at watermarks) should AdvanceClock(t) first, so no later
-// default-clock write can commit at or before the view instant.
-func (s *Store) ViewAt(t temporal.Instant) *View { return &View{store: s, at: t} }
-
-// At reports the view's instant.
-func (v *View) At() temporal.Instant { return v.at }
-
-// Get returns the version of (entity, attr) valid at the view instant.
-func (v *View) Get(entity, attr string) (*element.Fact, bool) {
-	return v.store.Find(entity, attr, AsOfValidTime(v.at), AsOfTransactionTime(v.at))
-}
-
-// ByAttribute returns all facts for attr valid at the view instant.
-func (v *View) ByAttribute(attr string) []*element.Fact {
-	return v.store.List(WithAttribute(attr), AsOfValidTime(v.at), AsOfTransactionTime(v.at))
-}
-
-// All returns every fact valid at the view instant.
-func (v *View) All() []*element.Fact {
-	return v.store.List(AsOfValidTime(v.at), AsOfTransactionTime(v.at))
 }

@@ -117,6 +117,15 @@ func WithRoutingKey(fn func(*Element) string) Option { return core.WithRoutingKe
 // everything).
 func WithEmittedRetention(n int) Option { return core.WithEmittedRetention(n) }
 
+// WithAutoCompact schedules growth-triggered per-shard state compaction:
+// once any shard accumulates growth new records, the next write to it
+// prunes that shard's history older than retain behind the watermark.
+// Compaction publishes fresh lineage heads, so in-flight lock-free
+// readers are never blocked by a sweep.
+func WithAutoCompact(retain time.Duration, growth int) Option {
+	return core.WithAutoCompact(retain, growth)
+}
+
 // Data model.
 type (
 	// Value is a dynamically typed scalar.
@@ -367,6 +376,18 @@ type (
 	// BatchPut is one replace-semantics write in a Store.PutBatch group
 	// commit (the micro-batch ingestion write path).
 	BatchPut = state.BatchPut
+	// StateSnapshot is an immutable handle over one consistent cut of the
+	// store, pinned at a transaction-clock instant (Store.Snapshot).
+	// Reads through it acquire no shard locks, so long analytical scans
+	// never stall ingestion. (Named StateSnapshot because Snapshot is the
+	// engine policy constant.)
+	StateSnapshot = state.Snapshot
+	// StateReader is the read-only temporal query surface shared by
+	// Store, DB, and StateSnapshot; query executors evaluate against it.
+	StateReader = state.Reader
+	// CompactionPolicy schedules growth-triggered per-shard compaction
+	// sweeps (Store.SetCompactionPolicy, or the engine's WithAutoCompact).
+	CompactionPolicy = state.CompactionPolicy
 	// Ontology holds class/property taxonomies and domain/range axioms.
 	Ontology = reason.Ontology
 	// Reasoner materializes implicit facts over the store.

@@ -175,6 +175,7 @@ func runRegression(scale float64, jsonOut, baselinePath string, tolerance float6
 	failures += checkContentionInvariant(rep)
 	failures += checkIngestScaling(rep)
 	failures += checkScanUnderIngest(rep)
+	failures += checkRecoverySpeedup(rep)
 
 	if failures > 0 {
 		return fmt.Errorf("%d benchmark gate failure(s) vs %s", failures, baselinePath)
@@ -296,6 +297,53 @@ func checkScanUnderIngest(rep *bench.RegressionReport) int {
 	}
 	fmt.Printf("  %-28s lock-all/snapshot ratio %.2fx (min %.1fx)  %s\n",
 		"e7/scan-under-ingest", ratio, scanUnderIngestMin, status)
+	return failures
+}
+
+// recoverySpeedupMin is the required wal/segment cold-start ratio: a
+// durable directory (segment bulk-load + WAL-tail replay) must recover
+// at least this much faster than replaying the full WAL. Both rows run
+// in the same process on the same machine and disk, so like the
+// contention invariant the ratio needs no hardware-class baseline; the
+// gate self-disables only when the measured recovery is too brief to
+// time reliably (tiny -scale runs).
+const recoverySpeedupMin = 3.0
+
+// recoveryGateMinElapsed is the minimum full-WAL recovery wall time for
+// the recovery gate to engage; below it the rows are reported, not
+// gated.
+const recoveryGateMinElapsed = 10 * time.Millisecond
+
+// checkRecoverySpeedup enforces the durable cold-start payoff using the
+// same-run recover-wal / recover-segment pair.
+func checkRecoverySpeedup(rep *bench.RegressionReport) int {
+	byName := make(map[string]bench.Measurement, len(rep.Results))
+	for _, m := range rep.Results {
+		byName[m.Name] = m
+	}
+	wal, ok1 := byName["e7/recover-wal"]
+	seg, ok2 := byName["e7/recover-segment"]
+	if !ok1 || !ok2 || seg.NsPerOp <= 0 {
+		// The rows disappearing means the suite was renamed without
+		// updating this gate — fail rather than silently ungate the
+		// durable recovery path.
+		fmt.Printf("  %-28s MISSING recover-wal/recover-segment rows\n", "e7/recover")
+		return 1
+	}
+	ratio := wal.NsPerOp / seg.NsPerOp
+	if walElapsed := time.Duration(wal.NsPerOp * float64(wal.Ops)); walElapsed < recoveryGateMinElapsed {
+		fmt.Printf("  %-28s wal/segment speedup %.2fx (not gated: wal recovery %s < %s)\n",
+			"e7/recover", ratio, walElapsed.Round(time.Microsecond), recoveryGateMinElapsed)
+		return 0
+	}
+	status := "ok"
+	failures := 0
+	if ratio < recoverySpeedupMin {
+		status = "RECOVERY REGRESSED"
+		failures++
+	}
+	fmt.Printf("  %-28s wal/segment speedup %.2fx (min %.1fx)  %s\n",
+		"e7/recover", ratio, recoverySpeedupMin, status)
 	return failures
 }
 

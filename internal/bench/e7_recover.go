@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/state"
+	"repro/internal/state/segment"
+)
+
+// Cold-start recovery rows: how fast an n-element ingest's state comes
+// back after a crash. The WAL row replays the full mutation log through
+// the store's write paths — the only recovery the system had before the
+// segment backend. The segment row opens a durable directory flushed at
+// ~95% of the ingest: manifest + segment frames bulk-load (one head
+// publication per lineage) and only the final ~5% of the WAL replays.
+// The benchrunner gate requires the segment path >= 3x faster; both
+// rows run in-process on the same machine and disk, so the ratio is
+// hardware-independent in the same sense as the contention invariant.
+
+// recoverFlushFrac is the fraction of the ingest made durable in
+// segments before the simulated crash; the rest is the WAL tail.
+const recoverFlushFrac = 0.95
+
+// buildRecoveryDirs ingests n elements twice into dir — once through a
+// plain engine logging the full WAL, once through a durable engine
+// flushed at the last watermark before recoverFlushFrac and then killed
+// without Close — and returns the full-WAL path and the durable
+// directory.
+func buildRecoveryDirs(dir string, n int) (walPath, segDir string) {
+	msgs := ingestMessages(n)
+	walPath = filepath.Join(dir, "full.log")
+	segDir = filepath.Join(dir, "segments")
+
+	l, err := state.CreateLog(walPath)
+	if err != nil {
+		panic(err)
+	}
+	walEngine := core.New(core.WithPolicy(core.StateFirst), core.WithLog(l),
+		core.WithEmittedRetention(1024))
+	if err := walEngine.DeployRules(ingestRules); err != nil {
+		panic(err)
+	}
+	if err := walEngine.Run(msgs); err != nil {
+		panic(err)
+	}
+	if err := l.Close(); err != nil {
+		panic(err)
+	}
+
+	// The durable twin: identical stream, one flush near the end, then
+	// the crash (no Close) — leaving the realistic shape of segments
+	// plus a WAL tail.
+	split := len(msgs)
+	for i := int(float64(len(msgs)) * recoverFlushFrac); i < len(msgs); i++ {
+		if msgs[i].IsWatermark {
+			split = i + 1
+			break
+		}
+	}
+	// Background pulses are disabled (threshold above any possible WAL
+	// length): the one explicit FlushAt below is the only flush, so the
+	// abandoned engine cannot have a flush in flight racing the measured
+	// segment.Open calls on the same directory.
+	segEngine := core.New(core.WithPolicy(core.StateFirst),
+		core.WithDurableDir(segDir, segment.WithFlushEvery(2*n+16)),
+		core.WithEmittedRetention(1024))
+	if err := segEngine.DeployRules(ingestRules); err != nil {
+		panic(err)
+	}
+	if err := segEngine.Run(msgs[:split]); err != nil {
+		panic(err)
+	}
+	if err := segEngine.Durable().FlushAt(segEngine.Watermark() - 1); err != nil {
+		panic(err)
+	}
+	if err := segEngine.Run(msgs[split:]); err != nil {
+		panic(err)
+	}
+	// The crash: release the directory lock and descriptors without the
+	// final flush, as process death would.
+	segEngine.Durable().Abandon()
+	return walPath, segDir
+}
+
+// recoverWAL measures a full-WAL cold start: fresh store, replay
+// everything.
+func recoverWAL(walPath string, n int) time.Duration {
+	st := state.NewStore()
+	start := time.Now()
+	applied, err := state.ReplayFile(walPath, st)
+	if err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+	if keys := st.Stats().Keys; keys == 0 || applied == 0 {
+		panic(fmt.Sprintf("recover-wal rebuilt nothing (keys=%d applied=%d of %d)", keys, applied, n))
+	}
+	return elapsed
+}
+
+// recoverSegments measures a durable cold start: segment.Open — manifest,
+// frame bulk-load, WAL-tail replay. The opened store is Abandoned, not
+// Closed, off the timer: Close flushes, which would advance the durable
+// cut and shrink the next pass's work, while Abandon just releases the
+// lock and descriptors — and, by closing the WAL under its appender
+// token, waits out the deferred tail rewrite so consecutive passes
+// never race on the file.
+func recoverSegments(segDir string, n int) time.Duration {
+	start := time.Now()
+	d, err := segment.Open(segDir)
+	if err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+	if keys := d.Mem().Stats().Keys; keys == 0 {
+		panic(fmt.Sprintf("recover-segment rebuilt nothing (n=%d)", n))
+	}
+	if info := d.Info(); info.Segments == 0 {
+		panic("recover-segment found no segments: the workload builder failed to flush")
+	}
+	d.Abandon()
+	return elapsed
+}
+
+// addRecoveryRows builds the recovery workload once and appends both
+// cold-start rows through add.
+func addRecoveryRows(add func(name string, ops int, measure func() time.Duration), scale float64) {
+	n := scaleInt(100_000, scale)
+	dir, err := os.MkdirTemp("", "recover-bench-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	walPath, segDir := buildRecoveryDirs(dir, n)
+	add("e7/recover-wal", n, func() time.Duration { return recoverWAL(walPath, n) })
+	add("e7/recover-segment", n, func() time.Duration { return recoverSegments(segDir, n) })
+}

@@ -63,6 +63,8 @@ const underIngestWriters = 4
 //	e7/ingest-par4, ingest-par8  end-to-end Engine.Run, 4/8 workers
 //	e7/scan-under-ingest/{snapshot,lock-all}  wildcard List racing 4 writers
 //	e7/query-under-ingest        snapshot-pinned queries racing 4 writers
+//	e7/recover-{wal,segment}     cold-start recovery: full-WAL replay vs
+//	                             segment bulk-load + WAL-tail replay
 //	bitemporal/find-current, find-asof-valid, find-systime, history
 //
 // The par8 rows contrast the default sharded store with a 1-shard
@@ -184,6 +186,11 @@ func RegressionSuite(scale float64) *RegressionReport {
 	add("e7/query-under-ingest", queries, func() time.Duration {
 		return queryUnderIngest(scanKeys, queries, underIngestWriters)
 	})
+
+	// Cold-start recovery rows: full-WAL replay vs segment directory
+	// (manifest + frame bulk-load + WAL-tail replay). The benchrunner
+	// gate requires segments >= 3x faster in the same run.
+	addRecoveryRows(add, scale)
 
 	// Bitemporal read rows over a corrected history.
 	bKeys := scaleInt(1_000, scale)

@@ -18,6 +18,11 @@
 // The engine resolves the paper's third open question (§3.3, "interaction
 // between stream processing and state") with three pluggable policies; see
 // Policy.
+//
+// With WithDurableDir the engine persists its state repository in a
+// durable segment directory (internal/state/segment): flushes are
+// pinned at watermarks, restarts recover the exact bitemporal state,
+// and Close flushes the final cut.
 package core
 
 import (
@@ -31,6 +36,7 @@ import (
 	"repro/internal/reason"
 	"repro/internal/rules"
 	"repro/internal/state"
+	"repro/internal/state/segment"
 	"repro/internal/stream"
 	"repro/internal/temporal"
 )
@@ -152,6 +158,19 @@ type Engine struct {
 	// gateScratch is the reusable gate evaluation environment; processors
 	// run single-threaded, so one scratch per engine suffices.
 	gateScratch gateEnv
+
+	// durable is the segment-backed durability layer around the store
+	// (WithDurableDir); nil for a purely in-memory engine. durableErr
+	// latches an open failure, surfaced by the next Process/Run/Close.
+	// The options record intents (durablePath, userLog) and New resolves
+	// them after the option loop, so WithDurableDir supersedes WithLog
+	// in either order — attaching both would silently split the write
+	// stream across two logs and break crash recovery.
+	durable     *segment.Store
+	durableErr  error
+	durablePath string
+	durableOpts []segment.Option
+	userLog     *state.Log
 }
 
 // Option configures an Engine at construction. Policy values implement
@@ -174,9 +193,11 @@ func WithPolicy(p Policy) Option {
 
 // WithLog attaches an append-only mutation log to the state repository,
 // so the engine's state survives the process (replayable with
-// state.Replay / cmd/stateql).
+// state.Replay / cmd/stateql). Superseded by WithDurableDir when both
+// are given, regardless of option order: the durable directory manages
+// its own WAL.
 func WithLog(l *state.Log) Option {
-	return optionFunc(func(e *Engine) { e.store.AttachLog(l) })
+	return optionFunc(func(e *Engine) { e.userLog = l })
 }
 
 // WithReasoning attaches a reasoner over the given ontology (nil for an
@@ -206,6 +227,31 @@ func WithParallelism(n int) Option {
 // tuples.
 func WithRoutingKey(fn func(*element.Element) string) Option {
 	return optionFunc(func(e *Engine) { e.routingKey = fn })
+}
+
+// WithDurableDir persists the engine's state repository in a durable
+// segment directory at path (see internal/state/segment): committed
+// lineage heads flush as immutable checksummed segment files as the
+// watermark advances, a WAL covers the tail since the last flush, and
+// restarting an engine on the same directory recovers the exact
+// bitemporal state — manifest, segments, WAL tail — without replaying
+// the full history. Opening also replays any existing durable state
+// into the fresh engine's store, so construction doubles as recovery.
+//
+// Flushes pin the engine watermark as their cut. The stream contract
+// (elements arrive in timestamp order, none at or before a passed
+// watermark) therefore guarantees no write lands behind a durable cut;
+// see DESIGN.md "Durability". An open failure (corrupt directory,
+// permissions) is latched and returned by the next Process, Run, or
+// Close. WithDurableDir attaches its own WAL to the store, superseding
+// any WithLog.
+//
+// Extra segment options (e.g. segment.WithFlushEvery) tune the flush
+// cadence.
+func WithDurableDir(path string, opts ...segment.Option) Option {
+	return optionFunc(func(e *Engine) {
+		e.durablePath, e.durableOpts = path, opts
+	})
 }
 
 // WithAutoCompact schedules per-shard state compaction from ingest
@@ -259,6 +305,22 @@ func New(opts ...Option) *Engine {
 	e.watermark.Store(int64(temporal.MinInstant))
 	for _, o := range opts {
 		o.applyOption(e)
+	}
+	// Resolve the logging intents after the loop so the outcome does not
+	// depend on option order: a durable directory owns the WAL (recovery
+	// must replay into a store with no other log attached); WithLog
+	// applies only to in-memory engines.
+	switch {
+	case e.durablePath != "":
+		d, err := segment.Open(e.durablePath,
+			append([]segment.Option{segment.WithStore(e.store)}, e.durableOpts...)...)
+		if err != nil {
+			e.durableErr = err
+		} else {
+			e.durable = d
+		}
+	case e.userLog != nil:
+		e.store.AttachLog(e.userLog)
 	}
 	return e
 }
@@ -318,6 +380,9 @@ func (e *Engine) Reasoner() *reason.Reasoner { return e.reasoner }
 // elements buffer until the next watermark (the micro-batch boundary);
 // call Flush to force out a trailing partial batch.
 func (e *Engine) Process(m stream.Message) error {
+	if e.durableErr != nil {
+		return e.durableErr
+	}
 	if e.parallelism > 1 {
 		return e.processBuffered(m)
 	}
@@ -532,7 +597,37 @@ func (e *Engine) advance(wm temporal.Instant) error {
 	// resolve against that one immutable multi-shard cut, lock-free.
 	e.store.AdvanceClock(wm)
 	e.pinned = e.store.SnapshotAt(wm)
+	// The watermark is the durability layer's natural cut — minus one
+	// tick: a watermark at wm asserts no element EARLIER than wm will
+	// follow, so elements stamped exactly wm may still arrive (and the
+	// parallel pipeline peels them onto the serial path at the pin).
+	// Flushing at wm-1 keeps every such write strictly after the durable
+	// cut. Pulse starts a background flush when the WAL tail has grown
+	// enough.
+	if e.durable != nil {
+		e.durable.Pulse(wm - 1)
+	}
 	return nil
+}
+
+// Durable returns the segment-backed durability layer when the engine
+// was built with WithDurableDir, nil otherwise. Its point reads (Find,
+// History) fall through RAM to durable segment frames, so state below
+// the compaction horizon stays reachable.
+func (e *Engine) Durable() *segment.Store { return e.durable }
+
+// Close flushes a durable engine's state to its segment directory and
+// releases the WAL and segment files. For an in-memory engine it is a
+// no-op. Crashing without Close loses nothing but the final flush: the
+// WAL tail still covers every committed write.
+func (e *Engine) Close() error {
+	if e.durableErr != nil {
+		return e.durableErr
+	}
+	if e.durable == nil {
+		return nil
+	}
+	return e.durable.Close()
 }
 
 // Watermark reports the engine's current watermark. It is safe to call

@@ -20,6 +20,7 @@
 //	db.Put("ann", "position", v, WithValidTime(10),
 //	       WithEndValidTime(20))                                // bounded correction
 //	db.Delete("ann", "position", WithValidTime(10))             // retroactive retraction
+
 package state
 
 import (
@@ -99,6 +100,20 @@ func (r ReadSpec) cfg() readCfg {
 	return readCfg{
 		validAt: r.ValidAt, hasValidAt: r.HasValidAt,
 		txAt: r.TxAt, hasTxAt: r.HasTxAt,
+	}
+}
+
+// SpecOf resolves a point-read option list to its temporal selectors —
+// the ReadSpec equivalent of the AsOfValidTime/AsOfTransactionTime
+// options in opts. Backends layered over the store (the segment store's
+// frame reads) use it to inspect a read's instants, e.g. to prune
+// against a per-segment bitemporal envelope, without re-deriving option
+// semantics.
+func SpecOf(opts ...ReadOpt) ReadSpec {
+	cfg := newReadCfg(opts)
+	return ReadSpec{
+		ValidAt: cfg.validAt, HasValidAt: cfg.hasValidAt,
+		TxAt: cfg.txAt, HasTxAt: cfg.hasTxAt,
 	}
 }
 

@@ -1,0 +1,282 @@
+// Durability seam of the store: the flush-side gather and the
+// recovery-side bulk loader the segment backend (internal/state/segment)
+// builds on.
+//
+// A durability flush is a pinned cut, exactly like WriteSnapshot: the
+// flusher pins a transaction-time instant and serializes, per lineage,
+// the records of the cut believed at that instant (recordsAt — records
+// recorded after the pin excluded, belief intervals closed after the pin
+// restored to open). FlushCut adds the one thing WriteSnapshot lacks:
+// incrementality. Each lineage head tracks the highest transaction time
+// that touched it (head.maxTx, which compaction sweeps also bump), so a
+// flusher that remembers its last cut revisits only the lineages written
+// — or swept — since.
+//
+// Recovery inverts the gather: LoadLineage installs one lineage's full
+// record set in a single head publication, far cheaper than replaying
+// the mutations that produced it.
+
+package state
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/element"
+	"repro/internal/temporal"
+)
+
+// FlushCut visits every lineage touched after `since`, passing clones of
+// the records of the cut believed at tt — the per-lineage WriteSnapshot
+// cut (records recorded after tt excluded, supersessions after tt
+// restored to open). Lineages are visited in deterministic order: shards
+// in index order, keys in (attribute, entity) order within a shard. A
+// lineage whose cut at tt is empty (created entirely after the pin) is
+// skipped; its maxTx keeps it dirty for the next flush. The gather is
+// lock-free, like every cross-shard read: it walks the published
+// directories and heads only.
+//
+// `since` chains flushes: pass MinInstant for a full pass, or the pin of
+// the previous successful flush to gather only what changed. The dirty
+// test is head.maxTx > since, which covers writes, retroactive
+// corrections, and compaction sweeps (sweeps bump maxTx so a swept
+// lineage is re-flushed without its dropped records).
+//
+// Callers pin tt the way snapshot handles do: at a quiesced boundary
+// (the engine's watermark after AdvanceClock) or behind the publication
+// barrier (Store.Snapshot().At()). Writes with explicit transaction
+// times at or before an already-flushed cut forfeit durability exactly
+// as they forfeit scan isolation (see snapshot.go).
+//
+// Each visit also carries the lineage's last WRITE transaction time
+// (sweep bumps excluded): for an empty visit the flusher compares it
+// against the key's existing frame cut to decide between a tombstone
+// (the frame predates writes — stale) and keeping the frame (pure
+// compaction — the frame is truthful deeper history).
+//
+// It returns the number of lineages visited.
+func (s *Store) FlushCut(tt, since temporal.Instant, visit func(key element.FactKey, records []*element.Fact, lastWrite temporal.Instant)) int {
+	n := 0
+	var lins []*lineage
+	for _, sh := range s.shards {
+		lins = lins[:0]
+		for _, ls := range sh.pub.Load().byAttr {
+			for _, l := range ls {
+				if l.head.Load().maxTx > since {
+					lins = append(lins, l)
+				}
+			}
+		}
+		sort.Slice(lins, func(i, j int) bool {
+			if lins[i].key.Attribute != lins[j].key.Attribute {
+				return lins[i].key.Attribute < lins[j].key.Attribute
+			}
+			return lins[i].key.Entity < lins[j].key.Entity
+		})
+		for _, l := range lins {
+			h := l.head.Load()
+			records := recordsAt(h, tt, nil)
+			if len(records) == 0 {
+				if len(h.records) > 0 {
+					// Created entirely after the pin: nothing to persist
+					// yet; maxTx keeps it dirty for the next flush.
+					continue
+				}
+				// An emptied husk (see SetRetainSwept): emit the key with
+				// no records; the flusher tombstones or retains the
+				// existing frame based on lastWrite.
+			}
+			visit(l.key, records, h.lastWrite)
+			n++
+		}
+	}
+	return n
+}
+
+// SetRetainSwept makes compaction sweeps that empty a lineage keep it as
+// an empty husk (published empty head, maxTx advanced to the sweep
+// instant) instead of deleting it. The segment backend sets this: the
+// husk is what lets FlushCut emit a durability tombstone for the key, so
+// the key's old segment frame stops answering fall-through reads and
+// recovery with data the sweep removed. Pair with DropSweptBefore to
+// reclaim husks once their tombstones are durable.
+func (s *Store) SetRetainSwept(retain bool) {
+	s.retainSwept.Store(retain)
+}
+
+// DropSweptBefore removes empty husk lineages whose last activity
+// (maxTx) is at or before cut — those whose tombstones a flush at cut
+// has made durable — and returns how many were dropped. The segment
+// backend calls it after each committed flush.
+func (s *Store) DropSweptBefore(cut temporal.Instant) int {
+	dropped := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		changed := false
+		for key, l := range sh.byKey {
+			h := l.head.Load()
+			if len(h.records) == 0 && h.maxTx <= cut {
+				delete(sh.byKey, key)
+				changed = true
+				dropped++
+			}
+		}
+		if changed {
+			sh.publishRebuild()
+		}
+		sh.mu.Unlock()
+	}
+	return dropped
+}
+
+// LoadLineage installs one lineage's full record set — as serialized by a
+// FlushCut visit — in a single head publication. It is the bulk recovery
+// path: where log replay re-runs one mutation per record (validation,
+// supersession, a successor head each), LoadLineage builds the published
+// head once, so restoring a segment costs O(records) with no per-record
+// head churn.
+//
+// Records must share one key and arrive in recording order (the order
+// FlushCut emits). Believed records (open belief interval) must have
+// pairwise disjoint validity. The lineage must not already exist: segments
+// load into a fresh store before the WAL tail replays on top.
+func (s *Store) LoadLineage(records []*element.Fact) error {
+	if len(records) == 0 {
+		return nil
+	}
+	key := records[0].Key()
+	sh := s.shardFor(key.Entity, key.Attribute)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.byKey[key] != nil {
+		return fmt.Errorf("state: load lineage %s: already present", key)
+	}
+	for i, f := range records {
+		if f.Key() != key {
+			return fmt.Errorf("state: load lineage %s: record %d has key %s", key, i, f.Key())
+		}
+	}
+	nh, err := buildHead(records, true)
+	if err != nil {
+		return fmt.Errorf("state: load lineage %s: %w", key, err)
+	}
+
+	l := &lineage{key: key}
+	l.head.Store(nh)
+	sh.byKey[key] = l
+	sh.publishInsert(l)
+	sh.records.Add(int64(len(records)))
+	sh.versions.Add(int64(nh.nLive()))
+	s.clock.observe(nh.maxTx)
+	return nil
+}
+
+// PickRecord resolves a point read over a detached record set — records
+// serialized by FlushCut and read back from a segment frame — with the
+// same selection semantics as Store.Find: by default the open version of
+// the set's current belief, AsOfValidTime selecting by valid time,
+// AsOfTransactionTime by belief. The segment backend uses it to fall
+// through to frames for lineages no longer resident in RAM.
+func PickRecord(records []*element.Fact, opts ...ReadOpt) (*element.Fact, bool) {
+	h := detachedHead(records)
+	cfg := newReadCfg(opts)
+	if f := h.pick(cfg); f != nil {
+		return cloneAt(f, cfg), true
+	}
+	return nil, false
+}
+
+// BelievedRecords returns, from a detached record set, the version history
+// Store.History would: by default the believed versions in validity order;
+// under AsOfTransactionTime the versions believed then; with AllVersions
+// every record (combined with AsOfTransactionTime, the audit trail of the
+// cut at that instant).
+func BelievedRecords(records []*element.Fact, opts ...ReadOpt) []*element.Fact {
+	h := detachedHead(records)
+	cfg := newReadCfg(opts)
+	if cfg.allVersions {
+		if cfg.hasTxAt {
+			return recordsAt(h, cfg.txAt, nil)
+		}
+		out := make([]*element.Fact, len(h.records))
+		for i, f := range h.records {
+			out[i] = f.Clone()
+		}
+		return out
+	}
+	src := h.believedAt(cfg.txAt, cfg.hasTxAt)
+	out := make([]*element.Fact, 0, len(src))
+	for _, f := range src {
+		out = append(out, cloneAt(f, cfg))
+	}
+	return out
+}
+
+// detachedHead builds a read-only head over a detached record slice, with
+// the same belief-slice shape live lineages publish. Records are assumed
+// to be in recording order with disjoint believed validity — the
+// invariants FlushCut output satisfies; should believed records overlap
+// anyway, the earlier-starting one is dropped from the belief slices
+// (reads through the record scan still see every record).
+func detachedHead(records []*element.Fact) *head {
+	h, _ := buildHead(records, false)
+	return h
+}
+
+// buildHead assembles a head from a detached record slice: records kept
+// in the given (recording) order, belief slices derived from the
+// non-superseded records in validity order, maxTx and txOrdered computed.
+// With strict set, overlapping believed records are an error; otherwise
+// the earlier-starting of an overlapping pair is dropped from the belief
+// slices.
+func buildHead(records []*element.Fact, strict bool) (*head, error) {
+	h := &head{records: records, maxTx: temporal.MinInstant, lastWrite: temporal.MinInstant, txOrdered: true}
+	var live []*element.Fact
+	liveSorted := true
+	for i, f := range records {
+		if f.RecordedAt > h.maxTx {
+			h.maxTx = f.RecordedAt
+		}
+		if f.Superseded() {
+			if end := f.BeliefEnd(); end > h.maxTx {
+				h.maxTx = end
+			}
+		} else {
+			if n := len(live); n > 0 && live[n-1].Validity.Start > f.Validity.Start {
+				liveSorted = false
+			}
+			live = append(live, f)
+		}
+		if i > 0 && f.RecordedAt < records[i-1].RecordedAt {
+			h.txOrdered = false
+		}
+	}
+	// The monotonic hot path emits believed records already in validity
+	// order; only retroactive shapes pay the sort.
+	if !liveSorted {
+		sort.Slice(live, func(i, j int) bool {
+			return live[i].Validity.Start < live[j].Validity.Start
+		})
+	}
+	kept := live[:0]
+	for i, f := range live {
+		if i+1 < len(live) && f.Validity.End > live[i+1].Validity.Start {
+			if strict {
+				return nil, fmt.Errorf("believed validity %s overlaps %s",
+					f.Validity, live[i+1].Validity)
+			}
+			continue
+		}
+		kept = append(kept, f)
+	}
+	live = kept
+	if n := len(live); n > 0 && live[n-1].IsCurrent() {
+		h.open = live[n-1]
+		live = live[:n-1]
+	}
+	h.closed = live
+	// Detached records carry only writes, so the write high-water mark
+	// coincides with maxTx here (sweep bumps happen to live heads only).
+	h.lastWrite = h.maxTx
+	return h, nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/element"
@@ -24,14 +25,34 @@ import (
 // total append order. Every record carries its own transaction time (or
 // positional application time), so any interleaving the appender admits
 // replays to the identical bitemporal state.
+//
+// File-backed logs (CreateLog, RecoverLog) additionally support the
+// durability handoff of the segment backend: TruncateBefore atomically
+// drops the prefix a flush has made durable elsewhere, and Sync flushes
+// the file before a manifest commit. Logs over plain writers (NewLog)
+// return ErrNotFileBacked from those methods.
 type Log struct {
 	c   io.Closer
 	enc *gob.Encoder
 	n   int
+	// path and file are set for file-backed logs only; TruncateBefore
+	// rewrites path atomically and Sync fsyncs file.
+	path string
+	file *os.File
+	// err poisons the log: a failed deferred rewrite (RecoverLog)
+	// surfaces from every subsequent operation.
+	err error
 	// appender is the single-appender channel: a one-slot token guarding
-	// enc and n. Acquire by sending, release by receiving.
+	// enc, n, path, file, and err. Acquire by sending, release by
+	// receiving. RecoverLog hands out a Log whose token is pre-held by
+	// its background tail rewrite, so the first append transparently
+	// waits for the rewrite instead of the cold start paying for it.
 	appender chan struct{}
 }
+
+// ErrNotFileBacked reports a file-only Log operation (TruncateBefore,
+// Sync) on a log constructed over a plain writer.
+var ErrNotFileBacked = errors.New("state: log is not file-backed")
 
 type opKind uint8
 
@@ -65,6 +86,39 @@ type logRecord struct {
 	Puts []BatchPut
 }
 
+// txTime returns the transaction time that orders rec for tail handoff:
+// the instant a flush cut at or after it makes the record redundant.
+// opPutBatch frames have no single time — their puts are filtered
+// individually (see keepAfter).
+func (r *logRecord) txTime() temporal.Instant {
+	switch r.Op {
+	case opAssert:
+		return r.Start
+	case opPutBi, opDeleteBi:
+		return r.Tx
+	default: // opPut, opRetract: positional application time
+		return r.At
+	}
+}
+
+// keepAfter reports whether rec still carries state newer than a flush
+// cut at tt, trimming opPutBatch frames to their surviving puts in
+// place. A frame fully covered by the cut (or a plain record at or
+// before it) is dropped.
+func (r *logRecord) keepAfter(tt temporal.Instant) bool {
+	if r.Op != opPutBatch {
+		return r.txTime() > tt
+	}
+	kept := r.Puts[:0]
+	for _, p := range r.Puts {
+		if p.At > tt {
+			kept = append(kept, p)
+		}
+	}
+	r.Puts = kept
+	return len(kept) > 0
+}
+
 // NewLog wraps a writer in a mutation log.
 func NewLog(w io.Writer) *Log {
 	l := &Log{enc: gob.NewEncoder(w), appender: make(chan struct{}, 1)}
@@ -80,7 +134,9 @@ func CreateLog(path string) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("state: create log: %w", err)
 	}
-	return NewLog(f), nil
+	l := NewLog(f)
+	l.path, l.file = path, f
+	return l, nil
 }
 
 // Len reports the number of records appended through this Log.
@@ -94,16 +150,138 @@ func (l *Log) Len() int {
 func (l *Log) append(rec logRecord) error {
 	l.appender <- struct{}{}
 	defer func() { <-l.appender }()
+	if l.err != nil {
+		return l.err
+	}
 	l.n++
 	return l.enc.Encode(rec)
 }
 
 // Close closes the underlying writer when it is closable.
 func (l *Log) Close() error {
+	l.appender <- struct{}{}
+	defer func() { <-l.appender }()
+	if l.err != nil {
+		return l.err
+	}
 	if l.c != nil {
 		return l.c.Close()
 	}
 	return nil
+}
+
+// Sync flushes a file-backed log to stable storage. The segment backend
+// calls it before committing a manifest, so the WAL tail the manifest's
+// durable cut depends on is on disk first.
+func (l *Log) Sync() error {
+	l.appender <- struct{}{}
+	defer func() { <-l.appender }()
+	if l.err != nil {
+		return l.err
+	}
+	if l.file == nil {
+		return ErrNotFileBacked
+	}
+	return l.file.Sync()
+}
+
+// TruncateBefore drops every record whose transaction time is at or
+// before tt from a file-backed log — the WAL-prefix handoff after a
+// durability flush at cut tt: the dropped records are exactly those the
+// flushed segments already capture, so recovery replays only the tail.
+// opPutBatch frames are trimmed to their surviving puts.
+//
+// The rewrite is atomic (temp file + rename, both synced) and holds the
+// appender token throughout, so concurrent mutators block for its
+// duration rather than interleave; the log then continues appending to
+// the rewritten file. Records written after a flush with an explicit
+// transaction time at or before the cut are dropped as already-durable
+// even though they are not — the same explicit-past-transaction-time
+// caveat pinned cuts have (see snapshot.go).
+func (l *Log) TruncateBefore(tt temporal.Instant) error {
+	l.appender <- struct{}{}
+	defer func() { <-l.appender }()
+	if l.err != nil {
+		return l.err
+	}
+	if l.file == nil {
+		return ErrNotFileBacked
+	}
+	var kept []logRecord
+	src, err := os.Open(l.path)
+	if err != nil {
+		return fmt.Errorf("state: truncate log: %w", err)
+	}
+	dec := gob.NewDecoder(src)
+	for {
+		var rec logRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			src.Close()
+			return fmt.Errorf("state: truncate log: record %d: %w", len(kept), err)
+		}
+		if rec.keepAfter(tt) {
+			kept = append(kept, rec)
+		}
+	}
+	src.Close()
+
+	f, enc, err := rewriteLogFile(l.path, kept)
+	if err != nil {
+		return err
+	}
+	l.file.Close()
+	l.file, l.c, l.n, l.enc = f, f, len(kept), enc
+	return nil
+}
+
+// rewriteLogFile writes records to a temp file next to path, syncs it,
+// and renames it over path. It returns the still-open file positioned
+// for appends together with the encoder that wrote it: a gob stream is
+// one encoder's output, so the log MUST keep appending through this
+// encoder — starting a fresh one on the same file would begin a second
+// stream a single replay Decoder rejects ("duplicate type received").
+func rewriteLogFile(path string, records []logRecord) (*os.File, *gob.Encoder, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, nil, fmt.Errorf("state: rewrite log: %w", err)
+	}
+	enc := gob.NewEncoder(f)
+	for i := range records {
+		if err := enc.Encode(&records[i]); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return nil, nil, fmt.Errorf("state: rewrite log record %d: %w", i, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, nil, fmt.Errorf("state: rewrite log: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, nil, fmt.Errorf("state: rewrite log: %w", err)
+	}
+	SyncDir(filepath.Dir(path))
+	return f, enc, nil
+}
+
+// SyncDir best-effort fsyncs a directory, making a completed rename in
+// it durable. Shared by the WAL rewrite and the segment backend's
+// manifest commit; best-effort because some platforms cannot sync
+// directories.
+func SyncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 func (l *Log) appendPut(entity, attr string, v element.Value, at temporal.Instant) error {
@@ -141,6 +319,49 @@ func (l *Log) appendPutBatch(puts []BatchPut) error {
 	return l.append(logRecord{Op: opPutBatch, Puts: puts})
 }
 
+// applyLogRecord re-applies one decoded record through the store's write
+// paths — the shared body of Replay and RecoverLog.
+func (s *Store) applyLogRecord(rec *logRecord) error {
+	switch rec.Op {
+	case opPut:
+		return s.Put(rec.Entity, rec.Attr, rec.Value, rec.At)
+	case opAssert:
+		f := element.NewFact(rec.Entity, rec.Attr, rec.Value,
+			temporal.NewInterval(rec.Start, rec.End))
+		f.Derived = rec.Derived
+		f.Source = rec.Source
+		return s.Assert(f)
+	case opRetract:
+		return s.Retract(rec.Entity, rec.Attr, rec.At)
+	case opPutBi:
+		return s.apply(writeReq{
+			entity: rec.Entity, attr: rec.Attr, value: rec.Value,
+			validFrom: rec.Start, hasValidFrom: true,
+			validTo: rec.End, hasValidTo: true,
+			tx: rec.Tx, hasTx: true,
+			derived: rec.Derived, source: rec.Source,
+		})
+	case opDeleteBi:
+		return s.apply(writeReq{
+			entity: rec.Entity, attr: rec.Attr, isDelete: true,
+			validFrom: rec.Start, hasValidFrom: true,
+			validTo: rec.End, hasValidTo: true,
+			tx: rec.Tx, hasTx: true,
+		})
+	case opPutBatch:
+		// Replay applies the frame's writes one at a time: the group
+		// commit is a durability optimization, not a semantic unit, and
+		// per-key write order is preserved within the frame.
+		for _, p := range rec.Puts {
+			if err := s.Put(p.Entity, p.Attr, p.Value, p.At); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("state: unknown op %d", rec.Op)
+}
+
 // Replay applies every record from r to the store, in order. The store
 // should be empty (or a snapshot-restored prefix of the log's history).
 // It returns the number of records applied.
@@ -155,50 +376,129 @@ func Replay(r io.Reader, s *Store) (int, error) {
 			}
 			return n, fmt.Errorf("state: replay record %d: %w", n, err)
 		}
-		var err error
-		switch rec.Op {
-		case opPut:
-			err = s.Put(rec.Entity, rec.Attr, rec.Value, rec.At)
-		case opAssert:
-			f := element.NewFact(rec.Entity, rec.Attr, rec.Value,
-				temporal.NewInterval(rec.Start, rec.End))
-			f.Derived = rec.Derived
-			f.Source = rec.Source
-			err = s.Assert(f)
-		case opRetract:
-			err = s.Retract(rec.Entity, rec.Attr, rec.At)
-		case opPutBi:
-			err = s.apply(writeReq{
-				entity: rec.Entity, attr: rec.Attr, value: rec.Value,
-				validFrom: rec.Start, hasValidFrom: true,
-				validTo: rec.End, hasValidTo: true,
-				tx: rec.Tx, hasTx: true,
-				derived: rec.Derived, source: rec.Source,
-			})
-		case opDeleteBi:
-			err = s.apply(writeReq{
-				entity: rec.Entity, attr: rec.Attr, isDelete: true,
-				validFrom: rec.Start, hasValidFrom: true,
-				validTo: rec.End, hasValidTo: true,
-				tx: rec.Tx, hasTx: true,
-			})
-		case opPutBatch:
-			// Replay applies the frame's writes one at a time: the group
-			// commit is a durability optimization, not a semantic unit, and
-			// per-key write order is preserved within the frame.
-			for _, p := range rec.Puts {
-				if err = s.Put(p.Entity, p.Attr, p.Value, p.At); err != nil {
-					break
-				}
-			}
-		default:
-			err = fmt.Errorf("state: unknown op %d", rec.Op)
-		}
-		if err != nil {
+		if err := s.applyLogRecord(&rec); err != nil {
 			return n, fmt.Errorf("state: replay record %d: %w", n, err)
 		}
 		n++
 	}
+}
+
+// RecoverLog replays the tail of the WAL at path into s — only records
+// carrying state newer than the durable cut (opPutBatch frames trimmed
+// to their surviving puts) — and returns a Log continuing at that file.
+// This is the recovery half of the segment backend's handoff: segments
+// restore the cut, RecoverLog replays what the cut does not cover. Pass
+// cut = MinInstant for a full WAL-only recovery.
+//
+// An unexpected EOF is treated as a torn final record — the tail a
+// crash cut mid-append — not an error: replay stops at the last whole
+// record. Any other decode error is corruption and fails recovery
+// loudly. Either way the surviving file is compacted to exactly the
+// records applied (atomic rewrite), so torn bytes and the pre-cut
+// prefix are gone and the returned Log appends cleanly. A missing file
+// yields an empty log created at path.
+//
+// Unlike the general Replay, RecoverLog applies runs of positional Put
+// records through PutBatch: the store is empty of observers during
+// recovery and positional puts on distinct keys commute, so the group
+// commit reproduces the identical bitemporal state at a fraction of the
+// per-record locking — this is the WAL-tail half of the fast cold
+// start, as LoadLineage is the segment half.
+//
+// It returns the Log and the number of tail records applied.
+func RecoverLog(path string, s *Store, cut temporal.Instant) (*Log, int, error) {
+	src, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		l, err := CreateLog(path)
+		return l, 0, err
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("state: recover log: %w", err)
+	}
+	var (
+		kept    []logRecord
+		pending []BatchPut // run of positional puts awaiting group apply
+	)
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		err := s.PutBatch(pending)
+		pending = pending[:0]
+		return err
+	}
+	dec := gob.NewDecoder(src)
+	decoded := 0
+	for {
+		var rec logRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break // clean end
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				// A torn final append: gob messages are length-prefixed,
+				// so a crash mid-append reliably leaves a message whose
+				// byte count outruns the file. Replay stops at the last
+				// whole record — the durable prefix — and the rewrite
+				// below drops the torn bytes.
+				break
+			}
+			// Any other decode error is corruption, not a crash artifact:
+			// records after it may be intact but are unreachable in an
+			// unframed gob stream, so fail loudly rather than silently
+			// compact them away.
+			src.Close()
+			return nil, 0, fmt.Errorf("state: recover log record %d: %w", decoded, err)
+		}
+		decoded++
+		if !rec.keepAfter(cut) {
+			continue
+		}
+		kept = append(kept, rec)
+		switch rec.Op {
+		case opPut:
+			pending = append(pending, BatchPut{
+				Entity: rec.Entity, Attr: rec.Attr, Value: rec.Value, At: rec.At,
+			})
+		case opPutBatch:
+			pending = append(pending, rec.Puts...)
+		default:
+			// Order matters across ops of one key: drain the put run
+			// before any other mutation kind.
+			applyErr := flush()
+			if applyErr == nil {
+				applyErr = s.applyLogRecord(&rec)
+			}
+			if applyErr != nil {
+				src.Close()
+				return nil, 0, fmt.Errorf("state: recover log record %d: %w", decoded-1, applyErr)
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		src.Close()
+		return nil, 0, fmt.Errorf("state: recover log: %w", err)
+	}
+	src.Close()
+
+	// The state is recovered; compacting the file to the surviving tail
+	// is bookkeeping the cold start need not wait for. The returned Log
+	// is born with its appender token held by the background rewrite,
+	// so the first append (or Sync/TruncateBefore/Close) transparently
+	// blocks until the file is ready; a rewrite failure poisons the log
+	// and surfaces there.
+	l := &Log{path: path, appender: make(chan struct{}, 1)}
+	l.appender <- struct{}{}
+	go func() {
+		defer func() { <-l.appender }()
+		f, enc, err := rewriteLogFile(path, kept)
+		if err != nil {
+			l.err = err
+			return
+		}
+		l.file, l.c, l.n, l.enc = f, f, len(kept), enc
+	}()
+	return l, len(kept), nil
 }
 
 // ReplayFile replays a log file into the store.
@@ -304,12 +604,15 @@ func (s *Store) loadRecord(f *element.Fact) error {
 	defer sh.mu.Unlock()
 	l := sh.lineage(f.Key(), true)
 	h := l.head.Load()
-	nh := &head{txOrdered: h.txOrdered, maxTx: h.maxTx}
+	nh := &head{txOrdered: h.txOrdered, maxTx: h.maxTx, lastWrite: h.lastWrite}
 	if n := len(h.records); n > 0 && f.RecordedAt < h.records[n-1].RecordedAt {
 		nh.txOrdered = false
 	}
 	if f.RecordedAt > nh.maxTx {
 		nh.maxTx = f.RecordedAt
+	}
+	if f.RecordedAt > nh.lastWrite {
+		nh.lastWrite = f.RecordedAt
 	}
 	nh.records = append(h.records, f)
 	sh.records.Add(1)
@@ -318,6 +621,9 @@ func (s *Store) loadRecord(f *element.Fact) error {
 		s.clock.observe(f.SupersededAt)
 		if f.SupersededAt > nh.maxTx {
 			nh.maxTx = f.SupersededAt
+		}
+		if f.SupersededAt > nh.lastWrite {
+			nh.lastWrite = f.SupersededAt
 		}
 		nh.closed, nh.open = h.closed, h.open
 		l.head.Store(nh)

@@ -1,0 +1,86 @@
+package state
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/element"
+	"repro/internal/temporal"
+)
+
+// TestRecoverLogSurfacesApplyErrors: a tail record that decodes but
+// fails to apply must fail recovery loudly — silently skipping it (and
+// then compacting the WAL without it) would erase committed history.
+func TestRecoverLogSurfacesApplyErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := CreateLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two overlapping asserts: legal to encode, but the second fails
+	// Assert's no-overlap rule on application (as a skewed or
+	// hand-damaged WAL would).
+	f1 := element.NewFact("e", "a", element.Int(1), temporal.NewInterval(0, 10))
+	f2 := element.NewFact("e", "a", element.Int(2), temporal.NewInterval(5, 15))
+	if err := l.appendAssert(f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.appendAssert(f2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RecoverLog(path, NewStore(), temporal.MinInstant); !errors.Is(err, ErrOverlap) {
+		t.Fatalf("apply error swallowed: got %v, want ErrOverlap", err)
+	}
+}
+
+// TestRecoverLogTruncationIsTornTail: a file cut mid-record is the torn
+// final append and recovers to the whole-record prefix, while the same
+// truncation is a loud error through the strict Replay path. (Mid-file
+// bit rot that still DECODES is not detectable — gob frames carry no
+// checksums — which is exactly why the segment format adds crc32c; the
+// WAL's structural errors, like this one, are the detectable class.)
+func TestRecoverLogTruncationIsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	st := NewStore()
+	l, err := CreateLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AttachLog(l)
+	db := st.DB()
+	for i := 0; i < 20; i++ {
+		if err := db.Put("k", "v", element.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec := NewStore()
+	l2, n, err := RecoverLog(path, rec, temporal.MinInstant)
+	if err != nil {
+		t.Fatalf("torn tail should recover: %v", err)
+	}
+	defer l2.Close()
+	if n != 19 {
+		t.Fatalf("want 19 whole records recovered, got %d", n)
+	}
+	if f, ok := rec.Find("k", "v"); !ok || f.Value.String() != "18" {
+		t.Fatalf("recovered head: %v ok=%v", f, ok)
+	}
+	if _, err := ReplayFile(path, NewStore()); err == nil {
+		t.Fatal("strict Replay should reject the torn file")
+	}
+}

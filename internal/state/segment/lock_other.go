@@ -1,0 +1,9 @@
+//go:build !unix
+
+package segment
+
+// lockDir is a no-op on platforms without flock: single-owner use of a
+// durable directory is then the caller's responsibility.
+func lockDir(string) (func(), error) {
+	return func() {}, nil
+}

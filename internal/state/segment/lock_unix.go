@@ -1,0 +1,31 @@
+//go:build unix
+
+package segment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on the directory's LOCK
+// file, guarding against two stores — in this process or another —
+// mutating one durable directory (each would rewrite the other's WAL
+// and delete the other's in-flight segments as orphans). The lock
+// vanishes with the process, so a crash never blocks recovery. The
+// returned func releases it.
+func lockDir(dir string) (func(), error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("segment: lock %s: %w", dir, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("segment: %s is already open in another store: %w", dir, err)
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

@@ -1,0 +1,539 @@
+package segment
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/element"
+	"repro/internal/state"
+	"repro/internal/temporal"
+)
+
+// snapshotBytes serializes a store's full bitemporal cut — the
+// byte-identical comparison surface of the recovery tests.
+func snapshotBytes(t *testing.T, s *state.Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// mutate drives one deterministic mutation mix — default-clock puts,
+// retroactive corrections, bounded intervals, deletes, batch group
+// commits — against any StateDB-with-batch surface. Running it against
+// the durable store and a WAL-only oracle store yields identical
+// bitemporal state.
+type batchStore interface {
+	state.StateDB
+	PutBatch([]state.BatchPut) error
+}
+
+// memBatch adapts *state.Store to batchStore via its DB view.
+type memBatch struct {
+	*state.DB
+}
+
+func (m memBatch) PutBatch(puts []state.BatchPut) error { return m.DB.Store().PutBatch(puts) }
+
+// storeBatch adapts the durable store (PutBatch through Mem).
+type storeBatch struct {
+	*Store
+}
+
+func (s storeBatch) PutBatch(puts []state.BatchPut) error { return s.Mem().PutBatch(puts) }
+
+func mutate(t *testing.T, db batchStore, round int) {
+	t.Helper()
+	base := temporal.Instant(round * 1000)
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("k%02d", i%10)
+		if err := db.Put(key, "value", element.Int(int64(round*100+i))); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	// Retroactive corrections with explicit transaction times.
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		if err := db.Put(key, "audit", element.String("fix"),
+			state.WithValidTime(base+temporal.Instant(i)),
+			state.WithEndValidTime(base+temporal.Instant(i)+10)); err != nil {
+			t.Fatalf("retro put: %v", err)
+		}
+	}
+	if err := db.Delete("k03", "value"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	var puts []state.BatchPut
+	for i := 0; i < 20; i++ {
+		puts = append(puts, state.BatchPut{
+			Entity: fmt.Sprintf("b%02d", i%7), Attr: "batch",
+			Value: element.Int(int64(i)), At: base + 500 + temporal.Instant(i),
+		})
+	}
+	if err := db.PutBatch(puts); err != nil {
+		t.Fatalf("putbatch: %v", err)
+	}
+}
+
+// oracle replays the full-WAL history: the same mutation rounds against
+// a plain store logging to its own (never truncated) WAL, recovered by
+// full replay.
+func oracle(t *testing.T, rounds int) *state.Store {
+	t.Helper()
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "oracle.log")
+	st := state.NewStore()
+	l, err := state.CreateLog(wal)
+	if err != nil {
+		t.Fatalf("oracle log: %v", err)
+	}
+	st.AttachLog(l)
+	for r := 0; r < rounds; r++ {
+		mutate(t, memBatch{st.DB()}, r)
+	}
+	l.Close()
+	rec := state.NewStore()
+	if _, err := state.ReplayFile(wal, rec); err != nil {
+		t.Fatalf("oracle replay: %v", err)
+	}
+	return rec
+}
+
+// TestRecoveryRoundTrip: a durable store flushed mid-history and
+// reopened without Close (the crash path) recovers byte-identically to
+// a full-WAL replay of the same mutations.
+func TestRecoveryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	mutate(t, storeBatch{d}, 0)
+	if err := d.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	mutate(t, storeBatch{d}, 1) // WAL tail beyond the durable cut
+	// Simulate a crash with a flushed prefix and a WAL tail: Abandon
+	// releases the lock and descriptors without flushing.
+	d.Abandon()
+
+	rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rec.Close()
+	want := snapshotBytes(t, oracle(t, 2))
+	got := snapshotBytes(t, rec.Mem())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered state differs from WAL-only oracle (%d vs %d bytes)", len(got), len(want))
+	}
+	if info := rec.Info(); info.Segments == 0 || info.Frames == 0 {
+		t.Fatalf("expected durable segments, got %+v", info)
+	}
+}
+
+// TestRecoveryCleanClose: Close flushes everything; reopening finds an
+// empty WAL tail and the oracle's exact state.
+func TestRecoveryCleanClose(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	mutate(t, storeBatch{d}, 0)
+	mutate(t, storeBatch{d}, 1)
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rec.Close()
+	if info := rec.Info(); info.WALRecords != 0 {
+		t.Fatalf("WAL tail should be empty after clean close, got %+v", info)
+	}
+	if got, want := snapshotBytes(t, rec.Mem()), snapshotBytes(t, oracle(t, 2)); !bytes.Equal(got, want) {
+		t.Fatalf("recovered state differs from oracle")
+	}
+}
+
+// TestRecoveryIncrementalFlush: a second flush writes only the lineages
+// touched since the first, and a flush covering every key of an old
+// segment retires the old file.
+func TestRecoveryIncrementalFlush(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer d.Close()
+	db := d.Mem().DB()
+	for i := 0; i < 8; i++ {
+		if err := db.Put(fmt.Sprintf("s%d", i), "v", element.Int(int64(i))); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("flush 1: %v", err)
+	}
+	// Touch a single key; the second segment must hold only it.
+	if err := db.Put("s0", "v", element.Int(100)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("flush 2: %v", err)
+	}
+	cat := d.cat.Load()
+	if len(cat.segments) != 2 {
+		t.Fatalf("want 2 live segments, got %d", len(cat.segments))
+	}
+	last := cat.segments[len(cat.segments)-1]
+	if len(last.index) != 1 {
+		t.Fatalf("incremental segment should hold 1 key, holds %d", len(last.index))
+	}
+
+	// Touch every key: the next flush supersedes both older segments.
+	for i := 0; i < 8; i++ {
+		if err := db.Put(fmt.Sprintf("s%d", i), "v", element.Int(int64(200+i))); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	old := make([]string, 0, 2)
+	for _, r := range cat.segments {
+		old = append(old, r.path)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("flush 3: %v", err)
+	}
+	if got := len(d.cat.Load().segments); got != 1 {
+		t.Fatalf("want 1 live segment after full rewrite, got %d", got)
+	}
+	for _, p := range old {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("superseded segment %s not unlinked", p)
+		}
+	}
+}
+
+// TestRecoveryTornWALTail: a WAL cut mid-record (the bytes a crash left
+// half-appended) recovers to the last whole record — the durable
+// prefix — and the torn bytes are compacted away.
+func TestRecoveryTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	db := d.Mem().DB()
+	for i := 0; i < 10; i++ {
+		if err := db.Put("k", "v", element.Int(int64(i))); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	wal := filepath.Join(dir, walName)
+	st, err := os.Stat(wal)
+	if err != nil {
+		t.Fatalf("stat wal: %v", err)
+	}
+	before := st.Size()
+	if err := db.Put("k", "v", element.Int(99)); err != nil {
+		t.Fatalf("final put: %v", err)
+	}
+	st, _ = os.Stat(wal)
+	d.Abandon()
+	// Cut inside the final record: a torn append.
+	if err := os.Truncate(wal, (before+st.Size())/2); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer rec.Close()
+	f, ok := rec.Find("k", "v")
+	if !ok || f.Value.String() != "9" {
+		t.Fatalf("want last whole record value 9, got %v (ok=%v)", f, ok)
+	}
+	if got := rec.Info().WALRecords; got != 10 {
+		t.Fatalf("compacted WAL should hold 10 whole records, holds %d", got)
+	}
+}
+
+// TestRecoveryOrphanSegment: a torn segment file a crash left behind —
+// never referenced by the manifest — is removed at open and does not
+// perturb recovery.
+func TestRecoveryOrphanSegment(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	db := d.Mem().DB()
+	if err := db.Put("k", "v", element.Int(7)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	// Fabricate a torn segment: the valid prefix of a real one.
+	src, err := os.ReadFile(filepath.Join(dir, "seg-00000001.seg"))
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	orphan := filepath.Join(dir, "seg-99999999.seg")
+	if err := os.WriteFile(orphan, src[:len(src)/2], 0o644); err != nil {
+		t.Fatalf("write orphan: %v", err)
+	}
+	d.Abandon()
+
+	rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen with orphan: %v", err)
+	}
+	defer rec.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan segment not removed")
+	}
+	if f, ok := rec.Find("k", "v"); !ok || f.Value.String() != "7" {
+		t.Fatalf("state perturbed by orphan: %v ok=%v", f, ok)
+	}
+}
+
+// TestRecoveryCorruptSegment: bit rot in a manifest-referenced segment
+// fails open loudly — it is corruption, not a crash artifact.
+func TestRecoveryCorruptSegment(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := d.Mem().DB().Put("k", "v", element.Int(7)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	seg := filepath.Join(dir, "seg-00000001.seg")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	data[len(fileMagic)+frameHdrLen+3] ^= 0xff // flip a payload byte
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatalf("write corrupt segment: %v", err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatalf("open should fail on a corrupt referenced segment")
+	}
+}
+
+// TestRecoveryFallthroughReads: a lineage compacted out of RAM entirely
+// keeps answering point reads and history from its durable frame.
+func TestRecoveryFallthroughReads(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer d.Close()
+	db := d.Mem().DB()
+	// A fully bounded lineage: compactable to nothing.
+	if err := db.Put("old", "v", element.Int(1),
+		state.WithValidTime(10), state.WithEndValidTime(20),
+		state.WithTransactionTime(10)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := db.Put("live", "v", element.Int(2),
+		state.WithValidTime(10), state.WithTransactionTime(10)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := d.FlushAt(50); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if removed := d.Mem().CompactBefore(100); removed == 0 {
+		t.Fatalf("compaction removed nothing")
+	}
+	// The sweep leaves a husk; the next flush sees its writes are all
+	// covered by the existing frame (pure compaction, no tombstone) and
+	// reclaims it.
+	if err := d.FlushAt(60); err != nil {
+		t.Fatalf("reclaim flush: %v", err)
+	}
+	if d.Mem().Contains("old", "v") {
+		t.Fatalf("lineage should be gone from RAM")
+	}
+	// RAM misses; the frame answers.
+	f, ok := d.Find("old", "v", state.AsOfValidTime(15))
+	if !ok || f.Value.String() != "1" {
+		t.Fatalf("fallthrough find failed: %v ok=%v", f, ok)
+	}
+	if hist := d.History("old", "v", state.AllVersions()); len(hist) != 1 {
+		t.Fatalf("fallthrough history: want 1 record, got %d", len(hist))
+	}
+	// Envelope pruning: an instant outside the frame's validity span
+	// misses without a pread.
+	if _, ok := d.Find("old", "v", state.AsOfValidTime(5)); ok {
+		t.Fatalf("pruned read should miss")
+	}
+	if _, ok := d.Find("old", "v"); ok {
+		t.Fatalf("current-belief read should miss a fully bounded frame")
+	}
+	// The live lineage still resolves from RAM.
+	if f, ok := d.Find("live", "v"); !ok || f.Value.String() != "2" {
+		t.Fatalf("RAM read broken: %v ok=%v", f, ok)
+	}
+}
+
+// TestRecoveryHistoryFallthroughBoundedSegment: History must fall
+// through to a frame even when the owning segment holds no open
+// validity anywhere — the open-version envelope prune applies to
+// current-belief point reads only.
+func TestRecoveryHistoryFallthroughBoundedSegment(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer d.Close()
+	// The only record in the segment is fully bounded.
+	if err := d.Mem().DB().Put("e", "a", element.Int(1),
+		state.WithValidTime(10), state.WithEndValidTime(20),
+		state.WithTransactionTime(10)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := d.FlushAt(50); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	d.Mem().CompactBefore(1000)
+	if err := d.FlushAt(60); err != nil { // reclaim the husk; frame stays
+		t.Fatalf("reclaim flush: %v", err)
+	}
+	if d.Mem().Contains("e", "a") {
+		t.Fatalf("lineage should be gone from RAM")
+	}
+	if hist := d.History("e", "a"); len(hist) != 1 {
+		t.Fatalf("default History via frame: want 1 closed record, got %d", len(hist))
+	}
+	if hist := d.History("e", "a", state.AllVersions()); len(hist) != 1 {
+		t.Fatalf("AllVersions History via frame: want 1 record, got %d", len(hist))
+	}
+	// The current-belief point read still prunes correctly: nothing open.
+	if _, ok := d.Find("e", "a"); ok {
+		t.Fatalf("current-belief read should miss a fully bounded frame")
+	}
+}
+
+// TestRecoveryCloseIdempotent: the `defer Close` + explicit Close
+// pattern must not report a spurious error on the second call.
+func TestRecoveryCloseIdempotent(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := d.Mem().DB().Put("k", "v", element.Int(1)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second close should be a no-op, got: %v", err)
+	}
+}
+
+// TestRecoveryNoFrameResurrection: a lineage still resident in RAM
+// answers from RAM alone — a frame flushed before a delete must not
+// resurrect the deleted fact through the fallthrough path.
+func TestRecoveryNoFrameResurrection(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer d.Close()
+	db := d.Mem().DB()
+	if err := db.Put("k", "v", element.Int(1)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	// Delete after the flush: the frame still holds the open version.
+	if err := db.Delete("k", "v"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if f, ok := d.Find("k", "v"); ok {
+		t.Fatalf("deleted fact resurrected from stale frame: %v", f)
+	}
+	// The pre-delete belief is still reachable the bitemporal way.
+	if _, ok := d.Find("k", "v", state.AsOfTransactionTime(d.DurableTx())); !ok {
+		t.Fatalf("pre-delete belief should resolve from RAM history")
+	}
+
+	// Now compact the deleted lineage away entirely: the husk's last
+	// write (the delete) postdates the frame's cut, so the next flush
+	// writes a tombstone — the stale frame must not come back, not even
+	// through the fallthrough path or a restart.
+	if removed := d.Mem().CompactBefore(d.Mem().Snapshot().At() + 1); removed == 0 {
+		t.Fatalf("compaction removed nothing")
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("tombstone flush: %v", err)
+	}
+	if d.Mem().Contains("k", "v") {
+		t.Fatalf("husk should be reclaimed after the tombstone flush")
+	}
+	if f, ok := d.Find("k", "v"); ok {
+		t.Fatalf("tombstoned key resurrected: %v", f)
+	}
+	if hist := d.History("k", "v", state.AllVersions()); len(hist) != 0 {
+		t.Fatalf("tombstoned key has history: %v", hist)
+	}
+	d.Abandon()
+	rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rec.Close()
+	if rec.Mem().Contains("k", "v") {
+		t.Fatalf("tombstoned key resurrected into RAM by recovery")
+	}
+	if f, ok := rec.Find("k", "v"); ok {
+		t.Fatalf("tombstoned key resurrected after restart: %v", f)
+	}
+}
+
+// TestRecoveryAdvancesCutWithoutDirt: flushing a quiesced store advances
+// the durable cut without writing an empty segment file.
+func TestRecoveryAdvancesCutWithoutDirt(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer d.Close()
+	if err := d.Mem().DB().Put("k", "v", element.Int(1)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	segs := d.Info().Segments
+	d.Mem().AdvanceClock(1000)
+	if err := d.Flush(); err != nil {
+		t.Fatalf("idle flush: %v", err)
+	}
+	if got := d.Info().Segments; got != segs {
+		t.Fatalf("idle flush wrote a segment: %d -> %d", segs, got)
+	}
+	if got := d.DurableTx(); got != 1000 {
+		t.Fatalf("durable cut not advanced: %v", got)
+	}
+}

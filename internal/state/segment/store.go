@@ -1,0 +1,705 @@
+// Package segment is the durable, append-only backend of the state
+// repository: committed lineage heads flush as immutable, checksummed
+// segment files behind the state.StateDB / state.Reader seam, so derived
+// state outlives the stream without replaying the full WAL on boot.
+//
+// A segment.Store wraps the in-memory sharded store (the RAM working
+// set, which keeps every read lock-free exactly as before) with a
+// durable directory:
+//
+//	dir/
+//	  MANIFEST        commit point: durable cut + live segment list
+//	  seg-NNNNNNNN.seg  immutable segment files (see format.go)
+//	  wal.log         the WAL tail: records newer than the durable cut
+//
+// A flush is a pinned cut, exactly like a snapshot: FlushCut gathers the
+// lineages touched since the previous flush, each as the record set
+// believed at the pin, into one new segment file; the manifest commit
+// (temp file + rename) then atomically advances the durable cut, and
+// Log.TruncateBefore drops the WAL prefix the segments now cover.
+// Recovery inverts it: load the manifest, bulk-load the newest frame of
+// every key (state.LoadLineage — one head publication per lineage,
+// no mutation replay), then replay only the WAL tail. Every step is
+// crash-atomic: a torn segment is an unreferenced orphan, a torn WAL
+// tail record is dropped, and the manifest either renamed or it did not.
+//
+// Reads resolve against RAM first and fall through to segment frames
+// (pread + per-segment bitemporal envelope pruning) for lineages the RAM
+// working set no longer holds — a compacted head keeps its durable
+// history answerable. Writes go through the wrapped store unchanged, so
+// watchers, rules, and group commits behave identically.
+package segment
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/element"
+	"repro/internal/state"
+	"repro/internal/temporal"
+)
+
+const (
+	manifestName = "MANIFEST"
+	walName      = "wal.log"
+	lockName     = "LOCK"
+
+	// manifestVersion guards the manifest wire format.
+	manifestVersion = 1
+
+	// DefaultFlushEvery is the WAL-tail record count that triggers a
+	// background flush (see Pulse) unless WithFlushEvery overrides it.
+	DefaultFlushEvery = 8192
+)
+
+// manifestRec is the gob wire format of the MANIFEST file — the commit
+// point of the durable directory.
+type manifestRec struct {
+	Version   int
+	DurableTx temporal.Instant
+	NextSeq   uint64
+	Segments  []manifestSegment
+}
+
+// manifestSegment names one live segment file and its cut.
+type manifestSegment struct {
+	File  string
+	CutTx temporal.Instant
+}
+
+// frameRef locates the newest durable frame of one key.
+type frameRef struct {
+	seg *reader
+	off int64
+}
+
+// catalog is the immutable, atomically published view of the durable
+// directory: readers load it once and resolve against it lock-free,
+// exactly as store readers load published lineage heads.
+type catalog struct {
+	durableTx temporal.Instant
+	segments  []*reader // oldest first
+	frames    map[element.FactKey]frameRef
+}
+
+// Store is the durable segment-backed state store. It implements
+// state.StateDB and state.Reader over a RAM working set (Mem) plus the
+// segment files and WAL tail of its directory. All methods are safe for
+// concurrent use; flushes run concurrently with reads and writes.
+type Store struct {
+	dir string
+	mem *state.Store
+	log *state.Log
+
+	flushEvery int
+
+	// cat is the published durable view; swapped after each flush.
+	cat atomic.Pointer[catalog]
+
+	// mu serializes flushes, manifest commits, and Close.
+	mu      sync.Mutex
+	nextSeq uint64
+	closed  bool
+	// closeOnce makes Close idempotent; closeErr is the first result.
+	closeOnce sync.Once
+	closeErr  error
+	// unlock releases the directory lock taken at Open (single-owner
+	// guard against two stores corrupting one directory).
+	unlock func()
+
+	// flushing is the single-flight latch of background flushes (Pulse);
+	// wg tracks the in-flight one so Close can wait.
+	flushing atomic.Bool
+	wg       sync.WaitGroup
+	// flushErr holds the first background flush error until surfaced by
+	// the next Flush or Close.
+	flushErr atomic.Pointer[error]
+}
+
+// Store implements the bitemporal StateDB seam and the read-only Reader
+// surface.
+var (
+	_ state.StateDB = (*Store)(nil)
+	_ state.Reader  = (*Store)(nil)
+)
+
+// Option configures Open.
+type Option func(*Store)
+
+// WithStore uses mem as the RAM working set instead of a fresh default
+// store. mem must be empty: recovery loads the durable state into it.
+// The engine uses this to wrap its own store (core.WithDurableDir).
+func WithStore(mem *state.Store) Option {
+	return func(d *Store) { d.mem = mem }
+}
+
+// WithFlushEvery sets the WAL-tail record count at which Pulse starts a
+// background flush (default DefaultFlushEvery; n <= 0 makes Pulse flush
+// on every call that finds the latch free).
+func WithFlushEvery(n int) Option {
+	return func(d *Store) { d.flushEvery = n }
+}
+
+// Open opens (or initializes) a durable directory and recovers its
+// state: manifest, then the newest segment frame of every key
+// (bulk-loaded, no replay), then the WAL tail. Orphan files from a
+// flush a crash interrupted — segments the manifest never referenced,
+// stale temp files — are removed. The returned store is ready for
+// reads, writes, and flushes; writes append to the WAL until a flush
+// hands them off to segments.
+func Open(dir string, opts ...Option) (*Store, error) {
+	d := &Store{dir: dir, flushEvery: DefaultFlushEvery, nextSeq: 1}
+	for _, o := range opts {
+		o(d)
+	}
+	if d.mem == nil {
+		d.mem = state.NewStore()
+	}
+	// Sweeps must leave tombstone husks behind (instead of silently
+	// deleting emptied lineages) so the next flush supersedes the key's
+	// stale segment frame; see state.SetRetainSwept.
+	d.mem.SetRetainSwept(true)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("segment: open %s: %w", dir, err)
+	}
+	unlock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	d.unlock = unlock
+	opened := false
+	defer func() {
+		if !opened {
+			unlock()
+		}
+	}()
+
+	// Recovery allocates the whole working set in one bounded burst;
+	// letting the collector run its growth-triggered cycles mid-burst
+	// just rescans the half-built store several times. Pause it for the
+	// duration (the classic storage-engine cold-start move); the deferred
+	// restore also triggers one collection that settles the heap goal.
+	gcPct := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(gcPct)
+
+	man, err := readManifest(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	cat := &catalog{durableTx: temporal.MinInstant, frames: map[element.FactKey]frameRef{}}
+	if man != nil {
+		cat.durableTx = man.DurableTx
+		d.nextSeq = man.NextSeq
+		for _, ms := range man.Segments {
+			r, err := openSegment(filepath.Join(dir, ms.File))
+			if err != nil {
+				d.closeSegments(cat)
+				return nil, err
+			}
+			cat.segments = append(cat.segments, r)
+			for key, off := range r.index {
+				cat.frames[key] = frameRef{seg: r, off: off}
+			}
+		}
+	}
+	d.removeOrphans(man)
+
+	if err := d.loadFrames(cat); err != nil {
+		d.closeSegments(cat)
+		return nil, err
+	}
+	log, _, err := state.RecoverLog(filepath.Join(dir, walName), d.mem, cat.durableTx)
+	if err != nil {
+		d.closeSegments(cat)
+		return nil, err
+	}
+	d.log = log
+	d.mem.AttachLog(log)
+	d.cat.Store(cat)
+	opened = true
+	return d, nil
+}
+
+// loadFrames bulk-loads the newest frame of every cataloged key into the
+// RAM working set. Each segment is read into memory once and its live
+// frames (the ones the catalog still points at) decode from the image —
+// one sequential read per segment instead of a pread pair per lineage.
+func (d *Store) loadFrames(cat *catalog) error {
+	for _, r := range cat.segments {
+		live := 0
+		for key := range r.index {
+			if cat.frames[key].seg == r {
+				live++
+			}
+		}
+		if live == 0 {
+			continue
+		}
+		img, err := r.image()
+		if err != nil {
+			return err
+		}
+		for key, off := range r.index {
+			if cat.frames[key].seg != r {
+				continue
+			}
+			fkey, records, err := r.readLineageImage(img, off)
+			if err != nil {
+				return err
+			}
+			if fkey != key {
+				return fmt.Errorf("segment: %s @%d: frame holds %s, index says %s",
+					r.path, off, fkey, key)
+			}
+			if err := d.mem.LoadLineage(records); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// removeOrphans deletes files a crash left unreferenced: segments absent
+// from the manifest and stale temp files. Safe by construction — a
+// segment becomes referenced only after it is fully written and synced.
+func (d *Store) removeOrphans(man *manifestRec) {
+	live := map[string]bool{}
+	if man != nil {
+		for _, ms := range man.Segments {
+			live[ms.File] = true
+		}
+	}
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case name == manifestName || name == walName || name == lockName || live[name]:
+		case name == manifestName+".tmp" || name == walName+".tmp":
+			os.Remove(filepath.Join(d.dir, name))
+		case filepath.Ext(name) == ".seg":
+			os.Remove(filepath.Join(d.dir, name))
+		}
+	}
+}
+
+// readManifest loads and validates the manifest, returning nil when the
+// directory has none yet (a fresh directory).
+func readManifest(path string) (*manifestRec, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("segment: manifest: %w", err)
+	}
+	defer f.Close()
+	var man manifestRec
+	if err := gob.NewDecoder(f).Decode(&man); err != nil {
+		return nil, fmt.Errorf("segment: manifest: %w", err)
+	}
+	if man.Version != manifestVersion {
+		return nil, fmt.Errorf("segment: manifest version %d, want %d", man.Version, manifestVersion)
+	}
+	return &man, nil
+}
+
+// writeManifest commits a manifest atomically: temp file, sync, rename,
+// directory sync.
+func (d *Store) writeManifest(man *manifestRec) error {
+	path := filepath.Join(d.dir, manifestName)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("segment: manifest: %w", err)
+	}
+	if err := gob.NewEncoder(f).Encode(man); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("segment: manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("segment: manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("segment: manifest: %w", err)
+	}
+	state.SyncDir(d.dir)
+	return nil
+}
+
+// Mem returns the RAM working set — the wrapped sharded store. Engines
+// and rules write through it directly; everything it holds is covered by
+// the WAL until the next flush.
+func (d *Store) Mem() *state.Store { return d.mem }
+
+// Log returns the WAL the working set appends to.
+func (d *Store) Log() *state.Log { return d.log }
+
+// DurableTx reports the durable cut: every write at or before it is
+// captured by segment files; later writes live in the WAL tail.
+func (d *Store) DurableTx() temporal.Instant { return d.cat.Load().durableTx }
+
+// Flush makes everything committed so far durable in segments: it pins
+// the cut behind the store's publication barrier (Store.Snapshot
+// semantics) and hands the WAL prefix off. See FlushAt for the protocol;
+// engines flush at watermarks instead, where the cut is quiesced by the
+// stream contract.
+func (d *Store) Flush() error {
+	return d.FlushAt(d.mem.Snapshot().At())
+}
+
+// FlushAt flushes the cut at an explicit transaction-time instant:
+// gather the lineages touched since the last flush (each as the record
+// set believed at the cut) into one new segment, sync it, commit the
+// manifest advancing the durable cut, truncate the WAL prefix the
+// segments now cover, and retire segments whose every key has a newer
+// frame. Writes with explicit transaction times at or before an
+// already-durable cut forfeit durability, exactly as they forfeit
+// snapshot isolation (snapshot.go); default-clock and watermark-ordered
+// writes cannot land behind the cut.
+//
+// FlushAt serializes with other flushes; concurrent reads and writes
+// proceed throughout (the gather is lock-free, the WAL truncation
+// briefly blocks appenders only).
+func (d *Store) FlushAt(cut temporal.Instant) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// A latched background-flush error is surfaced alongside — never
+	// instead of — this attempt: a transient failure (disk pressure,
+	// say) must not disable flushing permanently.
+	return errors.Join(d.takeFlushErr(), d.flushLocked(cut))
+}
+
+// flushLocked is FlushAt's body; callers hold d.mu.
+func (d *Store) flushLocked(cut temporal.Instant) error {
+	if d.closed {
+		return errors.New("segment: store is closed")
+	}
+	cat := d.cat.Load()
+	if cut <= cat.durableTx {
+		return nil
+	}
+
+	name := fmt.Sprintf("seg-%08d.seg", d.nextSeq)
+	w, err := createSegment(filepath.Join(d.dir, name))
+	if err != nil {
+		return err
+	}
+	var gatherErr error
+	written := 0
+	d.mem.FlushCut(cut, cat.durableTx, func(key element.FactKey, records []*element.Fact, lastWrite temporal.Instant) {
+		if gatherErr != nil {
+			return
+		}
+		if len(records) == 0 {
+			// An emptied husk. Its existing frame stays truthful history
+			// when it already covers every write (pure compaction); it
+			// needs a tombstone — an empty frame superseding it — only
+			// when writes happened after its cut (e.g. a delete the
+			// sweep then compacted away, which the stale frame would
+			// resurrect).
+			ref, ok := cat.frames[key]
+			if !ok || lastWrite <= ref.seg.cut {
+				return
+			}
+		}
+		gatherErr = w.writeLineage(key, records)
+		written++
+	})
+	if gatherErr != nil {
+		w.abort()
+		return gatherErr
+	}
+
+	nc := &catalog{durableTx: cut, frames: make(map[element.FactKey]frameRef, len(cat.frames)+written)}
+	for key, ref := range cat.frames {
+		nc.frames[key] = ref
+	}
+	segs := cat.segments
+	if written == 0 {
+		// Nothing dirty: advance the durable cut without an empty file.
+		w.abort()
+	} else {
+		r, err := w.finish(cut)
+		if err != nil {
+			return err
+		}
+		d.nextSeq++
+		segs = append(segs, r)
+		for key, off := range r.index {
+			nc.frames[key] = frameRef{seg: r, off: off}
+		}
+	}
+
+	// A segment every key of which has a newer frame is dead: drop it
+	// from the manifest now, unlink after the commit.
+	var dead []*reader
+	for _, r := range segs {
+		liveKey := false
+		for key := range r.index {
+			if nc.frames[key].seg == r {
+				liveKey = true
+				break
+			}
+		}
+		if liveKey {
+			nc.segments = append(nc.segments, r)
+		} else {
+			dead = append(dead, r)
+		}
+	}
+
+	man := &manifestRec{Version: manifestVersion, DurableTx: cut, NextSeq: d.nextSeq}
+	for _, r := range nc.segments {
+		man.Segments = append(man.Segments, manifestSegment{File: filepath.Base(r.path), CutTx: r.cut})
+	}
+	// Sync the WAL before the manifest commit: after the commit, every
+	// write is durable against power loss too — at or before the cut in
+	// the just-synced segment, after it in the just-synced tail.
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	if err := d.writeManifest(man); err != nil {
+		return err
+	}
+	d.cat.Store(nc)
+
+	// Retired segments are unlinked but NOT explicitly closed: a reader
+	// that loaded an older catalog may still pread them. Dropping every
+	// reference here lets the runtime's os.File finalizer close each
+	// descriptor once no in-flight reader can reach it — the same
+	// GC-based epoch reclamation the store's published heads use.
+	for _, r := range dead {
+		os.Remove(r.path)
+	}
+
+	// The manifest is committed: the WAL prefix at or before the cut is
+	// redundant. A crash before (or during) the truncation is benign —
+	// recovery filters replay by the manifest's cut.
+	if err := d.log.TruncateBefore(cut); err != nil {
+		return err
+	}
+	// Husks whose tombstones the commit covered are reclaimable (see
+	// state.SetRetainSwept).
+	d.mem.DropSweptBefore(cut)
+	return nil
+}
+
+// Pulse nudges the background flusher: when the WAL tail has grown past
+// the flush threshold and no flush is in flight, one starts at cut. The
+// engine calls it as its watermark advances — the cut is then quiesced
+// by the stream's timestamp order. Errors surface from the next Flush,
+// FlushAt, or Close.
+func (d *Store) Pulse(cut temporal.Instant) {
+	// Order matters: the flushing latch and the durable-cut check are
+	// lock-free, so a Pulse during an in-flight flush returns without
+	// touching Log.Len — whose appender token the flush's WAL rewrite
+	// may be holding for its O(tail) duration.
+	if d.flushing.Load() || cut <= d.DurableTx() || d.log.Len() < d.flushEvery {
+		return
+	}
+	if !d.flushing.CompareAndSwap(false, true) {
+		return
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		defer d.flushing.Store(false)
+		if err := d.FlushAt(cut); err != nil {
+			d.flushErr.CompareAndSwap(nil, &err)
+		}
+	}()
+}
+
+// takeFlushErr surfaces and clears the sticky background-flush error.
+// Callers hold d.mu.
+func (d *Store) takeFlushErr() error {
+	if p := d.flushErr.Swap(nil); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Close flushes everything committed so far and releases the WAL and
+// segment descriptors. The store must not be used afterwards; Close is
+// idempotent (later calls return the first call's result, so the
+// `defer Close` + explicit `Close` pattern reports no spurious error).
+// Omitting Close loses nothing but the final flush: the WAL still
+// covers every commit since the last one — that is the crash the
+// recovery path is built for.
+func (d *Store) Close() error {
+	d.closeOnce.Do(func() { d.closeErr = d.doClose() })
+	return d.closeErr
+}
+
+// doClose is the body of the first Close. The lock and descriptors are
+// released even when the final flush fails — Close runs once, so
+// holding them would leak the flock (blocking any reopen in-process)
+// with no path left to release it.
+func (d *Store) doClose() error {
+	d.wg.Wait()
+	flushErr := d.Flush()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	d.closeSegments(d.cat.Load())
+	closeErr := d.log.Close()
+	d.unlock()
+	return errors.Join(flushErr, closeErr)
+}
+
+// Abandon releases the store's OS resources — the directory lock, WAL,
+// and segment descriptors — WITHOUT flushing, leaving the directory
+// exactly as a process crash would: segments up to the last durable
+// cut plus the WAL tail. It exists for crash-simulation tests and
+// benchmarks that reopen a directory their "crashed" store still
+// references in-process (a real crash releases the flock with the
+// process; in-process the lock must be dropped explicitly). The store
+// must not be used afterwards; a subsequent Close is a no-op.
+func (d *Store) Abandon() {
+	d.closeOnce.Do(func() {
+		d.wg.Wait()
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		d.closed = true
+		d.closeSegments(d.cat.Load())
+		d.log.Close()
+		d.unlock()
+	})
+}
+
+// closeSegments closes every segment descriptor of a catalog.
+func (d *Store) closeSegments(cat *catalog) {
+	for _, r := range cat.segments {
+		r.f.Close()
+	}
+}
+
+// Find returns the version of (entity, attr) selected by the read
+// options: from the RAM working set while it holds the lineage, from
+// the key's newest segment frame only when compaction has dropped the
+// lineage from RAM entirely — so reads below the compaction horizon
+// still resolve. A resident lineage answers from RAM alone, even when
+// the answer is "nothing": its frame may predate deletes or
+// supersessions the lineage has since seen, and serving it would
+// resurrect them. Implements state.StateDB / state.Reader.
+func (d *Store) Find(entity, attr string, opts ...state.ReadOpt) (*element.Fact, bool) {
+	if d.mem.Contains(entity, attr) {
+		return d.mem.Find(entity, attr, opts...)
+	}
+	records, ok := d.findFrame(entity, attr, true, opts...)
+	if !ok {
+		return nil, false
+	}
+	return state.PickRecord(records, opts...)
+}
+
+// History returns the version history of (entity, attr) — from RAM when
+// the working set still holds the lineage, from the newest durable
+// frame when compaction dropped it entirely. RAM and frame histories
+// are not merged: a lineage resident in RAM answers from RAM alone.
+func (d *Store) History(entity, attr string, opts ...state.ReadOpt) []*element.Fact {
+	if d.mem.Contains(entity, attr) {
+		return d.mem.History(entity, attr, opts...)
+	}
+	records, ok := d.findFrame(entity, attr, false, opts...)
+	if !ok {
+		return nil
+	}
+	return state.BelievedRecords(records, opts...)
+}
+
+// findFrame resolves the newest durable frame of a key. Point reads
+// (point=true) prune with the owning segment's bitemporal envelope: a
+// valid-time instant outside the segment's validity span, a
+// current-belief read against a segment with no open validity anywhere,
+// or a belief pinned before anything the segment recorded cannot match
+// and skips the pread. History reads pass point=false and always read
+// the frame — their selection semantics (closed records, AllVersions)
+// are not point-shaped, so only the full resolver can answer.
+func (d *Store) findFrame(entity, attr string, point bool, opts ...state.ReadOpt) ([]*element.Fact, bool) {
+	cat := d.cat.Load()
+	ref, ok := cat.frames[element.FactKey{Entity: entity, Attribute: attr}]
+	if !ok {
+		return nil, false
+	}
+	if point {
+		spec := state.SpecOf(opts...)
+		env := ref.seg.env
+		if spec.HasValidAt && (spec.ValidAt < env.minValid || spec.ValidAt >= env.maxValid) {
+			return nil, false
+		}
+		if !spec.HasValidAt && env.maxValid != temporal.Forever {
+			// A current-belief point read needs an open version; a segment
+			// with no open validity anywhere cannot hold one.
+			return nil, false
+		}
+		if spec.HasTxAt && spec.TxAt < env.minTx {
+			return nil, false
+		}
+	}
+	_, records, err := ref.seg.readLineage(ref.off)
+	if err != nil {
+		// A failing referenced frame is corruption, not absence; reads
+		// degrade to RAM-only rather than panic mid-query.
+		return nil, false
+	}
+	return records, true
+}
+
+// List returns the RAM working set's List — one consistent lock-free
+// cut, exactly as state.Store.List. Segment-only lineages (compacted out
+// of RAM) are not merged into scans; they remain reachable by key
+// through Find and History. Implements state.StateDB / state.Reader.
+func (d *Store) List(opts ...state.ReadOpt) []*element.Fact {
+	return d.mem.List(opts...)
+}
+
+// Put writes through the RAM working set (and its WAL). Implements
+// state.StateDB.
+func (d *Store) Put(entity, attr string, v element.Value, opts ...state.WriteOpt) error {
+	return d.mem.DB().Put(entity, attr, v, opts...)
+}
+
+// Delete writes through the RAM working set (and its WAL). Implements
+// state.StateDB.
+func (d *Store) Delete(entity, attr string, opts ...state.WriteOpt) error {
+	return d.mem.Delete(entity, attr, opts...)
+}
+
+// Info summarizes the durable directory.
+type Info struct {
+	// DurableTx is the durable cut (see DurableTx).
+	DurableTx temporal.Instant
+	// Segments is the number of live segment files.
+	Segments int
+	// Frames is the number of keys with a durable frame.
+	Frames int
+	// WALRecords is the record count of the WAL tail.
+	WALRecords int
+}
+
+// Info returns a point-in-time summary of the durable directory.
+func (d *Store) Info() Info {
+	cat := d.cat.Load()
+	return Info{
+		DurableTx:  cat.durableTx,
+		Segments:   len(cat.segments),
+		Frames:     len(cat.frames),
+		WALRecords: d.log.Len(),
+	}
+}

@@ -32,6 +32,7 @@
 // clock is a single atomic high-water mark (see txclock.go) and the log
 // serializes appends through its single-appender channel (see log.go), so
 // replay order — and therefore recovery — stays deterministic.
+
 package state
 
 import (

@@ -18,6 +18,7 @@
 // can commit "into" an already-pinned cut. Default-clock writes cannot —
 // the clock reserve makes their transaction times strictly later than
 // every instant already handed to a reader.
+
 package state
 
 import (

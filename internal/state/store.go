@@ -30,6 +30,12 @@
 // cross-shard scans and snapshot handles never hold a shard lock and
 // never stall a writer; see snapshot.go and DESIGN.md "Snapshot epochs".
 //
+// Durability is layered, not monolithic: the WAL (log.go) makes every
+// mutation replayable, and the flush/recovery seam (flush.go — FlushCut,
+// LoadLineage, Log.TruncateBefore) lets the segment backend
+// (internal/state/segment) persist published heads as immutable segment
+// files so recovery replays only the WAL tail since the last flush.
+//
 // The preferred API is the option-based bitemporal surface in db.go
 // (Find/List/Put/Delete/History with ReadOpt/WriteOpt). The positional
 // methods (Put/Assert/Retract/Current/ValidAt/AsOf/...) are retained as
@@ -137,9 +143,18 @@ type head struct {
 	// every closed version in validity order.
 	open *element.Fact
 	// maxTx is the highest transaction time that has touched this
-	// lineage. A reader pinned at tt >= maxTx can resolve against the
-	// belief slices directly; earlier pins fall back to the record scan.
+	// lineage — writes AND compaction sweeps (sweeps bump it so the
+	// durability flusher revisits swept lineages). A reader pinned at
+	// tt >= maxTx can resolve against the belief slices directly;
+	// earlier pins fall back to the record scan.
 	maxTx temporal.Instant
+	// lastWrite is the highest transaction time of an actual WRITE
+	// (commit or supersession) — unlike maxTx it is NOT bumped by
+	// sweeps. The durability layer compares it against a segment
+	// frame's cut: a frame at cut >= lastWrite is truthful history even
+	// for a lineage compaction has since emptied, while one older than
+	// lastWrite is stale and needs a tombstone.
+	lastWrite temporal.Instant
 	// txOrdered tracks whether records are non-decreasing in RecordedAt —
 	// always true unless a caller pinned out-of-order explicit transaction
 	// times — enabling binary-searched belief reads.
@@ -147,7 +162,7 @@ type head struct {
 }
 
 // emptyHead is the shared head of a lineage with no records yet.
-var emptyHead = &head{maxTx: temporal.MinInstant, txOrdered: true}
+var emptyHead = &head{maxTx: temporal.MinInstant, lastWrite: temporal.MinInstant, txOrdered: true}
 
 // nLive reports the number of believed versions.
 func (h *head) nLive() int {
@@ -332,6 +347,14 @@ type Store struct {
 	// compaction is the per-shard compaction scheduling policy; nil
 	// disables automatic sweeps. See SetCompactionPolicy.
 	compaction atomic.Pointer[CompactionPolicy]
+
+	// retainSwept makes sweeps keep fully-emptied lineages as empty
+	// husks (published empty head, bumped maxTx) instead of deleting
+	// them. The durability layer needs the husk: FlushCut emits it as a
+	// tombstone so the key's stale segment frame stops answering, then
+	// DropSweptBefore removes it once the tombstone is durable. See
+	// SetRetainSwept.
+	retainSwept atomic.Bool
 }
 
 // NewStore returns an empty store with a GOMAXPROCS-scaled shard count.
@@ -546,9 +569,12 @@ func (s *Store) apply(r writeReq) error {
 // the event clones are skipped entirely. Callers hold sh.mu.
 func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx temporal.Instant, changes []Change, record bool) []Change {
 	h := l.head.Load()
-	nh := &head{txOrdered: h.txOrdered, maxTx: h.maxTx}
+	nh := &head{txOrdered: h.txOrdered, maxTx: h.maxTx, lastWrite: h.lastWrite}
 	if tx > nh.maxTx {
 		nh.maxTx = tx
+	}
+	if tx > nh.lastWrite {
+		nh.lastWrite = tx
 	}
 	if n := len(h.records); n > 0 && tx < h.records[n-1].RecordedAt {
 		nh.txOrdered = false
@@ -724,6 +750,15 @@ func (s *Store) findClone(entity, attr string, cfg readCfg) (*element.Fact, bool
 		return cloneAt(f, cfg), true
 	}
 	return nil, false
+}
+
+// Contains reports whether the store holds a lineage (any record
+// history, believed or superseded) for (entity, attr). The segment
+// backend uses it to decide when a key-level read should fall through
+// to durable frames: only when the RAM working set has no lineage at
+// all, e.g. after compaction dropped it.
+func (s *Store) Contains(entity, attr string) bool {
+	return s.shardFor(entity, attr).get(element.FactKey{Entity: entity, Attribute: attr}) != nil
 }
 
 // Find returns the version of (entity, attr) selected by the read options:
@@ -1144,7 +1179,7 @@ func (s *Store) maybeCompact(sh *shard) {
 	if t == temporal.MinInstant {
 		return
 	}
-	sh.compactBefore(t)
+	sh.compactBefore(t, s.clock.now(), s.retainSwept.Load())
 }
 
 // CompactBefore bounds history growth along both time axes: it drops every
@@ -1176,10 +1211,12 @@ func (s *Store) CompactBeforeWithWorkers(t temporal.Instant, workers int) int {
 	if workers > len(s.shards) {
 		workers = len(s.shards)
 	}
+	now := s.clock.now()
+	retain := s.retainSwept.Load()
 	if workers <= 1 {
 		removed := 0
 		for _, sh := range s.shards {
-			removed += sh.compactBefore(t)
+			removed += sh.compactBefore(t, now, retain)
 		}
 		return removed
 	}
@@ -1197,7 +1234,7 @@ func (s *Store) CompactBeforeWithWorkers(t temporal.Instant, workers int) int {
 				if i >= len(s.shards) {
 					return
 				}
-				total.Add(int64(s.shards[i].compactBefore(t)))
+				total.Add(int64(s.shards[i].compactBefore(t, now, retain)))
 			}
 		}()
 	}
@@ -1212,7 +1249,15 @@ func (s *Store) CompactBeforeWithWorkers(t temporal.Instant, workers int) int {
 // nothing to drop keeps its published head untouched. Callers hold
 // sh.mu. This is the one shared body behind every physical-removal sweep
 // (CompactBefore, DropDerived); each supplies only its drop predicate.
-func (sh *shard) sweepLineage(l *lineage, drop func(*element.Fact) bool) (liveRemoved int, emptied bool) {
+//
+// A lineage that actually dropped records advances its maxTx to `now`
+// (the sweep's clock reading): maxTx is the durability layer's dirty
+// test (FlushCut), and a swept lineage must be re-flushed so its segment
+// frame stops resurrecting the dropped records on recovery. Bumping
+// maxTx only narrows the read fast paths keyed on it (belief-pinned
+// reads fall back to the record scan until pins pass the sweep), never
+// their correctness.
+func (sh *shard) sweepLineage(l *lineage, now temporal.Instant, retain bool, drop func(*element.Fact) bool) (liveRemoved int, emptied bool) {
 	h := l.head.Load()
 	gone := 0
 	for _, f := range h.records {
@@ -1223,8 +1268,11 @@ func (sh *shard) sweepLineage(l *lineage, drop func(*element.Fact) bool) (liveRe
 	if gone == 0 {
 		return 0, false
 	}
-	nh := &head{txOrdered: h.txOrdered, maxTx: h.maxTx,
+	nh := &head{txOrdered: h.txOrdered, maxTx: h.maxTx, lastWrite: h.lastWrite,
 		records: make([]*element.Fact, 0, len(h.records)-gone)}
+	if now > nh.maxTx {
+		nh.maxTx = now
+	}
 	for _, f := range h.records {
 		if !drop(f) {
 			nh.records = append(nh.records, f)
@@ -1247,21 +1295,31 @@ func (sh *shard) sweepLineage(l *lineage, drop func(*element.Fact) bool) (liveRe
 	sh.versions.Add(int64(-liveRemoved))
 	sh.records.Add(int64(-gone))
 	if len(nh.records) == 0 {
-		return liveRemoved, true
+		if !retain {
+			return liveRemoved, true
+		}
+		// Durability tombstone: keep the emptied lineage as a husk so
+		// FlushCut (dirty: maxTx just advanced to now) can persist the
+		// emptiness — without it, the key's old segment frame would keep
+		// answering fall-through reads and recovery with records this
+		// sweep just removed. DropSweptBefore reclaims the husk once the
+		// tombstone is durable.
 	}
 	l.head.Store(nh)
 	return liveRemoved, false
 }
 
 // sweep applies sweepLineage to every lineage of the shard under its
-// write lock, dropping emptied lineages and republishing the directory
-// when the key set changed.
-func (sh *shard) sweep(drop func(*element.Fact) bool) int {
+// write lock, dropping emptied lineages (or retaining them as husks —
+// see sweepLineage) and republishing the directory when the key set
+// changed. `now` is the sweep's clock reading, stamped into swept
+// lineages' maxTx.
+func (sh *shard) sweep(now temporal.Instant, retain bool, drop func(*element.Fact) bool) int {
 	removed := 0
 	sh.mu.Lock()
 	dropped := false
 	for key, l := range sh.byKey {
-		liveRemoved, emptied := sh.sweepLineage(l, drop)
+		liveRemoved, emptied := sh.sweepLineage(l, now, retain, drop)
 		removed += liveRemoved
 		if emptied {
 			delete(sh.byKey, key)
@@ -1280,9 +1338,9 @@ func (sh *shard) sweep(drop func(*element.Fact) bool) int {
 // validity ended at or before t (believed ones). Untouched lineages keep
 // their published head; compacted ones get a fresh head built from fresh
 // arrays, never mutating slices an in-flight reader may hold.
-func (sh *shard) compactBefore(t temporal.Instant) int {
+func (sh *shard) compactBefore(t, now temporal.Instant, retain bool) int {
 	sh.growth.Store(0)
-	return sh.sweep(func(f *element.Fact) bool {
+	return sh.sweep(now, retain, func(f *element.Fact) bool {
 		if end := f.BeliefEnd(); end != temporal.Forever {
 			return end <= t
 		}
@@ -1298,8 +1356,10 @@ func (sh *shard) compactBefore(t temporal.Instant) int {
 // sweeps one shard at a time and publishes fresh heads.
 func (s *Store) DropDerived() int {
 	removed := 0
+	now := s.clock.now()
+	retain := s.retainSwept.Load()
 	for _, sh := range s.shards {
-		removed += sh.sweep(func(f *element.Fact) bool { return f.Derived })
+		removed += sh.sweep(now, retain, func(f *element.Fact) bool { return f.Derived })
 	}
 	return removed
 }

@@ -3,6 +3,7 @@
 // becomes a single atomic high-water mark advanced with compare-and-swap
 // loops. Reserving a tick is the only cross-shard synchronization a
 // default write performs.
+
 package state
 
 import (

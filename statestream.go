@@ -23,6 +23,11 @@
 //   - A Reasoner (Engine.EnableReasoning or WithReasoning) materializes
 //     implicit facts from ontologies and Horn rules, augmenting both
 //     queries and gates.
+//   - WithDurableDir makes the state repository durable: committed
+//     lineage heads flush into append-only, checksummed segment files, a
+//     WAL covers the tail, and constructing an engine on the same
+//     directory recovers the exact bitemporal state (Engine.Close
+//     flushes the final cut).
 //
 // Minimal example — the paper's building-security use case:
 //
@@ -55,6 +60,7 @@ import (
 	"repro/internal/reason"
 	"repro/internal/rules"
 	"repro/internal/state"
+	"repro/internal/state/segment"
 	"repro/internal/stream"
 	"repro/internal/temporal"
 	"repro/internal/window"
@@ -125,6 +131,23 @@ func WithEmittedRetention(n int) Option { return core.WithEmittedRetention(n) }
 func WithAutoCompact(retain time.Duration, growth int) Option {
 	return core.WithAutoCompact(retain, growth)
 }
+
+// WithDurableDir persists the engine's state repository in a durable
+// segment directory: committed lineage heads flush as immutable,
+// checksummed segment files as the watermark advances, a WAL covers the
+// tail since the last flush, and constructing an engine on an existing
+// directory recovers the exact bitemporal state — without replaying the
+// full history. Call Engine.Close to flush the final cut; crashing
+// without Close loses nothing but that flush. See DESIGN.md
+// "Durability".
+func WithDurableDir(path string, opts ...DurableOption) Option {
+	return core.WithDurableDir(path, opts...)
+}
+
+// DurableFlushEvery tunes WithDurableDir's background flush cadence: a
+// flush starts once the WAL tail holds n records and the watermark
+// advances.
+func DurableFlushEvery(n int) DurableOption { return segment.WithFlushEvery(n) }
 
 // Data model.
 type (
@@ -388,6 +411,15 @@ type (
 	// CompactionPolicy schedules growth-triggered per-shard compaction
 	// sweeps (Store.SetCompactionPolicy, or the engine's WithAutoCompact).
 	CompactionPolicy = state.CompactionPolicy
+	// DurableStore is the segment-backed durable state store behind
+	// WithDurableDir (reachable via Engine.Durable, or standalone through
+	// OpenDurableStore). Its point reads fall through RAM to durable
+	// segment frames.
+	DurableStore = segment.Store
+	// DurableOption configures a durable directory (DurableFlushEvery).
+	DurableOption = segment.Option
+	// DurableInfo summarizes a durable directory (DurableStore.Info).
+	DurableInfo = segment.Info
 	// Ontology holds class/property taxonomies and domain/range axioms.
 	Ontology = reason.Ontology
 	// Reasoner materializes implicit facts over the store.
@@ -411,6 +443,15 @@ func NewStore() *Store { return state.NewStore() }
 // pre-sharding layout, useful as a contention baseline; <= 0 selects the
 // GOMAXPROCS-scaled default.
 func NewStoreWithShards(n int) *Store { return state.NewStoreWithShards(n) }
+
+// OpenDurableStore opens (or initializes) a standalone durable segment
+// store at dir, recovering any existing state: manifest, segment files,
+// then the WAL tail. Engines do this themselves via WithDurableDir; use
+// OpenDurableStore for direct store experiments that should survive the
+// process.
+func OpenDurableStore(dir string, opts ...DurableOption) (*DurableStore, error) {
+	return segment.Open(dir, opts...)
+}
 
 // Temporal read options (see StateDB).
 

@@ -281,3 +281,86 @@ THEN REPLACE position(r.visitor) = r.room`); err != nil {
 		t.Fatal("correction should supersede, not destroy")
 	}
 }
+
+// TestPublicAPIDurableRecovery exercises the durability surface through
+// the facade only: a durable engine killed without Close recovers its
+// state — current and SYSTEM TIME reads — on the next construction, and
+// a standalone durable store round-trips a flush.
+func TestPublicAPIDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	engine := statestream.New(statestream.WithDurableDir(dir))
+	if err := engine.DeployRules(`
+RULE position ON RoomEntry AS r
+THEN REPLACE position(r.visitor) = r.room`); err != nil {
+		t.Fatal(err)
+	}
+	els := []*statestream.Element{
+		entry(1*time.Minute, "ann", "hall"),
+		entry(2*time.Minute, "ann", "lab"),
+	}
+	if err := engine.Run(statestream.FromElements(els)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no flush (Abandon drops the directory lock and descriptors
+	// exactly as process death would). The WAL tail alone must carry the
+	// state. Rules are code, not state: the restarted engine redeploys
+	// them.
+	engine.Durable().Abandon()
+	reborn := statestream.New(statestream.WithDurableDir(dir))
+	if err := reborn.DeployRules(`
+RULE position ON RoomEntry AS r
+THEN REPLACE position(r.visitor) = r.room`); err != nil {
+		t.Fatal(err)
+	}
+	if err := reborn.Run([]statestream.Message{
+		statestream.ElementMsg(entry(3*time.Minute, "ann", "vault")),
+		statestream.WatermarkMsg(statestream.Instant(4 * time.Minute)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := reborn.Query("SELECT entity, value FROM position")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].MustString() != "vault" {
+		t.Fatalf("current after restart: %v", res.Rows)
+	}
+	// The pre-crash history survived: ann was in the hall at t=90s.
+	res, err = reborn.Query("SELECT value FROM position ASOF 90000000000 WHERE entity = 'ann'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].MustString() != "hall" {
+		t.Fatalf("historical after restart: %v", res.Rows)
+	}
+	if reborn.Durable() == nil {
+		t.Fatal("Durable() should expose the segment store")
+	}
+	if err := reborn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sdir := t.TempDir()
+	ds, err := statestream.OpenDurableStore(sdir, statestream.DurableFlushEvery(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Put("ann", "clearance", statestream.String("secret")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := statestream.OpenDurableStore(sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	var info statestream.DurableInfo = ds2.Info()
+	if info.Segments == 0 {
+		t.Fatalf("close should have flushed a segment: %+v", info)
+	}
+	if f, ok := ds2.Find("ann", "clearance"); !ok || f.Value.MustString() != "secret" {
+		t.Fatalf("standalone durable store lost the fact: %v ok=%v", f, ok)
+	}
+}

@@ -174,6 +174,7 @@ func runRegression(scale float64, jsonOut, baselinePath string, tolerance float6
 	failures += checkAllocRegressions(rep, &base, tolerance)
 	failures += checkContentionInvariant(rep)
 	failures += checkIngestScaling(rep)
+	failures += checkFanoutOverhead(rep)
 	failures += checkScanUnderIngest(rep)
 	failures += checkRecoverySpeedup(rep)
 
@@ -254,6 +255,47 @@ func checkIngestScaling(rep *bench.RegressionReport) int {
 	}
 	fmt.Printf("  %-28s serial/par4 speedup %.2fx (min %.1fx)  %s\n",
 		"e7/ingest", speedup, ingestSpeedupMin, status)
+	return failures
+}
+
+// fanoutOverheadMax bounds the ingest slowdown of carrying 1k push
+// subscribers (one permanently stalled) on the subscription broker: the
+// watched-store change capture plus the non-blocking watermark hand-off
+// may cost at most 10% of serial ingest throughput. On fewer than 4 CPUs
+// the 1k drain goroutines time-share the ingest core and the ratio
+// measures scheduling, not broker overhead, so the gate is skipped.
+const fanoutOverheadMax = 1.10
+
+// checkFanoutOverhead enforces the zero-ish-cost subscription contract:
+// e7/fanout-1k-subscribers ns/op must stay within fanoutOverheadMax of
+// e7/ingest-serial in the same report.
+func checkFanoutOverhead(rep *bench.RegressionReport) int {
+	byName := make(map[string]bench.Measurement, len(rep.Results))
+	for _, m := range rep.Results {
+		byName[m.Name] = m
+	}
+	serial, ok1 := byName["e7/ingest-serial"]
+	fanout, ok2 := byName["e7/fanout-1k-subscribers"]
+	if !ok1 || !ok2 || serial.NsPerOp <= 0 {
+		// Renaming the rows without updating this gate must fail loudly,
+		// not silently ungate the fan-out path.
+		fmt.Printf("  %-28s MISSING ingest-serial/fanout-1k-subscribers rows\n", "e7/fanout")
+		return 1
+	}
+	ratio := fanout.NsPerOp / serial.NsPerOp
+	if rep.NumCPU < 4 || rep.GoMaxProcs < 4 {
+		fmt.Printf("  %-28s fanout/serial overhead %.2fx (not gated: num_cpu=%d gomaxprocs=%d < 4)\n",
+			"e7/fanout", ratio, rep.NumCPU, rep.GoMaxProcs)
+		return 0
+	}
+	status := "ok"
+	failures := 0
+	if ratio > fanoutOverheadMax {
+		status = "FAN-OUT OVERHEAD REGRESSED"
+		failures++
+	}
+	fmt.Printf("  %-28s fanout/serial overhead %.2fx (max %.2fx)  %s\n",
+		"e7/fanout", ratio, fanoutOverheadMax, status)
 	return failures
 }
 

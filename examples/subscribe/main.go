@@ -1,0 +1,124 @@
+// Command subscribe demonstrates push-based state access: instead of
+// polling the repository with SELECT round-trips, clients register a
+// subscription and the broker delivers state deltas, emitted alerts, and
+// continuous-query results per watermark. A deliberately slow consumer
+// shows the drop-and-resync contract: its backlog collapses into one
+// resync delivery — a snapshot-pinned catch-up at an explicit
+// transaction-time cut — rather than an unbounded queue of stale deltas.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	statestream "repro"
+)
+
+func main() {
+	engine := statestream.New(statestream.WithPolicy(statestream.StateFirst))
+	err := engine.DeployRules(`
+RULE track ON Reading AS r
+THEN REPLACE temperature(r.sensor) = r.celsius
+
+RULE spike ON Reading AS r WHERE r.celsius > 25.0
+THEN EMIT Alert(sensor = r.sensor, celsius = r.celsius)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The broker taps the engine's watermark hook; create it (and the
+	// subscriptions) before ingestion starts.
+	broker := statestream.NewBroker(engine)
+
+	kitchen, err := broker.Subscribe(statestream.SubscriptionFilter{Entity: "kitchen"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	alerts, err := broker.Subscribe(statestream.SubscriptionFilter{Stream: "Alert"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	watcher, err := broker.Subscribe(statestream.SubscriptionFilter{
+		Query: "SELECT entity, value FROM temperature ORDER BY entity",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A match-all subscriber with a tiny queue that never reads during
+	// ingestion: it will overflow and be marked lost.
+	laggard, err := broker.Subscribe(statestream.SubscriptionFilter{},
+		statestream.WithQueueLen(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	schema := statestream.NewSchema(
+		statestream.Field{Name: "sensor", Kind: statestream.KindString},
+		statestream.Field{Name: "celsius", Kind: statestream.KindFloat},
+	)
+	reading := func(ts int64, sensor string, c float64) *statestream.Element {
+		return statestream.NewElement("Reading", statestream.FromMillis(ts),
+			statestream.NewTuple(schema, statestream.String(sensor), statestream.Float(c)))
+	}
+
+	els := []*statestream.Element{
+		reading(1000, "kitchen", 19.5),
+		reading(2000, "cellar", 12.0),
+		reading(3000, "kitchen", 27.5), // spike: emits an Alert
+		reading(4000, "cellar", 13.0),
+	}
+	// A watermark after every reading: each one closes a batch and the
+	// broker fans its deltas out.
+	if err := engine.Run(statestream.WithPeriodicWatermarks(els, statestream.FromMillis(1000))); err != nil {
+		log.Fatal(err)
+	}
+
+	// Dispatch is asynchronous; wait for the broker to settle before
+	// draining (a live client would just keep Recv-ing).
+	for prev := uint64(0); ; {
+		m := broker.Metrics()
+		if done := m.Batches + m.SkippedBatches; done == prev && done > 0 {
+			break
+		} else {
+			prev = done
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	fmt.Println("kitchen subscriber (entity filter):")
+	for d, ok := kitchen.TryRecv(); ok; d, ok = kitchen.TryRecv() {
+		for _, ch := range d.Changes {
+			fmt.Printf("  wm=%s %s %s\n", d.Watermark, ch.Kind, ch.Fact)
+		}
+	}
+
+	fmt.Println("alert subscriber (stream filter):")
+	for d, ok := alerts.TryRecv(); ok; d, ok = alerts.TryRecv() {
+		for _, el := range d.Emitted {
+			fmt.Printf("  wm=%s %s\n", d.Watermark, el)
+		}
+	}
+
+	fmt.Println("continuous-query subscriber (pushed only on change):")
+	for d, ok := watcher.TryRecv(); ok; d, ok = watcher.TryRecv() {
+		fmt.Printf("  wm=%s rows=%d\n", d.Watermark, len(d.Result.Rows))
+	}
+
+	// The laggard reads at last: its queue overflowed, so instead of a
+	// backlog it gets one resync — the full filtered state at a pinned
+	// transaction-time cut.
+	fmt.Println("laggard (queue overflowed while not reading):")
+	for d, ok := laggard.TryRecv(); ok; d, ok = laggard.TryRecv() {
+		if d.Kind == statestream.DeliveryResync {
+			fmt.Printf("  RESYNC at wm=%s cut=%s: %d facts\n", d.Watermark, d.Cut, len(d.State))
+			for _, f := range d.State {
+				fmt.Printf("    %s\n", f)
+			}
+		} else {
+			fmt.Printf("  wm=%s (%d changes)\n", d.Watermark, len(d.Changes))
+		}
+	}
+
+	broker.Close()
+}

@@ -61,6 +61,9 @@ const underIngestWriters = 4
 //	e7/put-par8/{sharded,single-lock}   8-goroutine parallel Put
 //	e7/ingest-serial             end-to-end Engine.Run, 1 worker (+allocs/op)
 //	e7/ingest-par4, ingest-par8  end-to-end Engine.Run, 4/8 workers
+//	e7/fanout-1k-subscribers     serial ingest with 1k push subscribers
+//	                             (one stalled) on the broker
+//	e7/fanout-broadcast-latency  broker mean per-batch dispatch latency
 //	e7/scan-under-ingest/{snapshot,lock-all}  wildcard List racing 4 writers
 //	e7/query-under-ingest        snapshot-pinned queries racing 4 writers
 //	e7/recover-{wal,segment}     cold-start recovery: full-WAL replay vs
@@ -165,6 +168,32 @@ func RegressionSuite(scale float64) *RegressionReport {
 		add(fmt.Sprintf("e7/ingest-par%d", workers), ingestOps, func() time.Duration {
 			elapsed, _ := ingestThroughput(workers, ingestOps)
 			return elapsed
+		})
+	}
+
+	// Fan-out overhead rows: the serial ingest leg with 1k subscription
+	// clients attached (one permanently stalled). The benchrunner gate
+	// bounds ns/op at 1.1x e7/ingest-serial on >= 4-CPU machines; the
+	// latency row reports the broker's mean per-batch broadcast time
+	// (NsPerOp is that mean, Ops the batch count of the fastest pass).
+	fanoutSubs := scaleInt(1_000, scale)
+	var fanElapsed, fanMean time.Duration
+	fanBatches := 0
+	for i := 0; i < 5; i++ {
+		elapsed, mean, batches := fanoutRun(fanoutSubs, ingestOps)
+		if i == 0 || elapsed < fanElapsed {
+			fanElapsed, fanMean, fanBatches = elapsed, mean, batches
+		}
+	}
+	fanNs := float64(fanElapsed.Nanoseconds()) / float64(ingestOps)
+	rep.Results = append(rep.Results, Measurement{
+		Name: "e7/fanout-1k-subscribers", Ops: ingestOps, NsPerOp: fanNs, OpsPerSec: 1e9 / fanNs,
+	})
+	if fanBatches > 0 && fanMean > 0 {
+		meanNs := float64(fanMean.Nanoseconds())
+		rep.Results = append(rep.Results, Measurement{
+			Name: "e7/fanout-broadcast-latency", Ops: fanBatches,
+			NsPerOp: meanNs, OpsPerSec: 1e9 / meanNs,
 		})
 	}
 

@@ -27,6 +27,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -171,7 +172,49 @@ type Engine struct {
 	durablePath string
 	durableOpts []segment.Option
 	userLog     *state.Log
+
+	// wmHooks are the watermark-boundary taps (OnWatermark): each hook
+	// receives the batch closed by an advancing watermark — the pinned
+	// snapshot plus the change events and emitted elements accumulated
+	// since the previous watermark. With no hooks the engine registers no
+	// store watcher, so the unwatched fast path does zero extra work (the
+	// store skips event clones entirely when it has no watchers).
+	wmHooks []WatermarkHook
+	// wmMu guards wmChanges: under WithParallelism the rule workers
+	// commit to the store concurrently and the change watcher appends
+	// from their goroutines.
+	wmMu      sync.Mutex
+	wmChanges []state.Change
+	wmEmitted []*element.Element
+	// wmTap records that the change watcher is installed (set once by the
+	// first OnWatermark; read on the emitted hot paths).
+	wmTap bool
 }
+
+// WatermarkBatch is the unit handed to watermark hooks: everything one
+// advancing watermark closed over. Snapshot is the engine's freshly
+// pinned O(1) handle at the watermark — hook consumers read catch-up
+// state through it lock-free. Changes are the state transitions committed
+// since the previous watermark (store change events, in commit order) and
+// Emitted the EMIT-derived elements of the same span. The slices are
+// owned by the receiver: the engine hands them off and starts fresh
+// buffers, so hooks may retain them without copying.
+type WatermarkBatch struct {
+	// Watermark is the instant that closed the batch.
+	Watermark temporal.Instant
+	// Snapshot is pinned at Watermark: one consistent multi-shard cut.
+	Snapshot *state.Snapshot
+	// Changes are the span's state transitions in commit order.
+	Changes []state.Change
+	// Emitted are the span's EMIT-derived elements in emission order.
+	Emitted []*element.Element
+}
+
+// WatermarkHook observes watermark batches. Hooks run synchronously on
+// the ingestion driver goroutine each time the watermark advances — they
+// must not block (the subscription broker, the canonical consumer, does a
+// non-blocking channel hand-off and resynchronizes on overflow).
+type WatermarkHook func(WatermarkBatch)
 
 // Option configures an Engine at construction. Policy values implement
 // Option directly, so both styles work:
@@ -325,6 +368,43 @@ func New(opts ...Option) *Engine {
 	return e
 }
 
+// OnWatermark registers a hook invoked each time the watermark advances,
+// with the batch the watermark closed (see WatermarkBatch). The first
+// registration installs a store batch watcher to collect change events —
+// until then ingestion commits with no watchers and pays nothing for the
+// tap; with the tap installed the cost is one lock and one bulk copy per
+// committed mutation (the store's change facts are lineage-shared, not
+// cloned). Register hooks before ingestion starts; hooks run on the
+// driver goroutine and must not block.
+func (e *Engine) OnWatermark(h WatermarkHook) {
+	if h == nil {
+		return
+	}
+	e.wmHooks = append(e.wmHooks, h)
+	if e.wmTap {
+		return
+	}
+	e.wmTap = true
+	e.store.WatchBatch(func(chs []state.Change) {
+		// chs is store-owned scratch: append copies the structs out.
+		e.wmMu.Lock()
+		e.wmChanges = append(e.wmChanges, chs...)
+		e.wmMu.Unlock()
+	})
+}
+
+// takeWatermarkBatch hands off the accumulated change/emitted buffers for
+// the batch closed at wm, leaving fresh buffers behind.
+func (e *Engine) takeWatermarkBatch(wm temporal.Instant) WatermarkBatch {
+	e.wmMu.Lock()
+	changes := e.wmChanges
+	e.wmChanges = nil
+	e.wmMu.Unlock()
+	emitted := e.wmEmitted
+	e.wmEmitted = nil
+	return WatermarkBatch{Watermark: wm, Snapshot: e.pinned, Changes: changes, Emitted: emitted}
+}
+
 // Store exposes the state repository (e.g. for seeding background state).
 func (e *Engine) Store() *state.Store { return e.store }
 
@@ -459,9 +539,13 @@ func (e *Engine) applyRules(el *element.Element) ([]*element.Element, error) {
 }
 
 // retainEmitted appends derived elements to the Emitted buffer, enforcing
-// the retention cap.
+// the retention cap, and mirrors them into the watermark-batch buffer
+// when a hook is tapping the engine.
 func (e *Engine) retainEmitted(derived []*element.Element) {
 	e.emitted = append(e.emitted, derived...)
+	if e.wmTap {
+		e.wmEmitted = append(e.wmEmitted, derived...)
+	}
 	e.trimEmitted()
 }
 
@@ -597,6 +681,14 @@ func (e *Engine) advance(wm temporal.Instant) error {
 	// resolve against that one immutable multi-shard cut, lock-free.
 	e.store.AdvanceClock(wm)
 	e.pinned = e.store.SnapshotAt(wm)
+	// Hand the closed batch to watermark hooks after the snapshot is
+	// pinned, so hook consumers see the cut the batch's changes produced.
+	if len(e.wmHooks) > 0 {
+		wb := e.takeWatermarkBatch(wm)
+		for _, h := range e.wmHooks {
+			h(wb)
+		}
+	}
 	// The watermark is the durability layer's natural cut — minus one
 	// tick: a watermark at wm asserts no element EARLIER than wm will
 	// follow, so elements stamped exactly wm may still arrive (and the

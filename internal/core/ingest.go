@@ -187,6 +187,9 @@ func (e *Engine) flushBatch() error {
 			f.El.Seq = seq
 			seq++
 			e.emitted = append(e.emitted, f.El)
+			if e.wmTap {
+				e.wmEmitted = append(e.wmEmitted, f.El)
+			}
 		}
 		e.trimEmitted()
 		e.dispatchElement(el, derived)

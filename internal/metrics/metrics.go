@@ -9,6 +9,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -115,6 +116,33 @@ func (h *Histogram) Merge(o *Histogram) {
 	h.n += o.n
 	h.sum += o.sum
 }
+
+// Counter is a monotonically increasing event count, safe for concurrent
+// use. The zero value is ready. The subscription broker counts drops,
+// resyncs, and skipped batches with it.
+type Counter struct{ n atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is an instantaneous level (e.g. queue depth, subscriber count),
+// safe for concurrent use. The zero value is ready.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Throughput measures events per second over a wall-clock run.
 type Throughput struct {

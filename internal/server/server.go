@@ -15,7 +15,14 @@
 //	POST /query        {"query": "SELECT ..."}          → {"columns": [...], "rows": [[...]]}
 //	GET  /fact?entity=E&attr=A[&at=NANOS][&systime=NANOS] → {"found": true, "fact": {...}}
 //	GET  /stats                                         → {"keys": n, "versions": n, ...}
+//	GET  /subscribe?entity=E&attr=A&stream=S&query=Q    → Server-Sent Events push stream
+//	GET  /subscribe/ws (same parameters)                → WebSocket push stream
 //	GET  /healthz                                       → 200 ok
+//
+// Servers built with NewForEngine additionally push state: clients
+// subscribe with a filter (or a continuous SELECT) and receive one JSON
+// delivery per watermark whose batch touched it, with bounded queues and
+// drop-and-resync semantics for slow consumers (see internal/subscribe).
 //
 // Both read endpoints are bitemporal: `at` selects by valid time and
 // `systime` pins the belief (transaction time) — the wire form of
@@ -35,10 +42,12 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/core"
 	"repro/internal/element"
 	"repro/internal/query"
 	"repro/internal/reason"
 	"repro/internal/state"
+	"repro/internal/subscribe"
 	"repro/internal/temporal"
 )
 
@@ -46,6 +55,10 @@ import (
 type Server struct {
 	store    *state.Store
 	reasoner *reason.Reasoner // optional: enables WITH INFERENCE remotely
+	// engine and broker are set by NewForEngine; they enable the
+	// /subscribe endpoints and the engine-level stats fields.
+	engine *core.Engine
+	broker *subscribe.Broker
 	// NowFunc anchors now() in received queries; defaults to the largest
 	// validity start in the store.
 	NowFunc func() temporal.Instant
@@ -59,10 +72,37 @@ func New(store *state.Store, reasoner *reason.Reasoner) *Server {
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/fact", s.handleFact)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/subscribe", s.handleSubscribe)
+	s.mux.HandleFunc("/subscribe/ws", s.handleSubscribeWS)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return s
+}
+
+// NewForEngine builds a server over a live engine: everything New
+// provides, plus push subscriptions (/subscribe, /subscribe/ws) fed by a
+// broker tapping the engine's watermark batches, engine-level stats
+// fields, and now() anchored at the engine watermark. Register before
+// ingestion starts, like any watermark hook.
+func NewForEngine(e *core.Engine, reasoner *reason.Reasoner) *Server {
+	s := New(e.Store(), reasoner)
+	s.engine = e
+	s.broker = subscribe.NewBroker(e)
+	s.NowFunc = e.Watermark
+	return s
+}
+
+// Broker exposes the subscription broker (nil unless NewForEngine), for
+// in-process subscribers and metrics scraping.
+func (s *Server) Broker() *subscribe.Broker { return s.broker }
+
+// Close releases the subscription broker, closing every connected
+// subscriber. The store and engine are not touched.
+func (s *Server) Close() {
+	if s.broker != nil {
+		s.broker.Close()
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -244,7 +284,7 @@ func (s *Server) handleFact(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.store.Stats()
-	writeJSON(w, map[string]int{
+	out := map[string]int{
 		"keys":       st.Keys,
 		"versions":   st.Versions,
 		"current":    st.Current,
@@ -252,7 +292,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"records":    st.Records,
 		"superseded": st.Superseded,
 		"shards":     st.Shards,
-	})
+	}
+	if s.engine != nil {
+		out["emitted"] = len(s.engine.Emitted())
+		out["watermark"] = int(s.engine.Watermark())
+		if s.broker != nil {
+			out["subscribers"] = s.broker.Metrics().Subscribers
+		}
+	}
+	writeJSON(w, out)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

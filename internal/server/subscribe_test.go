@@ -1,0 +1,307 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/element"
+	"repro/internal/state"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+)
+
+var sensorSchema = element.NewSchema(
+	element.Field{Name: "sensor", Kind: element.KindString},
+	element.Field{Name: "celsius", Kind: element.KindFloat},
+)
+
+func sensorReading(ts int64, sensor string, celsius float64) stream.Message {
+	return stream.ElementMsg(element.New("Reading", temporal.Instant(ts),
+		element.NewTuple(sensorSchema, element.String(sensor), element.Float(celsius))))
+}
+
+func testEngineService(t *testing.T) (*core.Engine, *Server, *Client, func()) {
+	t.Helper()
+	e := core.New(core.WithPolicy(core.StateFirst))
+	if err := e.DeployRules(`
+RULE track ON Reading AS r
+THEN REPLACE temperature(r.sensor) = r.celsius
+
+RULE spike ON Reading AS r WHERE r.celsius > 95
+THEN EMIT Alert(sensor = r.sensor, celsius = r.celsius)
+`); err != nil {
+		t.Fatal(err)
+	}
+	s := NewForEngine(e, nil)
+	srv := httptest.NewServer(s)
+	return e, s, NewClient(srv.URL), func() { srv.Close(); s.Close() }
+}
+
+// waitServerBatches blocks until the server's broker has dispatched n
+// watermark batches, settling the asynchronous fan-out.
+func waitServerBatches(t *testing.T, s *Server, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		m := s.Broker().Metrics()
+		if m.Batches+m.SkippedBatches >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("broker settled only %d of %d batches", s.Broker().Metrics().Batches, n)
+}
+
+func TestSubscribeSSE(t *testing.T) {
+	e, _, client, done := testEngineService(t)
+	defer done()
+
+	sub, err := client.Subscribe(SubscribeOptions{Entity: "s1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	alerts, err := client.Subscribe(SubscribeOptions{Stream: "Alert"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alerts.Close()
+
+	if err := e.Run([]stream.Message{
+		sensorReading(1, "s1", 20),
+		sensorReading(2, "s2", 99),
+		stream.WatermarkMsg(10),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ev, err := sub.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "deltas" || ev.Watermark != 10 {
+		t.Fatalf("event kind=%s wm=%d, want deltas at 10", ev.Kind, ev.Watermark)
+	}
+	if len(ev.Changes) != 1 || ev.Changes[0].Fact.Entity != "s1" ||
+		ev.Changes[0].Fact.Value.MustFloat() != 20 {
+		t.Fatalf("changes over the wire: %+v", ev.Changes)
+	}
+
+	ev, err = alerts.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Emitted) != 1 || ev.Emitted[0].Stream != "Alert" ||
+		ev.Emitted[0].Fields["sensor"].MustString() != "s2" {
+		t.Fatalf("emitted over the wire: %+v", ev.Emitted)
+	}
+
+	// Stats now carries the engine-level fields.
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["watermark"] != 10 {
+		t.Fatalf("stats watermark = %d, want 10", stats["watermark"])
+	}
+	if stats["emitted"] != 1 {
+		t.Fatalf("stats emitted = %d, want 1", stats["emitted"])
+	}
+	if stats["subscribers"] != 2 {
+		t.Fatalf("stats subscribers = %d, want 2", stats["subscribers"])
+	}
+}
+
+func TestSubscribeReconnectWithCursor(t *testing.T) {
+	e, s, client, done := testEngineService(t)
+	defer done()
+
+	sub, err := client.Subscribe(SubscribeOptions{Entity: "s1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run([]stream.Message{sensorReading(1, "s1", 20), stream.WatermarkMsg(10)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if cur, ok := sub.Cursor(); !ok || cur != 10 {
+		t.Fatalf("cursor = %d/%v, want 10", cur, ok)
+	}
+	sub.Close()
+
+	// The client misses a watermark while disconnected.
+	if err := e.Run([]stream.Message{sensorReading(11, "s1", 25), stream.WatermarkMsg(20)}); err != nil {
+		t.Fatal(err)
+	}
+	waitServerBatches(t, s, 2)
+
+	re, err := sub.Resubscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	ev, err := re.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "resync" || ev.Cut != 20 {
+		t.Fatalf("reconnect first event kind=%s cut=%d, want resync at 20", ev.Kind, ev.Cut)
+	}
+	if len(ev.State) != 1 || ev.State[0].Value.MustFloat() != 25 {
+		t.Fatalf("catch-up state %+v, want temperature(s1)=25", ev.State)
+	}
+
+	// Deliveries resume after the cut.
+	if err := e.Run([]stream.Message{sensorReading(21, "s1", 30), stream.WatermarkMsg(30)}); err != nil {
+		t.Fatal(err)
+	}
+	ev, err = re.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "deltas" || ev.Watermark != 30 {
+		t.Fatalf("post-resync event kind=%s wm=%d, want deltas at 30", ev.Kind, ev.Watermark)
+	}
+}
+
+func TestSubscribeBadParams(t *testing.T) {
+	_, _, client, done := testEngineService(t)
+	defer done()
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(client.BaseURL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for _, path := range []string{
+		"/subscribe?changes=notabool",
+		"/subscribe?emitted=2x",
+		"/subscribe?queue=zero",
+		"/subscribe?queue=0",
+		"/subscribe?cursor=abc",
+		"/subscribe?query=" + url.QueryEscape("SELECT nonsense FROM"),
+		"/subscribe/ws?entity=s1", // no upgrade headers
+	} {
+		if got := status(path); got != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400", path, got)
+		}
+	}
+
+	// A store-only server has no broker: subscriptions are a 404, and
+	// stats omits the engine fields.
+	st := state.NewStore()
+	st.Put("ann", "position", element.String("hall"), 10)
+	plain := httptest.NewServer(New(st, nil))
+	defer plain.Close()
+	resp, err := http.Get(plain.URL + "/subscribe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("store-only /subscribe = %d, want 404", resp.StatusCode)
+	}
+	stats, err := NewClient(plain.URL).Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stats["watermark"]; ok {
+		t.Fatal("store-only stats should not report a watermark")
+	}
+}
+
+func TestSubscribeWebSocket(t *testing.T) {
+	e, _, client, done := testEngineService(t)
+	defer done()
+
+	u, err := url.Parse(client.BaseURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	const key = "dGhlIHNhbXBsZSBub25jZQ=="
+	fmt.Fprintf(conn, "GET /subscribe/ws?entity=s1 HTTP/1.1\r\n"+
+		"Host: %s\r\nUpgrade: websocket\r\nConnection: Upgrade\r\n"+
+		"Sec-WebSocket-Key: %s\r\nSec-WebSocket-Version: 13\r\n\r\n", u.Host, key)
+
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, "101") {
+		t.Fatalf("handshake status %q, want 101", strings.TrimSpace(status))
+	}
+	var accept string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			break
+		}
+		if v, ok := strings.CutPrefix(line, "Sec-WebSocket-Accept: "); ok {
+			accept = v
+		}
+	}
+	// RFC 6455 §1.3's worked example for the sample nonce.
+	if accept != "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=" {
+		t.Fatalf("Sec-WebSocket-Accept = %q", accept)
+	}
+
+	if err := e.Run([]stream.Message{sensorReading(1, "s1", 20), stream.WatermarkMsg(10)}); err != nil {
+		t.Fatal(err)
+	}
+	op, payload, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != opText {
+		t.Fatalf("frame opcode %#x, want text", op)
+	}
+	var wd wireDelivery
+	if err := json.Unmarshal(payload, &wd); err != nil {
+		t.Fatal(err)
+	}
+	if wd.Kind != "deltas" || wd.Watermark != 10 || len(wd.Changes) != 1 ||
+		wd.Changes[0].Fact.Entity != "s1" {
+		t.Fatalf("websocket delivery %+v", wd)
+	}
+
+	// Masked client close frame; the server answers with a close frame.
+	if _, err := conn.Write([]byte{0x88, 0x80, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	op, _, err = readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != opClose {
+		t.Fatalf("close reply opcode %#x, want close", op)
+	}
+}

@@ -1,0 +1,209 @@
+// Minimal RFC 6455 WebSocket server transport for /subscribe/ws, built
+// entirely on the standard library (the repo takes no external
+// dependencies): the opening handshake (Sec-WebSocket-Accept via SHA-1 +
+// the protocol GUID), unfragmented text/binary frames, and ping/pong and
+// close control frames. Deliveries go out as text frames carrying the
+// same JSON payload as the SSE transport; client frames are consumed
+// only to answer pings and detect disconnect.
+
+package server
+
+import (
+	"bufio"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// websocketGUID is the fixed key-accept salt from RFC 6455 §1.3.
+const websocketGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// WebSocket opcodes (RFC 6455 §5.2).
+const (
+	opText  byte = 0x1
+	opClose byte = 0x8
+	opPing  byte = 0x9
+	opPong  byte = 0xA
+)
+
+// maxFramePayload bounds inbound client frames; subscription clients
+// send only control frames and tiny messages.
+const maxFramePayload = 1 << 20
+
+// wsAccept computes the Sec-WebSocket-Accept token for a client key.
+func wsAccept(key string) string {
+	h := sha1.Sum([]byte(key + websocketGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// wsConn serializes frame writes to a hijacked connection: the delivery
+// loop and the pong-answering read loop share it.
+type wsConn struct {
+	c  net.Conn
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+// writeFrame writes one unfragmented, unmasked frame (servers never mask).
+func (ws *wsConn) writeFrame(opcode byte, payload []byte) error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	var hdr [10]byte
+	hdr[0] = 0x80 | opcode // FIN + opcode
+	n := len(payload)
+	switch {
+	case n < 126:
+		hdr[1] = byte(n)
+		if _, err := ws.w.Write(hdr[:2]); err != nil {
+			return err
+		}
+	case n < 1<<16:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(n))
+		if _, err := ws.w.Write(hdr[:4]); err != nil {
+			return err
+		}
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(n))
+		if _, err := ws.w.Write(hdr[:10]); err != nil {
+			return err
+		}
+	}
+	if _, err := ws.w.Write(payload); err != nil {
+		return err
+	}
+	return ws.w.Flush()
+}
+
+// readFrame reads one frame, unmasking the payload when the client set
+// the mask bit (clients must; we tolerate either for test harnesses).
+func readFrame(r *bufio.Reader) (opcode byte, payload []byte, err error) {
+	var hdr [2]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	opcode = hdr[0] & 0x0F
+	masked := hdr[1]&0x80 != 0
+	length := uint64(hdr[1] & 0x7F)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(r, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(r, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		length = binary.BigEndian.Uint64(ext[:])
+	}
+	if length > maxFramePayload {
+		return 0, nil, fmt.Errorf("websocket: frame of %d bytes exceeds limit", length)
+	}
+	var mask [4]byte
+	if masked {
+		if _, err = io.ReadFull(r, mask[:]); err != nil {
+			return 0, nil, err
+		}
+	}
+	payload = make([]byte, length)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= mask[i&3]
+		}
+	}
+	return opcode, payload, nil
+}
+
+// handleSubscribeWS upgrades the connection and streams deliveries as
+// JSON text frames until the client disconnects or closes.
+func (s *Server) handleSubscribeWS(w http.ResponseWriter, r *http.Request) {
+	if !strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		http.Error(w, "websocket upgrade required", http.StatusBadRequest)
+		return
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return
+	}
+	sub, ok := s.openSubscription(w, r)
+	if !ok {
+		return
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		sub.Close()
+		http.Error(w, "connection cannot be hijacked", http.StatusInternalServerError)
+		return
+	}
+	conn, buf, err := hj.Hijack()
+	if err != nil {
+		sub.Close()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer conn.Close()
+	defer sub.Close()
+
+	ws := &wsConn{c: conn, w: buf.Writer}
+	handshake := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + wsAccept(key) + "\r\n\r\n"
+	if _, err := buf.WriteString(handshake); err != nil {
+		return
+	}
+	if err := buf.Flush(); err != nil {
+		return
+	}
+
+	// Read loop: answer pings, stop on close or error. Closing the
+	// subscription unblocks the delivery loop below.
+	go func() {
+		defer sub.Close()
+		for {
+			op, payload, err := readFrame(buf.Reader)
+			if err != nil {
+				return
+			}
+			switch op {
+			case opPing:
+				if ws.writeFrame(opPong, payload) != nil {
+					return
+				}
+			case opClose:
+				_ = ws.writeFrame(opClose, nil)
+				return
+			}
+		}
+	}()
+
+	for {
+		d, ok := sub.Recv()
+		if !ok {
+			_ = ws.writeFrame(opClose, nil)
+			return
+		}
+		payload, err := json.Marshal(toWireDelivery(d))
+		if err != nil {
+			return
+		}
+		if err := ws.writeFrame(opText, payload); err != nil {
+			return
+		}
+	}
+}

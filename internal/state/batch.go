@@ -58,8 +58,8 @@ func (s *Store) PutBatch(puts []BatchPut) error {
 	if len(puts) == 0 {
 		return nil
 	}
-	ws, log := s.observers()
-	record := len(ws) > 0
+	ws, bws, log := s.observers()
+	record := len(ws) > 0 || len(bws) > 0
 	perShard := make([][]int, len(s.shards))
 	for i := range puts {
 		si := shardIndex(puts[i].Entity, puts[i].Attr, s.shardMask)
@@ -68,10 +68,15 @@ func (s *Store) PutBatch(puts []BatchPut) error {
 
 	var (
 		changes  []Change
+		bufp     *[]Change
 		firstErr error
 		applied  = make([]bool, len(puts))
 		nApplied int
 	)
+	if record {
+		bufp = takeChangeBuf()
+		changes = *bufp
+	}
 	for si, idxs := range perShard {
 		if len(idxs) == 0 {
 			continue
@@ -121,6 +126,9 @@ func (s *Store) PutBatch(puts []BatchPut) error {
 			firstErr = err
 		}
 	}
-	notifyAll(ws, changes)
+	notifyAll(ws, bws, changes)
+	if bufp != nil {
+		putChangeBuf(bufp, changes)
+	}
 	return firstErr
 }

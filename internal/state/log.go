@@ -1,9 +1,11 @@
 package state
 
 import (
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -18,7 +20,13 @@ import (
 // Together with WriteSnapshot/ReadSnapshot it gives the state repository
 // the durability of the "temporal database" the paper sketches in §3.3.
 //
-// Records are gob-encoded logRecord values. The sharded store commits
+// Records are gob-encoded logRecord values, each sealed with a crc32c
+// of its semantic fields: gob framing detects truncation but not bit rot
+// that still decodes, so replay and recovery verify every summed record
+// and fail loudly on a mismatch. Logs written before checksums existed
+// (records without the Summed flag) replay unverified, unchanged.
+//
+// The sharded store commits
 // mutations under per-shard locks, so the log serializes concurrent
 // appends itself through a single-appender channel: whoever holds the
 // channel's token owns the encoder, and the token hand-off defines one
@@ -84,6 +92,83 @@ type logRecord struct {
 	Source  string
 	// Puts carries the writes of one opPutBatch frame; empty otherwise.
 	Puts []BatchPut
+	// Sum is the crc32c of the record's semantic fields (see checksum),
+	// guarding against bit rot that still gob-decodes. Summed
+	// distinguishes a computed checksum from the zero value old-format
+	// records decode to, keeping replay compatible with logs written
+	// before checksums existed.
+	Summed bool
+	Sum    uint32
+}
+
+// crcTable is the Castagnoli (crc32c) polynomial, hardware-accelerated
+// on amd64 and arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum renders the record's semantic fields into a canonical byte
+// stream and returns its crc32c. The gob frame itself is not summed: gob
+// emits type descriptors positionally, so the same record's bytes differ
+// between streams (and across rewrites). Sum/Summed are excluded.
+func (r *logRecord) checksum() uint32 {
+	h := crc32.New(crcTable)
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeU64(uint64(len(s)))
+		io.WriteString(h, s)
+	}
+	writeVal := func(v element.Value) {
+		b, _ := v.MarshalBinary()
+		writeU64(uint64(len(b)))
+		h.Write(b)
+	}
+	h.Write([]byte{byte(r.Op)})
+	writeStr(r.Entity)
+	writeStr(r.Attr)
+	writeVal(r.Value)
+	writeU64(uint64(r.At))
+	writeU64(uint64(r.Start))
+	writeU64(uint64(r.End))
+	writeU64(uint64(r.Tx))
+	if r.Derived {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	writeStr(r.Source)
+	writeU64(uint64(len(r.Puts)))
+	for i := range r.Puts {
+		p := &r.Puts[i]
+		writeStr(p.Entity)
+		writeStr(p.Attr)
+		writeVal(p.Value)
+		writeU64(uint64(p.At))
+	}
+	return h.Sum32()
+}
+
+// verify checks a summed record against its checksum. Records from logs
+// written before checksums (Summed false) pass unverified. Callers must
+// verify before keepAfter, which trims opPutBatch frames in place.
+func (r *logRecord) verify(n int) error {
+	if !r.Summed {
+		return nil
+	}
+	if got := r.checksum(); got != r.Sum {
+		return fmt.Errorf("state: log record %d: checksum mismatch (stored %08x, computed %08x)", n, r.Sum, got)
+	}
+	return nil
+}
+
+// reseal recomputes the checksum of a summed record whose Puts were
+// trimmed in place by keepAfter, keeping the rewritten frame verifiable.
+func (r *logRecord) reseal() {
+	if r.Summed && r.Op == opPutBatch {
+		r.Sum = r.checksum()
+	}
 }
 
 // txTime returns the transaction time that orders rec for tail handoff:
@@ -153,6 +238,8 @@ func (l *Log) append(rec logRecord) error {
 	if l.err != nil {
 		return l.err
 	}
+	rec.Summed = true
+	rec.Sum = rec.checksum()
 	l.n++
 	return l.enc.Encode(rec)
 }
@@ -222,7 +309,12 @@ func (l *Log) TruncateBefore(tt temporal.Instant) error {
 			src.Close()
 			return fmt.Errorf("state: truncate log: record %d: %w", len(kept), err)
 		}
+		if err := rec.verify(len(kept)); err != nil {
+			src.Close()
+			return fmt.Errorf("state: truncate log: %w", err)
+		}
 		if rec.keepAfter(tt) {
+			rec.reseal()
 			kept = append(kept, rec)
 		}
 	}
@@ -376,6 +468,9 @@ func Replay(r io.Reader, s *Store) (int, error) {
 			}
 			return n, fmt.Errorf("state: replay record %d: %w", n, err)
 		}
+		if err := rec.verify(n); err != nil {
+			return n, fmt.Errorf("state: replay: %w", err)
+		}
 		if err := s.applyLogRecord(&rec); err != nil {
 			return n, fmt.Errorf("state: replay record %d: %w", n, err)
 		}
@@ -451,9 +546,17 @@ func RecoverLog(path string, s *Store, cut temporal.Instant) (*Log, int, error) 
 			return nil, 0, fmt.Errorf("state: recover log record %d: %w", decoded, err)
 		}
 		decoded++
+		// Verify before keepAfter trims the frame in place: a record that
+		// still decodes but fails its checksum is bit rot, not a torn
+		// tail, and recovery must fail loudly rather than replay it.
+		if err := rec.verify(decoded - 1); err != nil {
+			src.Close()
+			return nil, 0, fmt.Errorf("state: recover log: %w", err)
+		}
 		if !rec.keepAfter(cut) {
 			continue
 		}
+		rec.reseal()
 		kept = append(kept, rec)
 		switch rec.Op {
 		case opPut:

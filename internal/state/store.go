@@ -93,7 +93,12 @@ func (k ChangeKind) String() string {
 type Change struct {
 	Kind ChangeKind
 	// Fact is the affected version. For Terminated changes the validity
-	// reflects the new (closed) interval.
+	// reflects the new (closed) interval. The pointer is store-owned —
+	// shared with the lineage rather than cloned, so the watched write
+	// path stays allocation-free — which means its belief end may keep
+	// moving after delivery: watchers must not mutate it and must read
+	// the supersession state through the atomic accessors (BeliefEnd,
+	// Superseded, Clone), never the raw SupersededAt field.
 	Fact *element.Fact
 	// At is the application time of the transition.
 	At temporal.Instant
@@ -105,6 +110,15 @@ type Change struct {
 // (internal/query.RegisterContinuous) rely on this. Under concurrent
 // mutators, a watcher may observe store state newer than its Change.
 type Watcher func(Change)
+
+// BatchWatcher observes the full change set of one mutation (a Put, a
+// retroactive write, or one PutBatch call) in a single callback instead
+// of one call per change. It exists for high-volume taps — the engine's
+// watermark capture uses it — where per-change callback and locking
+// overhead on the write path matters. The slice is store-owned scratch,
+// valid only for the duration of the call: implementations must copy out
+// the Change structs they retain and never keep the slice itself.
+type BatchWatcher func([]Change)
 
 // lineage is the bitemporal record history of one key. All of its data
 // lives in the published head; the lineage itself is just the stable
@@ -342,6 +356,7 @@ type Store struct {
 	// written only by Watch/AttachLog.
 	obsMu    sync.RWMutex
 	watchers []Watcher
+	batchWs  []BatchWatcher
 	log      *Log
 
 	// compaction is the per-shard compaction scheduling policy; nil
@@ -402,11 +417,40 @@ func (s *Store) Watch(w Watcher) {
 	s.watchers = append(s.watchers, w)
 }
 
-// observers snapshots the watcher list and attached log for one mutation.
-func (s *Store) observers() ([]Watcher, *Log) {
+// WatchBatch registers a batch watcher for all subsequent changes.
+func (s *Store) WatchBatch(w BatchWatcher) {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	s.batchWs = append(s.batchWs, w)
+}
+
+// observers snapshots the watcher lists and attached log for one mutation.
+func (s *Store) observers() ([]Watcher, []BatchWatcher, *Log) {
 	s.obsMu.RLock()
 	defer s.obsMu.RUnlock()
-	return s.watchers, s.log
+	return s.watchers, s.batchWs, s.log
+}
+
+// changeBufs recycles the per-mutation change scratch: with any watcher
+// registered every write assembles a []Change, and at ingest rates a
+// fresh slice per element is pure GC pressure. Buffers are cleared of
+// fact pointers before pooling so they never pin lineage memory.
+var changeBufs = sync.Pool{New: func() any { return new([]Change) }}
+
+// takeChangeBuf borrows an empty change buffer from the pool.
+func takeChangeBuf() *[]Change {
+	return changeBufs.Get().(*[]Change)
+}
+
+// putChangeBuf clears and returns a change buffer to the pool. Safe only
+// after every observer of the buffer has returned: per-change watchers
+// receive struct copies and batch watchers must not retain the slice.
+func putChangeBuf(bp *[]Change, changes []Change) {
+	for i := range changes {
+		changes[i] = Change{}
+	}
+	*bp = changes[:0]
+	changeBufs.Put(bp)
 }
 
 // AdvanceClock advances the transaction clock's high-water mark to at
@@ -419,12 +463,20 @@ func (s *Store) AdvanceClock(t temporal.Instant) {
 }
 
 // notifyAll dispatches committed changes to the given watcher snapshot;
-// call only after releasing the shard lock.
-func notifyAll(ws []Watcher, changes []Change) {
+// call only after releasing the shard lock. Per-change watchers see one
+// call per change in mutation order; batch watchers see the whole set in
+// one call.
+func notifyAll(ws []Watcher, bws []BatchWatcher, changes []Change) {
+	if len(changes) == 0 {
+		return
+	}
 	for _, c := range changes {
 		for _, w := range ws {
 			w(c)
 		}
+	}
+	for _, w := range bws {
+		w(changes)
 	}
 }
 
@@ -455,9 +507,17 @@ type writeReq struct {
 // apply validates, commits, logs, and notifies one mutation. It is the
 // single non-batched write path of the store; it locks exactly one shard.
 func (s *Store) apply(r writeReq) error {
-	ws, log := s.observers()
+	ws, bws, log := s.observers()
 	sh := s.shardFor(r.entity, r.attr)
-	var changes []Change
+	record := len(ws) > 0 || len(bws) > 0
+	var (
+		changes []Change
+		bufp    *[]Change
+	)
+	if record {
+		bufp = takeChangeBuf()
+		changes = *bufp
+	}
 	err := func() error {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
@@ -547,13 +607,18 @@ func (s *Store) apply(r writeReq) error {
 			}
 		}
 		s.clock.observe(tx)
-		changes = sh.commit(l, put, w, tx, changes, len(ws) > 0)
+		changes = sh.commit(l, put, w, tx, changes, record)
 		return nil
 	}()
+	if err == nil {
+		notifyAll(ws, bws, changes)
+	}
+	if bufp != nil {
+		putChangeBuf(bufp, changes)
+	}
 	if err != nil {
 		return err
 	}
-	notifyAll(ws, changes)
 	s.maybeCompact(sh)
 	return nil
 }
@@ -563,10 +628,11 @@ func (s *Store) apply(r writeReq) error {
 // the write interval w overlaps — re-recording the portions outside w as
 // fresh records — and inserts put (when non-nil) as a new believed
 // version. With record set, every superseded version appends one
-// Terminated change (with the left remnant's closed validity when the
-// write truncates it, with its original validity when the write covers it
-// entirely) and the insert appends one Asserted change; without watchers
-// the event clones are skipped entirely. Callers hold sh.mu.
+// Terminated change (carrying the left remnant when the write truncates
+// it, the superseded version itself when the write covers it entirely)
+// and the insert appends one Asserted change. Change facts are the
+// store-owned pointers, not clones — recording adds no allocations
+// beyond the changes slice itself. Callers hold sh.mu.
 func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx temporal.Instant, changes []Change, record bool) []Change {
 	h := l.head.Load()
 	nh := &head{txOrdered: h.txOrdered, maxTx: h.maxTx, lastWrite: h.lastWrite}
@@ -604,9 +670,9 @@ func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx t
 				sh.versions.Add(1)
 			}
 			if record {
-				ev := o.Clone()
+				ev := o
 				if left != nil {
-					ev = left.Clone()
+					ev = left
 				}
 				changes = append(changes, Change{Kind: Terminated, Fact: ev, At: tx})
 			}
@@ -616,7 +682,7 @@ func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx t
 		sh.versions.Add(1)
 		nh.records, nh.closed, nh.open = records, closed, put
 		if record {
-			changes = append(changes, Change{Kind: Asserted, Fact: put.Clone(), At: w.Start})
+			changes = append(changes, Change{Kind: Asserted, Fact: put, At: w.Start})
 		}
 		sh.records.Add(int64(appended))
 		sh.growth.Add(int64(appended))
@@ -666,9 +732,9 @@ func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx t
 			sh.versions.Add(1)
 		}
 		if record {
-			ev := v.Clone()
+			ev := v
 			if left != nil {
-				ev = left.Clone()
+				ev = left
 			}
 			changes = append(changes, Change{Kind: Terminated, Fact: ev, At: tx})
 		}
@@ -679,7 +745,7 @@ func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx t
 		appended++
 		sh.versions.Add(1)
 		if record {
-			changes = append(changes, Change{Kind: Asserted, Fact: put.Clone(), At: w.Start})
+			changes = append(changes, Change{Kind: Asserted, Fact: put, At: w.Start})
 		}
 	}
 	sort.Slice(newLive, func(i, j int) bool {

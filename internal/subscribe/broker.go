@@ -1,0 +1,415 @@
+package subscribe
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/state"
+	"repro/internal/temporal"
+)
+
+// brokerBacklog bounds the watermark batches queued between the engine's
+// hook and the broker goroutine. When the broker falls this far behind,
+// the hook drops the batch (never blocking the watermark) and every
+// subscriber is resynchronized at the next dispatched cut.
+const brokerBacklog = 64
+
+// DefaultQueueLen is the per-subscriber send-queue bound unless
+// WithQueueLen overrides it.
+const DefaultQueueLen = 256
+
+// Broker fans watermark batches out to subscribers. Create one per
+// engine with NewBroker; it registers the engine watermark hook and runs
+// one dispatch goroutine. All methods are safe for concurrent use.
+type Broker struct {
+	batch    chan core.WatermarkBatch
+	overflow atomic.Bool
+	done     chan struct{}
+	stop     sync.Once
+
+	mu     sync.Mutex
+	subs   map[uint64]*Subscriber
+	nextID uint64
+	// lastWM/lastSnap are the latest dispatched cut: the instant and
+	// pinned snapshot resyncs and stale-cursor catch-ups are built from.
+	lastWM   temporal.Instant
+	lastSnap *state.Snapshot
+
+	// Filter index, rebuilt under mu on membership change: change
+	// subscribers keyed by exact entity (attribute checked per event)
+	// or entity-wildcarded; emitted subscribers keyed by stream.
+	byEntity  map[string][]*Subscriber
+	anyEntity []*Subscriber
+	byStream  map[string][]*Subscriber
+	anyStream []*Subscriber
+	querySubs []*Subscriber
+
+	// touched is the dispatch scratch list of subscribers with a pending
+	// delivery this batch (broker goroutine only, guarded by mu anyway).
+	touched []*Subscriber
+
+	// latency is recorded and read under mu (Histogram itself is not
+	// concurrency-safe).
+	latency     metrics.Histogram
+	drops       metrics.Counter
+	resyncs     metrics.Counter
+	batches     metrics.Counter
+	skipped     metrics.Counter
+	subscribers metrics.Gauge
+}
+
+// NewBroker builds a broker over the engine and registers its watermark
+// hook. Register before ingestion starts (OnWatermark's contract). The
+// hook is non-blocking: a stalled broker costs the engine one failed
+// channel send per watermark, never a stall.
+func NewBroker(e *core.Engine) *Broker {
+	b := &Broker{
+		batch:    make(chan core.WatermarkBatch, brokerBacklog),
+		done:     make(chan struct{}),
+		subs:     make(map[uint64]*Subscriber),
+		byEntity: make(map[string][]*Subscriber),
+		byStream: make(map[string][]*Subscriber),
+		lastWM:   e.Watermark(),
+		lastSnap: e.Store().SnapshotAt(e.Watermark()),
+	}
+	e.OnWatermark(func(wb core.WatermarkBatch) {
+		select {
+		case b.batch <- wb:
+		default:
+			b.skipped.Inc()
+			b.overflow.Store(true)
+		}
+	})
+	go b.loop()
+	return b
+}
+
+// SubOption configures one subscription.
+type SubOption func(*subConfig)
+
+type subConfig struct {
+	queueLen  int
+	cursor    temporal.Instant
+	hasCursor bool
+}
+
+// WithQueueLen bounds the subscriber's send queue (default
+// DefaultQueueLen, minimum 1). Smaller queues trade delivery slack for
+// memory; overflowing one costs the subscriber a resync, nothing else.
+func WithQueueLen(n int) SubOption {
+	return func(c *subConfig) { c.queueLen = n }
+}
+
+// ResumeFrom resumes a reconnecting subscriber from a cursor — the last
+// watermark it saw. A cursor behind the broker's current cut starts the
+// subscription in the lost state, so its first receive is a Resync
+// catch-up at the current cut instead of a silent gap.
+func ResumeFrom(cursor temporal.Instant) SubOption {
+	return func(c *subConfig) { c.cursor, c.hasCursor = cursor, true }
+}
+
+// Subscribe registers a subscription and returns its Subscriber. A
+// non-empty Filter.Query is validated by running it once against the
+// broker's current cut; a query error fails the subscription.
+func (b *Broker) Subscribe(f Filter, opts ...SubOption) (*Subscriber, error) {
+	cfg := subConfig{queueLen: DefaultQueueLen}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.queueLen < 1 {
+		cfg.queueLen = 1
+	}
+	f = f.normalize()
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := &Subscriber{
+		b:      b,
+		filter: f,
+		queue:  make(chan Delivery, cfg.queueLen),
+		kick:   make(chan struct{}, 1),
+		closed: make(chan struct{}),
+	}
+	if f.Query != "" {
+		_, fp, err := runQuery(f.Query, b.lastSnap, b.lastWM)
+		if err != nil {
+			return nil, fmt.Errorf("subscribe: query: %w", err)
+		}
+		s.lastFP = fp
+	}
+	if cfg.hasCursor && cfg.cursor < b.lastWM {
+		// The cursor predates the current cut: deltas in between are
+		// gone, so the first receive is a catch-up at the current cut.
+		s.lost.Store(true)
+	}
+	b.nextID++
+	s.id = b.nextID
+	b.subs[s.id] = s
+	b.indexAdd(s)
+	b.subscribers.Set(int64(len(b.subs)))
+	return s, nil
+}
+
+// indexAdd links s into the filter index. Callers hold mu.
+func (b *Broker) indexAdd(s *Subscriber) {
+	if s.filter.Changes {
+		if e := s.filter.Entity; e != "" {
+			b.byEntity[e] = append(b.byEntity[e], s)
+		} else {
+			b.anyEntity = append(b.anyEntity, s)
+		}
+	}
+	if s.filter.Emitted {
+		if st := s.filter.Stream; st != "" {
+			b.byStream[st] = append(b.byStream[st], s)
+		} else {
+			b.anyStream = append(b.anyStream, s)
+		}
+	}
+	if s.filter.Query != "" {
+		b.querySubs = append(b.querySubs, s)
+	}
+}
+
+// rebuildIndex reconstructs the filter index from the live subscriber
+// set — the removal path; additions append incrementally. Callers hold mu.
+func (b *Broker) rebuildIndex() {
+	b.byEntity = make(map[string][]*Subscriber)
+	b.byStream = make(map[string][]*Subscriber)
+	b.anyEntity, b.anyStream, b.querySubs = nil, nil, nil
+	for _, s := range b.subs {
+		b.indexAdd(s)
+	}
+}
+
+// remove unregisters s and wakes any blocked receive.
+func (b *Broker) remove(s *Subscriber) {
+	b.mu.Lock()
+	if _, ok := b.subs[s.id]; ok {
+		delete(b.subs, s.id)
+		b.rebuildIndex()
+		b.subscribers.Set(int64(len(b.subs)))
+	}
+	b.mu.Unlock()
+}
+
+// Close stops the dispatch goroutine and closes every subscriber.
+// The engine keeps running; its hook sends simply stop being drained.
+func (b *Broker) Close() {
+	b.stop.Do(func() { close(b.done) })
+	b.mu.Lock()
+	subs := make([]*Subscriber, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.Close()
+	}
+}
+
+// loop drains the batch channel onto dispatch until Close.
+func (b *Broker) loop() {
+	for {
+		select {
+		case wb := <-b.batch:
+			b.dispatch(wb)
+		case <-b.done:
+			return
+		}
+	}
+}
+
+// dispatch matches one watermark batch against the filter index and
+// offers each touched subscriber its delivery, never blocking: a full
+// queue marks the subscriber lost (resynced on drain) instead.
+func (b *Broker) dispatch(wb core.WatermarkBatch) {
+	start := time.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lastWM, b.lastSnap = wb.Watermark, wb.Snapshot
+	if b.overflow.Swap(false) {
+		// The broker's own backlog overflowed: batches (and their
+		// changes) were dropped wholesale, so every subscriber must be
+		// caught up at the latest cut rather than shown a gap.
+		for _, s := range b.subs {
+			b.markLost(s)
+		}
+		b.batches.Inc()
+		b.latency.Record(time.Since(start))
+		return
+	}
+
+	b.touched = b.touched[:0]
+	for _, ch := range wb.Changes {
+		for _, s := range b.byEntity[ch.Fact.Entity] {
+			b.offerChange(s, ch)
+		}
+		for _, s := range b.anyEntity {
+			b.offerChange(s, ch)
+		}
+	}
+	for _, el := range wb.Emitted {
+		for _, s := range b.byStream[el.Stream] {
+			b.touch(s)
+			s.pend.Emitted = append(s.pend.Emitted, el)
+		}
+		for _, s := range b.anyStream {
+			if s.filter.Stream == "" || s.filter.Stream == el.Stream {
+				b.touch(s)
+				s.pend.Emitted = append(s.pend.Emitted, el)
+			}
+		}
+	}
+	for _, s := range b.querySubs {
+		res, fp, err := runQuery(s.filter.Query, wb.Snapshot, wb.Watermark)
+		if err == nil && fp != s.lastFP {
+			s.lastFP = fp
+			b.touch(s)
+			s.pend.Result = res
+		}
+	}
+
+	for _, s := range b.touched {
+		d := s.pend
+		s.pend = Delivery{}
+		s.inTouched = false
+		if s.lost.Load() {
+			// A pending resync at a later cut subsumes these deltas.
+			continue
+		}
+		d.Kind = Deltas
+		d.Watermark = wb.Watermark
+		select {
+		case s.queue <- d:
+		default:
+			b.markLost(s)
+			b.drops.Inc()
+		}
+	}
+	b.batches.Inc()
+	b.latency.Record(time.Since(start))
+}
+
+// offerChange appends a change to s's pending delivery when it passes
+// the attribute check (the entity check is the index bucket).
+func (b *Broker) offerChange(s *Subscriber, ch state.Change) {
+	if s.filter.Attr != "" && s.filter.Attr != ch.Fact.Attribute {
+		return
+	}
+	b.touch(s)
+	s.pend.Changes = append(s.pend.Changes, ch)
+}
+
+// touch adds s to this batch's touched list once.
+func (b *Broker) touch(s *Subscriber) {
+	if !s.inTouched {
+		s.inTouched = true
+		b.touched = append(b.touched, s)
+	}
+}
+
+// markLost transitions s into the lost state and wakes a blocked
+// receive, which will synthesize the resync once the queue drains.
+func (b *Broker) markLost(s *Subscriber) {
+	s.lost.Store(true)
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// resync builds one catch-up delivery for a lost subscriber at the
+// broker's latest cut and clears the lost state. Serialized with
+// dispatch under mu, so deltas enqueued after the resync are exactly the
+// watermarks after the cut — at-least-once with no hole.
+func (b *Broker) resync(s *Subscriber) (Delivery, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !s.lost.Load() {
+		return Delivery{}, false
+	}
+	d := Delivery{Kind: Resync, Watermark: b.lastWM, Cut: b.lastSnap.At()}
+	if s.filter.Changes {
+		d.State = catchUp(b.lastSnap, s.filter)
+	}
+	if s.filter.Query != "" {
+		if res, fp, err := runQuery(s.filter.Query, b.lastSnap, b.lastWM); err == nil {
+			d.Result = res
+			s.lastFP = fp
+		}
+	}
+	s.lost.Store(false)
+	b.resyncs.Inc()
+	return d, true
+}
+
+// runQuery evaluates a continuous query against a pinned snapshot with
+// now() anchored at the watermark, returning the result and its change
+// fingerprint.
+func runQuery(src string, snap *state.Snapshot, now temporal.Instant) (*query.Result, string, error) {
+	ex := &query.Executor{Store: snap, Now: now}
+	res, err := ex.Run(src)
+	if err != nil {
+		return nil, "", err
+	}
+	var sb strings.Builder
+	for _, c := range res.Columns {
+		sb.WriteString(c)
+		sb.WriteByte('\x00')
+	}
+	for _, row := range res.Rows {
+		for _, v := range row {
+			sb.WriteString(v.Key())
+			sb.WriteByte('\x1f')
+		}
+		sb.WriteByte('\x1e')
+	}
+	return res, sb.String(), nil
+}
+
+// Metrics is a point-in-time reading of broker health.
+type Metrics struct {
+	// Subscribers is the live subscription count.
+	Subscribers int
+	// QueueDepth is the total deliveries currently queued across all
+	// subscriber send queues.
+	QueueDepth int
+	// Drops counts deliveries dropped on full subscriber queues.
+	Drops uint64
+	// Resyncs counts catch-up deliveries served.
+	Resyncs uint64
+	// Batches counts watermark batches dispatched.
+	Batches uint64
+	// SkippedBatches counts batches the hook dropped because the broker
+	// backlog was full (each skip resyncs all subscribers).
+	SkippedBatches uint64
+	// FanoutMean and FanoutP99 summarize per-batch dispatch latency.
+	FanoutMean time.Duration
+	FanoutP99  time.Duration
+}
+
+// Metrics returns current broker counters and fan-out latency.
+func (b *Broker) Metrics() Metrics {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := Metrics{
+		Subscribers:    len(b.subs),
+		Drops:          b.drops.Value(),
+		Resyncs:        b.resyncs.Value(),
+		Batches:        b.batches.Value(),
+		SkippedBatches: b.skipped.Value(),
+		FanoutMean:     b.latency.Mean(),
+		FanoutP99:      b.latency.Quantile(0.99),
+	}
+	for _, s := range b.subs {
+		m.QueueDepth += len(s.queue)
+	}
+	return m
+}

@@ -62,6 +62,7 @@ import (
 	"repro/internal/state"
 	"repro/internal/state/segment"
 	"repro/internal/stream"
+	"repro/internal/subscribe"
 	"repro/internal/temporal"
 	"repro/internal/window"
 )
@@ -531,3 +532,49 @@ func SequencePattern(ps ...Pattern) Pattern { return cep.Sequence(ps...) }
 
 // WithinPattern bounds a pattern's span.
 func WithinPattern(p Pattern, d Instant) Pattern { return &cep.Within{P: p, D: d} }
+
+// Subscriptions: push-based delivery of state deltas and emitted
+// elements at watermark granularity (see DESIGN.md "Subscriptions").
+type (
+	// WatermarkBatch is everything one watermark advance closed: the
+	// pinned snapshot, the state changes, and the emitted elements.
+	WatermarkBatch = core.WatermarkBatch
+	// WatermarkHook observes watermark batches (Engine.OnWatermark).
+	WatermarkHook = core.WatermarkHook
+	// Broker fans watermark batches out to subscribers.
+	Broker = subscribe.Broker
+	// Subscriber is one registered subscription's receive handle.
+	Subscriber = subscribe.Subscriber
+	// SubscriptionFilter selects which changes and emissions a
+	// subscriber receives, or carries a continuous query.
+	SubscriptionFilter = subscribe.Filter
+	// Delivery is one pushed update: a per-watermark delta batch, a
+	// continuous-query result, or a resync snapshot.
+	Delivery = subscribe.Delivery
+	// DeliveryKind discriminates Delivery payloads.
+	DeliveryKind = subscribe.Kind
+	// SubOption configures one subscription.
+	SubOption = subscribe.SubOption
+	// BrokerMetrics reports broker-level fan-out counters.
+	BrokerMetrics = subscribe.Metrics
+)
+
+// Delivery kinds.
+const (
+	// DeliveryDeltas is an ordinary per-watermark delta batch.
+	DeliveryDeltas = subscribe.Deltas
+	// DeliveryResync marks a slow consumer's catch-up snapshot.
+	DeliveryResync = subscribe.Resync
+)
+
+// NewBroker taps the engine's watermark hook and returns a broker ready
+// to accept subscriptions. Create it before ingestion starts; close it
+// to terminate every subscriber.
+func NewBroker(e *Engine) *Broker { return subscribe.NewBroker(e) }
+
+// WithQueueLen sets a subscription's bounded delivery-queue length.
+func WithQueueLen(n int) SubOption { return subscribe.WithQueueLen(n) }
+
+// ResumeFrom resumes a subscription from a prior watermark cursor: a
+// stale cursor yields an immediate resync snapshot before live deltas.
+func ResumeFrom(cursor Instant) SubOption { return subscribe.ResumeFrom(cursor) }

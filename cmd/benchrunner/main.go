@@ -176,6 +176,8 @@ func runRegression(scale float64, jsonOut, baselinePath string, tolerance float6
 	failures += checkIngestScaling(rep)
 	failures += checkFanoutOverhead(rep)
 	failures += checkScanUnderIngest(rep)
+	failures += checkPartitionedScan(rep)
+	failures += checkIndexedQuery(rep)
 	failures += checkRecoverySpeedup(rep)
 
 	if failures > 0 {
@@ -339,6 +341,83 @@ func checkScanUnderIngest(rep *bench.RegressionReport) int {
 	}
 	fmt.Printf("  %-28s lock-all/snapshot ratio %.2fx (min %.1fx)  %s\n",
 		"e7/scan-under-ingest", ratio, scanUnderIngestMin, status)
+	return failures
+}
+
+// partitionedScanMin is the required serial/par4 latency ratio for the
+// quiet-store snapshot gather: the shard-partitioned parallel gather
+// must be at least this much faster than the serial List on machines
+// that can actually run 4 gather workers in parallel. On fewer CPUs the
+// workers time-share cores, partitioning buys nothing, and the gate is
+// skipped.
+const partitionedScanMin = 2.0
+
+// checkPartitionedScan enforces the partitioned-gather payoff using the
+// same-run scan-serial / scan-par4 pair, gated only on >= 4 CPUs.
+func checkPartitionedScan(rep *bench.RegressionReport) int {
+	byName := make(map[string]bench.Measurement, len(rep.Results))
+	for _, m := range rep.Results {
+		byName[m.Name] = m
+	}
+	serial, ok1 := byName["e7/scan-serial"]
+	par4, ok2 := byName["e7/scan-par4"]
+	if !ok1 || !ok2 || par4.NsPerOp <= 0 {
+		// The rows disappearing means the suite was renamed without
+		// updating this gate — fail rather than silently ungate the
+		// partitioned execution path.
+		fmt.Printf("  %-28s MISSING scan-serial/scan-par4 rows\n", "e7/scan-partitioned")
+		return 1
+	}
+	speedup := serial.NsPerOp / par4.NsPerOp
+	if rep.NumCPU < 4 || rep.GoMaxProcs < 4 {
+		fmt.Printf("  %-28s serial/par4 speedup %.2fx (not gated: num_cpu=%d gomaxprocs=%d < 4)\n",
+			"e7/scan-partitioned", speedup, rep.NumCPU, rep.GoMaxProcs)
+		return 0
+	}
+	status := "ok"
+	failures := 0
+	if speedup < partitionedScanMin {
+		status = "PARTITIONED SCAN REGRESSED"
+		failures++
+	}
+	fmt.Printf("  %-28s serial/par4 speedup %.2fx (min %.1fx)  %s\n",
+		"e7/scan-partitioned", speedup, partitionedScanMin, status)
+	return failures
+}
+
+// indexedQueryMin is the required fullscan/indexed latency ratio for the
+// selective range query: pushing the bounds into the gather and pruning
+// by the value-envelope index must beat scan-and-filter by at least this
+// much. Both rows run serially (parallelism 1) in the same process, so
+// like the contention invariant the ratio needs no hardware-class
+// baseline and is gated everywhere.
+const indexedQueryMin = 1.5
+
+// checkIndexedQuery enforces the value-index payoff using the same-run
+// query-fullscan / query-indexed pair.
+func checkIndexedQuery(rep *bench.RegressionReport) int {
+	byName := make(map[string]bench.Measurement, len(rep.Results))
+	for _, m := range rep.Results {
+		byName[m.Name] = m
+	}
+	full, ok1 := byName["e7/query-fullscan"]
+	indexed, ok2 := byName["e7/query-indexed"]
+	if !ok1 || !ok2 || indexed.NsPerOp <= 0 {
+		// The rows disappearing means the suite was renamed without
+		// updating this gate — fail rather than silently ungate the
+		// value-index path.
+		fmt.Printf("  %-28s MISSING query-fullscan/query-indexed rows\n", "e7/query-indexed")
+		return 1
+	}
+	ratio := full.NsPerOp / indexed.NsPerOp
+	status := "ok"
+	failures := 0
+	if ratio < indexedQueryMin {
+		status = "INDEXED QUERY REGRESSED"
+		failures++
+	}
+	fmt.Printf("  %-28s fullscan/indexed ratio %.2fx (min %.1fx)  %s\n",
+		"e7/query-indexed", ratio, indexedQueryMin, status)
 	return failures
 }
 

@@ -102,4 +102,21 @@ THEN REPLACE temperature(r.sensor) = r.celsius`)
 	}
 	fmt.Println("\nKitchen at t=2.5s as believed at t=5s (pre-correction):")
 	fmt.Print(res)
+
+	// A query issued repeatedly is worth preparing once: the text is
+	// parsed and planned a single time (range predicates pushed into a
+	// partitioned gather, pruned by the value-envelope index), and each
+	// Exec pins a fresh snapshot. Explain shows the physical plan.
+	pq, err := engine.Prepare("SELECT entity, value FROM temperature WHERE value > 15 ORDER BY entity")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPlan: pushed=%v bounds=%q index=%v\n",
+		pq.Explain().PushedPredicates, pq.Explain().ValueBounds, pq.Explain().AttributeIndex)
+	res, err = pq.Exec()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Rooms above 15°C:")
+	fmt.Print(res)
 }

@@ -105,16 +105,22 @@ func scanUnderIngest(lockAll bool, keys, scans, writers int) time.Duration {
 }
 
 // queryUnderIngest measures on-demand temporal query latency while
-// writers ingest: each query pins a fresh snapshot handle (exactly what
-// engine.Query does) and evaluates against that consistent cut.
+// writers ingest: the query is prepared once, and each execution pins a
+// fresh snapshot handle (exactly what engine.Query does) and runs the
+// partitioned plan against that consistent cut.
 func queryUnderIngest(keys, queries, writers int) time.Duration {
+	p, err := query.Prepare("SELECT entity, value FROM value")
+	if err != nil {
+		panic(err)
+	}
 	st := seededScanStore(keys)
 	stop := ingestLoad(st, keys, writers)
 	defer stop()
 	start := time.Now()
 	for i := 0; i < queries; i++ {
-		ex := &query.Executor{Store: st.Snapshot(), Now: temporal.Instant(keys + i)}
-		if _, err := ex.Run("SELECT entity, value FROM value"); err != nil {
+		if _, err := p.Exec(query.ExecEnv{
+			Store: st.Snapshot(), Now: temporal.Instant(keys + i),
+		}); err != nil {
 			panic(err)
 		}
 	}

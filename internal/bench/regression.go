@@ -65,7 +65,11 @@ const underIngestWriters = 4
 //	                             (one stalled) on the broker
 //	e7/fanout-broadcast-latency  broker mean per-batch dispatch latency
 //	e7/scan-under-ingest/{snapshot,lock-all}  wildcard List racing 4 writers
-//	e7/query-under-ingest        snapshot-pinned queries racing 4 writers
+//	e7/query-under-ingest        snapshot-pinned prepared queries racing 4 writers
+//	e7/scan-serial, scan-par4    quiet-store snapshot gather, serial vs partitioned
+//	e7/query-fullscan, query-indexed  selective range query, scan-and-filter vs
+//	                             value-envelope index pruning
+//	e7/query-prepared-exec       one prepared Exec end to end (+allocs/op)
 //	e7/recover-{wal,segment}     cold-start recovery: full-WAL replay vs
 //	                             segment bulk-load + WAL-tail replay
 //	bitemporal/find-current, find-asof-valid, find-systime, history
@@ -214,6 +218,34 @@ func RegressionSuite(scale float64) *RegressionReport {
 	queries := scaleInt(300, scale)
 	add("e7/query-under-ingest", queries, func() time.Duration {
 		return queryUnderIngest(scanKeys, queries, underIngestWriters)
+	})
+
+	// Partitioned-execution rows (PR 7): serial vs 4-way partitioned
+	// gather over one pinned snapshot, then an identical selective range
+	// query executed by full scan-and-filter vs the prepared plan whose
+	// pushed bounds engage the value-envelope index. The benchrunner
+	// gates require par4 >= 2x serial and indexed >= 1.5x full-scan on
+	// >= 4-CPU machines (the scan ratio needs real parallelism; the
+	// index ratio holds anywhere but is gated alongside for one
+	// same-run comparison). The prepared-exec row carries allocs/op —
+	// if Exec ever re-parses or re-plans, that count jumps.
+	quietScans := scaleInt(2_000, scale)
+	add("e7/scan-serial", quietScans, func() time.Duration {
+		return scanPartitioned(1, scanKeys, quietScans)
+	})
+	add("e7/scan-par4", quietScans, func() time.Duration {
+		return scanPartitioned(4, scanKeys, quietScans)
+	})
+	selective := scaleInt(2_000, scale)
+	add("e7/query-fullscan", selective, func() time.Duration {
+		return queryPrepared(false, scanKeys, selective)
+	})
+	add("e7/query-indexed", selective, func() time.Duration {
+		return queryPrepared(true, scanKeys, selective)
+	})
+	preparedExecs := scaleInt(20_000, scale)
+	addAllocs("e7/query-prepared-exec", preparedExecs, func() (time.Duration, float64) {
+		return preparedExecCost(scanKeys, preparedExecs)
 	})
 
 	// Cold-start recovery rows: full-WAL replay vs segment directory

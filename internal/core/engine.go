@@ -758,10 +758,15 @@ func (e *Engine) ElementsIn() uint64 { return e.elements }
 // reasoner. The query evaluates against a snapshot handle pinned when the
 // call arrives: one consistent cut of every committed write, read without
 // any shard locks — an arbitrarily long analytical query never stalls
-// concurrent ingestion.
+// concurrent ingestion. Query is prepare-and-exec in one call; callers
+// issuing the same text repeatedly should Prepare once and Exec the
+// handle (see PreparedQuery).
 func (e *Engine) Query(src string) (*query.Result, error) {
-	ex := &query.Executor{Store: e.store.Snapshot(), Reasoner: e.reasoner, Now: e.Watermark()}
-	return ex.Run(src)
+	pq, err := e.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	return pq.Exec()
 }
 
 // RegisterStateQuery deploys a standing query over the state repository:

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/element"
@@ -24,6 +25,9 @@ func FuzzParseQuery(f *testing.F) {
 		"SELECT entity, value FROM position ASOF 1m SYSTEM TIME ASOF 30s",
 		"SELECT entity, recorded, superseded FROM * HISTORY SYSTEM TIME ASOF now()",
 		"SELECT entity FROM position WHERE EXISTS badge(entity) ORDER BY entity LIMIT 1",
+		"SELECT entity, value FROM position WHERE value > 1 and value < 9",
+		"SELECT entity FROM position WHERE 3 <= value and lower(entity) = 'ann'",
+		"SELECT entity FROM position WHERE value = 7 and badge(entity) = 7",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -50,5 +54,24 @@ func FuzzParseQuery(f *testing.F) {
 		// reasoner) are acceptable.
 		ex := &Executor{Store: st, Now: 100}
 		_, _ = ex.Execute(q1)
+
+		// Prepare → Explain → Exec round trip: planning must succeed for
+		// any parsed query, the plan must carry the printed source, and a
+		// partitioned execution over a snapshot must agree with the serial
+		// executor whenever both succeed.
+		p, err := Prepare(printed)
+		if err != nil {
+			t.Fatalf("parsed query does not prepare: %q: %v", printed, err)
+		}
+		pl := p.Explain()
+		if pl == nil || pl.Source != printed {
+			t.Fatalf("plan source mismatch: %q -> %+v", printed, pl)
+		}
+		snap := st.Snapshot()
+		got, gotErr := p.Exec(ExecEnv{Store: snap, Now: 100, Parallelism: 4})
+		want, wantErr := (&Executor{Store: snap, Now: 100}).Execute(q1)
+		if gotErr == nil && wantErr == nil && !reflect.DeepEqual(got, want) {
+			t.Fatalf("partitioned exec diverges for %q:\ngot  %v\nwant %v", printed, got, want)
+		}
 	})
 }

@@ -493,43 +493,46 @@ func (e *Executor) systemTime(q *Query) (*temporal.Instant, error) {
 	return &tt, nil
 }
 
-func (e *Executor) scan(q *Query, tx *temporal.Instant) ([]*element.Fact, error) {
-	var at temporal.Instant
-	var iv temporal.Interval
+// scanBounds evaluates the temporal header expressions (the ASOF instant
+// or the DURING interval) against now(). Shared by the one-shot scan and
+// the prepared execution path (exec.go), which evaluates them per call.
+func (e *Executor) scanBounds(q *Query) (at temporal.Instant, iv temporal.Interval, err error) {
 	env := &nowEnv{now: e.Now}
 	switch q.Temporal {
 	case AsOf:
 		v, err := lang.Eval(q.At, env)
 		if err != nil {
-			return nil, err
+			return 0, iv, err
 		}
-		t, err := asInstant(v)
-		if err != nil {
-			return nil, err
+		if at, err = asInstant(v); err != nil {
+			return 0, iv, err
 		}
-		at = t
 	case During:
 		fv, err := lang.Eval(q.FromT, env)
 		if err != nil {
-			return nil, err
+			return 0, iv, err
 		}
 		tv, err := lang.Eval(q.ToT, env)
 		if err != nil {
-			return nil, err
+			return 0, iv, err
 		}
 		from, err := asInstant(fv)
 		if err != nil {
-			return nil, err
+			return 0, iv, err
 		}
 		to, err := asInstant(tv)
 		if err != nil {
-			return nil, err
+			return 0, iv, err
 		}
 		iv = temporal.NewInterval(from, to)
 	}
+	return at, iv, nil
+}
 
-	// Every qualifier maps onto the store's option-based List; SYSTEM
-	// TIME composes as an AsOfTransactionTime option.
+// scanOpts maps a query's shape onto the store's option-based List;
+// SYSTEM TIME composes as an AsOfTransactionTime option. Shared by the
+// serial scan and the partitioned gather so both read the same shape.
+func scanOpts(q *Query, tx *temporal.Instant, at temporal.Instant, iv temporal.Interval) []state.ReadOpt {
 	var opts []state.ReadOpt
 	if q.Attr != "*" {
 		opts = append(opts, state.WithAttribute(q.Attr))
@@ -545,7 +548,15 @@ func (e *Executor) scan(q *Query, tx *temporal.Instant) ([]*element.Fact, error)
 	case History:
 		opts = append(opts, state.AllVersions())
 	}
-	facts := e.Store.List(opts...)
+	return opts
+}
+
+func (e *Executor) scan(q *Query, tx *temporal.Instant) ([]*element.Fact, error) {
+	at, iv, err := e.scanBounds(q)
+	if err != nil {
+		return nil, err
+	}
+	facts := e.Store.List(scanOpts(q, tx, at, iv)...)
 	if q.Inference {
 		if e.Reasoner == nil {
 			return nil, fmt.Errorf("query: WITH INFERENCE requires a reasoner")

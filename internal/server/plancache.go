@@ -1,0 +1,84 @@
+// Bounded LRU cache of prepared queries for the HTTP query endpoint:
+// remote callers repeating the same query text (dashboards, pollers) hit
+// an already-planned handle instead of re-parsing per request.
+
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/query"
+)
+
+// defaultPlanCacheSize bounds the server's prepared-query cache. Each
+// entry holds one parsed query and its plan — small — so the bound
+// exists to cap adversarial churn (unbounded distinct query texts), not
+// memory pressure from legitimate use.
+const defaultPlanCacheSize = 128
+
+// planCache is a bounded LRU of prepared queries keyed by source text.
+// Prepare errors are not cached: a malformed query costs a parse per
+// attempt but never poisons the cache.
+type planCache struct {
+	mu    sync.Mutex
+	limit int
+	ll    *list.List // front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element
+
+	// prepared counts misses (queries parsed and planned); hits counts
+	// cache hits. Atomic so Stats can read without the cache lock.
+	prepared atomic.Uint64
+	hits     atomic.Uint64
+}
+
+type cacheEntry struct {
+	src string
+	p   *query.Prepared
+}
+
+func newPlanCache(limit int) *planCache {
+	if limit < 1 {
+		limit = 1
+	}
+	return &planCache{limit: limit, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the prepared handle for src, planning and caching it on a
+// miss. Handles are immutable, so concurrent callers may share one.
+func (c *planCache) get(src string) (*query.Prepared, error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[src]; ok {
+		c.ll.MoveToFront(el)
+		p := el.Value.(*cacheEntry).p
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return p, nil
+	}
+	c.mu.Unlock()
+
+	// Plan outside the lock: parsing is cheap but needn't serialize
+	// unrelated requests. A racing duplicate plan is harmless — last
+	// insert wins and both handles are valid.
+	p, err := query.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	c.prepared.Add(1)
+
+	c.mu.Lock()
+	if el, ok := c.byKey[src]; ok {
+		c.ll.MoveToFront(el)
+		p = el.Value.(*cacheEntry).p
+	} else {
+		c.byKey[src] = c.ll.PushFront(&cacheEntry{src: src, p: p})
+		if c.ll.Len() > c.limit {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.byKey, oldest.Value.(*cacheEntry).src)
+		}
+	}
+	c.mu.Unlock()
+	return p, nil
+}

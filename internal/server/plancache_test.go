@@ -1,0 +1,151 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// postQuery posts one /query body and returns the status and decoded
+// JSON (when the handler answered 200).
+func postQuery(t *testing.T, url, src, rawQuery string) (int, map[string]interface{}) {
+	t.Helper()
+	body := fmt.Sprintf(`{"query": %q}`, src)
+	resp, err := http.Post(url+"/query"+rawQuery, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestExplainEndpoint: explain=1 returns the physical plan without
+// executing, and malformed explain values are client errors.
+func TestExplainEndpoint(t *testing.T) {
+	_, client, done := testService(t)
+	defer done()
+	url := strings.TrimSuffix(client.BaseURL, "/")
+
+	code, plan := postQuery(t, url, "SELECT entity, value FROM position WHERE value != 'x' and badge(entity) = 1", "?explain=1")
+	if code != http.StatusOK {
+		t.Fatalf("explain: status %d", code)
+	}
+	if plan["attribute"] != "position" || plan["temporal"] != "current" {
+		t.Fatalf("plan: %v", plan)
+	}
+	if _, ok := plan["pushed_predicates"]; !ok {
+		t.Fatalf("plan missing pushed predicates: %v", plan)
+	}
+	if plan["residual_predicate"] != "(badge(entity) = 1)" {
+		t.Fatalf("plan residual: %v", plan)
+	}
+
+	// explain must not be an execution: rows are absent.
+	if _, ok := plan["rows"]; ok {
+		t.Fatalf("explain executed the query: %v", plan)
+	}
+
+	// Malformed explain value → 400, not a silent full execution.
+	if code, _ := postQuery(t, url, "SELECT entity FROM position", "?explain=notabool"); code != http.StatusBadRequest {
+		t.Fatalf("bad explain: status %d, want 400", code)
+	}
+	// A parse failure under explain is still a 422.
+	if code, _ := postQuery(t, url, "SELEC nope", "?explain=1"); code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad query explain: status %d, want 422", code)
+	}
+}
+
+// TestPlanCacheCounters: repeated queries hit the prepared-plan cache,
+// and /stats exposes the miss/hit split.
+func TestPlanCacheCounters(t *testing.T) {
+	_, client, done := testService(t)
+	defer done()
+
+	for i := 0; i < 3; i++ {
+		if _, err := client.Query("SELECT entity FROM position"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Query("SELECT value FROM position"); err != nil {
+		t.Fatal(err)
+	}
+	// Parse errors are never cached and never counted as prepared.
+	if _, err := client.Query("SELECT FROM"); err == nil {
+		t.Fatal("bad query should error")
+	}
+
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["queries_prepared"] != 2 {
+		t.Fatalf("queries_prepared = %d, want 2", stats["queries_prepared"])
+	}
+	if stats["plan_cache_hits"] != 2 {
+		t.Fatalf("plan_cache_hits = %d, want 2", stats["plan_cache_hits"])
+	}
+}
+
+// TestPlanCacheEviction: the cache is bounded LRU — the oldest entry
+// falls out, and re-querying it re-prepares.
+func TestPlanCacheEviction(t *testing.T) {
+	c := newPlanCache(2)
+	if _, err := c.get("SELECT entity FROM a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.get("SELECT entity FROM b"); err != nil {
+		t.Fatal(err)
+	}
+	// Touch a so b becomes the LRU victim.
+	if _, err := c.get("SELECT entity FROM a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.get("SELECT entity FROM c"); err != nil {
+		t.Fatal(err)
+	}
+	if c.ll.Len() != 2 || len(c.byKey) != 2 {
+		t.Fatalf("cache size %d/%d, want 2", c.ll.Len(), len(c.byKey))
+	}
+	if _, ok := c.byKey["SELECT entity FROM b"]; ok {
+		t.Fatal("LRU victim survived")
+	}
+	if _, ok := c.byKey["SELECT entity FROM a"]; !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if c.prepared.Load() != 3 || c.hits.Load() != 1 {
+		t.Fatalf("counters: prepared=%d hits=%d, want 3/1", c.prepared.Load(), c.hits.Load())
+	}
+	// Errors are not cached.
+	if _, err := c.get("SELECT FROM"); err == nil {
+		t.Fatal("bad query should error")
+	}
+	if c.ll.Len() != 2 {
+		t.Fatalf("error was cached: size %d", c.ll.Len())
+	}
+}
+
+// TestPlanCacheSharedHandle: two requests for the same source share one
+// prepared handle — planning happens once.
+func TestPlanCacheSharedHandle(t *testing.T) {
+	c := newPlanCache(8)
+	p1, err := c.get("SELECT entity FROM position")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.get("SELECT entity FROM position")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("cache returned distinct handles for one source")
+	}
+}

@@ -13,6 +13,7 @@
 // Endpoints:
 //
 //	POST /query        {"query": "SELECT ..."}          → {"columns": [...], "rows": [[...]]}
+//	POST /query?explain=1 (same body)                   → physical plan JSON, no execution
 //	GET  /fact?entity=E&attr=A[&at=NANOS][&systime=NANOS] → {"found": true, "fact": {...}}
 //	GET  /stats                                         → {"keys": n, "versions": n, ...}
 //	GET  /subscribe?entity=E&attr=A&stream=S&query=Q    → Server-Sent Events push stream
@@ -63,11 +64,14 @@ type Server struct {
 	// validity start in the store.
 	NowFunc func() temporal.Instant
 	mux     *http.ServeMux
+	// plans caches prepared queries by source text, so repeated /query
+	// requests skip parsing and planning.
+	plans *planCache
 }
 
 // New builds a server over the store. The reasoner may be nil.
 func New(store *state.Store, reasoner *reason.Reasoner) *Server {
-	s := &Server{store: store, reasoner: reasoner}
+	s := &Server{store: store, reasoner: reasoner, plans: newPlanCache(defaultPlanCacheSize)}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/fact", s.handleFact)
@@ -185,15 +189,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	explain := false
+	if raw := r.URL.Query().Get("explain"); raw != "" {
+		v, err := strconv.ParseBool(raw)
+		if err != nil {
+			http.Error(w, "bad explain: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		explain = v
+	}
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	// Prepared handles are cached by source text: a repeated query skips
+	// parsing and planning entirely.
+	p, err := s.plans.get(req.Query)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	if explain {
+		// The plan is static — no store access, no snapshot pin.
+		writeJSON(w, p.Explain())
+		return
+	}
 	// Pin one consistent cut for the whole query: the evaluation takes no
 	// shard locks, so a slow remote query cannot stall local writers.
-	ex := &query.Executor{Store: s.store.Snapshot(), Reasoner: s.reasoner, Now: s.now()}
-	res, err := ex.Run(req.Query)
+	res, err := p.Exec(query.ExecEnv{Store: s.store.Snapshot(), Reasoner: s.reasoner, Now: s.now()})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
@@ -292,6 +316,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"records":    st.Records,
 		"superseded": st.Superseded,
 		"shards":     st.Shards,
+		// Prepared-query cache effectiveness: misses planned vs hits served.
+		"queries_prepared": int(s.plans.prepared.Load()),
+		"plan_cache_hits":  int(s.plans.hits.Load()),
 	}
 	if s.engine != nil {
 		out["emitted"] = len(s.engine.Emitted())

@@ -117,6 +117,40 @@ func SpecOf(opts ...ReadOpt) ReadSpec {
 	}
 }
 
+// ScanShape is the fully resolved form of a List/scan option list: every
+// temporal selector plus the attribute scope and version cardinality.
+// Backends layered over the store use it to reason about a scan's shape
+// — e.g. the segment store prunes durable frames whose bitemporal
+// envelope cannot overlap the shape — without re-deriving option
+// semantics.
+type ScanShape struct {
+	// ValidAt selects by valid time when HasValidAt is set.
+	ValidAt    temporal.Instant
+	HasValidAt bool
+	// During restricts to versions overlapping the interval when
+	// HasDuring is set (DuringValidTime).
+	During    temporal.Interval
+	HasDuring bool
+	// TxAt pins the belief when HasTxAt is set.
+	TxAt    temporal.Instant
+	HasTxAt bool
+	// Attr scopes the scan to one attribute when non-empty.
+	Attr string
+	// AllVersions reports every matching version instead of one per key.
+	AllVersions bool
+}
+
+// ShapeOf resolves a scan option list to its shape.
+func ShapeOf(opts ...ReadOpt) ScanShape {
+	cfg := newReadCfg(opts)
+	return ScanShape{
+		ValidAt: cfg.validAt, HasValidAt: cfg.hasValidAt,
+		During: cfg.validDuring, HasDuring: cfg.hasDuring,
+		TxAt: cfg.txAt, HasTxAt: cfg.hasTxAt,
+		Attr: cfg.attr, AllVersions: cfg.allVersions,
+	}
+}
+
 // AsOfValidTime selects the version valid at t in the modeled world.
 // Without it, point reads return the open ("until further notice") version.
 func AsOfValidTime(t temporal.Instant) ReadOpt {

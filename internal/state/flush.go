@@ -278,5 +278,16 @@ func buildHead(records []*element.Fact, strict bool) (*head, error) {
 	// Detached records carry only writes, so the write high-water mark
 	// coincides with maxTx here (sweep bumps happen to live heads only).
 	h.lastWrite = h.maxTx
+	h.recomputeValueEnv()
 	return h, nil
+}
+
+// ListRecords applies List's per-lineage selection to a detached record
+// set: the versions a lineage holding exactly these records would
+// contribute to List(opts...) — one selected version by default, every
+// matching version under AllVersions/DuringValidTime, clones with pinned
+// belief ends restored. The segment backend uses it to extend scans over
+// lineages that live only in durable frames.
+func ListRecords(records []*element.Fact, opts ...ReadOpt) []*element.Fact {
+	return pickInto(detachedHead(records), newReadCfg(opts), nil)
 }

@@ -1,0 +1,210 @@
+// Partitioned cross-shard scans: the parallel gather behind the query
+// planner (internal/query). A partitioned scan collects and orders the
+// candidate lineages exactly as the serial gather does, splits the
+// ordered list into contiguous chunks, gathers each chunk on its own
+// worker from the same pinned snapshot, and concatenates the chunk
+// results in order — so the output is byte-identical to the serial
+// gather by construction, for every temporal shape and pin. Predicates
+// the planner pushes below the merge (Keep, plus the numeric ValueBounds
+// resolved against each head's published value envelope) run inside the
+// workers, before any row reaches the single-threaded query executor.
+
+package state
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/element"
+)
+
+// ValueBounds is a numeric constraint on fact values, extracted by the
+// query planner from pushed equality/range predicates over the `value`
+// pseudo-column (e.g. `value > 10` or `value = 42`). A scan skips a
+// lineage whose published value envelope is disjoint from the bounds —
+// see head.skipByBounds for the exact soundness conditions. The zero
+// value constrains nothing.
+type ValueBounds struct {
+	// Min is the lower bound, meaningful when HasMin; MinExcl makes it
+	// exclusive (value > Min) instead of inclusive (value >= Min).
+	Min     float64
+	HasMin  bool
+	MinExcl bool
+	// Max is the upper bound, meaningful when HasMax; MaxExcl makes it
+	// exclusive (value < Max) instead of inclusive (value <= Max).
+	Max     float64
+	HasMax  bool
+	MaxExcl bool
+}
+
+// Constrained reports whether the bounds constrain anything.
+func (b ValueBounds) Constrained() bool { return b.HasMin || b.HasMax }
+
+// disjoint reports whether the closed interval [lo, hi] cannot contain
+// any value satisfying the bounds.
+func (b ValueBounds) disjoint(lo, hi float64) bool {
+	if b.HasMin && (hi < b.Min || (b.MinExcl && hi <= b.Min)) {
+		return true
+	}
+	if b.HasMax && (lo > b.Max || (b.MaxExcl && lo >= b.Max)) {
+		return true
+	}
+	return false
+}
+
+// ScanSpec describes one partitioned gather against a snapshot.
+type ScanSpec struct {
+	// Opts is the temporal shape and attribute scope of the scan — the
+	// same ReadOpt list List accepts.
+	Opts []ReadOpt
+	// Parallelism bounds the gather workers. Values <= 0 pick a default
+	// scaled to GOMAXPROCS and capped so each worker keeps at least
+	// minLineagesPerPartition lineages (small scans run serially rather
+	// than paying goroutine fan-out). Explicit values are honored up to
+	// the candidate lineage count. The result is independent of the
+	// worker count.
+	Parallelism int
+	// Bounds prunes lineages by their published numeric value envelope
+	// before partitioning. The zero value prunes nothing.
+	Bounds ValueBounds
+	// Keep is the pushed row predicate, run inside the gather workers on
+	// each selected (already cloned) fact; nil keeps every fact. It must
+	// be safe for concurrent calls.
+	Keep func(*element.Fact) bool
+}
+
+// ScanStats reports what a partitioned scan did — the planner surfaces
+// these decisions through PreparedQuery.Explain.
+type ScanStats struct {
+	// Lineages is the candidate lineage count after attribute scoping.
+	Lineages int
+	// IndexPruned counts candidates skipped by the value envelope.
+	IndexPruned int
+	// Partitions is the number of gather partitions actually used.
+	Partitions int
+}
+
+// minLineagesPerPartition is the smallest per-worker chunk the default
+// parallelism will create: below it, goroutine hand-off costs more than
+// the gather itself, so small scans stay serial.
+const minLineagesPerPartition = 64
+
+// ScanShards is List executed as a partitioned parallel gather: workers
+// gather disjoint contiguous ranges of the ordered lineage list from
+// this snapshot's pin and the chunks are concatenated in order, so the
+// result is exactly Snapshot.List(opts...) for any parallelism.
+func (sn *Snapshot) ScanShards(parallelism int, opts ...ReadOpt) []*element.Fact {
+	out, _ := sn.ScanPartitioned(ScanSpec{Opts: opts, Parallelism: parallelism})
+	return out
+}
+
+// ScanPartitioned runs one partitioned gather with pushed predicates and
+// envelope pruning, returning the selected facts (serial gather order)
+// and the scan's execution stats.
+func (sn *Snapshot) ScanPartitioned(spec ScanSpec) ([]*element.Fact, ScanStats) {
+	return sn.s.gatherPartitioned(sn.clamp(newReadCfg(spec.Opts)), spec)
+}
+
+// gatherPartitioned is the partitioned counterpart of gatherList. The
+// lineage collection and ordering mirror byAttributeAll/scanAll; the
+// per-lineage selection is the shared pickInto.
+func (s *Store) gatherPartitioned(cfg readCfg, spec ScanSpec) ([]*element.Fact, ScanStats) {
+	var lins []*lineage
+	if cfg.attr != "" {
+		for _, sh := range s.shards {
+			lins = append(lins, sh.pub.Load().byAttr[cfg.attr]...)
+		}
+		sort.Slice(lins, func(i, j int) bool { return lins[i].key.Entity < lins[j].key.Entity })
+	} else {
+		for _, sh := range s.shards {
+			for _, ls := range sh.pub.Load().byAttr {
+				lins = append(lins, ls...)
+			}
+		}
+		sort.Slice(lins, func(i, j int) bool {
+			if lins[i].key.Attribute != lins[j].key.Attribute {
+				return lins[i].key.Attribute < lins[j].key.Attribute
+			}
+			return lins[i].key.Entity < lins[j].key.Entity
+		})
+	}
+	stats := ScanStats{Lineages: len(lins)}
+
+	// Load each head once (the scan's consistent view of the lineage)
+	// and drop the ones the value envelope proves irrelevant before
+	// chunking, so pruning also rebalances the partitions.
+	heads := make([]*head, 0, len(lins))
+	prune := spec.Bounds.Constrained()
+	for _, l := range lins {
+		h := l.head.Load()
+		if prune && h.skipByBounds(spec.Bounds) {
+			stats.IndexPruned++
+			continue
+		}
+		heads = append(heads, h)
+	}
+
+	par := spec.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+		if lim := len(heads) / minLineagesPerPartition; par > lim {
+			par = lim
+		}
+	}
+	if par > len(heads) {
+		par = len(heads)
+	}
+	if par < 1 {
+		par = 1
+	}
+	stats.Partitions = par
+
+	if par == 1 {
+		var out []*element.Fact
+		for _, h := range heads {
+			out = pickInto(h, cfg, out)
+		}
+		return keepFiltered(out, spec.Keep), stats
+	}
+
+	parts := make([][]*element.Fact, par)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		lo, hi := w*len(heads)/par, (w+1)*len(heads)/par
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []*element.Fact
+			for _, h := range heads[lo:hi] {
+				out = pickInto(h, cfg, out)
+			}
+			parts[w] = keepFiltered(out, spec.Keep)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]*element.Fact, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, stats
+}
+
+// keepFiltered applies the pushed row predicate in place.
+func keepFiltered(facts []*element.Fact, keep func(*element.Fact) bool) []*element.Fact {
+	if keep == nil {
+		return facts
+	}
+	kept := facts[:0]
+	for _, f := range facts {
+		if keep(f) {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,186 @@
+package segment
+
+import (
+	"testing"
+
+	"repro/internal/element"
+	"repro/internal/state"
+	"repro/internal/temporal"
+)
+
+// scanWrites drives the same writes against any StateDB: two bounded
+// lineages (one corrected closed, one retracted) and one open lineage.
+func scanWrites(t *testing.T, db state.StateDB, openToo bool) {
+	t.Helper()
+	if err := db.Put("old", "v", element.Int(1),
+		state.WithValidTime(10), state.WithEndValidTime(20),
+		state.WithTransactionTime(10)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	// Transaction times sit above the first durable cut (50): only
+	// lineages with writes past the cut are flushed incrementally.
+	if err := db.Put("gone", "v", element.Int(2),
+		state.WithValidTime(12), state.WithTransactionTime(52)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := db.Delete("gone", "v",
+		state.WithValidTime(25), state.WithTransactionTime(55)); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if !openToo {
+		return
+	}
+	if err := db.Put("live", "v", element.Int(3),
+		state.WithValidTime(15), state.WithTransactionTime(58)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+}
+
+// scanStore builds a durable store with two segment-only lineages: the
+// explicitly bounded one sealed alone in its own segment (its envelope
+// holds no open validity, so current-belief scans prune it unread) and
+// the retracted one in a second segment whose envelope still spans
+// Forever, because frames keep the superseded open record for belief
+// pins. Both were compacted out of RAM, so List must merge their frames.
+func scanStore(t *testing.T) *Store {
+	t.Helper()
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	db := d.Mem().DB()
+	if err := db.Put("old", "v", element.Int(1),
+		state.WithValidTime(10), state.WithEndValidTime(20),
+		state.WithTransactionTime(10)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := d.FlushAt(50); err != nil { // segment A: bounded-only
+		t.Fatalf("flush: %v", err)
+	}
+	if removed := d.Mem().CompactBefore(100); removed == 0 {
+		t.Fatalf("compaction removed nothing")
+	}
+	if err := db.Put("gone", "v", element.Int(2),
+		state.WithValidTime(12), state.WithTransactionTime(52)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := d.Mem().Delete("gone", "v",
+		state.WithValidTime(25), state.WithTransactionTime(55)); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := db.Put("live", "v", element.Int(3),
+		state.WithValidTime(15), state.WithTransactionTime(58)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := d.FlushAt(60); err != nil { // segment B: gone + live; reclaims old's husk
+		t.Fatalf("flush: %v", err)
+	}
+	if removed := d.Mem().CompactBefore(100); removed == 0 {
+		t.Fatalf("second compaction removed nothing")
+	}
+	if err := d.FlushAt(70); err != nil { // reclaim gone's husk
+		t.Fatalf("reclaim flush: %v", err)
+	}
+	if d.Mem().Contains("old", "v") || d.Mem().Contains("gone", "v") {
+		t.Fatalf("bounded lineages should be gone from RAM")
+	}
+	if !d.Mem().Contains("live", "v") {
+		t.Fatalf("open lineage should stay resident")
+	}
+	return d
+}
+
+// TestScanMergesDurableLineages: List below the compaction horizon must
+// return exactly what a plain store with the same history returns —
+// segment-only lineages merged in sorted order — while envelope pruning
+// keeps shape-impossible segments unread.
+func TestScanMergesDurableLineages(t *testing.T) {
+	d := scanStore(t)
+	oracle := state.NewStore()
+	scanWrites(t, oracle.DB(), true)
+
+	shapes := []struct {
+		name string
+		opts []state.ReadOpt
+	}{
+		{"asof-past", []state.ReadOpt{state.AsOfValidTime(15)}},
+		{"during", []state.ReadOpt{state.DuringValidTime(21, 24)}},
+		{"history", []state.ReadOpt{state.AllVersions()}},
+		{"history-systime", []state.ReadOpt{state.AllVersions(), state.AsOfTransactionTime(20)}},
+		{"current", nil},
+	}
+	for _, sh := range shapes {
+		want := oracle.List(sh.opts...)
+		got := d.List(sh.opts...)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d facts, want %d\ngot  %v\nwant %v", sh.name, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if *got[i] != *want[i] {
+				t.Fatalf("%s fact %d: %+v, want %+v", sh.name, i, got[i], want[i])
+			}
+		}
+	}
+
+	// The scans above read durable frames; a current-belief scan prunes
+	// the bounded-only segment unread ("old"), while the retracted
+	// lineage's segment must still be read — its envelope spans Forever
+	// because frames keep the superseded open record for belief pins —
+	// and yields nothing.
+	info := d.Info()
+	if info.ScanFrames == 0 {
+		t.Fatalf("no durable frames were merged into scans: %+v", info)
+	}
+	before := info
+	if cur := d.List(); len(cur) != 1 || cur[0].Entity != "live" {
+		t.Fatalf("current scan: want just live")
+	}
+	after := d.Info()
+	if after.ScanFrames != before.ScanFrames+1 {
+		t.Fatalf("current scan read %d frames, want 1 (bounded segment pruned)",
+			after.ScanFrames-before.ScanFrames)
+	}
+	if after.ScanFramesPruned != before.ScanFramesPruned+1 {
+		t.Fatalf("current scan pruned %d frames, want 1",
+			after.ScanFramesPruned-before.ScanFramesPruned)
+	}
+
+	// A belief pinned before anything durable was recorded prunes both
+	// frames too.
+	if got := d.List(state.AsOfTransactionTime(5)); len(got) != 0 {
+		t.Fatalf("early belief scan: %v, want nothing", got)
+	}
+	if final := d.Info(); final.ScanFrames != after.ScanFrames {
+		t.Fatalf("early belief scan read frames past the tx envelope")
+	}
+}
+
+// TestScanPruneShapes pins the envelope arithmetic per scan shape.
+func TestScanPruneShapes(t *testing.T) {
+	env := envelope{minValid: 10, maxValid: 30, minTx: 10, maxTx: 25}
+	open := envelope{minValid: 10, maxValid: temporal.Forever, minTx: 10, maxTx: 25}
+	cases := []struct {
+		name  string
+		env   envelope
+		shape state.ScanShape
+		prune bool
+	}{
+		{"tx-before-anything", env, state.ScanShape{HasTxAt: true, TxAt: 5}, true},
+		{"tx-inside", env, state.ScanShape{HasTxAt: true, TxAt: 15, AllVersions: true}, false},
+		{"valid-below", env, state.ScanShape{HasValidAt: true, ValidAt: 5}, true},
+		{"valid-at-max", env, state.ScanShape{HasValidAt: true, ValidAt: 30}, true},
+		{"valid-inside", env, state.ScanShape{HasValidAt: true, ValidAt: 15}, false},
+		{"during-disjoint-low", env, state.ScanShape{HasDuring: true, During: temporal.Interval{Start: 0, End: 10}}, true},
+		{"during-disjoint-high", env, state.ScanShape{HasDuring: true, During: temporal.Interval{Start: 30, End: 40}}, true},
+		{"during-overlap", env, state.ScanShape{HasDuring: true, During: temporal.Interval{Start: 25, End: 35}}, false},
+		{"current-no-open", env, state.ScanShape{}, true},
+		{"current-open", open, state.ScanShape{}, false},
+		{"history-bounded", env, state.ScanShape{AllVersions: true}, false},
+	}
+	for _, c := range cases {
+		if got := scanPrune(c.env, c.shape); got != c.prune {
+			t.Errorf("%s: scanPrune = %v, want %v", c.name, got, c.prune)
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -120,6 +121,11 @@ type Store struct {
 	// flushErr holds the first background flush error until surfaced by
 	// the next Flush or Close.
 	flushErr atomic.Pointer[error]
+
+	// scanFrames/scanPruned count durable frames read into scans and
+	// frames the per-segment envelope pruning skipped (see List).
+	scanFrames atomic.Int64
+	scanPruned atomic.Int64
 }
 
 // Store implements the bitemporal StateDB seam and the read-only Reader
@@ -662,11 +668,89 @@ func (d *Store) findFrame(entity, attr string, point bool, opts ...state.ReadOpt
 }
 
 // List returns the RAM working set's List — one consistent lock-free
-// cut, exactly as state.Store.List. Segment-only lineages (compacted out
-// of RAM) are not merged into scans; they remain reachable by key
-// through Find and History. Implements state.StateDB / state.Reader.
+// cut, exactly as state.Store.List — merged with the segment-only
+// lineages (keys compaction dropped from RAM entirely), so scans below
+// the compaction horizon see the same durable history Find and History
+// do. Durable candidates are pruned by their owning segment's bitemporal
+// envelope generalized to the scan's shape (see scanPrune); a lineage
+// resident in RAM answers from RAM alone, exactly as in Find. Implements
+// state.StateDB / state.Reader.
 func (d *Store) List(opts ...state.ReadOpt) []*element.Fact {
-	return d.mem.List(opts...)
+	out := d.mem.List(opts...)
+	cat := d.cat.Load()
+	if len(cat.frames) == 0 {
+		return out
+	}
+	shape := state.ShapeOf(opts...)
+	var keys []element.FactKey
+	for key, ref := range cat.frames {
+		if shape.Attr != "" && key.Attribute != shape.Attr {
+			continue
+		}
+		if scanPrune(ref.seg.env, shape) {
+			d.scanPruned.Add(1)
+			continue
+		}
+		if d.mem.Contains(key.Entity, key.Attribute) {
+			continue
+		}
+		keys = append(keys, key)
+	}
+	if len(keys) == 0 {
+		return out
+	}
+	merged := false
+	for _, key := range keys {
+		ref := cat.frames[key]
+		_, records, err := ref.seg.readLineage(ref.off)
+		if err != nil {
+			// Corruption degrades the scan to what RAM holds, matching
+			// findFrame's read-error posture.
+			continue
+		}
+		d.scanFrames.Add(1)
+		if facts := state.ListRecords(records, opts...); len(facts) > 0 {
+			out = append(out, facts...)
+			merged = true
+		}
+	}
+	if merged {
+		sort.SliceStable(out, func(i, j int) bool {
+			if out[i].Attribute != out[j].Attribute {
+				return out[i].Attribute < out[j].Attribute
+			}
+			if out[i].Entity != out[j].Entity {
+				return out[i].Entity < out[j].Entity
+			}
+			if out[i].Validity.Start != out[j].Validity.Start {
+				return out[i].Validity.Start < out[j].Validity.Start
+			}
+			return out[i].RecordedAt < out[j].RecordedAt
+		})
+	}
+	return out
+}
+
+// scanPrune reports whether a segment's bitemporal envelope proves that
+// no record in it can match the scan shape — findFrame's point-read
+// pruning generalized from point reads to every List shape.
+func scanPrune(env envelope, shape state.ScanShape) bool {
+	if shape.HasTxAt && shape.TxAt < env.minTx {
+		// Nothing in the segment was recorded by the belief pin.
+		return true
+	}
+	if shape.HasValidAt {
+		return shape.ValidAt < env.minValid || shape.ValidAt >= env.maxValid
+	}
+	if shape.HasDuring {
+		return shape.During.End <= env.minValid || shape.During.Start >= env.maxValid
+	}
+	if !shape.AllVersions {
+		// A current-belief scan selects open versions; a segment with no
+		// open validity anywhere cannot hold one.
+		return env.maxValid != temporal.Forever
+	}
+	return false
 }
 
 // Put writes through the RAM working set (and its WAL). Implements
@@ -691,15 +775,23 @@ type Info struct {
 	Frames int
 	// WALRecords is the record count of the WAL tail.
 	WALRecords int
+	// ScanFrames is the cumulative count of durable frames merged into
+	// scans (List fall-through for segment-only lineages).
+	ScanFrames int64
+	// ScanFramesPruned is the cumulative count of durable scan
+	// candidates the per-segment bitemporal envelope pruned unread.
+	ScanFramesPruned int64
 }
 
 // Info returns a point-in-time summary of the durable directory.
 func (d *Store) Info() Info {
 	cat := d.cat.Load()
 	return Info{
-		DurableTx:  cat.durableTx,
-		Segments:   len(cat.segments),
-		Frames:     len(cat.frames),
-		WALRecords: d.log.Len(),
+		DurableTx:        cat.durableTx,
+		Segments:         len(cat.segments),
+		Frames:           len(cat.frames),
+		WALRecords:       d.log.Len(),
+		ScanFrames:       d.scanFrames.Load(),
+		ScanFramesPruned: d.scanPruned.Load(),
 	}
 }

@@ -173,10 +173,67 @@ type head struct {
 	// always true unless a caller pinned out-of-order explicit transaction
 	// times — enabling binary-searched belief reads.
 	txOrdered bool
+	// vMin/vMax are the lineage's numeric value envelope: inclusive
+	// bounds covering the value of every record in this head. vNumeric
+	// reports that the head has at least one record and every record's
+	// value is numeric (int or float) — only then may a scan skip the
+	// lineage on a disjoint ValueBounds (see skipByBounds): with the
+	// whole record set inside a disjoint envelope, no read of any
+	// temporal shape or pin can select a record satisfying the bound.
+	// The envelope is maintained at every head-construction site
+	// (commit, sweepLineage, buildHead) and published with the head, so
+	// index reads are as lock-free as head reads.
+	vMin, vMax float64
+	vNumeric   bool
 }
 
 // emptyHead is the shared head of a lineage with no records yet.
 var emptyHead = &head{maxTx: temporal.MinInstant, lastWrite: temporal.MinInstant, txOrdered: true}
+
+// observeValue folds one new record value into the head's numeric value
+// envelope. hadRecords distinguishes the lineage's first record (which
+// seeds the bounds) from later ones (which widen them). Any non-numeric
+// value permanently voids vNumeric for the head chain — a mixed lineage
+// is never envelope-pruned.
+func (h *head) observeValue(v element.Value, hadRecords bool) {
+	f, ok := v.AsFloat()
+	if !ok {
+		h.vNumeric = false
+		return
+	}
+	if !hadRecords {
+		h.vMin, h.vMax, h.vNumeric = f, f, true
+		return
+	}
+	if !h.vNumeric {
+		return
+	}
+	if f < h.vMin {
+		h.vMin = f
+	}
+	if f > h.vMax {
+		h.vMax = f
+	}
+}
+
+// recomputeValueEnv rebuilds the value envelope from h.records. Sweeps
+// use it after removing records so the bounds track the surviving set
+// (a stale superset would stay sound but prune less).
+func (h *head) recomputeValueEnv() {
+	h.vMin, h.vMax, h.vNumeric = 0, 0, false
+	for i, f := range h.records {
+		h.observeValue(f.Value, i > 0)
+	}
+}
+
+// skipByBounds reports whether no record of this head can satisfy b:
+// the lineage is non-empty, purely numeric, and its value envelope is
+// disjoint from the bound. Lineages holding any non-numeric record are
+// never skipped — the pushed predicate itself decides those rows, so
+// pruning stays exactly as selective as evaluation.
+func (h *head) skipByBounds(b ValueBounds) bool {
+	return h.vNumeric && b.disjoint(h.vMin, h.vMax)
+}
 
 // nLive reports the number of believed versions.
 func (h *head) nLive() int {
@@ -635,7 +692,13 @@ func (s *Store) apply(r writeReq) error {
 // beyond the changes slice itself. Callers hold sh.mu.
 func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx temporal.Instant, changes []Change, record bool) []Change {
 	h := l.head.Load()
-	nh := &head{txOrdered: h.txOrdered, maxTx: h.maxTx, lastWrite: h.lastWrite}
+	nh := &head{txOrdered: h.txOrdered, maxTx: h.maxTx, lastWrite: h.lastWrite,
+		vMin: h.vMin, vMax: h.vMax, vNumeric: h.vNumeric}
+	if put != nil {
+		// Re-recorded remnants reuse values already inside the envelope,
+		// so the insert is the only value a commit needs to observe.
+		nh.observeValue(put.Value, len(h.records) > 0)
+	}
 	if tx > nh.maxTx {
 		nh.maxTx = tx
 	}
@@ -923,25 +986,33 @@ func (s *Store) ListLockAll(opts ...ReadOpt) []*element.Fact {
 	return s.gatherList(cfg)
 }
 
-// gatherList runs the List gather for a pinned configuration.
-func (s *Store) gatherList(cfg readCfg) []*element.Fact {
-	pick := func(h *head, out []*element.Fact) []*element.Fact {
-		if !cfg.allVersions {
-			if f := h.pick(cfg); f != nil {
-				out = append(out, cloneAt(f, cfg))
-			}
-			return out
-		}
-		for _, f := range h.believedAt(cfg.txAt, cfg.hasTxAt) {
-			if cfg.hasDuring && !f.Validity.Overlaps(cfg.validDuring) {
-				continue
-			}
-			if cfg.hasValidAt && !f.Validity.Contains(cfg.validAt) {
-				continue
-			}
+// pickInto appends the versions cfg selects from one head — the shared
+// per-lineage body of the serial (gatherList) and partitioned
+// (gatherPartitioned) cross-shard gathers, so both paths select and
+// clone byte-identically by construction.
+func pickInto(h *head, cfg readCfg, out []*element.Fact) []*element.Fact {
+	if !cfg.allVersions {
+		if f := h.pick(cfg); f != nil {
 			out = append(out, cloneAt(f, cfg))
 		}
 		return out
+	}
+	for _, f := range h.believedAt(cfg.txAt, cfg.hasTxAt) {
+		if cfg.hasDuring && !f.Validity.Overlaps(cfg.validDuring) {
+			continue
+		}
+		if cfg.hasValidAt && !f.Validity.Contains(cfg.validAt) {
+			continue
+		}
+		out = append(out, cloneAt(f, cfg))
+	}
+	return out
+}
+
+// gatherList runs the List gather for a pinned configuration.
+func (s *Store) gatherList(cfg readCfg) []*element.Fact {
+	pick := func(h *head, out []*element.Fact) []*element.Fact {
+		return pickInto(h, cfg, out)
 	}
 	if cfg.attr != "" {
 		return s.byAttributeAll(cfg.attr, pick)
@@ -1344,6 +1415,7 @@ func (sh *shard) sweepLineage(l *lineage, now temporal.Instant, retain bool, dro
 			nh.records = append(nh.records, f)
 		}
 	}
+	nh.recomputeValueEnv()
 	for _, f := range h.closed {
 		if drop(f) {
 			liveRemoved++

@@ -137,10 +137,17 @@ func (b *Broker) Subscribe(f Filter, opts ...SubOption) (*Subscriber, error) {
 		closed: make(chan struct{}),
 	}
 	if f.Query != "" {
-		_, fp, err := runQuery(f.Query, b.lastSnap, b.lastWM)
+		// Parse and plan once at subscription time; every watermark
+		// re-evaluation reuses the prepared handle.
+		p, err := query.Prepare(f.Query)
 		if err != nil {
 			return nil, fmt.Errorf("subscribe: query: %w", err)
 		}
+		_, fp, err := runPrepared(p, b.lastSnap, b.lastWM)
+		if err != nil {
+			return nil, fmt.Errorf("subscribe: query: %w", err)
+		}
+		s.prepared = p
 		s.lastFP = fp
 	}
 	if cfg.hasCursor && cfg.cursor < b.lastWM {
@@ -268,7 +275,7 @@ func (b *Broker) dispatch(wb core.WatermarkBatch) {
 		}
 	}
 	for _, s := range b.querySubs {
-		res, fp, err := runQuery(s.filter.Query, wb.Snapshot, wb.Watermark)
+		res, fp, err := runPrepared(s.prepared, wb.Snapshot, wb.Watermark)
 		if err == nil && fp != s.lastFP {
 			s.lastFP = fp
 			b.touch(s)
@@ -339,8 +346,8 @@ func (b *Broker) resync(s *Subscriber) (Delivery, bool) {
 	if s.filter.Changes {
 		d.State = catchUp(b.lastSnap, s.filter)
 	}
-	if s.filter.Query != "" {
-		if res, fp, err := runQuery(s.filter.Query, b.lastSnap, b.lastWM); err == nil {
+	if s.prepared != nil {
+		if res, fp, err := runPrepared(s.prepared, b.lastSnap, b.lastWM); err == nil {
 			d.Result = res
 			s.lastFP = fp
 		}
@@ -350,12 +357,12 @@ func (b *Broker) resync(s *Subscriber) (Delivery, bool) {
 	return d, true
 }
 
-// runQuery evaluates a continuous query against a pinned snapshot with
-// now() anchored at the watermark, returning the result and its change
-// fingerprint.
-func runQuery(src string, snap *state.Snapshot, now temporal.Instant) (*query.Result, string, error) {
-	ex := &query.Executor{Store: snap, Now: now}
-	res, err := ex.Run(src)
+// runPrepared evaluates a prepared continuous query against a pinned
+// snapshot with now() anchored at the watermark, returning the result
+// and its change fingerprint. The handle is planned once at Subscribe;
+// per-watermark re-evaluation pays no parse and no plan.
+func runPrepared(p *query.Prepared, snap *state.Snapshot, now temporal.Instant) (*query.Result, string, error) {
+	res, err := p.Exec(query.ExecEnv{Store: snap, Now: now})
 	if err != nil {
 		return nil, "", err
 	}

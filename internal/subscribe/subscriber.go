@@ -3,6 +3,8 @@ package subscribe
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/query"
 )
 
 // Subscriber is one registered subscription: a bounded delivery queue
@@ -32,6 +34,9 @@ type Subscriber struct {
 	pend      Delivery
 	inTouched bool
 	lastFP    string
+	// prepared is the continuous query's parsed-and-planned handle,
+	// built once at Subscribe; nil when the filter carries no query.
+	prepared *query.Prepared
 }
 
 // Filter returns the normalized subscription filter.

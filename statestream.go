@@ -361,11 +361,38 @@ type (
 	RuleSet = rules.Set
 	// QueryResult is the output table of an on-demand state query.
 	QueryResult = query.Result
+	// PreparedQuery is an on-demand query parsed and planned once
+	// against an engine (Engine.Prepare), executable many times: each
+	// Exec pins a fresh snapshot (or one supplied with AtSnapshot) and
+	// runs the planned partitioned gather without re-parsing.
+	PreparedQuery = core.PreparedQuery
+	// QueryOpt configures one execution of a prepared query
+	// (AtSnapshot, AsOfSystemTime, WithQueryParallelism).
+	QueryOpt = core.QueryOpt
+	// QueryPlan is the physical plan of a prepared query
+	// (PreparedQuery.Explain): partitions, pushed predicates, value
+	// bounds, and pruning decisions.
+	QueryPlan = query.Plan
 	// StandingQuery is a deployed continuous state query
 	// (Engine.RegisterStateQuery): it re-evaluates on relevant state
 	// changes and pushes changed results.
 	StandingQuery = query.Continuous
 )
+
+// Prepared query execution options (see PreparedQuery.Exec).
+
+// AtSnapshot evaluates a prepared execution against an explicit pinned
+// snapshot handle — e.g. one received in a WatermarkBatch — instead of
+// pinning a fresh one.
+func AtSnapshot(sn *StateSnapshot) QueryOpt { return core.AtSnapshot(sn) }
+
+// AsOfSystemTime pins a prepared execution's belief (transaction time),
+// overriding any SYSTEM TIME ASOF clause in the query text.
+func AsOfSystemTime(t Instant) QueryOpt { return core.AsOfSystemTime(t) }
+
+// WithQueryParallelism bounds the partitioned gather's workers for one
+// prepared execution (n <= 0 restores the default; 1 forces serial).
+func WithQueryParallelism(n int) QueryOpt { return core.WithQueryParallelism(n) }
 
 // ParseExpr parses an expression, e.g. a processor gate:
 // "EXISTS active(e.user) AND e.amount > 10".

@@ -179,6 +179,8 @@ func runRegression(scale float64, jsonOut, baselinePath string, tolerance float6
 	failures += checkPartitionedScan(rep)
 	failures += checkIndexedQuery(rep)
 	failures += checkRecoverySpeedup(rep)
+	failures += checkVFSOverhead(rep)
+	failures += checkDegradedIngest(rep)
 
 	if failures > 0 {
 		return fmt.Errorf("%d benchmark gate failure(s) vs %s", failures, baselinePath)
@@ -465,6 +467,91 @@ func checkRecoverySpeedup(rep *bench.RegressionReport) int {
 	}
 	fmt.Printf("  %-28s wal/segment speedup %.2fx (min %.1fx)  %s\n",
 		"e7/recover", ratio, recoverySpeedupMin, status)
+	return failures
+}
+
+// vfsOverheadMax bounds the flush-workload cost of the always-pluggable
+// fault-injection seam: an empty FaultFS wrap (rules armed: none) may
+// cost at most 5% over the vfs.OS passthrough. Both rows run the same
+// workload in the same process on the same disk, so the ratio needs no
+// hardware-class baseline; the gate self-disables only when the plain
+// leg is too brief to time reliably (tiny -scale runs).
+const vfsOverheadMax = 1.05
+
+// vfsGateMinElapsed is the minimum plain-leg wall time for the VFS and
+// degraded-ingest gates to engage; below it the rows are reported, not
+// gated.
+const vfsGateMinElapsed = 10 * time.Millisecond
+
+// checkVFSOverhead enforces the free-when-idle injection contract using
+// the same-run flush-os / flush-vfs-overhead pair.
+func checkVFSOverhead(rep *bench.RegressionReport) int {
+	byName := make(map[string]bench.Measurement, len(rep.Results))
+	for _, m := range rep.Results {
+		byName[m.Name] = m
+	}
+	plain, ok1 := byName["e7/flush-os"]
+	wrapped, ok2 := byName["e7/flush-vfs-overhead"]
+	if !ok1 || !ok2 || plain.NsPerOp <= 0 {
+		// The rows disappearing means the suite was renamed without
+		// updating this gate — fail rather than silently ungate the
+		// injection seam.
+		fmt.Printf("  %-28s MISSING flush-os/flush-vfs-overhead rows\n", "e7/flush-vfs")
+		return 1
+	}
+	ratio := wrapped.NsPerOp / plain.NsPerOp
+	if elapsed := time.Duration(plain.NsPerOp * float64(plain.Ops)); elapsed < vfsGateMinElapsed {
+		fmt.Printf("  %-28s wrap/os overhead %.2fx (not gated: flush-os run %s < %s)\n",
+			"e7/flush-vfs", ratio, elapsed.Round(time.Microsecond), vfsGateMinElapsed)
+		return 0
+	}
+	status := "ok"
+	failures := 0
+	if ratio > vfsOverheadMax {
+		status = "VFS OVERHEAD REGRESSED"
+		failures++
+	}
+	fmt.Printf("  %-28s wrap/os overhead %.2fx (max %.2fx)  %s\n",
+		"e7/flush-vfs", ratio, vfsOverheadMax, status)
+	return failures
+}
+
+// degradedIngestMax bounds degraded-mode ingest against healthy durable
+// ingest in the same report: dropping WAL appends and parking flushes
+// must never cost more than 10% over the healthy path — degraded mode
+// is a pressure valve, not a new bottleneck.
+const degradedIngestMax = 1.10
+
+// checkDegradedIngest enforces the degraded-mode cost bound using the
+// same-run ingest-durable / ingest-degraded pair.
+func checkDegradedIngest(rep *bench.RegressionReport) int {
+	byName := make(map[string]bench.Measurement, len(rep.Results))
+	for _, m := range rep.Results {
+		byName[m.Name] = m
+	}
+	healthy, ok1 := byName["e7/ingest-durable"]
+	degraded, ok2 := byName["e7/ingest-degraded"]
+	if !ok1 || !ok2 || healthy.NsPerOp <= 0 {
+		// The rows disappearing means the suite was renamed without
+		// updating this gate — fail rather than silently ungate the
+		// degraded path.
+		fmt.Printf("  %-28s MISSING ingest-durable/ingest-degraded rows\n", "e7/ingest-degraded")
+		return 1
+	}
+	ratio := degraded.NsPerOp / healthy.NsPerOp
+	if elapsed := time.Duration(healthy.NsPerOp * float64(healthy.Ops)); elapsed < vfsGateMinElapsed {
+		fmt.Printf("  %-28s degraded/durable ratio %.2fx (not gated: ingest-durable run %s < %s)\n",
+			"e7/ingest-degraded", ratio, elapsed.Round(time.Microsecond), vfsGateMinElapsed)
+		return 0
+	}
+	status := "ok"
+	failures := 0
+	if ratio > degradedIngestMax {
+		status = "DEGRADED INGEST REGRESSED"
+		failures++
+	}
+	fmt.Printf("  %-28s degraded/durable ratio %.2fx (max %.2fx)  %s\n",
+		"e7/ingest-degraded", ratio, degradedIngestMax, status)
 	return failures
 }
 

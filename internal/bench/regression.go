@@ -72,6 +72,10 @@ const underIngestWriters = 4
 //	e7/query-prepared-exec       one prepared Exec end to end (+allocs/op)
 //	e7/recover-{wal,segment}     cold-start recovery: full-WAL replay vs
 //	                             segment bulk-load + WAL-tail replay
+//	e7/flush-os, flush-vfs-overhead   ingest+flush via the vfs.OS passthrough
+//	                             vs an empty fault-injection wrap
+//	e7/ingest-durable, ingest-degraded  durable-engine ingest healthy vs
+//	                             latched degraded (WAL dropping)
 //	bitemporal/find-current, find-asof-valid, find-systime, history
 //
 // The par8 rows contrast the default sharded store with a 1-shard
@@ -252,6 +256,11 @@ func RegressionSuite(scale float64) *RegressionReport {
 	// (manifest + frame bulk-load + WAL-tail replay). The benchrunner
 	// gate requires segments >= 3x faster in the same run.
 	addRecoveryRows(add, scale)
+
+	// Fault-layer cost rows: the empty FaultFS wrap vs the vfs.OS
+	// passthrough on a flush-heavy workload (gate: <= 1.05x), and
+	// degraded-mode ingest vs healthy durable ingest (gate: <= 1.1x).
+	addFaultRows(add, scale)
 
 	// Bitemporal read rows over a corrected history.
 	bKeys := scaleInt(1_000, scale)

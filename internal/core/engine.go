@@ -708,6 +708,35 @@ func (e *Engine) advance(wm temporal.Instant) error {
 // the compaction horizon stays reachable.
 func (e *Engine) Durable() *segment.Store { return e.durable }
 
+// Health summarizes the engine's serving posture for operators and the
+// /readyz endpoint. The zero value (both fields nil) means healthy:
+// either the engine is purely in-memory or its durable layer is fully
+// functional.
+type Health struct {
+	// Degraded is non-nil while the durable layer is in degraded mode:
+	// ingest, RAM reads, queries, and subscriptions keep serving, but
+	// flushes and durable fallthrough reads have stopped (see
+	// segment.Degraded). A successful Flush or Resume clears it.
+	Degraded *segment.Degraded
+	// DurableErr is a latched durable-open failure: the engine came up
+	// without its durability layer and the next Process/Run/Close will
+	// return this error.
+	DurableErr error
+}
+
+// Healthy reports whether the engine is serving with full durability.
+func (h Health) Healthy() bool { return h.Degraded == nil && h.DurableErr == nil }
+
+// Health reports the engine's current health. Safe to call concurrently
+// with ingestion.
+func (e *Engine) Health() Health {
+	h := Health{DurableErr: e.durableErr}
+	if e.durable != nil {
+		h.Degraded = e.durable.Degraded()
+	}
+	return h
+}
+
 // Close flushes a durable engine's state to its segment directory and
 // releases the WAL and segment files. For an in-memory engine it is a
 // no-op. Crashing without Close loses nothing but the final flush: the

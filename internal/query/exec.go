@@ -9,8 +9,10 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/element"
 	"repro/internal/lang"
@@ -37,7 +39,16 @@ type ExecEnv struct {
 	// HasSysTime is set, pinning the belief without re-planning.
 	SysTime    temporal.Instant
 	HasSysTime bool
+	// Ctx, when non-nil, bounds the execution: cancellation or deadline
+	// expiry aborts the scan between row batches and Exec returns the
+	// context's error. Nil means no deadline.
+	Ctx context.Context
 }
+
+// ctxCheckStride is how many rows pass between context checks: frequent
+// enough to abort a runaway scan promptly, rare enough that Err()'s lock
+// never shows up in a scan profile.
+const ctxCheckStride = 1024
 
 // Exec runs the prepared query against env. It performs no parsing and
 // no planning — only the temporal header expressions are evaluated per
@@ -91,6 +102,9 @@ func (p *Prepared) Exec(env ExecEnv) (*Result, error) {
 	} else {
 		facts = env.Store.List(opts...)
 	}
+	if err := ctxErr(env.Ctx); err != nil {
+		return nil, err
+	}
 
 	rows := make([]rowEnv, 0, len(facts)+len(derived))
 	for _, f := range facts {
@@ -98,7 +112,13 @@ func (p *Prepared) Exec(env ExecEnv) (*Result, error) {
 	}
 	if rowFilter != nil {
 		kept := rows[:0]
-		for _, r := range rows {
+		for i := range rows {
+			if i%ctxCheckStride == ctxCheckStride-1 {
+				if err := ctxErr(env.Ctx); err != nil {
+					return nil, err
+				}
+			}
+			r := rows[i]
 			ok, err := lang.EvalBool(rowFilter, &r)
 			if err != nil {
 				return nil, err
@@ -123,6 +143,9 @@ func (p *Prepared) Exec(env ExecEnv) (*Result, error) {
 		rows = append(rows, r)
 	}
 
+	if err := ctxErr(env.Ctx); err != nil {
+		return nil, err
+	}
 	res, err := ex.projectRows(q, rows)
 	if err != nil {
 		return nil, err
@@ -131,16 +154,36 @@ func (p *Prepared) Exec(env ExecEnv) (*Result, error) {
 	return res, nil
 }
 
+// ctxErr reports the context's error, tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	return nil
+}
+
 // keepFunc builds the pushed row predicate for the gather workers, plus
 // a getter for the first evaluation error (workers run concurrently; the
 // scan's completion orders the error read after every write).
 func (p *Prepared) keepFunc(env ExecEnv, tx *temporal.Instant) (func(*element.Fact) bool, func() error) {
-	if len(p.pushed) == 0 {
+	if len(p.pushed) == 0 && env.Ctx == nil {
 		return nil, func() error { return nil }
 	}
 	var once sync.Once
 	var firstErr error
+	var seen atomic.Int64
 	keep := func(f *element.Fact) bool {
+		// Deadline checks ride the pushed predicate every stride rows;
+		// the counter is shared across gather workers.
+		if env.Ctx != nil && seen.Add(1)%ctxCheckStride == 0 {
+			if err := ctxErr(env.Ctx); err != nil {
+				once.Do(func() { firstErr = err })
+				return false
+			}
+		}
 		r := rowEnv{fact: f, now: env.Now, store: env.Store, tx: tx}
 		for _, c := range p.pushed {
 			ok, err := lang.EvalBool(c, &r)

@@ -1,0 +1,186 @@
+package server
+
+// Overload-protection and health-surface tests: the admission gate
+// (429 + Retry-After before any work), per-request deadlines (504),
+// the liveness/readiness split, and the degraded-durability warning
+// and counters — named to ride in the CI chaos job.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/element"
+	"repro/internal/state"
+	"repro/internal/state/segment"
+	"repro/internal/vfs"
+)
+
+// TestOverloadAdmissionGateSheds: with the gate at capacity, /query and
+// /fact shed immediately with 429 + Retry-After, /readyz flips to 503,
+// and the shed counter surfaces in /stats. Releasing the slot restores
+// readiness.
+func TestOverloadAdmissionGateSheds(t *testing.T) {
+	st := state.NewStore()
+	st.Put("ann", "position", element.String("hall"), 10)
+	s := New(st, nil)
+	s.MaxInFlight = 1
+
+	// Occupy the single slot as an in-flight request would.
+	release, ok := s.admit(httptest.NewRecorder())
+	if !ok {
+		t.Fatalf("first admission must pass")
+	}
+
+	for _, target := range []struct{ method, url, body string }{
+		{http.MethodPost, "/query", `{"query":"SELECT entity FROM position"}`},
+		{http.MethodGet, "/fact?entity=ann&attr=position", ""},
+	} {
+		req := httptest.NewRequest(target.method, target.url, strings.NewReader(target.body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("%s at capacity: want 429, got %d", target.url, rec.Code)
+		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Fatalf("%s shed response must carry Retry-After", target.url)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded /readyz: want 503, got %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats map[string]int
+	if err := json.NewDecoder(rec.Body).Decode(&stats); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if stats["shed_requests"] != 2 || stats["inflight_requests"] != 1 {
+		t.Fatalf("stats counters: shed=%d inflight=%d", stats["shed_requests"], stats["inflight_requests"])
+	}
+
+	// /healthz is liveness: it stays 200 throughout the overload.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz must stay alive under overload, got %d", rec.Code)
+	}
+
+	release()
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("drained /readyz: want 200, got %d", rec.Code)
+	}
+}
+
+// TestOverloadRequestDeadline: a request that outlives RequestTimeout
+// aborts with 504 instead of running the scan to completion.
+func TestOverloadRequestDeadline(t *testing.T) {
+	st := state.NewStore()
+	st.Put("ann", "position", element.String("hall"), 10)
+	s := New(st, nil)
+	s.RequestTimeout = time.Nanosecond // expired before execution starts
+
+	req := httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"query":"SELECT entity FROM position"}`))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expired query: want 504, got %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/fact?entity=ann&attr=position", nil))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expired fact read: want 504, got %d", rec.Code)
+	}
+
+	// A generous deadline serves normally.
+	s.RequestTimeout = time.Minute
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query",
+		strings.NewReader(`{"query":"SELECT entity FROM position"}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("in-deadline query: want 200, got %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestDegradedReadyzWarnsAndStats: a degraded durable layer keeps the
+// replica ready — traffic still flows — but /readyz carries the warning
+// and /stats reports degraded=1; after Resume both clear.
+func TestDegradedReadyzWarnsAndStats(t *testing.T) {
+	ffs := vfs.NewFaultFS(vfs.OS)
+	ffs.AddRule(vfs.Rule{Op: vfs.OpCreate, Path: "seg-*.seg", Count: 1,
+		Err: vfs.Permanent(errors.New("medium error"))})
+	e := core.New(core.WithDurableDir(t.TempDir(),
+		segment.WithFS(ffs), segment.WithFlushEvery(1),
+		segment.WithRetryPolicy(segment.RetryPolicy{MaxRetries: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond})))
+	defer e.Close()
+	s := NewForEngine(e, nil)
+	defer s.Close()
+
+	d := e.Durable()
+	if d == nil {
+		t.Fatalf("engine must have a durable layer")
+	}
+	if err := d.Mem().Put("ann", "position", element.String("hall"), 10); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	d.Pulse(d.Mem().Snapshot().At())
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Degraded() == nil {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for the store to degrade")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	readiness := func() (int, map[string]any) {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		var body map[string]any
+		if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+			t.Fatalf("readyz body: %v", err)
+		}
+		return rec.Code, body
+	}
+	code, body := readiness()
+	if code != http.StatusOK || body["ready"] != true {
+		t.Fatalf("degraded replica must stay ready: code=%d body=%v", code, body)
+	}
+	if w, _ := body["warning"].(string); !strings.Contains(w, "degraded") {
+		t.Fatalf("degraded /readyz must warn, got %v", body)
+	}
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats map[string]int
+	if err := json.NewDecoder(rec.Body).Decode(&stats); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if stats["degraded"] != 1 {
+		t.Fatalf("stats must report degraded=1, got %d", stats["degraded"])
+	}
+
+	// The fault script is exhausted: Resume heals, warning clears.
+	if err := d.Resume(); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if code, body = readiness(); code != http.StatusOK || body["warning"] != nil {
+		t.Fatalf("healed /readyz must drop the warning: code=%d body=%v", code, body)
+	}
+
+	if hc := e.Health(); !hc.Healthy() {
+		t.Fatalf("engine health must be clean after resume: %+v", hc)
+	}
+}

@@ -18,7 +18,16 @@
 //	GET  /stats                                         → {"keys": n, "versions": n, ...}
 //	GET  /subscribe?entity=E&attr=A&stream=S&query=Q    → Server-Sent Events push stream
 //	GET  /subscribe/ws (same parameters)                → WebSocket push stream
-//	GET  /healthz                                       → 200 ok
+//	GET  /healthz                                       → 200 ok (liveness: the process serves HTTP)
+//	GET  /readyz                                        → readiness: 503 when overloaded, 200 with a
+//	                                                      warning while durability is degraded
+//
+// The server protects itself under load: MaxInFlight bounds admitted
+// /query and /fact requests (excess requests are shed with 429 and
+// Retry-After before any snapshot pin), RequestTimeout bounds each
+// request's execution (exceeding it aborts the scan and returns 504),
+// and StreamWriteTimeout bounds every SSE/WebSocket write so stalled
+// consumers release their goroutines.
 //
 // Servers built with NewForEngine additionally push state: clients
 // subscribe with a filter (or a continuous SELECT) and receive one JSON
@@ -38,13 +47,17 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/element"
+	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/reason"
 	"repro/internal/state"
@@ -63,7 +76,26 @@ type Server struct {
 	// NowFunc anchors now() in received queries; defaults to the largest
 	// validity start in the store.
 	NowFunc func() temporal.Instant
-	mux     *http.ServeMux
+	// MaxInFlight bounds concurrently admitted /query and /fact
+	// requests. Excess requests are shed immediately with 429 and a
+	// Retry-After header — before any snapshot pin or scan, so an
+	// overloaded server degrades by refusing work, not by queueing it.
+	// Zero (the default) means unbounded. Set before serving.
+	MaxInFlight int
+	// RequestTimeout bounds one /query or /fact request. The deadline
+	// flows through query execution as a context: a scan that outlives
+	// it aborts between row batches and the client receives 504. Zero
+	// (the default) means no server-imposed deadline. Set before serving.
+	RequestTimeout time.Duration
+	// StreamWriteTimeout bounds each write on the streaming transports
+	// (SSE and WebSocket), so a dead or stalled client releases its
+	// subscriber goroutine instead of pinning it forever. Defaults to
+	// 30s; zero disables the deadline. Set before serving.
+	StreamWriteTimeout time.Duration
+	// inflight/shed drive the admission gate and its /stats counters.
+	inflight metrics.Gauge
+	shed     metrics.Counter
+	mux      *http.ServeMux
 	// plans caches prepared queries by source text, so repeated /query
 	// requests skip parsing and planning.
 	plans *planCache
@@ -71,17 +103,80 @@ type Server struct {
 
 // New builds a server over the store. The reasoner may be nil.
 func New(store *state.Store, reasoner *reason.Reasoner) *Server {
-	s := &Server{store: store, reasoner: reasoner, plans: newPlanCache(defaultPlanCacheSize)}
+	s := &Server{
+		store:              store,
+		reasoner:           reasoner,
+		plans:              newPlanCache(defaultPlanCacheSize),
+		StreamWriteTimeout: 30 * time.Second,
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/fact", s.handleFact)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("/subscribe/ws", s.handleSubscribeWS)
+	// /healthz is pure liveness: the process is up and serving HTTP.
+	// Readiness — should this replica receive traffic — is /readyz.
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	return s
+}
+
+// admit runs the admission gate for one request. When the in-flight
+// bound is exceeded it sheds the request — 429 with Retry-After, before
+// any snapshot pin or scan — and returns ok=false. Otherwise the caller
+// must defer release.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	s.inflight.Add(1)
+	if s.MaxInFlight > 0 && s.inflight.Value() > int64(s.MaxInFlight) {
+		s.inflight.Add(-1)
+		s.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server overloaded, retry later", http.StatusTooManyRequests)
+		return nil, false
+	}
+	return func() { s.inflight.Add(-1) }, true
+}
+
+// requestCtx derives the request context, applying RequestTimeout.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.RequestTimeout)
+}
+
+// handleReady is the readiness probe. Overload (admission gate at
+// capacity) is not-ready: the replica should be pulled from rotation
+// until load drains. Degraded durability is ready-with-warning: the
+// engine still ingests and serves RAM reads, so traffic keeps flowing
+// while operators act on the warning.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	type readiness struct {
+		Ready   bool   `json:"ready"`
+		Reason  string `json:"reason,omitempty"`
+		Warning string `json:"warning,omitempty"`
+	}
+	if s.MaxInFlight > 0 && s.inflight.Value() >= int64(s.MaxInFlight) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(readiness{Ready: false, Reason: "overloaded"})
+		return
+	}
+	resp := readiness{Ready: true}
+	if s.engine != nil {
+		if h := s.engine.Health(); !h.Healthy() {
+			switch {
+			case h.Degraded != nil:
+				resp.Warning = "durability degraded: " + h.Degraded.Cause.Error()
+			case h.DurableErr != nil:
+				resp.Warning = "durable layer unavailable: " + h.DurableErr.Error()
+			}
+		}
+	}
+	writeJSON(w, resp)
 }
 
 // NewForEngine builds a server over a live engine: everything New
@@ -189,6 +284,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	explain := false
 	if raw := r.URL.Query().Get("explain"); raw != "" {
 		v, err := strconv.ParseBool(raw)
@@ -217,8 +319,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// Pin one consistent cut for the whole query: the evaluation takes no
 	// shard locks, so a slow remote query cannot stall local writers.
-	res, err := p.Exec(query.ExecEnv{Store: s.store.Snapshot(), Reasoner: s.reasoner, Now: s.now()})
+	res, err := p.Exec(query.ExecEnv{Store: s.store.Snapshot(), Reasoner: s.reasoner, Now: s.now(), Ctx: ctx})
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
@@ -267,6 +373,13 @@ func instantParam(r *http.Request, name string) (temporal.Instant, bool, error) 
 }
 
 func (s *Server) handleFact(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	entity := r.URL.Query().Get("entity")
 	attr := r.URL.Query().Get("attr")
 	if entity == "" || attr == "" {
@@ -290,12 +403,18 @@ func (s *Server) handleFact(w http.ResponseWriter, r *http.Request) {
 	if hasSystime {
 		opts = append(opts, state.AsOfTransactionTime(systime))
 	}
+	// The point read itself is fast; the deadline check here covers a
+	// request that spent its whole budget queued behind the gate.
+	if err := ctx.Err(); err != nil {
+		http.Error(w, "request deadline exceeded", http.StatusGatewayTimeout)
+		return
+	}
 	// A point read resolves against one atomically published head: it
 	// needs no cross-shard snapshot pin, so skip the barrier Snapshot()
 	// would run.
-	f, ok := s.store.Find(entity, attr, opts...)
-	resp := factResponse{Found: ok}
-	if ok {
+	f, found := s.store.Find(entity, attr, opts...)
+	resp := factResponse{Found: found}
+	if found {
 		resp.Fact = &wireFact{
 			Entity: f.Entity, Attribute: f.Attribute, Value: toWire(f.Value),
 			Start: int64(f.Validity.Start), End: int64(f.Validity.End),
@@ -319,12 +438,27 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		// Prepared-query cache effectiveness: misses planned vs hits served.
 		"queries_prepared": int(s.plans.prepared.Load()),
 		"plan_cache_hits":  int(s.plans.hits.Load()),
+		// Overload-protection counters: requests currently admitted and
+		// requests shed at the gate (429) since start.
+		"inflight_requests": int(s.inflight.Value()),
+		"shed_requests":     int(s.shed.Value()),
 	}
 	if s.engine != nil {
 		out["emitted"] = len(s.engine.Emitted())
 		out["watermark"] = int(s.engine.Watermark())
 		if s.broker != nil {
 			out["subscribers"] = s.broker.Metrics().Subscribers
+		}
+		// Durability posture: degraded flag plus the flush-retry count,
+		// mirroring segment.Store.Info for remote operators.
+		h := s.engine.Health()
+		degraded := 0
+		if h.Degraded != nil {
+			degraded = 1
+		}
+		out["degraded"] = degraded
+		if d := s.engine.Durable(); d != nil {
+			out["flush_retries"] = int(d.Info().FlushRetries)
 		}
 	}
 	writeJSON(w, out)

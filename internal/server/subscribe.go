@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/element"
 	"repro/internal/state"
@@ -49,13 +50,16 @@ type wireElement struct {
 // wireDelivery is the JSON payload of one pushed subscription delivery,
 // shared by the SSE and WebSocket transports.
 type wireDelivery struct {
-	Kind      string         `json:"kind"` // "deltas" or "resync"
+	Kind      string         `json:"kind"` // "deltas", "resync" or "notice"
 	Watermark int64          `json:"watermark"`
 	Changes   []wireChange   `json:"changes,omitempty"`
 	Emitted   []wireElement  `json:"emitted,omitempty"`
 	Result    *queryResponse `json:"result,omitempty"`
 	Cut       int64          `json:"cut,omitempty"`
 	State     []wireFact     `json:"state,omitempty"`
+	// Note carries the payload of a "notice" event: an operational
+	// message such as a durability degradation or recovery.
+	Note string `json:"note,omitempty"`
 }
 
 // toWireFact encodes a fact, reading the belief end through the atomic
@@ -88,6 +92,7 @@ func toWireDelivery(d subscribe.Delivery) wireDelivery {
 		Kind:      d.Kind.String(),
 		Watermark: int64(d.Watermark),
 		Cut:       int64(d.Cut),
+		Note:      d.Note,
 	}
 	for _, ch := range d.Changes {
 		kind := "asserted"
@@ -213,6 +218,11 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		<-r.Context().Done()
 		sub.Close()
 	}()
+	// Per-write deadline: a stalled client's TCP backpressure surfaces
+	// as a write error here instead of pinning this goroutine forever.
+	// Recorders and other transports without deadline support are fine —
+	// SetWriteDeadline then reports ErrNotSupported and is skipped.
+	rc := http.NewResponseController(w)
 	for {
 		d, ok := sub.Recv()
 		if !ok {
@@ -221,6 +231,9 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		payload, err := json.Marshal(toWireDelivery(d))
 		if err != nil {
 			return
+		}
+		if s.StreamWriteTimeout > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(s.StreamWriteTimeout))
 		}
 		if _, err := fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", d.Kind, int64(d.Watermark), payload); err != nil {
 			return

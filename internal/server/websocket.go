@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 )
 
 // websocketGUID is the fixed key-accept salt from RFC 6455 §1.3.
@@ -49,12 +50,18 @@ type wsConn struct {
 	c  net.Conn
 	mu sync.Mutex
 	w  *bufio.Writer
+	// writeTimeout bounds each frame write (0 = none): a stalled
+	// client's backpressure becomes a write error, not a pinned goroutine.
+	writeTimeout time.Duration
 }
 
 // writeFrame writes one unfragmented, unmasked frame (servers never mask).
 func (ws *wsConn) writeFrame(opcode byte, payload []byte) error {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
+	if ws.writeTimeout > 0 {
+		_ = ws.c.SetWriteDeadline(time.Now().Add(ws.writeTimeout))
+	}
 	var hdr [10]byte
 	hdr[0] = 0x80 | opcode // FIN + opcode
 	n := len(payload)
@@ -159,7 +166,7 @@ func (s *Server) handleSubscribeWS(w http.ResponseWriter, r *http.Request) {
 	defer conn.Close()
 	defer sub.Close()
 
-	ws := &wsConn{c: conn, w: buf.Writer}
+	ws := &wsConn{c: conn, w: buf.Writer, writeTimeout: s.StreamWriteTimeout}
 	handshake := "HTTP/1.1 101 Switching Protocols\r\n" +
 		"Upgrade: websocket\r\n" +
 		"Connection: Upgrade\r\n" +

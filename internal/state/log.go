@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/element"
 	"repro/internal/temporal"
+	"repro/internal/vfs"
 )
 
 // Log is an append-only record of store mutations, sufficient to rebuild
@@ -44,12 +45,28 @@ type Log struct {
 	enc *gob.Encoder
 	n   int
 	// path and file are set for file-backed logs only; TruncateBefore
-	// rewrites path atomically and Sync fsyncs file.
+	// rewrites path atomically and Sync fsyncs file. All file operations
+	// go through fs — the fault-injectable seam (vfs.OS in production).
 	path string
-	file *os.File
+	file vfs.File
+	fs   vfs.FS
 	// err poisons the log: a failed deferred rewrite (RecoverLog)
 	// surfaces from every subsequent operation.
 	err error
+	// onAppendErr, when set, is offered every append failure (and every
+	// append attempt on a poisoned log). Returning true acknowledges the
+	// failure and switches the log into dropping mode; returning false
+	// propagates the error to the writer. The handler runs under the
+	// appender token on the writer's goroutine, so it must only do
+	// atomic/channel work — no locks shared with writers.
+	onAppendErr func(error) bool
+	// dropping marks degraded mode: appends are acknowledged and
+	// discarded (counted in dropped) until Rearm starts a fresh file.
+	// A failed gob encode leaves the stream unusable mid-message, so
+	// there is no per-record recovery — the whole file is forfeit and
+	// only a flush elsewhere can restore durability.
+	dropping bool
+	dropped  int
 	// appender is the single-appender channel: a one-slot token guarding
 	// enc, n, path, file, and err. Acquire by sending, release by
 	// receiving. RecoverLog hands out a Log whose token is pre-held by
@@ -215,12 +232,17 @@ func NewLog(w io.Writer) *Log {
 
 // CreateLog creates (truncating) a log file at path.
 func CreateLog(path string) (*Log, error) {
-	f, err := os.Create(path)
+	return CreateLogFS(vfs.OS, path)
+}
+
+// CreateLogFS is CreateLog over an explicit filesystem seam.
+func CreateLogFS(fsys vfs.FS, path string) (*Log, error) {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("state: create log: %w", err)
 	}
 	l := NewLog(f)
-	l.path, l.file = path, f
+	l.path, l.file, l.fs = path, f, fsys
 	return l, nil
 }
 
@@ -235,13 +257,82 @@ func (l *Log) Len() int {
 func (l *Log) append(rec logRecord) error {
 	l.appender <- struct{}{}
 	defer func() { <-l.appender }()
+	if l.dropping {
+		l.dropped++
+		return nil
+	}
 	if l.err != nil {
-		return l.err
+		return l.failLocked(l.err)
 	}
 	rec.Summed = true
 	rec.Sum = rec.checksum()
+	if err := l.enc.Encode(rec); err != nil {
+		return l.failLocked(err)
+	}
 	l.n++
-	return l.enc.Encode(rec)
+	return nil
+}
+
+// failLocked offers an append failure to the handler. An acknowledged
+// failure flips the log into dropping mode (counting this append as
+// dropped) and reports success to the writer — the store's RAM commit
+// proceeds; durability is the degraded-mode flow's problem now.
+func (l *Log) failLocked(err error) error {
+	if l.onAppendErr != nil && l.onAppendErr(err) {
+		l.dropping = true
+		l.dropped++
+		return nil
+	}
+	return err
+}
+
+// OnAppendError installs the append-failure handler (see Log.onAppendErr).
+// Install before concurrent appends begin.
+func (l *Log) OnAppendError(h func(error) bool) {
+	l.appender <- struct{}{}
+	defer func() { <-l.appender }()
+	l.onAppendErr = h
+}
+
+// Dropping reports whether the log is in dropping (degraded) mode.
+func (l *Log) Dropping() bool {
+	l.appender <- struct{}{}
+	defer func() { <-l.appender }()
+	return l.dropping
+}
+
+// Dropped reports how many appends were acknowledged and discarded
+// while dropping.
+func (l *Log) Dropped() int {
+	l.appender <- struct{}{}
+	defer func() { <-l.appender }()
+	return l.dropped
+}
+
+// Rearm replaces a dropping (or poisoned) file-backed log with a fresh
+// empty file and encoder, clearing dropping mode. The records the old
+// file held — and every append dropped since — are NOT recovered here:
+// the caller must immediately flush the full RAM state to the durable
+// backend, pinned at a cut taken AFTER Rearm returns, so everything the
+// discarded WAL covered is captured elsewhere before new appends rely
+// on the fresh file. The dropped count is kept for observability.
+func (l *Log) Rearm() error {
+	l.appender <- struct{}{}
+	defer func() { <-l.appender }()
+	if l.path == "" {
+		return ErrNotFileBacked
+	}
+	f, enc, err := rewriteLogFile(l.fs, l.path, nil)
+	if err != nil {
+		return err
+	}
+	if l.file != nil {
+		l.file.Close()
+	}
+	l.file, l.c, l.n, l.enc = f, f, 0, enc
+	l.err = nil
+	l.dropping = false
+	return nil
 }
 
 // Close closes the underlying writer when it is closable.
@@ -295,11 +386,11 @@ func (l *Log) TruncateBefore(tt temporal.Instant) error {
 		return ErrNotFileBacked
 	}
 	var kept []logRecord
-	src, err := os.Open(l.path)
+	src, err := l.fs.Open(l.path)
 	if err != nil {
 		return fmt.Errorf("state: truncate log: %w", err)
 	}
-	dec := gob.NewDecoder(src)
+	dec := gob.NewDecoder(io.NewSectionReader(src, 0, 1<<62))
 	for {
 		var rec logRecord
 		if err := dec.Decode(&rec); err != nil {
@@ -320,7 +411,7 @@ func (l *Log) TruncateBefore(tt temporal.Instant) error {
 	}
 	src.Close()
 
-	f, enc, err := rewriteLogFile(l.path, kept)
+	f, enc, err := rewriteLogFile(l.fs, l.path, kept)
 	if err != nil {
 		return err
 	}
@@ -335,9 +426,12 @@ func (l *Log) TruncateBefore(tt temporal.Instant) error {
 // one encoder's output, so the log MUST keep appending through this
 // encoder — starting a fresh one on the same file would begin a second
 // stream a single replay Decoder rejects ("duplicate type received").
-func rewriteLogFile(path string, records []logRecord) (*os.File, *gob.Encoder, error) {
+func rewriteLogFile(fsys vfs.FS, path string, records []logRecord) (vfs.File, *gob.Encoder, error) {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return nil, nil, fmt.Errorf("state: rewrite log: %w", err)
 	}
@@ -345,21 +439,21 @@ func rewriteLogFile(path string, records []logRecord) (*os.File, *gob.Encoder, e
 	for i := range records {
 		if err := enc.Encode(&records[i]); err != nil {
 			f.Close()
-			os.Remove(tmp)
+			fsys.Remove(tmp)
 			return nil, nil, fmt.Errorf("state: rewrite log record %d: %w", i, err)
 		}
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return nil, nil, fmt.Errorf("state: rewrite log: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return nil, nil, fmt.Errorf("state: rewrite log: %w", err)
 	}
-	SyncDir(filepath.Dir(path))
+	fsys.SyncDir(filepath.Dir(path))
 	return f, enc, nil
 }
 
@@ -502,9 +596,14 @@ func Replay(r io.Reader, s *Store) (int, error) {
 //
 // It returns the Log and the number of tail records applied.
 func RecoverLog(path string, s *Store, cut temporal.Instant) (*Log, int, error) {
-	src, err := os.Open(path)
+	return RecoverLogFS(vfs.OS, path, s, cut)
+}
+
+// RecoverLogFS is RecoverLog over an explicit filesystem seam.
+func RecoverLogFS(fsys vfs.FS, path string, s *Store, cut temporal.Instant) (*Log, int, error) {
+	src, err := fsys.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		l, err := CreateLog(path)
+		l, err := CreateLogFS(fsys, path)
 		return l, 0, err
 	}
 	if err != nil {
@@ -522,7 +621,7 @@ func RecoverLog(path string, s *Store, cut temporal.Instant) (*Log, int, error) 
 		pending = pending[:0]
 		return err
 	}
-	dec := gob.NewDecoder(src)
+	dec := gob.NewDecoder(io.NewSectionReader(src, 0, 1<<62))
 	decoded := 0
 	for {
 		var rec logRecord
@@ -590,11 +689,11 @@ func RecoverLog(path string, s *Store, cut temporal.Instant) (*Log, int, error) 
 	// so the first append (or Sync/TruncateBefore/Close) transparently
 	// blocks until the file is ready; a rewrite failure poisons the log
 	// and surfaces there.
-	l := &Log{path: path, appender: make(chan struct{}, 1)}
+	l := &Log{path: path, fs: fsys, appender: make(chan struct{}, 1)}
 	l.appender <- struct{}{}
 	go func() {
 		defer func() { <-l.appender }()
-		f, enc, err := rewriteLogFile(path, kept)
+		f, enc, err := rewriteLogFile(fsys, path, kept)
 		if err != nil {
 			l.err = err
 			return

@@ -1,0 +1,416 @@
+package segment
+
+// Chaos suite: scripted disk-fault schedules (via vfs.FaultFS) driving
+// flushes, recovery, and ingestion, checked against the suite's
+// invariants — a disk fault never corrupts RAM state, never loses an
+// acknowledged flushed watermark, and always either recovers or
+// degrades loudly. State comparisons are byte-equality against the
+// WAL-only no-fault oracle of segment_test.go.
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/element"
+	"repro/internal/state"
+	"repro/internal/temporal"
+	"repro/internal/vfs"
+)
+
+// fastRetry keeps chaos schedules quick without changing the protocol.
+var fastRetry = RetryPolicy{MaxRetries: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFaultTransientFlushRetries: transient segment-create failures are
+// retried with backoff and the flush lands without degrading.
+func TestFaultTransientFlushRetries(t *testing.T) {
+	ffs := vfs.NewFaultFS(vfs.OS)
+	ffs.AddRule(vfs.Rule{Op: vfs.OpCreate, Path: "seg-*.seg", Count: 2,
+		Err: vfs.Transient(errors.New("disk pressure"))})
+	d, err := Open(t.TempDir(), WithFS(ffs), WithFlushEvery(1), WithRetryPolicy(fastRetry))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer d.Close()
+
+	mutate(t, storeBatch{d}, 0)
+	cut := d.Mem().Snapshot().At()
+	d.Pulse(cut)
+	waitFor(t, "retried flush to land", func() bool { return d.DurableTx() >= cut })
+
+	if deg := d.Degraded(); deg != nil {
+		t.Fatalf("transient faults must not degrade: %+v", deg)
+	}
+	info := d.Info()
+	if info.FlushRetries < 2 {
+		t.Fatalf("want >= 2 transient retries, got %d", info.FlushRetries)
+	}
+	if info.LastFlushErr != nil {
+		t.Fatalf("last flush error should clear on success: %v", info.LastFlushErr)
+	}
+}
+
+// TestDegradePermanentFlushServesRAMAndResumes: a permanent flush
+// failure latches degraded mode loudly; ingest and RAM reads keep
+// working, pulses stop, and Resume exits the mode. A restart after the
+// resume recovers the oracle state exactly.
+func TestDegradePermanentFlushServesRAMAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS)
+	ffs.AddRule(vfs.Rule{Op: vfs.OpCreate, Path: "seg-*.seg", Count: 1,
+		Err: vfs.Permanent(errors.New("medium error"))})
+	d, err := Open(dir, WithFS(ffs), WithFlushEvery(1), WithRetryPolicy(fastRetry))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	var hookMu sync.Mutex
+	var transitions []*Degraded
+	d.OnDegraded(func(deg *Degraded) {
+		hookMu.Lock()
+		transitions = append(transitions, deg)
+		hookMu.Unlock()
+	})
+
+	mutate(t, storeBatch{d}, 0)
+	d.Pulse(d.Mem().Snapshot().At())
+	waitFor(t, "degraded latch", func() bool { return d.Degraded() != nil })
+
+	deg := d.Degraded()
+	if deg.Cause == nil || deg.Since.IsZero() {
+		t.Fatalf("degraded record must name a cause and a time: %+v", deg)
+	}
+	if deg.RetriesExhausted {
+		t.Fatalf("a permanent error degrades immediately, not via retry exhaustion")
+	}
+	if d.Info().Degraded == nil || d.LastFlushErr() == nil {
+		t.Fatalf("degraded mode must be loud in Info and LastFlushErr")
+	}
+
+	// RAM serving and ingest continue.
+	if _, ok := d.Find("k00", "value"); !ok {
+		t.Fatalf("RAM point read must keep working while degraded")
+	}
+	mutate(t, storeBatch{d}, 1)
+	if got := d.List(state.WithAttribute("batch")); len(got) == 0 {
+		t.Fatalf("RAM scan must keep working while degraded")
+	}
+
+	// Pulses are skipped: the durable cut must not move.
+	d.Pulse(d.Mem().Snapshot().At())
+	time.Sleep(5 * time.Millisecond)
+	if d.DurableTx() != temporal.MinInstant {
+		t.Fatalf("degraded store must not flush on Pulse")
+	}
+
+	// The fault script is exhausted (Count 1): Resume flushes and heals.
+	if err := d.Resume(); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if d.Degraded() != nil {
+		t.Fatalf("resume must clear the degraded latch")
+	}
+	if d.DurableTx() == temporal.MinInstant {
+		t.Fatalf("resume must advance the durable cut")
+	}
+	hookMu.Lock()
+	if len(transitions) != 2 || transitions[0] == nil || transitions[1] != nil {
+		t.Fatalf("want one entry + one exit hook firing, got %v", transitions)
+	}
+	hookMu.Unlock()
+
+	// Restart oracle: crash after the resume recovers the exact state.
+	d.Abandon()
+	rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rec.Close()
+	want := snapshotBytes(t, oracle(t, 2))
+	got := snapshotBytes(t, rec.Mem())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("degraded-then-resume restart differs from oracle (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestDegradeWALAppendDropsAcksAndFlushExits: a WAL write failure
+// mid-append degrades the store immediately — later appends are
+// acknowledged and counted, not blocked — and a manual Flush rearms the
+// WAL, captures the full RAM state in segments, and exits the mode.
+// State written both before and after the fault survives a restart.
+func TestDegradeWALAppendDropsAcksAndFlushExits(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS)
+	ffs.AddRule(vfs.Rule{Op: vfs.OpWrite, Path: walName, After: 5, Count: 1,
+		Err: errors.New("io error")})
+	d, err := Open(dir, WithFS(ffs))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	mutate(t, storeBatch{d}, 0) // the 6th append fails mid-round; the rest are acked+dropped
+	if d.Degraded() == nil {
+		t.Fatalf("WAL append failure must degrade immediately")
+	}
+	if !d.Log().Dropping() {
+		t.Fatalf("the WAL must be dropping after an append failure")
+	}
+	mutate(t, storeBatch{d}, 1) // still acknowledged
+	if n := d.Info().DroppedAppends; n == 0 {
+		t.Fatalf("dropped appends must be counted")
+	}
+
+	// Manual Flush: rearm, pin past every dropped append, flush, heal.
+	if err := d.Flush(); err != nil {
+		t.Fatalf("flush out of degraded mode: %v", err)
+	}
+	if d.Degraded() != nil || d.Log().Dropping() {
+		t.Fatalf("flush must clear degraded mode and rearm the WAL")
+	}
+
+	// Post-resume appends land in the fresh WAL.
+	mutate(t, storeBatch{d}, 2)
+	d.Abandon()
+
+	rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rec.Close()
+	want := snapshotBytes(t, oracle(t, 3))
+	got := snapshotBytes(t, rec.Mem())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered state differs from oracle (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestFaultCrashDuringTruncateBefore: a crash while the post-flush WAL
+// truncation rewrites the log — before the rename, or torn right at it
+// — recovers the oracle state either way: the manifest cut filters the
+// replay, so an untruncated WAL is merely redundant.
+func TestFaultCrashDuringTruncateBefore(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rule vfs.Rule
+	}{
+		{"rename-error", vfs.Rule{Op: vfs.OpRename, Path: walName, Count: 1, Err: errors.New("rename failed")}},
+		{"torn-rename", vfs.Rule{Op: vfs.OpRename, Path: walName, Count: 1, Err: errors.New("rename torn"), TornRename: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := vfs.NewFaultFS(vfs.OS)
+			ffs.AddRule(tc.rule)
+			d, err := Open(dir, WithFS(ffs))
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			mutate(t, storeBatch{d}, 0)
+			mutate(t, storeBatch{d}, 1)
+			if err := d.Flush(); err == nil {
+				t.Fatalf("flush must surface the truncation failure")
+			}
+			// The segment flush and manifest commit preceded the failed
+			// truncation: the acknowledged cut must already be durable.
+			if d.DurableTx() == temporal.MinInstant {
+				t.Fatalf("manifest commit must have advanced the durable cut")
+			}
+			d.Abandon() // crash
+
+			rec, err := Open(dir)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer rec.Close()
+			want := snapshotBytes(t, oracle(t, 2))
+			got := snapshotBytes(t, rec.Mem())
+			if !bytes.Equal(got, want) {
+				t.Fatalf("recovered state differs from oracle (%d vs %d bytes)", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestFaultManifestRenameMidway: the manifest commit rename failing —
+// not performed, or performed with the error reported (the ambiguous
+// torn outcome) — leaves a directory that recovers the oracle state:
+// the commit is atomic, so recovery sees either the old or the new
+// manifest and the untruncated WAL covers the difference.
+func TestFaultManifestRenameMidway(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rule vfs.Rule
+	}{
+		{"rename-error", vfs.Rule{Op: vfs.OpRename, Path: manifestName, Count: 1, Err: errors.New("rename failed")}},
+		{"torn-rename", vfs.Rule{Op: vfs.OpRename, Path: manifestName, Count: 1, Err: errors.New("rename torn"), TornRename: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := vfs.NewFaultFS(vfs.OS)
+			ffs.AddRule(tc.rule)
+			d, err := Open(dir, WithFS(ffs))
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			mutate(t, storeBatch{d}, 0)
+			if err := d.Flush(); err == nil {
+				t.Fatalf("flush must surface the manifest commit failure")
+			}
+			d.Abandon() // crash mid-flush
+
+			rec, err := Open(dir)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer rec.Close()
+			want := snapshotBytes(t, oracle(t, 1))
+			got := snapshotBytes(t, rec.Mem())
+			if !bytes.Equal(got, want) {
+				t.Fatalf("recovered state differs from oracle (%d vs %d bytes)", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestDegradeFallthroughReadsStop: while degraded, point reads and
+// scans stop consulting durable frames — a key whose lineage lives only
+// in segments misses instead of touching the failing disk.
+func TestDegradeFallthroughReadsStop(t *testing.T) {
+	ffs := vfs.NewFaultFS(vfs.OS)
+	d, err := Open(t.TempDir(), WithFS(ffs))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer d.Close()
+	db := d.Mem().DB()
+	// A fully bounded lineage, compacted out of RAM after its flush: the
+	// standard fallthrough setup of TestRecoveryFallthroughReads.
+	if err := db.Put("old", "v", element.Int(1),
+		state.WithValidTime(10), state.WithEndValidTime(20),
+		state.WithTransactionTime(10)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := d.FlushAt(50); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if removed := d.Mem().CompactBefore(100); removed == 0 {
+		t.Fatalf("compaction removed nothing")
+	}
+	if err := d.FlushAt(60); err != nil {
+		t.Fatalf("reclaim flush: %v", err)
+	}
+	if _, ok := d.Find("old", "v", state.AsOfValidTime(15)); !ok {
+		t.Fatalf("fallthrough read must work while healthy")
+	}
+
+	d.enterDegraded(errors.New("scripted"), false)
+	if _, ok := d.Find("old", "v", state.AsOfValidTime(15)); ok {
+		t.Fatalf("degraded point read must not fall through to segments")
+	}
+	if got := d.List(state.AllVersions()); len(got) != 0 {
+		t.Fatalf("degraded scan must be RAM-only, got %d segment facts", len(got))
+	}
+	d.exitDegraded()
+	if _, ok := d.Find("old", "v", state.AsOfValidTime(15)); !ok {
+		t.Fatalf("fallthrough read must return after recovery")
+	}
+}
+
+// TestChaosConcurrentScheduleRecovers drives deterministic ingestion,
+// background pulses, and concurrent readers through a fault schedule —
+// transient flush failures, then a permanent one that degrades the
+// store — under the race detector. After the fault clears, Resume heals
+// the store and a restart recovers byte-identically to the no-fault
+// oracle: the faults never corrupted RAM state.
+func TestChaosConcurrentScheduleRecovers(t *testing.T) {
+	const rounds = 6
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS)
+	ffs.AddRule(vfs.Rule{Op: vfs.OpCreate, Path: "seg-*.seg", Count: 2,
+		Err: vfs.Transient(errors.New("disk pressure"))})
+	ffs.AddRule(vfs.Rule{Op: vfs.OpCreate, Path: "seg-*.seg", Count: 1,
+		Err: vfs.Permanent(errors.New("medium error"))})
+	d, err := Open(dir, WithFS(ffs), WithFlushEvery(1), WithRetryPolicy(fastRetry))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	// Readers hammer the store throughout; their results are incidental —
+	// the invariant is no race, no panic, no torn read.
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				d.Find("k00", "value")
+				d.List(state.WithAttribute("batch"))
+				d.History("k01", "value", state.AllVersions())
+				d.Info()
+			}
+		}()
+	}
+
+	// One deterministic writer: the mutation sequence matches the oracle
+	// regardless of where in it the fault schedule fires.
+	for r := 0; r < rounds; r++ {
+		mutate(t, storeBatch{d}, r)
+		d.Pulse(d.Mem().Snapshot().At())
+		time.Sleep(2 * time.Millisecond)
+	}
+	waitFor(t, "permanent fault to degrade the store", func() bool { return d.Degraded() != nil })
+
+	// The disk "heals": clear the schedule and resume.
+	ffs.Reset()
+	if err := d.Resume(); err != nil {
+		t.Fatalf("resume after fault cleared: %v", err)
+	}
+	if d.Degraded() != nil {
+		t.Fatalf("store must be healthy after resume")
+	}
+	resumeCut := d.DurableTx()
+	if resumeCut == temporal.MinInstant {
+		t.Fatalf("resume must advance the durable cut")
+	}
+	close(done)
+	readers.Wait()
+
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rec.Close()
+	// Acknowledged flushed watermarks survive the restart…
+	if rec.DurableTx() < resumeCut {
+		t.Fatalf("restart lost an acknowledged durable cut: %d < %d", rec.DurableTx(), resumeCut)
+	}
+	// …and the state is byte-identical to a run that saw no faults.
+	want := snapshotBytes(t, oracle(t, rounds))
+	got := snapshotBytes(t, rec.Mem())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("chaos-recovered state differs from no-fault oracle (%d vs %d bytes)", len(got), len(want))
+	}
+}

@@ -35,11 +35,11 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"sort"
 
 	"repro/internal/element"
 	"repro/internal/temporal"
+	"repro/internal/vfs"
 )
 
 const (
@@ -105,7 +105,8 @@ func (e *envelope) observe(f *element.Fact) {
 // the file is fsynced in finish, BEFORE the caller references it from
 // the manifest — the crash-atomicity contract of the format.
 type writer struct {
-	f     *os.File
+	f     vfs.File
+	fs    vfs.FS
 	bw    *bufio.Writer
 	path  string
 	off   int64
@@ -115,13 +116,13 @@ type writer struct {
 }
 
 // createSegment opens a new segment file at path and writes the header.
-func createSegment(path string) (*writer, error) {
-	f, err := os.Create(path)
+func createSegment(fsys vfs.FS, path string) (*writer, error) {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("segment: create: %w", err)
 	}
 	w := &writer{
-		f: f, bw: bufio.NewWriterSize(f, 1<<16), path: path,
+		f: f, fs: fsys, bw: bufio.NewWriterSize(f, 1<<16), path: path,
 		index: make(map[element.FactKey]int64),
 		env:   emptyEnvelope(),
 	}
@@ -246,7 +247,7 @@ func (w *writer) finish(cut temporal.Instant) (*reader, error) {
 		return nil, fmt.Errorf("segment: sync: %w", err)
 	}
 	return &reader{
-		f: w.f, path: w.path, size: w.off + trailerLen,
+		f: w.f, fs: w.fs, path: w.path, size: w.off + trailerLen,
 		cut: cut, env: w.env, index: w.index,
 	}, nil
 }
@@ -254,14 +255,15 @@ func (w *writer) finish(cut temporal.Instant) (*reader, error) {
 // abort discards a partially written segment.
 func (w *writer) abort() {
 	w.f.Close()
-	os.Remove(w.path)
+	w.fs.Remove(w.path)
 }
 
 // reader is one open segment: its footer index in memory, lineage frames
 // read on demand with pread (ReadAt), so concurrent point reads never
 // seek-contend.
 type reader struct {
-	f    *os.File
+	f    vfs.File
+	fs   vfs.FS
 	path string
 	// size bounds every frame read: the length prefix sits outside the
 	// frame checksum, so without the bound a bit-rotted prefix would
@@ -274,12 +276,12 @@ type reader struct {
 
 // openSegment opens and validates a segment file: trailer, footer frame
 // checksum, index. Lineage frames are validated lazily on first read.
-func openSegment(path string) (*reader, error) {
-	f, err := os.Open(path)
+func openSegment(fsys vfs.FS, path string) (*reader, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("segment: open: %w", err)
 	}
-	r, err := loadSegment(f, path)
+	r, err := loadSegment(fsys, f, path)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -288,7 +290,7 @@ func openSegment(path string) (*reader, error) {
 }
 
 // loadSegment parses the trailer and footer of an open segment file.
-func loadSegment(f *os.File, path string) (*reader, error) {
+func loadSegment(fsys vfs.FS, f vfs.File, path string) (*reader, error) {
 	st, err := f.Stat()
 	if err != nil {
 		return nil, fmt.Errorf("segment: stat %s: %w", path, err)
@@ -317,7 +319,7 @@ func loadSegment(f *os.File, path string) (*reader, error) {
 	if c.u8() != kindFooter {
 		return nil, fmt.Errorf("segment: %s: footer has wrong frame kind", path)
 	}
-	r := &reader{f: f, path: path, size: size, cut: temporal.Instant(c.varint())}
+	r := &reader{f: f, fs: fsys, path: path, size: size, cut: temporal.Instant(c.varint())}
 	r.env.minValid = temporal.Instant(c.varint())
 	r.env.maxValid = temporal.Instant(c.varint())
 	r.env.minTx = temporal.Instant(c.varint())
@@ -352,7 +354,7 @@ func (r *reader) readLineage(off int64) (element.FactKey, []*element.Fact, error
 // path: decoding every frame from one sequential read beats a pread
 // pair per lineage by orders of magnitude in syscalls.
 func (r *reader) image() ([]byte, error) {
-	img, err := os.ReadFile(r.path)
+	img, err := r.fs.ReadFile(r.path)
 	if err != nil {
 		return nil, fmt.Errorf("segment: %s: image: %w", r.path, err)
 	}
@@ -426,7 +428,7 @@ func (r *reader) decodeLineage(payload []byte, off int64) (element.FactKey, []*e
 // file size) bounds the read: the length prefix is outside the checksum,
 // so an unbounded read would let a bit-rotted prefix drive an arbitrary
 // allocation.
-func readFrame(f *os.File, off, size int64) ([]byte, error) {
+func readFrame(f io.ReaderAt, off, size int64) ([]byte, error) {
 	var hdr [frameHdrLen]byte
 	if _, err := f.ReadAt(hdr[:], off); err != nil {
 		return nil, fmt.Errorf("frame header: %w", err)

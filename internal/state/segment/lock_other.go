@@ -2,8 +2,10 @@
 
 package segment
 
+import "repro/internal/vfs"
+
 // lockDir is a no-op on platforms without flock: single-owner use of a
 // durable directory is then the caller's responsibility.
-func lockDir(string) (func(), error) {
+func lockDir(vfs.FS, string) (func(), error) {
 	return func() {}, nil
 }

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"syscall"
+
+	"repro/internal/vfs"
 )
 
 // lockDir takes an exclusive advisory flock on the directory's LOCK
@@ -15,8 +17,8 @@ import (
 // and delete the other's in-flight segments as orphans). The lock
 // vanishes with the process, so a crash never blocks recovery. The
 // returned func releases it.
-func lockDir(dir string) (func(), error) {
-	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+func lockDir(fsys vfs.FS, dir string) (func(), error) {
+	f, err := fsys.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("segment: lock %s: %w", dir, err)
 	}

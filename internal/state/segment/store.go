@@ -34,16 +34,20 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"os"
+	"io"
+	"io/fs"
+	"math/rand"
 	"path/filepath"
 	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/element"
 	"repro/internal/state"
 	"repro/internal/temporal"
+	"repro/internal/vfs"
 )
 
 const (
@@ -57,7 +61,43 @@ const (
 	// DefaultFlushEvery is the WAL-tail record count that triggers a
 	// background flush (see Pulse) unless WithFlushEvery overrides it.
 	DefaultFlushEvery = 8192
+
+	// maxFlushErrHistory bounds the retained background-flush error
+	// history: the next Flush/Close surfaces a join of up to this many
+	// distinct failures, newest kept, instead of only the first.
+	maxFlushErrHistory = 8
 )
+
+// RetryPolicy tunes the background flusher's reaction to transient
+// durable-path errors (vfs.IsTransient): capped exponential backoff
+// with full jitter, then degraded mode when retries are exhausted.
+type RetryPolicy struct {
+	// MaxRetries is how many times one background flush retries a
+	// transient failure before the store degrades.
+	MaxRetries int
+	// BaseDelay is the first backoff delay; each retry doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the doubling.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is the retry policy Open uses unless
+// WithRetryPolicy overrides it.
+var DefaultRetryPolicy = RetryPolicy{MaxRetries: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+
+// Degraded describes the store's degraded mode: the durable write path
+// has failed permanently (or exhausted its retries), so flushes and
+// durable fallthrough reads have stopped while ingest and RAM reads
+// keep serving. A successful manual Flush (or Resume) exits the mode.
+type Degraded struct {
+	// Since is when the store degraded.
+	Since time.Time
+	// Cause is the failure that latched the mode.
+	Cause error
+	// RetriesExhausted distinguishes a transient failure that outlived
+	// the retry budget from an immediately-permanent one.
+	RetriesExhausted bool
+}
 
 // manifestRec is the gob wire format of the MANIFEST file — the commit
 // point of the durable directory.
@@ -97,8 +137,12 @@ type Store struct {
 	dir string
 	mem *state.Store
 	log *state.Log
+	// fs is the filesystem seam every durable-path os.* call goes
+	// through: vfs.OS in production, a vfs.FaultFS under chaos tests.
+	fs vfs.FS
 
 	flushEvery int
+	retry      RetryPolicy
 
 	// cat is the published durable view; swapped after each flush.
 	cat atomic.Pointer[catalog]
@@ -115,12 +159,31 @@ type Store struct {
 	unlock func()
 
 	// flushing is the single-flight latch of background flushes (Pulse);
-	// wg tracks the in-flight one so Close can wait.
+	// wg tracks the in-flight one so Close can wait. closing interrupts
+	// a backoff sleep so Close never waits out a retry schedule.
 	flushing atomic.Bool
 	wg       sync.WaitGroup
-	// flushErr holds the first background flush error until surfaced by
-	// the next Flush or Close.
-	flushErr atomic.Pointer[error]
+	closing  chan struct{}
+
+	// errMu guards the bounded background-flush error history (surfaced
+	// joined by the next Flush/Close) and the latest cause (Info).
+	errMu     sync.Mutex
+	flushErrs []error
+	lastErr   error
+
+	// degraded publishes degraded mode; nil means healthy. Entered by a
+	// WAL append failure or a permanent/exhausted flush failure, exited
+	// by a successful manual Flush or Resume.
+	degraded atomic.Pointer[Degraded]
+	// hookMu guards the degraded-transition hooks (OnDegraded).
+	hookMu     sync.Mutex
+	onDegraded []func(*Degraded)
+
+	// flushRetries counts transient background-flush retries;
+	// removeFails counts failed cleanup unlinks (orphan GC, retired
+	// segments) — disk leaks made visible instead of silent.
+	flushRetries atomic.Int64
+	removeFails  atomic.Int64
 
 	// scanFrames/scanPruned count durable frames read into scans and
 	// frames the per-segment envelope pruning skipped (see List).
@@ -152,6 +215,18 @@ func WithFlushEvery(n int) Option {
 	return func(d *Store) { d.flushEvery = n }
 }
 
+// WithFS replaces the filesystem seam (default vfs.OS). Chaos tests
+// pass a vfs.FaultFS to inject scripted durable-path failures.
+func WithFS(fsys vfs.FS) Option {
+	return func(d *Store) { d.fs = fsys }
+}
+
+// WithRetryPolicy replaces the background flusher's transient-error
+// retry policy (default DefaultRetryPolicy).
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(d *Store) { d.retry = p }
+}
+
 // Open opens (or initializes) a durable directory and recovers its
 // state: manifest, then the newest segment frame of every key
 // (bulk-loaded, no replay), then the WAL tail. Orphan files from a
@@ -160,7 +235,11 @@ func WithFlushEvery(n int) Option {
 // reads, writes, and flushes; writes append to the WAL until a flush
 // hands them off to segments.
 func Open(dir string, opts ...Option) (*Store, error) {
-	d := &Store{dir: dir, flushEvery: DefaultFlushEvery, nextSeq: 1}
+	d := &Store{
+		dir: dir, flushEvery: DefaultFlushEvery, nextSeq: 1,
+		fs: vfs.OS, retry: DefaultRetryPolicy,
+		closing: make(chan struct{}),
+	}
 	for _, o := range opts {
 		o(d)
 	}
@@ -171,10 +250,10 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	// deleting emptied lineages) so the next flush supersedes the key's
 	// stale segment frame; see state.SetRetainSwept.
 	d.mem.SetRetainSwept(true)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := d.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("segment: open %s: %w", dir, err)
 	}
-	unlock, err := lockDir(dir)
+	unlock, err := lockDir(d.fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +273,7 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	gcPct := debug.SetGCPercent(-1)
 	defer debug.SetGCPercent(gcPct)
 
-	man, err := readManifest(filepath.Join(dir, manifestName))
+	man, err := readManifest(d.fs, filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +282,7 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		cat.durableTx = man.DurableTx
 		d.nextSeq = man.NextSeq
 		for _, ms := range man.Segments {
-			r, err := openSegment(filepath.Join(dir, ms.File))
+			r, err := openSegment(d.fs, filepath.Join(dir, ms.File))
 			if err != nil {
 				d.closeSegments(cat)
 				return nil, err
@@ -220,12 +299,22 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		d.closeSegments(cat)
 		return nil, err
 	}
-	log, _, err := state.RecoverLog(filepath.Join(dir, walName), d.mem, cat.durableTx)
+	log, _, err := state.RecoverLogFS(d.fs, filepath.Join(dir, walName), d.mem, cat.durableTx)
 	if err != nil {
 		d.closeSegments(cat)
 		return nil, err
 	}
 	d.log = log
+	// A WAL append failure ruins the gob stream mid-message — no
+	// per-record recovery exists regardless of the error's taxonomy —
+	// so the handler always acknowledges: the writer's RAM commit
+	// proceeds, the log drops further appends, and the store degrades.
+	// The handler runs under a shard lock, so it only latches atomics
+	// and fires the (lock-light) transition hooks.
+	log.OnAppendError(func(err error) bool {
+		d.enterDegraded(fmt.Errorf("segment: wal append: %w", err), false)
+		return true
+	})
 	d.mem.AttachLog(log)
 	d.cat.Store(cat)
 	opened = true
@@ -281,7 +370,7 @@ func (d *Store) removeOrphans(man *manifestRec) {
 			live[ms.File] = true
 		}
 	}
-	ents, err := os.ReadDir(d.dir)
+	ents, err := d.fs.ReadDir(d.dir)
 	if err != nil {
 		return
 	}
@@ -289,19 +378,20 @@ func (d *Store) removeOrphans(man *manifestRec) {
 		name := e.Name()
 		switch {
 		case name == manifestName || name == walName || name == lockName || live[name]:
-		case name == manifestName+".tmp" || name == walName+".tmp":
-			os.Remove(filepath.Join(d.dir, name))
-		case filepath.Ext(name) == ".seg":
-			os.Remove(filepath.Join(d.dir, name))
+		case name == manifestName+".tmp" || name == walName+".tmp",
+			filepath.Ext(name) == ".seg":
+			if err := d.fs.Remove(filepath.Join(d.dir, name)); err != nil {
+				d.removeFails.Add(1)
+			}
 		}
 	}
 }
 
 // readManifest loads and validates the manifest, returning nil when the
 // directory has none yet (a fresh directory).
-func readManifest(path string) (*manifestRec, error) {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
+func readManifest(fsys vfs.FS, path string) (*manifestRec, error) {
+	f, err := fsys.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
@@ -309,7 +399,7 @@ func readManifest(path string) (*manifestRec, error) {
 	}
 	defer f.Close()
 	var man manifestRec
-	if err := gob.NewDecoder(f).Decode(&man); err != nil {
+	if err := gob.NewDecoder(io.NewSectionReader(f, 0, 1<<62)).Decode(&man); err != nil {
 		return nil, fmt.Errorf("segment: manifest: %w", err)
 	}
 	if man.Version != manifestVersion {
@@ -323,7 +413,7 @@ func readManifest(path string) (*manifestRec, error) {
 func (d *Store) writeManifest(man *manifestRec) error {
 	path := filepath.Join(d.dir, manifestName)
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := d.fs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("segment: manifest: %w", err)
 	}
@@ -332,18 +422,18 @@ func (d *Store) writeManifest(man *manifestRec) error {
 	}
 	if err != nil {
 		f.Close()
-		os.Remove(tmp)
+		d.fs.Remove(tmp)
 		return fmt.Errorf("segment: manifest: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		d.fs.Remove(tmp)
 		return fmt.Errorf("segment: manifest: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := d.fs.Rename(tmp, path); err != nil {
+		d.fs.Remove(tmp)
 		return fmt.Errorf("segment: manifest: %w", err)
 	}
-	state.SyncDir(d.dir)
+	d.fs.SyncDir(d.dir)
 	return nil
 }
 
@@ -384,10 +474,34 @@ func (d *Store) Flush() error {
 func (d *Store) FlushAt(cut temporal.Instant) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	// A latched background-flush error is surfaced alongside — never
+	// Latched background-flush errors are surfaced alongside — never
 	// instead of — this attempt: a transient failure (disk pressure,
 	// say) must not disable flushing permanently.
-	return errors.Join(d.takeFlushErr(), d.flushLocked(cut))
+	joined := d.takeFlushErr()
+	if d.degraded.Load() != nil && d.log.Dropping() {
+		// Degraded-exit protocol for a forfeited WAL. Order is load-
+		// bearing: Rearm the log FIRST (fresh file, fresh encoder), THEN
+		// pin the cut. A transaction time is reserved under the shard
+		// lock before its WAL append, so every append dropped before the
+		// Rearm carries a time at or before the pin — the flush below
+		// covers it — and every append after the Rearm lands in the
+		// fresh WAL. The loss window left is a crash between here and
+		// the manifest commit, which degraded mode already forfeited.
+		if err := d.log.Rearm(); err != nil {
+			return errors.Join(joined, err)
+		}
+		if c := d.mem.Snapshot().At(); c > cut {
+			cut = c
+		}
+	}
+	err := d.flushLocked(cut)
+	if err == nil {
+		d.errMu.Lock()
+		d.lastErr = nil
+		d.errMu.Unlock()
+		d.exitDegraded()
+	}
+	return errors.Join(joined, err)
 }
 
 // flushLocked is FlushAt's body; callers hold d.mu.
@@ -401,7 +515,7 @@ func (d *Store) flushLocked(cut temporal.Instant) error {
 	}
 
 	name := fmt.Sprintf("seg-%08d.seg", d.nextSeq)
-	w, err := createSegment(filepath.Join(d.dir, name))
+	w, err := createSegment(d.fs, filepath.Join(d.dir, name))
 	if err != nil {
 		return err
 	}
@@ -475,9 +589,14 @@ func (d *Store) flushLocked(cut temporal.Instant) error {
 	}
 	// Sync the WAL before the manifest commit: after the commit, every
 	// write is durable against power loss too — at or before the cut in
-	// the just-synced segment, after it in the just-synced tail.
-	if err := d.log.Sync(); err != nil {
-		return err
+	// the just-synced segment, after it in the just-synced tail. A
+	// dropping (degraded) WAL is forfeit — its tail ends in a torn
+	// record and newer appends were discarded — so there is nothing
+	// coherent to sync; the segment flush itself carries durability.
+	if !d.log.Dropping() {
+		if err := d.log.Sync(); err != nil {
+			return err
+		}
 	}
 	if err := d.writeManifest(man); err != nil {
 		return err
@@ -488,16 +607,22 @@ func (d *Store) flushLocked(cut temporal.Instant) error {
 	// that loaded an older catalog may still pread them. Dropping every
 	// reference here lets the runtime's os.File finalizer close each
 	// descriptor once no in-flight reader can reach it — the same
-	// GC-based epoch reclamation the store's published heads use.
+	// GC-based epoch reclamation the store's published heads use. A
+	// failed unlink is counted (Info.RemoveFailures), not silenced.
 	for _, r := range dead {
-		os.Remove(r.path)
+		if err := d.fs.Remove(r.path); err != nil {
+			d.removeFails.Add(1)
+		}
 	}
 
 	// The manifest is committed: the WAL prefix at or before the cut is
 	// redundant. A crash before (or during) the truncation is benign —
-	// recovery filters replay by the manifest's cut.
-	if err := d.log.TruncateBefore(cut); err != nil {
-		return err
+	// recovery filters replay by the manifest's cut. A dropping WAL is
+	// skipped for the same reason its sync was.
+	if !d.log.Dropping() {
+		if err := d.log.TruncateBefore(cut); err != nil {
+			return err
+		}
 	}
 	// Husks whose tombstones the commit covered are reclaimable (see
 	// state.SetRetainSwept).
@@ -508,13 +633,19 @@ func (d *Store) flushLocked(cut temporal.Instant) error {
 // Pulse nudges the background flusher: when the WAL tail has grown past
 // the flush threshold and no flush is in flight, one starts at cut. The
 // engine calls it as its watermark advances — the cut is then quiesced
-// by the stream's timestamp order. Errors surface from the next Flush,
-// FlushAt, or Close.
+// by the stream's timestamp order. Transient failures retry with capped
+// exponential backoff; a permanent failure degrades the store (see
+// Degraded). Accumulated errors surface from the next Flush, FlushAt,
+// or Close. Degraded stores skip pulses entirely — a manual Flush or
+// Resume is the way back.
 func (d *Store) Pulse(cut temporal.Instant) {
-	// Order matters: the flushing latch and the durable-cut check are
-	// lock-free, so a Pulse during an in-flight flush returns without
-	// touching Log.Len — whose appender token the flush's WAL rewrite
-	// may be holding for its O(tail) duration.
+	// Order matters: the degraded and flushing latches and the
+	// durable-cut check are lock-free, so a Pulse during an in-flight
+	// flush returns without touching Log.Len — whose appender token the
+	// flush's WAL rewrite may be holding for its O(tail) duration.
+	if d.degraded.Load() != nil {
+		return
+	}
 	if d.flushing.Load() || cut <= d.DurableTx() || d.log.Len() < d.flushEvery {
 		return
 	}
@@ -525,19 +656,137 @@ func (d *Store) Pulse(cut temporal.Instant) {
 	go func() {
 		defer d.wg.Done()
 		defer d.flushing.Store(false)
-		if err := d.FlushAt(cut); err != nil {
-			d.flushErr.CompareAndSwap(nil, &err)
-		}
+		d.backgroundFlush(cut)
 	}()
 }
 
-// takeFlushErr surfaces and clears the sticky background-flush error.
-// Callers hold d.mu.
-func (d *Store) takeFlushErr() error {
-	if p := d.flushErr.Swap(nil); p != nil {
-		return *p
+// backgroundFlush drives one pulsed flush to completion: transient
+// failures (vfs.IsTransient) retry under the store's RetryPolicy —
+// doubling delay, full jitter, interruptible by Close — and a permanent
+// failure or an exhausted budget latches degraded mode.
+func (d *Store) backgroundFlush(cut temporal.Instant) {
+	delay := d.retry.BaseDelay
+	for attempt := 0; ; attempt++ {
+		d.mu.Lock()
+		err := d.flushLocked(cut)
+		d.mu.Unlock()
+		if err == nil {
+			d.errMu.Lock()
+			d.lastErr = nil
+			d.errMu.Unlock()
+			return
+		}
+		d.noteFlushErr(err)
+		if !vfs.IsTransient(err) {
+			d.enterDegraded(err, false)
+			return
+		}
+		if attempt >= d.retry.MaxRetries {
+			d.enterDegraded(err, true)
+			return
+		}
+		d.flushRetries.Add(1)
+		sleep := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		select {
+		case <-time.After(sleep):
+		case <-d.closing:
+			return
+		}
+		if delay *= 2; delay > d.retry.MaxDelay {
+			delay = d.retry.MaxDelay
+		}
 	}
-	return nil
+}
+
+// noteFlushErr records one background-flush failure in the bounded
+// history (oldest evicted) and as the latest cause for Info.
+func (d *Store) noteFlushErr(err error) {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	d.lastErr = err
+	d.flushErrs = append(d.flushErrs, err)
+	if len(d.flushErrs) > maxFlushErrHistory {
+		d.flushErrs = d.flushErrs[len(d.flushErrs)-maxFlushErrHistory:]
+	}
+}
+
+// takeFlushErr drains the background-flush error history, joining every
+// retained failure — not just the first — so distinct later causes
+// survive to the surfacing Flush/Close.
+func (d *Store) takeFlushErr() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	if len(d.flushErrs) == 0 {
+		return nil
+	}
+	err := errors.Join(d.flushErrs...)
+	d.flushErrs = nil
+	return err
+}
+
+// LastFlushErr reports the most recent flush failure; nil after a
+// successful flush.
+func (d *Store) LastFlushErr() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return d.lastErr
+}
+
+// enterDegraded latches degraded mode (first cause wins) and fires the
+// transition hooks.
+func (d *Store) enterDegraded(cause error, exhausted bool) {
+	deg := &Degraded{Since: time.Now(), Cause: cause, RetriesExhausted: exhausted}
+	if d.degraded.CompareAndSwap(nil, deg) {
+		d.fireDegradedHooks(deg)
+	}
+}
+
+// exitDegraded clears the latch and fires the hooks with nil.
+func (d *Store) exitDegraded() {
+	if d.degraded.Swap(nil) != nil {
+		d.fireDegradedHooks(nil)
+	}
+}
+
+func (d *Store) fireDegradedHooks(deg *Degraded) {
+	d.hookMu.Lock()
+	hooks := make([]func(*Degraded), len(d.onDegraded))
+	copy(hooks, d.onDegraded)
+	d.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn(deg)
+	}
+}
+
+// Degraded reports the store's degraded mode; nil means healthy. While
+// degraded, ingest and RAM reads keep working, flushes and durable
+// fallthrough reads stop, and WAL appends are acknowledged but dropped
+// (Info.DroppedAppends counts them).
+func (d *Store) Degraded() *Degraded { return d.degraded.Load() }
+
+// OnDegraded registers a hook fired on degraded-mode transitions: with
+// the Degraded record on entry, with nil on exit. Hooks may run on a
+// writer goroutine holding a shard lock (WAL failures latch inline), so
+// they must be fast and lock-light — atomic updates and non-blocking
+// sends, never store operations. Register before ingestion starts.
+func (d *Store) OnDegraded(fn func(*Degraded)) {
+	d.hookMu.Lock()
+	defer d.hookMu.Unlock()
+	d.onDegraded = append(d.onDegraded, fn)
+}
+
+// Resume is the operator verb for leaving degraded mode: one full
+// manual flush — which rearms a forfeited WAL and, on success, clears
+// the degraded latch. A nil return means the store is healthy again;
+// an error means it is still degraded. Unlike Flush, a successful
+// Resume discards the surfaced pre-resume error history (it was
+// observable via LastFlushErr and Info while latched) instead of
+// reporting old causes as a fresh failure.
+func (d *Store) Resume() error {
+	// Drain the latched history first: the return value is then exactly
+	// this attempt's outcome, not a replay of already-observed causes.
+	d.takeFlushErr()
+	return d.Flush()
 }
 
 // Close flushes everything committed so far and releases the WAL and
@@ -557,6 +806,7 @@ func (d *Store) Close() error {
 // holding them would leak the flock (blocking any reopen in-process)
 // with no path left to release it.
 func (d *Store) doClose() error {
+	close(d.closing)
 	d.wg.Wait()
 	flushErr := d.Flush()
 	d.mu.Lock()
@@ -578,6 +828,7 @@ func (d *Store) doClose() error {
 // must not be used afterwards; a subsequent Close is a no-op.
 func (d *Store) Abandon() {
 	d.closeOnce.Do(func() {
+		close(d.closing)
 		d.wg.Wait()
 		d.mu.Lock()
 		defer d.mu.Unlock()
@@ -638,6 +889,12 @@ func (d *Store) History(entity, attr string, opts ...state.ReadOpt) []*element.F
 // the frame — their selection semantics (closed records, AllVersions)
 // are not point-shaped, so only the full resolver can answer.
 func (d *Store) findFrame(entity, attr string, point bool, opts ...state.ReadOpt) ([]*element.Fact, bool) {
+	if d.degraded.Load() != nil {
+		// Degraded mode serves RAM only: the disk already failed on the
+		// write path, so fallthrough preads stop rather than stall or
+		// flap per read.
+		return nil, false
+	}
 	cat := d.cat.Load()
 	ref, ok := cat.frames[element.FactKey{Entity: entity, Attribute: attr}]
 	if !ok {
@@ -678,7 +935,8 @@ func (d *Store) findFrame(entity, attr string, point bool, opts ...state.ReadOpt
 func (d *Store) List(opts ...state.ReadOpt) []*element.Fact {
 	out := d.mem.List(opts...)
 	cat := d.cat.Load()
-	if len(cat.frames) == 0 {
+	if len(cat.frames) == 0 || d.degraded.Load() != nil {
+		// Degraded scans serve RAM only, matching findFrame's posture.
 		return out
 	}
 	shape := state.ShapeOf(opts...)
@@ -781,6 +1039,19 @@ type Info struct {
 	// ScanFramesPruned is the cumulative count of durable scan
 	// candidates the per-segment bitemporal envelope pruned unread.
 	ScanFramesPruned int64
+	// Degraded is non-nil while the store is in degraded mode.
+	Degraded *Degraded
+	// LastFlushErr is the most recent flush failure; nil after a
+	// successful flush.
+	LastFlushErr error
+	// FlushRetries counts transient background-flush retries.
+	FlushRetries int64
+	// RemoveFailures counts failed cleanup unlinks (orphan GC, retired
+	// segments).
+	RemoveFailures int64
+	// DroppedAppends counts WAL appends acknowledged and discarded in
+	// degraded mode.
+	DroppedAppends int
 }
 
 // Info returns a point-in-time summary of the durable directory.
@@ -793,5 +1064,10 @@ func (d *Store) Info() Info {
 		WALRecords:       d.log.Len(),
 		ScanFrames:       d.scanFrames.Load(),
 		ScanFramesPruned: d.scanPruned.Load(),
+		Degraded:         d.degraded.Load(),
+		LastFlushErr:     d.LastFlushErr(),
+		FlushRetries:     d.flushRetries.Load(),
+		RemoveFailures:   d.removeFails.Load(),
+		DroppedAppends:   d.log.Dropped(),
 	}
 }

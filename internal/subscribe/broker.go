@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/state"
+	"repro/internal/state/segment"
 	"repro/internal/temporal"
 )
 
@@ -29,6 +30,7 @@ const DefaultQueueLen = 256
 // one dispatch goroutine. All methods are safe for concurrent use.
 type Broker struct {
 	batch    chan core.WatermarkBatch
+	notices  chan string
 	overflow atomic.Bool
 	done     chan struct{}
 	stop     sync.Once
@@ -71,6 +73,7 @@ type Broker struct {
 func NewBroker(e *core.Engine) *Broker {
 	b := &Broker{
 		batch:    make(chan core.WatermarkBatch, brokerBacklog),
+		notices:  make(chan string, 4),
 		done:     make(chan struct{}),
 		subs:     make(map[uint64]*Subscriber),
 		byEntity: make(map[string][]*Subscriber),
@@ -86,6 +89,21 @@ func NewBroker(e *core.Engine) *Broker {
 			b.overflow.Store(true)
 		}
 	})
+	if d := e.Durable(); d != nil {
+		// Durability transitions become Notice deliveries. The hook may
+		// run under an engine shard lock, so it only formats the note and
+		// hands off non-blocking; the broker goroutine fans it out.
+		d.OnDegraded(func(deg *segment.Degraded) {
+			note := "durability resumed"
+			if deg != nil {
+				note = fmt.Sprintf("durability degraded: %v", deg.Cause)
+			}
+			select {
+			case b.notices <- note:
+			default:
+			}
+		})
+	}
 	go b.loop()
 	return b
 }
@@ -221,14 +239,31 @@ func (b *Broker) Close() {
 	}
 }
 
-// loop drains the batch channel onto dispatch until Close.
+// loop drains the batch and notice channels onto dispatch until Close.
 func (b *Broker) loop() {
 	for {
 		select {
 		case wb := <-b.batch:
 			b.dispatch(wb)
+		case note := <-b.notices:
+			b.notifyAll(note)
 		case <-b.done:
 			return
+		}
+	}
+}
+
+// notifyAll offers a Notice delivery to every subscriber, never
+// blocking: a full queue drops the notice — the subscriber is already
+// behind, and the same health is on /readyz and Store.Info().
+func (b *Broker) notifyAll(note string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d := Delivery{Kind: Notice, Watermark: b.lastWM, Note: note}
+	for _, s := range b.subs {
+		select {
+		case s.queue <- d:
+		default:
 		}
 	}
 }

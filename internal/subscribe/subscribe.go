@@ -96,12 +96,18 @@ const (
 	// stale cursor) and receives a snapshot-pinned catch-up instead of
 	// the missed deltas.
 	Resync
+	// Notice carries an operational event — the durable layer entering
+	// or leaving degraded mode — rather than data. Note describes it.
+	Notice
 )
 
 // String names the delivery kind.
 func (k Kind) String() string {
-	if k == Resync {
+	switch k {
+	case Resync:
 		return "resync"
+	case Notice:
+		return "notice"
 	}
 	return "deltas"
 }
@@ -128,6 +134,9 @@ type Delivery struct {
 	Cut temporal.Instant
 	// State is the Resync catch-up: the filtered believed state at Cut.
 	State []*element.Fact
+	// Note is the Notice payload: a human-readable description of the
+	// operational event ("degraded: <cause>" or "durability resumed").
+	Note string
 }
 
 // catchUp reads the filtered believed state through the pinned snapshot

@@ -1,0 +1,71 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+)
+
+// ErrTransient marks an I/O error worth retrying: the condition (disk
+// momentarily full, interrupted syscall, busy device) can clear on its
+// own. Test with errors.Is or IsTransient.
+var ErrTransient = errors.New("transient I/O error")
+
+// ErrPermanent marks an I/O error that retrying will not fix (media
+// failure, permission revoked, filesystem gone read-only). The durable
+// layer reacts by entering degraded mode rather than retrying forever.
+var ErrPermanent = errors.New("permanent I/O error")
+
+// Transient wraps err so that errors.Is(·, ErrTransient) holds, keeping
+// the original error visible through Unwrap.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return taggedErr{err: err, tag: ErrTransient}
+}
+
+// Permanent wraps err so that errors.Is(·, ErrPermanent) holds, keeping
+// the original error visible through Unwrap.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return taggedErr{err: err, tag: ErrPermanent}
+}
+
+// taggedErr attaches a taxonomy marker to an error without hiding it.
+type taggedErr struct {
+	err error
+	tag error
+}
+
+func (t taggedErr) Error() string { return fmt.Sprintf("%v: %v", t.tag, t.err) }
+
+// Unwrap exposes both the marker and the cause to errors.Is/As.
+func (t taggedErr) Unwrap() []error { return []error{t.tag, t.err} }
+
+// IsTransient classifies a durable-path error. Explicit markers win;
+// otherwise a small errno heuristic catches the common self-clearing
+// conditions (ENOSPC, EAGAIN, EINTR, ETIMEDOUT, EBUSY). Anything
+// unrecognized is treated as permanent: degrading loudly and serving
+// from RAM beats retrying an unknown failure forever.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrPermanent) {
+		return false
+	}
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	for _, errno := range []syscall.Errno{
+		syscall.ENOSPC, syscall.EAGAIN, syscall.EINTR, syscall.ETIMEDOUT, syscall.EBUSY,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,117 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestFaultNthOpByPattern: a rule scoped by op kind, path glob, and
+// After fires on exactly the scripted occurrences and nowhere else.
+func TestFaultNthOpByPattern(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(OS)
+	fs.AddRule(Rule{Op: OpCreate, Path: "seg-*", After: 1, Count: 1})
+
+	if _, err := fs.Create(filepath.Join(dir, "wal.log")); err != nil {
+		t.Fatalf("unmatched path should pass through: %v", err)
+	}
+	if _, err := fs.Create(filepath.Join(dir, "seg-0001")); err != nil {
+		t.Fatalf("first match is skipped by After: %v", err)
+	}
+	if _, err := fs.Create(filepath.Join(dir, "seg-0002")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second match should fail injected, got %v", err)
+	}
+	if _, err := fs.Create(filepath.Join(dir, "seg-0003")); err != nil {
+		t.Fatalf("Count=1 exhausts the rule: %v", err)
+	}
+	if got := fs.Injected(); got != 1 {
+		t.Fatalf("want 1 injection, got %d", got)
+	}
+}
+
+// TestFaultShortWrite: a ShortWrite rule persists only half the buffer
+// and reports the scripted error — the torn-append drive.
+func TestFaultShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(OS)
+	fs.AddRule(Rule{Op: OpWrite, ShortWrite: true, Count: 1, Err: Transient(ErrInjected)})
+	f, err := fs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("want transient injected error, got %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write should persist half, wrote %d", n)
+	}
+	if _, err := f.Write([]byte("rest")); err != nil {
+		t.Fatalf("rule exhausted, write should pass: %v", err)
+	}
+	f.Close()
+	b, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil || string(b) != "01234rest" {
+		t.Fatalf("on-disk bytes: %q err=%v", b, err)
+	}
+}
+
+// TestFaultTornRename: a TornRename rule applies the rename yet reports
+// failure — callers must tolerate the ambiguous outcome.
+func TestFaultTornRename(t *testing.T) {
+	dir := t.TempDir()
+	src, dst := filepath.Join(dir, "a.tmp"), filepath.Join(dir, "a")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaultFS(OS)
+	fs.AddRule(Rule{Op: OpRename, TornRename: true})
+	if err := fs.Rename(src, dst); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if _, err := os.Stat(dst); err != nil {
+		t.Fatalf("torn rename should have applied: %v", err)
+	}
+}
+
+// TestFaultLyingSync: a SyncLie rule reports fsync success without
+// syncing, and the seam counts the lie.
+func TestFaultLyingSync(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(OS)
+	fs.AddRule(Rule{Op: OpSync, SyncLie: true})
+	f, err := fs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying sync must report success, got %v", err)
+	}
+	if got := fs.LiedSyncs(); got != 1 {
+		t.Fatalf("want 1 lied sync, got %d", got)
+	}
+}
+
+// TestFaultTaxonomy: explicit markers dominate, errno heuristics catch
+// self-clearing conditions, and unknown errors default to permanent.
+func TestFaultTaxonomy(t *testing.T) {
+	if !IsTransient(Transient(errors.New("x"))) {
+		t.Fatal("explicit transient not recognized")
+	}
+	if IsTransient(Permanent(syscall.ENOSPC)) {
+		t.Fatal("explicit permanent must dominate the errno heuristic")
+	}
+	if !IsTransient(&os.PathError{Op: "write", Path: "f", Err: syscall.ENOSPC}) {
+		t.Fatal("ENOSPC should classify transient")
+	}
+	if IsTransient(errors.New("unknown")) {
+		t.Fatal("unknown errors default to permanent")
+	}
+	if IsTransient(nil) {
+		t.Fatal("nil is not transient")
+	}
+}

@@ -1,0 +1,112 @@
+// Package vfs is the filesystem seam of the durability layer. Every
+// os.* call made by the WAL (internal/state) and the segment store
+// (internal/state/segment) goes through the FS interface, so tests can
+// swap the real filesystem for a FaultFS that injects scripted failures
+// — errors on the Nth matching operation, short writes, torn renames,
+// lying fsyncs — and chaos suites can prove the engine degrades instead
+// of corrupting state.
+//
+// The passthrough implementation (OS) returns *os.File handles directly
+// and adds no buffering, locking, or copying, so the production path
+// costs nothing beyond an interface call (gated ≤5% by the
+// e7/flush-vfs-overhead benchmark).
+//
+// The package also defines the durable-path error taxonomy: injected or
+// real I/O errors classify as transient (worth retrying with backoff)
+// or permanent (enter degraded mode) via ErrTransient / ErrPermanent
+// and the IsTransient predicate.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the handle surface the durability layer needs: sequential
+// writes (WAL, segment builder), positional reads (frame fetch), fsync,
+// and enough metadata for size checks and advisory locks. *os.File
+// satisfies it directly.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Stat returns file metadata (used for size/torn-tail checks).
+	Stat() (os.FileInfo, error)
+	// Name returns the path the file was opened with.
+	Name() string
+	// Fd returns the underlying descriptor (used for flock).
+	Fd() uintptr
+}
+
+// FS abstracts the filesystem operations of the durability layer.
+// Implementations: OS (passthrough) and *FaultFS (scripted injection).
+type FS interface {
+	// Create truncates or creates the named file for writing.
+	Create(path string) (File, error)
+	// Open opens the named file for reading.
+	Open(path string) (File, error)
+	// OpenFile is the generalized open (used for lock files).
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove unlinks the named file.
+	Remove(path string) error
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir lists the named directory.
+	ReadDir(path string) ([]os.DirEntry, error)
+	// ReadFile reads the whole named file.
+	ReadFile(path string) ([]byte, error)
+	// SyncDir fsyncs the directory entry metadata (rename durability).
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS over the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(path string) (File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(path string) (File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) ReadDir(path string) ([]os.DirEntry, error) { return os.ReadDir(path) }
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -150,6 +150,11 @@ func WithDurableDir(path string, opts ...DurableOption) Option {
 // advances.
 func DurableFlushEvery(n int) DurableOption { return segment.WithFlushEvery(n) }
 
+// DurableRetry tunes how background flushes respond to transient disk
+// errors (capped exponential backoff with jitter) before the store
+// degrades. See DESIGN.md "Failure model".
+func DurableRetry(p DurableRetryPolicy) DurableOption { return segment.WithRetryPolicy(p) }
+
 // Data model.
 type (
 	// Value is a dynamically typed scalar.
@@ -448,6 +453,17 @@ type (
 	DurableOption = segment.Option
 	// DurableInfo summarizes a durable directory (DurableStore.Info).
 	DurableInfo = segment.Info
+	// Degraded describes a durable store running in degraded mode after
+	// a permanent (or retry-exhausted) disk failure: ingestion and RAM
+	// reads continue, durability is suspended until Flush or Resume
+	// succeeds (DurableStore.Degraded, Engine.Health).
+	Degraded = segment.Degraded
+	// Health is the engine's serving posture: nil Degraded and nil
+	// DurableErr mean fully durable (Engine.Health).
+	Health = core.Health
+	// DurableRetryPolicy tunes how background flushes retry transient
+	// disk errors before degrading (DurableRetry).
+	DurableRetryPolicy = segment.RetryPolicy
 	// Ontology holds class/property taxonomies and domain/range axioms.
 	Ontology = reason.Ontology
 	// Reasoner materializes implicit facts over the store.
@@ -592,6 +608,9 @@ const (
 	DeliveryDeltas = subscribe.Deltas
 	// DeliveryResync marks a slow consumer's catch-up snapshot.
 	DeliveryResync = subscribe.Resync
+	// DeliveryNotice carries an operational event — durability entering
+	// or leaving degraded mode — in the Delivery's Note field.
+	DeliveryNotice = subscribe.Notice
 )
 
 // NewBroker taps the engine's watermark hook and returns a broker ready

@@ -181,6 +181,9 @@ func runRegression(scale float64, jsonOut, baselinePath string, tolerance float6
 	failures += checkRecoverySpeedup(rep)
 	failures += checkVFSOverhead(rep)
 	failures += checkDegradedIngest(rep)
+	failures += checkWALTruncate(rep)
+	failures += checkCompactReclaim(rep)
+	failures += checkParallelRecovery(rep)
 
 	if failures > 0 {
 		return fmt.Errorf("%d benchmark gate failure(s) vs %s", failures, baselinePath)
@@ -552,6 +555,132 @@ func checkDegradedIngest(rep *bench.RegressionReport) int {
 	}
 	fmt.Printf("  %-28s degraded/durable ratio %.2fx (max %.2fx)  %s\n",
 		"e7/ingest-degraded", ratio, degradedIngestMax, status)
+	return failures
+}
+
+// walTruncateRatioMax bounds the 8x-tail/1x-tail truncation cost ratio.
+// Both legs drop the same NUMBER of WAL files; the 8x leg's files hold
+// eight times the records. Whole-file truncation is O(files), so the
+// ratio sits near 1x — an O(records) in-place tail rewrite would push it
+// toward 8x. Both legs run in the same process on the same disk, so the
+// ratio needs no hardware-class baseline; the gate self-disables only
+// when the 1x leg is too brief for the clock to resolve the ratio.
+const walTruncateRatioMax = 3.0
+
+// walTruncateGateMinElapsed is the minimum 1x-leg wall time for the
+// truncation gate to engage.
+const walTruncateGateMinElapsed = 200 * time.Microsecond
+
+// checkWALTruncate enforces tail-length independence of WAL truncation
+// using the same-run tail-1x / tail-8x pair.
+func checkWALTruncate(rep *bench.RegressionReport) int {
+	byName := make(map[string]bench.Measurement, len(rep.Results))
+	for _, m := range rep.Results {
+		byName[m.Name] = m
+	}
+	one, ok1 := byName["e7/wal-truncate/tail-1x"]
+	eight, ok2 := byName["e7/wal-truncate/tail-8x"]
+	if !ok1 || !ok2 || one.NsPerOp <= 0 {
+		// The rows disappearing means the suite was renamed without
+		// updating this gate — fail rather than silently ungate the
+		// truncation path.
+		fmt.Printf("  %-28s MISSING tail-1x/tail-8x rows\n", "e7/wal-truncate")
+		return 1
+	}
+	ratio := eight.NsPerOp / one.NsPerOp
+	if elapsed := time.Duration(one.NsPerOp * float64(one.Ops)); elapsed < walTruncateGateMinElapsed {
+		fmt.Printf("  %-28s tail-8x/tail-1x ratio %.2fx (not gated: tail-1x run %s < %s)\n",
+			"e7/wal-truncate", ratio, elapsed.Round(time.Microsecond), walTruncateGateMinElapsed)
+		return 0
+	}
+	status := "ok"
+	failures := 0
+	if ratio > walTruncateRatioMax {
+		status = "WAL TRUNCATION REGRESSED"
+		failures++
+	}
+	fmt.Printf("  %-28s tail-8x/tail-1x ratio %.2fx (max %.1fx)  %s\n",
+		"e7/wal-truncate", ratio, walTruncateRatioMax, status)
+	return failures
+}
+
+// compactReclaimMax bounds the merged/unmerged restart load: after a
+// full Compact, the catalog's frame-slot count at restart must be at
+// most half the unmerged chain's. The rows carry FrameSlots as Ops —
+// a deterministic count, so the gate applies on every machine with no
+// timing floor.
+const compactReclaimMax = 0.5
+
+// checkCompactReclaim enforces the merge-reclaim payoff using the
+// same-run compact-reclaim unmerged / merged pair.
+func checkCompactReclaim(rep *bench.RegressionReport) int {
+	byName := make(map[string]bench.Measurement, len(rep.Results))
+	for _, m := range rep.Results {
+		byName[m.Name] = m
+	}
+	unmerged, ok1 := byName["e7/compact-reclaim/unmerged"]
+	merged, ok2 := byName["e7/compact-reclaim/merged"]
+	if !ok1 || !ok2 || unmerged.Ops <= 0 {
+		// The rows disappearing means the suite was renamed without
+		// updating this gate — fail rather than silently ungate the
+		// compaction path.
+		fmt.Printf("  %-28s MISSING unmerged/merged rows\n", "e7/compact-reclaim")
+		return 1
+	}
+	ratio := float64(merged.Ops) / float64(unmerged.Ops)
+	status := "ok"
+	failures := 0
+	if ratio > compactReclaimMax {
+		status = "COMPACTION RECLAIM REGRESSED"
+		failures++
+	}
+	fmt.Printf("  %-28s merged/unmerged frame slots %.2fx (max %.1fx)  %s\n",
+		"e7/compact-reclaim", ratio, compactReclaimMax, status)
+	return failures
+}
+
+// recoverParSpeedupMin is the required serial/parallel cold-start ratio
+// on a fully flushed directory: sharding frame decode across GOMAXPROCS
+// workers must at least halve the serial load time on machines with >= 4
+// CPUs. On fewer the workers time-share cores and the gate is skipped,
+// as it is when the serial load is too brief to time reliably.
+const recoverParSpeedupMin = 2.0
+
+// checkParallelRecovery enforces the parallel cold-start payoff using
+// the same-run recover-serial / recover-par pair.
+func checkParallelRecovery(rep *bench.RegressionReport) int {
+	byName := make(map[string]bench.Measurement, len(rep.Results))
+	for _, m := range rep.Results {
+		byName[m.Name] = m
+	}
+	par, ok1 := byName["e7/recover-par"]
+	serial, ok2 := byName["e7/recover-serial"]
+	if !ok1 || !ok2 || par.NsPerOp <= 0 {
+		// The rows disappearing means the suite was renamed without
+		// updating this gate — fail rather than silently ungate the
+		// parallel loader.
+		fmt.Printf("  %-28s MISSING recover-par/recover-serial rows\n", "e7/recover-par")
+		return 1
+	}
+	speedup := serial.NsPerOp / par.NsPerOp
+	if rep.NumCPU < 4 || rep.GoMaxProcs < 4 {
+		fmt.Printf("  %-28s serial/parallel speedup %.2fx (not gated: num_cpu=%d gomaxprocs=%d < 4)\n",
+			"e7/recover-par", speedup, rep.NumCPU, rep.GoMaxProcs)
+		return 0
+	}
+	if elapsed := time.Duration(serial.NsPerOp * float64(serial.Ops)); elapsed < recoveryGateMinElapsed {
+		fmt.Printf("  %-28s serial/parallel speedup %.2fx (not gated: serial load %s < %s)\n",
+			"e7/recover-par", speedup, elapsed.Round(time.Microsecond), recoveryGateMinElapsed)
+		return 0
+	}
+	status := "ok"
+	failures := 0
+	if speedup < recoverParSpeedupMin {
+		status = "PARALLEL RECOVERY REGRESSED"
+		failures++
+	}
+	fmt.Printf("  %-28s serial/parallel speedup %.2fx (min %.1fx)  %s\n",
+		"e7/recover-par", speedup, recoverParSpeedupMin, status)
 	return failures
 }
 

@@ -88,7 +88,7 @@ func ingestDurableRun(n int, degrade bool) time.Duration {
 	if degrade {
 		pre = ingestWMEvery + 1
 		ffs := vfs.NewFaultFS(vfs.OS)
-		ffs.AddRule(vfs.Rule{Op: vfs.OpWrite, Path: "wal.log", Count: 1,
+		ffs.AddRule(vfs.Rule{Op: vfs.OpWrite, Path: "wal.*", Count: 1,
 			Err: errors.New("bench: scripted wal fault")})
 		opts = append(opts, segment.WithFS(ffs))
 	}

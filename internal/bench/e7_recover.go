@@ -126,8 +126,49 @@ func recoverSegments(segDir string, n int) time.Duration {
 	return elapsed
 }
 
-// addRecoveryRows builds the recovery workload once and appends both
-// cold-start rows through add.
+// buildFullFlushDir ingests n elements into a durable engine and
+// flushes EVERYTHING before abandoning: the resulting directory is pure
+// segment frames with an empty WAL tail, so a cold start is dominated
+// by frame decode — the stage the parallel loader shards across
+// workers. (The recover-segment dir keeps its 5% WAL tail instead; its
+// serial tail replay would mask the load-parallelism ratio.)
+func buildFullFlushDir(segDir string, n int) {
+	msgs := ingestMessages(n)
+	e := core.New(core.WithPolicy(core.StateFirst),
+		core.WithDurableDir(segDir, segment.WithFlushEvery(2*n+16)),
+		core.WithEmittedRetention(1024))
+	if err := e.DeployRules(ingestRules); err != nil {
+		panic(err)
+	}
+	if err := e.Run(msgs); err != nil {
+		panic(err)
+	}
+	d := e.Durable()
+	if err := d.FlushAt(d.Mem().Snapshot().At()); err != nil {
+		panic(err)
+	}
+	d.Abandon()
+}
+
+// recoverSegmentsWorkers measures a durable cold start at an explicit
+// frame-load parallelism (0 = the GOMAXPROCS default, 1 = serial).
+func recoverSegmentsWorkers(segDir string, n, workers int) time.Duration {
+	start := time.Now()
+	d, err := segment.Open(segDir, segment.WithLoadParallelism(workers))
+	if err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+	if keys := d.Mem().Stats().Keys; keys == 0 {
+		panic(fmt.Sprintf("recover-par rebuilt nothing (n=%d workers=%d)", n, workers))
+	}
+	d.Abandon()
+	return elapsed
+}
+
+// addRecoveryRows builds the recovery workloads once and appends the
+// cold-start rows through add: full-WAL vs segment directory, then the
+// parallel vs serial frame-load pair on a fully flushed directory.
 func addRecoveryRows(add func(name string, ops int, measure func() time.Duration), scale float64) {
 	n := scaleInt(100_000, scale)
 	dir, err := os.MkdirTemp("", "recover-bench-")
@@ -138,4 +179,9 @@ func addRecoveryRows(add func(name string, ops int, measure func() time.Duration
 	walPath, segDir := buildRecoveryDirs(dir, n)
 	add("e7/recover-wal", n, func() time.Duration { return recoverWAL(walPath, n) })
 	add("e7/recover-segment", n, func() time.Duration { return recoverSegments(segDir, n) })
+
+	parDir := filepath.Join(dir, "segments-full")
+	buildFullFlushDir(parDir, n)
+	add("e7/recover-par", n, func() time.Duration { return recoverSegmentsWorkers(parDir, n, 0) })
+	add("e7/recover-serial", n, func() time.Duration { return recoverSegmentsWorkers(parDir, n, 1) })
 }

@@ -72,6 +72,12 @@ const underIngestWriters = 4
 //	e7/query-prepared-exec       one prepared Exec end to end (+allocs/op)
 //	e7/recover-{wal,segment}     cold-start recovery: full-WAL replay vs
 //	                             segment bulk-load + WAL-tail replay
+//	e7/recover-{par,serial}      fully flushed cold start, GOMAXPROCS vs
+//	                             1 frame-load worker
+//	e7/wal-truncate/{tail-1x,tail-8x}  whole-file WAL truncation over equal
+//	                             file counts holding 1x vs 8x the records
+//	e7/compact-reclaim/{unmerged,merged}  restart frame slots before vs
+//	                             after a full segment merge
 //	e7/flush-os, flush-vfs-overhead   ingest+flush via the vfs.OS passthrough
 //	                             vs an empty fault-injection wrap
 //	e7/ingest-durable, ingest-degraded  durable-engine ingest healthy vs
@@ -253,9 +259,19 @@ func RegressionSuite(scale float64) *RegressionReport {
 	})
 
 	// Cold-start recovery rows: full-WAL replay vs segment directory
-	// (manifest + frame bulk-load + WAL-tail replay). The benchrunner
-	// gate requires segments >= 3x faster in the same run.
+	// (manifest + frame bulk-load + WAL-tail replay), and the parallel
+	// vs serial frame-load pair. The benchrunner gates require segments
+	// >= 3x faster than the WAL and (on >= 4 CPUs) the parallel load
+	// >= 2x faster than serial in the same run.
 	addRecoveryRows(add, scale)
+
+	// Segmented-WAL truncation rows: whole-file drops must cost the
+	// same per call whether the chain holds 1x or 8x the records
+	// (gate: tail-8x <= 3x tail-1x). Compaction-reclaim rows: a merged
+	// directory's restart load (frame slots) must be at most half the
+	// unmerged one's.
+	addWALTruncateRows(add, scale)
+	addCompactReclaimRows(rep, scale)
 
 	// Fault-layer cost rows: the empty FaultFS wrap vs the vfs.OS
 	// passthrough on a flush-heavy workload (gate: <= 1.05x), and

@@ -120,16 +120,26 @@ func (c *Client) fact(url string) (*element.Fact, bool, error) {
 	return f, true, nil
 }
 
-// Stats fetches remote store occupancy.
+// Stats fetches remote store occupancy. The endpoint also carries
+// non-scalar rows (segments_per_level is a per-level array); those are
+// skipped here — this accessor keeps its flat counter contract, and
+// callers wanting the full shape can GET /stats themselves.
 func (c *Client) Stats() (map[string]int, error) {
 	resp, err := c.http().Get(c.BaseURL + "/stats")
 	if err != nil {
 		return nil, fmt.Errorf("server: stats: %w", err)
 	}
 	defer resp.Body.Close()
-	var out map[string]int
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
 		return nil, fmt.Errorf("server: decode: %w", err)
+	}
+	out := make(map[string]int, len(raw))
+	for k, v := range raw {
+		var n int
+		if err := json.Unmarshal(v, &n); err == nil {
+			out[k] = n
+		}
 	}
 	return out, nil
 }

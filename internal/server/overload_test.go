@@ -60,12 +60,17 @@ func TestOverloadAdmissionGateSheds(t *testing.T) {
 
 	rec = httptest.NewRecorder()
 	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
-	var stats map[string]int
+	// /stats mixes scalar counters with array-valued rows
+	// (segments_per_level), so decode just the fields under test.
+	var stats struct {
+		Shed     int `json:"shed_requests"`
+		Inflight int `json:"inflight_requests"`
+	}
 	if err := json.NewDecoder(rec.Body).Decode(&stats); err != nil {
 		t.Fatalf("stats: %v", err)
 	}
-	if stats["shed_requests"] != 2 || stats["inflight_requests"] != 1 {
-		t.Fatalf("stats counters: shed=%d inflight=%d", stats["shed_requests"], stats["inflight_requests"])
+	if stats.Shed != 2 || stats.Inflight != 1 {
+		t.Fatalf("stats counters: shed=%d inflight=%d", stats.Shed, stats.Inflight)
 	}
 
 	// /healthz is liveness: it stays 200 throughout the overload.
@@ -164,12 +169,14 @@ func TestDegradedReadyzWarnsAndStats(t *testing.T) {
 
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
-	var stats map[string]int
+	var stats struct {
+		Degraded int `json:"degraded"`
+	}
 	if err := json.NewDecoder(rec.Body).Decode(&stats); err != nil {
 		t.Fatalf("stats: %v", err)
 	}
-	if stats["degraded"] != 1 {
-		t.Fatalf("stats must report degraded=1, got %d", stats["degraded"])
+	if stats.Degraded != 1 {
+		t.Fatalf("stats must report degraded=1, got %d", stats.Degraded)
 	}
 
 	// The fault script is exhausted: Resume heals, warning clears.

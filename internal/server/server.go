@@ -427,7 +427,7 @@ func (s *Server) handleFact(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.store.Stats()
-	out := map[string]int{
+	out := map[string]any{
 		"keys":       st.Keys,
 		"versions":   st.Versions,
 		"current":    st.Current,
@@ -458,7 +458,21 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 		out["degraded"] = degraded
 		if d := s.engine.Durable(); d != nil {
-			out["flush_retries"] = int(d.Info().FlushRetries)
+			info := d.Info()
+			out["flush_retries"] = int(info.FlushRetries)
+			// Compaction and segmented-WAL posture: segment count per
+			// level (index 0 = freshly flushed), bytes reclaimed by
+			// merges so far, and the WAL chain's live/dropped file
+			// counts — the runbook reads these to tell "compaction is
+			// keeping up" from "the chain is growing unbounded".
+			perLevel := info.SegmentsPerLevel
+			if perLevel == nil {
+				perLevel = []int{} // encode an empty catalog as [], not null
+			}
+			out["segments_per_level"] = perLevel
+			out["merge_bytes_reclaimed"] = int(info.MergeBytesReclaimed)
+			out["wal_files"] = info.WALFiles
+			out["dropped_wal_files"] = info.DroppedWALFiles
 		}
 	}
 	writeJSON(w, out)

@@ -106,10 +106,12 @@ func (s *Store) SetRetainSwept(retain bool) {
 
 // DropSweptBefore removes empty husk lineages whose last activity
 // (maxTx) is at or before cut — those whose tombstones a flush at cut
-// has made durable — and returns how many were dropped. The segment
-// backend calls it after each committed flush.
-func (s *Store) DropSweptBefore(cut temporal.Instant) int {
-	dropped := 0
+// has made durable — and returns the dropped keys. The segment backend
+// calls it after each committed flush and records the keys as
+// durable-only, so a later recovery keeps them out of the RAM working
+// set instead of re-loading frames the sweep already evicted.
+func (s *Store) DropSweptBefore(cut temporal.Instant) []element.FactKey {
+	var dropped []element.FactKey
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		changed := false
@@ -118,7 +120,7 @@ func (s *Store) DropSweptBefore(cut temporal.Instant) int {
 			if len(h.records) == 0 && h.maxTx <= cut {
 				delete(sh.byKey, key)
 				changed = true
-				dropped++
+				dropped = append(dropped, key)
 			}
 		}
 		if changed {
@@ -127,6 +129,27 @@ func (s *Store) DropSweptBefore(cut temporal.Instant) int {
 		sh.mu.Unlock()
 	}
 	return dropped
+}
+
+// SweptBefore lists the husk keys DropSweptBefore(cut) would drop,
+// without dropping them. The segment backend takes the preview BEFORE
+// its manifest commit — the manifest must record the keys as
+// durable-only in the same atomic rename that makes the flush durable,
+// or a restart between the commit and the drop would reload them
+// resident.
+func (s *Store) SweptBefore(cut temporal.Instant) []element.FactKey {
+	var keys []element.FactKey
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for key, l := range sh.byKey {
+			h := l.head.Load()
+			if len(h.records) == 0 && h.maxTx <= cut {
+				keys = append(keys, key)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return keys
 }
 
 // LoadLineage installs one lineage's full record set — as serialized by a

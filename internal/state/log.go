@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/element"
 	"repro/internal/temporal"
@@ -35,21 +36,39 @@ import (
 // positional application time), so any interleaving the appender admits
 // replays to the identical bitemporal state.
 //
-// File-backed logs (CreateLog, RecoverLog) additionally support the
-// durability handoff of the segment backend: TruncateBefore atomically
-// drops the prefix a flush has made durable elsewhere, and Sync flushes
-// the file before a manifest commit. Logs over plain writers (NewLog)
-// return ErrNotFileBacked from those methods.
+// Segmented logs (RecoverWALDir) split the WAL across numbered files
+// rotated at a byte threshold. They support the durability handoff of
+// the segment backend: TruncateBefore unlinks whole sealed files the
+// flush cut covers — O(files dropped) off the appender token, never an
+// in-place rewrite — and Sync flushes the active file before a manifest
+// commit (sealed files are synced when they seal). Logs over plain
+// writers (NewLog) or a single file (CreateLog) return ErrNotFileBacked
+// from TruncateBefore.
 type Log struct {
 	c   io.Closer
 	enc *gob.Encoder
 	n   int
-	// path and file are set for file-backed logs only; TruncateBefore
-	// rewrites path atomically and Sync fsyncs file. All file operations
-	// go through fs — the fault-injectable seam (vfs.OS in production).
+	// path and file are set for file-backed logs only; Sync fsyncs file.
+	// All file operations go through fs — the fault-injectable seam
+	// (vfs.OS in production).
 	path string
 	file vfs.File
 	fs   vfs.FS
+	// Segmented-WAL state (RecoverWALDir): segDir is the directory the
+	// numbered wal files live in (empty for single-file logs), seq the
+	// active file's sequence number, and sealed the older read-only files
+	// still holding records past the durable cut, oldest first. The
+	// active file's byte count (via cw), record count, and max
+	// transaction time drive rotation and whole-file truncation.
+	segDir       string
+	seq          uint64
+	rotateBytes  int64
+	cw           *countWriter
+	sealed       []sealedWAL
+	activeRecs   int
+	activeMaxTx  temporal.Instant
+	filesDropped int
+	dropFails    int
 	// err poisons the log: a failed deferred rewrite (RecoverLog)
 	// surfaces from every subsequent operation.
 	err error
@@ -76,8 +95,72 @@ type Log struct {
 }
 
 // ErrNotFileBacked reports a file-only Log operation (TruncateBefore,
-// Sync) on a log constructed over a plain writer.
+// Sync) on a log constructed over a plain writer, or TruncateBefore on
+// a single-file log (only segmented WALs truncate, by whole-file drop).
 var ErrNotFileBacked = errors.New("state: log is not file-backed")
+
+// DefaultWALRotateBytes is the default size threshold at which a
+// segmented WAL seals its active file and rotates to the next one.
+const DefaultWALRotateBytes = 1 << 20
+
+// sealedWAL describes one read-only file of a segmented WAL chain:
+// sealed at rotation (synced, closed), droppable by TruncateBefore once
+// the durable cut reaches its newest record.
+type sealedWAL struct {
+	path  string
+	maxTx temporal.Instant // max transaction time over the file's records
+	recs  int              // records the file still contributes to the tail
+}
+
+// countWriter counts the bytes reaching the active WAL file so rotation
+// can trigger on size without stat calls. Accessed only under the
+// appender token.
+type countWriter struct {
+	f vfs.File
+	n int64
+}
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	w.n += int64(n)
+	return n, err
+}
+
+// walFileName renders the name of the numbered WAL file with the given
+// sequence number. The legacy single-file name "wal.log" sorts as
+// sequence 0, so directories written before the WAL was segmented
+// recover as a one-file chain.
+func walFileName(seq uint64) string { return fmt.Sprintf("wal.%08d", seq) }
+
+// parseWALName reports whether name is part of a WAL chain and its
+// sequence number. Temp files (wal.*.tmp) are rewrite debris, not chain
+// members.
+func parseWALName(name string) (uint64, bool) {
+	if name == "wal.log" {
+		return 0, true
+	}
+	rest, ok := strings.CutPrefix(name, "wal.")
+	if !ok || rest == "" {
+		return 0, false
+	}
+	var seq uint64
+	for _, c := range rest {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + uint64(c-'0')
+	}
+	return seq, true
+}
+
+// IsWALFileName reports whether name names a WAL chain file — a
+// numbered wal.NNNNNNNN member or the legacy wal.log. Directory owners
+// (the segment backend's orphan sweep) use it to keep their hands off
+// the chain.
+func IsWALFileName(name string) bool {
+	_, ok := parseWALName(name)
+	return ok
+}
 
 type opKind uint8
 
@@ -203,6 +286,23 @@ func (r *logRecord) txTime() temporal.Instant {
 	}
 }
 
+// maxTxTime returns the newest transaction time rec carries: txTime for
+// plain records, the max put time for an opPutBatch frame. A WAL file
+// whose max over all records is at or before a flush cut is fully
+// covered by the segments and can be dropped whole.
+func (r *logRecord) maxTxTime() temporal.Instant {
+	if r.Op != opPutBatch {
+		return r.txTime()
+	}
+	t := temporal.MinInstant
+	for i := range r.Puts {
+		if r.Puts[i].At > t {
+			t = r.Puts[i].At
+		}
+	}
+	return t
+}
+
 // keepAfter reports whether rec still carries state newer than a flush
 // cut at tt, trimming opPutBatch frames to their surviving puts in
 // place. A frame fully covered by the cut (or a plain record at or
@@ -270,6 +370,41 @@ func (l *Log) append(rec logRecord) error {
 		return l.failLocked(err)
 	}
 	l.n++
+	if l.segDir != "" {
+		l.activeRecs++
+		if t := rec.maxTxTime(); t > l.activeMaxTx {
+			l.activeMaxTx = t
+		}
+		if l.cw.n >= l.rotateBytes {
+			return l.rotateLocked()
+		}
+	}
+	return nil
+}
+
+// rotateLocked seals the active WAL file and opens the next numbered
+// one. Called under the appender token. The seal syncs the outgoing
+// file, so every sealed file is on disk and Sync only ever touches the
+// active file. A failed create keeps the current (synced) file active —
+// rotation simply retries on a later append; a failed seal sync is an
+// append-path durability failure and goes through the degraded-mode
+// handler like any other.
+func (l *Log) rotateLocked() error {
+	if err := l.file.Sync(); err != nil {
+		return l.failLocked(err)
+	}
+	next := l.seq + 1
+	path := filepath.Join(l.segDir, walFileName(next))
+	f, err := l.fs.Create(path)
+	if err != nil {
+		return nil
+	}
+	l.file.Close()
+	l.sealed = append(l.sealed, sealedWAL{path: l.path, maxTx: l.activeMaxTx, recs: l.activeRecs})
+	l.path, l.file, l.c, l.seq = path, f, f, next
+	l.cw = &countWriter{f: f}
+	l.enc = gob.NewEncoder(l.cw)
+	l.activeRecs, l.activeMaxTx = 0, temporal.MinInstant
 	return nil
 }
 
@@ -322,7 +457,43 @@ func (l *Log) Rearm() error {
 	if l.path == "" {
 		return ErrNotFileBacked
 	}
-	f, enc, err := rewriteLogFile(l.fs, l.path, nil)
+	if l.segDir != "" {
+		// The whole chain is forfeit. Open the fresh file first so a
+		// failed create leaves the old chain untouched, then drop every
+		// old file best-effort: one left behind only holds records the
+		// caller's full-state flush is about to cover, and recovery
+		// filters those by the durable cut.
+		next := l.seq + 1
+		path := filepath.Join(l.segDir, walFileName(next))
+		f, err := l.fs.Create(path)
+		if err != nil {
+			return err
+		}
+		for _, sf := range l.sealed {
+			if l.fs.Remove(sf.path) == nil {
+				l.filesDropped++
+			} else {
+				l.dropFails++
+			}
+		}
+		l.sealed = nil
+		if l.file != nil {
+			l.file.Close()
+			if l.fs.Remove(l.path) == nil {
+				l.filesDropped++
+			} else {
+				l.dropFails++
+			}
+		}
+		l.path, l.file, l.c, l.seq = path, f, f, next
+		l.cw = &countWriter{f: f}
+		l.enc = gob.NewEncoder(l.cw)
+		l.n, l.activeRecs, l.activeMaxTx = 0, 0, temporal.MinInstant
+		l.err = nil
+		l.dropping = false
+		return nil
+	}
+	f, _, enc, err := rewriteLogFile(l.fs, l.path, nil)
 	if err != nil {
 		return err
 	}
@@ -363,98 +534,136 @@ func (l *Log) Sync() error {
 	return l.file.Sync()
 }
 
-// TruncateBefore drops every record whose transaction time is at or
-// before tt from a file-backed log — the WAL-prefix handoff after a
-// durability flush at cut tt: the dropped records are exactly those the
-// flushed segments already capture, so recovery replays only the tail.
-// opPutBatch frames are trimmed to their surviving puts.
+// TruncateBefore hands the WAL prefix a durability flush at cut tt has
+// made redundant back to the filesystem. On a segmented WAL this is
+// whole-file drops only: sealed files whose newest record is at or
+// before the cut are unlinked — O(files dropped) off the appender
+// token, no record is ever rewritten in place — and files straddling
+// the cut stay whole (recovery filters their pre-cut records by the
+// manifest's durable cut anyway). An active file fully covered by the
+// cut rotates out immediately rather than waiting for the size
+// threshold, so the tail length Len reports stays honest. A failed
+// unlink keeps the file in the chain (counted in DropFailures, retried
+// at the next cut); recovery tolerates redundant covered files.
 //
-// The rewrite is atomic (temp file + rename, both synced) and holds the
-// appender token throughout, so concurrent mutators block for its
-// duration rather than interleave; the log then continues appending to
-// the rewritten file. Records written after a flush with an explicit
-// transaction time at or before the cut are dropped as already-durable
-// even though they are not — the same explicit-past-transaction-time
-// caveat pinned cuts have (see snapshot.go).
+// Non-segmented logs return ErrNotFileBacked: the old in-place tail
+// rewrite stalled the appender for O(tail) and is gone.
 func (l *Log) TruncateBefore(tt temporal.Instant) error {
 	l.appender <- struct{}{}
 	defer func() { <-l.appender }()
 	if l.err != nil {
 		return l.err
 	}
-	if l.file == nil {
+	if l.segDir == "" {
 		return ErrNotFileBacked
 	}
-	var kept []logRecord
-	src, err := l.fs.Open(l.path)
-	if err != nil {
-		return fmt.Errorf("state: truncate log: %w", err)
-	}
-	dec := gob.NewDecoder(io.NewSectionReader(src, 0, 1<<62))
-	for {
-		var rec logRecord
-		if err := dec.Decode(&rec); err != nil {
-			if errors.Is(err, io.EOF) {
-				break
-			}
-			src.Close()
-			return fmt.Errorf("state: truncate log: record %d: %w", len(kept), err)
+	kept := l.sealed[:0]
+	for _, sf := range l.sealed {
+		if sf.maxTx > tt {
+			kept = append(kept, sf)
+			continue
 		}
-		if err := rec.verify(len(kept)); err != nil {
-			src.Close()
-			return fmt.Errorf("state: truncate log: %w", err)
+		if err := l.fs.Remove(sf.path); err != nil {
+			l.dropFails++
+			kept = append(kept, sf)
+			continue
 		}
-		if rec.keepAfter(tt) {
-			rec.reseal()
-			kept = append(kept, rec)
+		l.filesDropped++
+		l.n -= sf.recs
+	}
+	l.sealed = kept
+	if l.activeRecs > 0 && l.activeMaxTx <= tt && !l.dropping {
+		next := l.seq + 1
+		path := filepath.Join(l.segDir, walFileName(next))
+		f, err := l.fs.Create(path)
+		if err != nil {
+			return nil // keep the covered file active; harmless
+		}
+		old := l.path
+		l.file.Close()
+		l.n -= l.activeRecs
+		l.path, l.file, l.c, l.seq = path, f, f, next
+		l.cw = &countWriter{f: f}
+		l.enc = gob.NewEncoder(l.cw)
+		l.activeRecs, l.activeMaxTx = 0, temporal.MinInstant
+		if err := l.fs.Remove(old); err != nil {
+			// The covered file stays behind; recovery filters it by the
+			// cut and drops it then.
+			l.dropFails++
+		} else {
+			l.filesDropped++
 		}
 	}
-	src.Close()
-
-	f, enc, err := rewriteLogFile(l.fs, l.path, kept)
-	if err != nil {
-		return err
-	}
-	l.file.Close()
-	l.file, l.c, l.n, l.enc = f, f, len(kept), enc
 	return nil
+}
+
+// Files reports how many files the segmented WAL chain currently spans
+// (sealed plus active); 1 for a single-file log, 0 for a plain writer.
+func (l *Log) Files() int {
+	l.appender <- struct{}{}
+	defer func() { <-l.appender }()
+	if l.segDir != "" {
+		return len(l.sealed) + 1
+	}
+	if l.file != nil {
+		return 1
+	}
+	return 0
+}
+
+// DroppedFiles reports how many WAL files truncation (or Rearm) has
+// unlinked over the log's lifetime.
+func (l *Log) DroppedFiles() int {
+	l.appender <- struct{}{}
+	defer func() { <-l.appender }()
+	return l.filesDropped
+}
+
+// DropFailures reports how many WAL-file unlinks failed (the files stay
+// in the chain and are retried at the next cut).
+func (l *Log) DropFailures() int {
+	l.appender <- struct{}{}
+	defer func() { <-l.appender }()
+	return l.dropFails
 }
 
 // rewriteLogFile writes records to a temp file next to path, syncs it,
 // and renames it over path. It returns the still-open file positioned
-// for appends together with the encoder that wrote it: a gob stream is
-// one encoder's output, so the log MUST keep appending through this
-// encoder — starting a fresh one on the same file would begin a second
-// stream a single replay Decoder rejects ("duplicate type received").
-func rewriteLogFile(fsys vfs.FS, path string, records []logRecord) (vfs.File, *gob.Encoder, error) {
+// for appends together with the byte-counting writer and the encoder
+// that wrote it: a gob stream is one encoder's output, so the log MUST
+// keep appending through this encoder — starting a fresh one on the
+// same file would begin a second stream a single replay Decoder rejects
+// ("duplicate type received").
+func rewriteLogFile(fsys vfs.FS, path string, records []logRecord) (vfs.File, *countWriter, *gob.Encoder, error) {
 	if fsys == nil {
 		fsys = vfs.OS
 	}
 	tmp := path + ".tmp"
 	f, err := fsys.Create(tmp)
 	if err != nil {
-		return nil, nil, fmt.Errorf("state: rewrite log: %w", err)
+		return nil, nil, nil, fmt.Errorf("state: rewrite log: %w", err)
 	}
-	enc := gob.NewEncoder(f)
+	cw := &countWriter{f: f}
+	enc := gob.NewEncoder(cw)
 	for i := range records {
 		if err := enc.Encode(&records[i]); err != nil {
 			f.Close()
 			fsys.Remove(tmp)
-			return nil, nil, fmt.Errorf("state: rewrite log record %d: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("state: rewrite log record %d: %w", i, err)
 		}
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		fsys.Remove(tmp)
-		return nil, nil, fmt.Errorf("state: rewrite log: %w", err)
+		return nil, nil, nil, fmt.Errorf("state: rewrite log: %w", err)
 	}
 	if err := fsys.Rename(tmp, path); err != nil {
 		f.Close()
 		fsys.Remove(tmp)
-		return nil, nil, fmt.Errorf("state: rewrite log: %w", err)
+		return nil, nil, nil, fmt.Errorf("state: rewrite log: %w", err)
 	}
 	fsys.SyncDir(filepath.Dir(path))
-	return f, enc, nil
+	return f, cw, enc, nil
 }
 
 // SyncDir best-effort fsyncs a directory, making a completed rename in
@@ -693,7 +902,7 @@ func RecoverLogFS(fsys vfs.FS, path string, s *Store, cut temporal.Instant) (*Lo
 	l.appender <- struct{}{}
 	go func() {
 		defer func() { <-l.appender }()
-		f, enc, err := rewriteLogFile(fsys, path, kept)
+		f, _, enc, err := rewriteLogFile(fsys, path, kept)
 		if err != nil {
 			l.err = err
 			return
@@ -701,6 +910,187 @@ func RecoverLogFS(fsys vfs.FS, path string, s *Store, cut temporal.Instant) (*Lo
 		l.file, l.c, l.n, l.enc = f, f, len(kept), enc
 	}()
 	return l, len(kept), nil
+}
+
+// RecoverWALDir replays the segmented WAL chain in dir into s — only
+// records carrying state newer than the durable cut, in file order —
+// and returns a Log continuing the chain. It is the segmented
+// counterpart of RecoverLog: the chain is every wal.NNNNNNNN file plus
+// a legacy wal.log (which sorts oldest), replayed oldest first with the
+// same per-record crc32c verification. An unexpected EOF is tolerated
+// only in the newest file — the tail a crash cut mid-append; anywhere
+// earlier it is corruption and fails recovery loudly.
+//
+// Fully covered older files are unlinked and the newest file is
+// compacted to its surviving records (atomic rewrite) in the
+// background, under the returned Log's pre-held appender token, so the
+// cold start does not wait for either. Files straddling the cut stay
+// whole as sealed chain members. An empty directory yields a fresh
+// one-file chain.
+func RecoverWALDir(dir string, s *Store, cut temporal.Instant, rotateBytes int64) (*Log, int, error) {
+	return RecoverWALDirFS(vfs.OS, dir, s, cut, rotateBytes)
+}
+
+// RecoverWALDirFS is RecoverWALDir over an explicit filesystem seam.
+func RecoverWALDirFS(fsys vfs.FS, dir string, s *Store, cut temporal.Instant, rotateBytes int64) (*Log, int, error) {
+	if rotateBytes <= 0 {
+		rotateBytes = DefaultWALRotateBytes
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("state: recover wal dir: %w", err)
+	}
+	type chainFile struct {
+		path  string
+		seq   uint64
+		maxTx temporal.Instant // over ALL decoded records, kept or not
+		kept  int
+	}
+	var files []chainFile
+	for _, ent := range ents {
+		if seq, ok := parseWALName(ent.Name()); ok {
+			files = append(files, chainFile{
+				path: filepath.Join(dir, ent.Name()), seq: seq, maxTx: temporal.MinInstant,
+			})
+		}
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].seq < files[j].seq })
+
+	newSegmented := func(path string, seq uint64) *Log {
+		return &Log{
+			path: path, fs: fsys, appender: make(chan struct{}, 1),
+			segDir: dir, seq: seq, rotateBytes: rotateBytes,
+			activeMaxTx: temporal.MinInstant,
+		}
+	}
+	if len(files) == 0 {
+		path := filepath.Join(dir, walFileName(1))
+		f, err := fsys.Create(path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("state: create wal: %w", err)
+		}
+		l := newSegmented(path, 1)
+		l.file, l.c = f, f
+		l.cw = &countWriter{f: f}
+		l.enc = gob.NewEncoder(l.cw)
+		return l, 0, nil
+	}
+
+	var (
+		lastKept []logRecord
+		pending  []BatchPut // run of positional puts awaiting group apply
+		total    int
+	)
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		err := s.PutBatch(pending)
+		pending = pending[:0]
+		return err
+	}
+	for i := range files {
+		cf := &files[i]
+		last := i == len(files)-1
+		src, err := fsys.Open(cf.path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("state: recover wal: %w", err)
+		}
+		dec := gob.NewDecoder(io.NewSectionReader(src, 0, 1<<62))
+		decoded := 0
+		for {
+			var rec logRecord
+			if err := dec.Decode(&rec); err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if errors.Is(err, io.ErrUnexpectedEOF) && last {
+					// A torn final append in the newest file — the tail a
+					// crash cut mid-write. Anywhere earlier the file was
+					// sealed whole, so short bytes are corruption.
+					break
+				}
+				src.Close()
+				return nil, 0, fmt.Errorf("state: recover wal %s record %d: %w", filepath.Base(cf.path), decoded, err)
+			}
+			decoded++
+			if err := rec.verify(decoded - 1); err != nil {
+				src.Close()
+				return nil, 0, fmt.Errorf("state: recover wal %s: %w", filepath.Base(cf.path), err)
+			}
+			if t := rec.maxTxTime(); t > cf.maxTx {
+				cf.maxTx = t
+			}
+			if !rec.keepAfter(cut) {
+				continue
+			}
+			rec.reseal()
+			cf.kept++
+			total++
+			if last {
+				lastKept = append(lastKept, rec)
+			}
+			switch rec.Op {
+			case opPut:
+				pending = append(pending, BatchPut{
+					Entity: rec.Entity, Attr: rec.Attr, Value: rec.Value, At: rec.At,
+				})
+			case opPutBatch:
+				pending = append(pending, rec.Puts...)
+			default:
+				applyErr := flush()
+				if applyErr == nil {
+					applyErr = s.applyLogRecord(&rec)
+				}
+				if applyErr != nil {
+					src.Close()
+					return nil, 0, fmt.Errorf("state: recover wal %s record %d: %w", filepath.Base(cf.path), decoded-1, applyErr)
+				}
+			}
+		}
+		src.Close()
+	}
+	if err := flush(); err != nil {
+		return nil, 0, fmt.Errorf("state: recover wal: %w", err)
+	}
+
+	// Assemble the surviving chain: covered older files are dropped,
+	// straddling ones sealed, and the newest file rewritten to exactly
+	// its kept records — all deferred to the background under the
+	// pre-held appender token, like RecoverLog's tail compaction.
+	lastF := files[len(files)-1]
+	l := newSegmented(lastF.path, lastF.seq)
+	var drop []string
+	for _, cf := range files[:len(files)-1] {
+		if cf.kept == 0 {
+			drop = append(drop, cf.path)
+			continue
+		}
+		l.sealed = append(l.sealed, sealedWAL{path: cf.path, maxTx: cf.maxTx, recs: cf.kept})
+	}
+	l.appender <- struct{}{}
+	go func() {
+		defer func() { <-l.appender }()
+		for _, p := range drop {
+			if fsys.Remove(p) == nil {
+				l.filesDropped++
+			} else {
+				l.dropFails++
+			}
+		}
+		f, cw, enc, err := rewriteLogFile(fsys, lastF.path, lastKept)
+		if err != nil {
+			l.err = err
+			return
+		}
+		l.file, l.c, l.cw, l.enc = f, f, cw, enc
+		l.n = total
+		l.activeRecs = len(lastKept)
+		if len(lastKept) > 0 {
+			l.activeMaxTx = lastF.maxTx
+		}
+	}()
+	return l, total, nil
 }
 
 // ReplayFile replays a log file into the store.

@@ -112,14 +112,18 @@ func TestReplayUnsummedLog(t *testing.T) {
 	}
 }
 
-// TestTruncateReseals trims an opPutBatch frame and verifies the
-// rewritten log still passes checksum verification on replay.
+// TestTruncateReseals recovers a segmented WAL with a cut through the
+// middle of an opPutBatch frame: the surviving frame is rewritten with
+// fewer puts and must carry a recomputed sum, so the tail file still
+// passes checksum verification on the next replay.
 func TestTruncateReseals(t *testing.T) {
 	dir := t.TempDir()
-	path := filepath.Join(dir, "state.log")
-	l, err := CreateLog(path)
+	l, n, err := RecoverWALDir(dir, NewStore(), temporal.MinInstant, 0)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("fresh dir replayed %d records", n)
 	}
 	s := NewStore()
 	s.AttachLog(l)
@@ -128,17 +132,17 @@ func TestTruncateReseals(t *testing.T) {
 		{Entity: "b", Attr: "x", Value: element.Int(2), At: 20},
 		{Entity: "c", Attr: "x", Value: element.Int(3), At: 30},
 	})
-	// Trim the frame's first put: the surviving record is rewritten with
-	// fewer puts and must carry a recomputed sum.
-	if err := l.TruncateBefore(15); err != nil {
-		t.Fatal(err)
-	}
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
+
 	restored := NewStore()
-	if _, err := ReplayFile(path, restored); err != nil {
+	l2, n, err := RecoverWALDir(dir, restored, 15, 0)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d records, want 1", n)
 	}
 	if _, ok := restored.Current("a", "x"); ok {
 		t.Fatal("pre-cut put survived truncation")
@@ -147,5 +151,25 @@ func TestTruncateReseals(t *testing.T) {
 		if _, ok := restored.Current(e, "x"); !ok {
 			t.Fatalf("post-cut put %s lost", e)
 		}
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rewritten tail replays cleanly: checksum recomputed, trimmed
+	// put gone from the bytes.
+	again := NewStore()
+	l3, n, err := RecoverWALDir(dir, again, temporal.MinInstant, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("resealed chain replayed %d records, want 1", n)
+	}
+	if _, ok := again.Current("a", "x"); ok {
+		t.Fatal("trimmed put resurfaced from the rewritten file")
+	}
+	if err := l3.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,673 @@
+package segment
+
+// Compaction suite: leveled segment merges, victim selection, tombstone
+// and retention reclaim, and the chaos schedules that kill a merge at
+// every commit-protocol stage. State comparisons follow the recovery
+// suite's rule — byte-equality of the recovered snapshot against a
+// no-fault oracle of the same mutation schedule.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/element"
+	"repro/internal/state"
+	"repro/internal/temporal"
+	"repro/internal/vfs"
+)
+
+// putRound writes a round of keys with partial overlap: eight keys
+// unique to the round (so every flushed segment keeps live frames and
+// chains of equal-level segments actually accumulate — fully
+// overlapping rounds would let the flush path drop dead predecessors
+// outright) plus four shared keys rewritten every round (so older
+// segments carry dead frames for merges to reclaim).
+func putRound(t *testing.T, db batchStore, r int) {
+	t.Helper()
+	for i := 0; i < 8; i++ {
+		if err := db.Put(fmt.Sprintf("r%d-k%02d", r, i), "v", element.Int(int64(r*100+i))); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := db.Put(fmt.Sprintf("shared-k%02d", i), "v", element.Int(int64(r*10+i))); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+}
+
+// buildChain flushes `rounds` putRound rounds into their own level-0
+// segments.
+func buildChain(t *testing.T, d *Store, rounds int) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		putRound(t, storeBatch{d}, r)
+		if err := d.Flush(); err != nil {
+			t.Fatalf("flush round %d: %v", r, err)
+		}
+	}
+}
+
+// TestCompactMergesChain: the operator verb merges the whole chain into
+// one segment a level up, reclaiming every superseded duplicate, and a
+// crash-restart of the merged directory recovers the exact pre-crash
+// cut.
+func TestCompactMergesChain(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	buildChain(t, d, 3)
+
+	info := d.Info()
+	if info.Segments != 3 {
+		t.Fatalf("want 3 level-0 segments, got %+v", info)
+	}
+	if len(info.SegmentsPerLevel) != 1 || info.SegmentsPerLevel[0] != 3 {
+		t.Fatalf("want [3] per level, got %v", info.SegmentsPerLevel)
+	}
+	// 12 frames per segment; the shared keys' older frames are dead.
+	if info.FrameSlots != 36 || info.Frames != 28 {
+		t.Fatalf("want 36 slots / 28 live frames, got %d / %d", info.FrameSlots, info.Frames)
+	}
+
+	if err := d.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	info = d.Info()
+	if info.Merges != 1 || info.CompactionFailures != 0 {
+		t.Fatalf("want exactly one clean merge, got %+v", info)
+	}
+	if info.Segments != 1 || len(info.SegmentsPerLevel) != 2 || info.SegmentsPerLevel[1] != 1 {
+		t.Fatalf("want one level-1 segment, got %+v", info)
+	}
+	if info.Frames != 28 || info.FrameSlots != 28 {
+		t.Fatalf("merge left garbage: %d slots / %d frames", info.FrameSlots, info.Frames)
+	}
+	if info.MergeBytesReclaimed <= 0 {
+		t.Fatalf("merge reclaimed %d bytes", info.MergeBytesReclaimed)
+	}
+
+	want := snapshotBytes(t, d.Mem())
+	d.Abandon()
+	rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rec.Close()
+	if got := snapshotBytes(t, rec.Mem()); !bytes.Equal(got, want) {
+		t.Fatalf("merged directory recovered differently (%d vs %d bytes)", len(got), len(want))
+	}
+	if ri := rec.Info(); ri.Segments != 1 || ri.Frames != 28 {
+		t.Fatalf("recovered catalog differs: %+v", ri)
+	}
+}
+
+// TestCompactBackgroundViaPulse: once a contiguous run of equal-level
+// segments reaches the fanout, the next pulse starts a background merge
+// — no operator verb, no flush coupling.
+func TestCompactBackgroundViaPulse(t *testing.T) {
+	d, err := Open(t.TempDir(), WithCompactionFanout(2))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer d.Close()
+	buildChain(t, d, 2)
+	if got := d.Info().Segments; got != 2 {
+		t.Fatalf("want 2 segments before the pulse, got %d", got)
+	}
+
+	d.Pulse(d.DurableTx()) // stale cut: no flush, but compaction may start
+	waitFor(t, "background merge to commit", func() bool {
+		return d.Info().Merges == 1
+	})
+	info := d.Info()
+	if info.Segments != 1 || len(info.SegmentsPerLevel) != 2 || info.SegmentsPerLevel[1] != 1 {
+		t.Fatalf("want one level-1 segment after the background merge, got %+v", info)
+	}
+	// A second pulse finds a single sub-fanout run: no further merge.
+	d.Pulse(d.DurableTx())
+	time.Sleep(10 * time.Millisecond)
+	if got := d.Info().Merges; got != 1 {
+		t.Fatalf("idle pulse started a merge: %d", got)
+	}
+	if f, ok := d.Find("shared-k00", "v"); !ok || f.Value.String() != "10" {
+		t.Fatalf("read after background merge: %v ok=%v", f, ok)
+	}
+}
+
+// TestCompactGarbageRewrite: a single segment whose dead-frame share
+// crosses the garbage threshold is rewritten in place at its own level,
+// reclaiming the dead frames without touching its neighbors.
+func TestCompactGarbageRewrite(t *testing.T) {
+	dir := t.TempDir()
+	// A huge fanout disables run merging: only the garbage path can fire.
+	d, err := Open(dir, WithCompactionFanout(100))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	db := storeBatch{d}
+	for i := 0; i < 8; i++ {
+		if err := db.Put(fmt.Sprintf("k%02d", i), "v", element.Int(int64(i))); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	// Rewrite six of eight keys: the first segment is now 75% dead.
+	for i := 0; i < 6; i++ {
+		if err := db.Put(fmt.Sprintf("k%02d", i), "v", element.Int(int64(100+i))); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if info := d.Info(); info.Segments != 2 || info.FrameSlots != 14 {
+		t.Fatalf("setup: want 2 segments / 14 slots, got %+v", info)
+	}
+
+	d.Pulse(d.DurableTx())
+	waitFor(t, "garbage rewrite to commit", func() bool {
+		return d.Info().Merges == 1
+	})
+	info := d.Info()
+	if info.Segments != 2 || info.FrameSlots != 8 || info.Frames != 8 {
+		t.Fatalf("rewrite should leave 2 segments / 8 slots, got %+v", info)
+	}
+	if len(info.SegmentsPerLevel) != 1 || info.SegmentsPerLevel[0] != 2 {
+		t.Fatalf("in-place rewrite must stay at level 0, got %v", info.SegmentsPerLevel)
+	}
+	if info.MergeBytesReclaimed <= 0 {
+		t.Fatalf("rewrite reclaimed %d bytes", info.MergeBytesReclaimed)
+	}
+
+	want := snapshotBytes(t, d.Mem())
+	d.Abandon()
+	rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rec.Close()
+	if got := snapshotBytes(t, rec.Mem()); !bytes.Equal(got, want) {
+		t.Fatalf("rewritten directory recovered differently")
+	}
+}
+
+// TestCompactTombstoneElision: a merge reclaims tombstone frames once no
+// older segment holds anything for them to shadow — including the
+// degenerate case where eliding every frame commits the victims away
+// with no output segment at all.
+func TestCompactTombstoneElision(t *testing.T) {
+	t.Run("merge-elides-with-survivor", func(t *testing.T) {
+		dir := t.TempDir()
+		d, err := Open(dir)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		defer d.Close()
+		db := d.Mem().DB()
+		for _, e := range []string{"keep", "gone"} {
+			if err := db.Put(e, "v", element.Int(1)); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+		if err := d.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		if err := db.Delete("gone", "v"); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		if removed := d.Mem().CompactBefore(d.Mem().Snapshot().At() + 1); removed == 0 {
+			t.Fatalf("sweep removed nothing")
+		}
+		if err := d.Flush(); err != nil { // writes the tombstone frame
+			t.Fatalf("tombstone flush: %v", err)
+		}
+		if info := d.Info(); info.Segments != 2 || info.FrameSlots != 3 {
+			t.Fatalf("setup: want tombstone beside the old frame, got %+v", info)
+		}
+		if err := d.Compact(); err != nil {
+			t.Fatalf("compact: %v", err)
+		}
+		info := d.Info()
+		if info.Segments != 1 || info.FrameSlots != 1 || info.Frames != 1 {
+			t.Fatalf("tombstone not elided: %+v", info)
+		}
+		if _, ok := d.Find("gone", "v"); ok {
+			t.Fatalf("tombstoned key resurrected by the merge")
+		}
+		if f, ok := d.Find("keep", "v"); !ok || f.Value.String() != "1" {
+			t.Fatalf("survivor lost by the merge: %v ok=%v", f, ok)
+		}
+	})
+
+	t.Run("merge-to-nothing", func(t *testing.T) {
+		dir := t.TempDir()
+		d, err := Open(dir)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		db := d.Mem().DB()
+		if err := db.Put("k", "v", element.Int(1)); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		if err := d.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		if err := db.Delete("k", "v"); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		d.Mem().CompactBefore(d.Mem().Snapshot().At() + 1)
+		if err := d.Flush(); err != nil {
+			t.Fatalf("tombstone flush: %v", err)
+		}
+		if err := d.Compact(); err != nil {
+			t.Fatalf("compact: %v", err)
+		}
+		if info := d.Info(); info.Segments != 0 || info.Merges != 1 {
+			t.Fatalf("want an empty catalog after full reclaim, got %+v", info)
+		}
+		// The empty catalog survives a restart.
+		d.Abandon()
+		rec, err := Open(dir)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer rec.Close()
+		if _, ok := rec.Find("k", "v"); ok {
+			t.Fatalf("fully reclaimed key resurrected after restart")
+		}
+		if info := rec.Info(); info.Segments != 0 {
+			t.Fatalf("recovered catalog not empty: %+v", info)
+		}
+	})
+}
+
+// TestCompactBeliefRetention: WithBeliefRetention prunes superseded
+// belief versions older than the horizon during merges. After the merge
+// the durable frame holds only the surviving version, and — the
+// documented caveat — a restart loses SYSTEM TIME ASOF resolution
+// before the horizon for pruned keys.
+func TestCompactBeliefRetention(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, WithBeliefRetention(100*time.Nanosecond))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	db := d.Mem().DB()
+	// Version 1, then a correction that supersedes it at tx 20.
+	if err := db.Put("k", "v", element.Int(1),
+		state.WithValidTime(10), state.WithTransactionTime(10)); err != nil {
+		t.Fatalf("put v1: %v", err)
+	}
+	if err := db.Put("k", "v", element.Int(2),
+		state.WithValidTime(10), state.WithTransactionTime(20)); err != nil {
+		t.Fatalf("put v2: %v", err)
+	}
+	if err := d.FlushAt(1000); err != nil { // horizon = 1000 - 100 = 900
+		t.Fatalf("flush: %v", err)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+
+	// White box: the merged frame kept only the believed version.
+	cat := d.cat.Load()
+	key := element.FactKey{Entity: "k", Attribute: "v"}
+	r, off, ok := cat.owner(key)
+	if !ok {
+		t.Fatalf("merged segment lost the key")
+	}
+	_, records, err := r.readLineage(off)
+	if err != nil {
+		t.Fatalf("readLineage: %v", err)
+	}
+	if len(records) != 1 || records[0].Value.String() != "2" {
+		t.Fatalf("want only the surviving version in the frame, got %v", records)
+	}
+	// RAM is untouched: retention prunes durable frames only.
+	if hist := d.Mem().DB().History("k", "v", state.AllVersions()); len(hist) != 2 {
+		t.Fatalf("RAM lineage must keep both versions, got %d", len(hist))
+	}
+
+	// After a restart the lineage reloads from the pruned frame: the
+	// superseded version is gone, so a pre-horizon ASOF read misses.
+	d.Abandon()
+	rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rec.Close()
+	if hist := rec.Mem().DB().History("k", "v", state.AllVersions()); len(hist) != 1 {
+		t.Fatalf("restart should reload only the surviving version, got %d", len(hist))
+	}
+	if f, ok := rec.Find("k", "v"); !ok || f.Value.String() != "2" {
+		t.Fatalf("current belief lost: %v ok=%v", f, ok)
+	}
+	if _, ok := rec.Find("k", "v", state.AsOfTransactionTime(15)); ok {
+		t.Fatalf("pre-horizon ASOF read should lose resolution after pruning")
+	}
+}
+
+// TestRecoveryResidencyAfterRestart: lineages purely compacted out of
+// RAM (swept with every write covered by the frame — no tombstone) must
+// stay durable-only across restarts: recovery must not reload them
+// resident, while fallthrough reads keep answering.
+func TestRecoveryResidencyAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	db := d.Mem().DB()
+	keys := make([]string, 5)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cold-%d", i)
+		if err := db.Put(keys[i], "v", element.Int(int64(i)),
+			state.WithValidTime(10), state.WithEndValidTime(20),
+			state.WithTransactionTime(temporal.Instant(10+i))); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	if err := d.FlushAt(50); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if removed := d.Mem().CompactBefore(100); removed == 0 {
+		t.Fatalf("sweep removed nothing")
+	}
+	if err := d.FlushAt(60); err != nil { // reclaims the husks, records the sweep
+		t.Fatalf("reclaim flush: %v", err)
+	}
+	for _, k := range keys {
+		if d.Mem().Contains(k, "v") {
+			t.Fatalf("%s still resident after the sweep", k)
+		}
+	}
+
+	// The regression: before the manifest recorded sweeps, recovery
+	// reloaded every frame resident, undoing the compaction's RAM
+	// reclaim on every restart.
+	d.Abandon()
+	rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	for _, k := range keys {
+		if rec.Mem().Contains(k, "v") {
+			t.Fatalf("recovery reloaded swept lineage %s resident", k)
+		}
+		if f, ok := rec.Find(k, "v", state.AsOfValidTime(15)); !ok || f.Value.String() == "" {
+			t.Fatalf("fallthrough read lost %s after restart", k)
+		}
+	}
+
+	// The sweep set survives further flush generations too.
+	if err := rec.Mem().DB().Put("hot", "v", element.Int(1),
+		state.WithValidTime(70), state.WithTransactionTime(70)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := rec.FlushAt(80); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	rec.Abandon()
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	defer again.Close()
+	for _, k := range keys {
+		if again.Mem().Contains(k, "v") {
+			t.Fatalf("swept lineage %s resurfaced two generations later", k)
+		}
+	}
+	if !again.Mem().Contains("hot", "v") {
+		t.Fatalf("live lineage must stay resident")
+	}
+}
+
+// TestFaultMergeCrash kills a merge at each commit-protocol stage and
+// requires: the store never corrupts or degrades, victims stay
+// readable, and a crash-restart recovers byte-identically to the
+// pre-fault cut (the no-fault oracle — merge I/O never touches RAM).
+func TestFaultMergeCrash(t *testing.T) {
+	cases := []struct {
+		name string
+		rule vfs.Rule
+		// committed reports whether the merge's manifest still lands on
+		// disk despite the reported error (torn rename).
+		committed bool
+	}{
+		{"build-write", vfs.Rule{Op: vfs.OpWrite, Path: "seg-*.seg", Count: 1,
+			Err: errors.New("disk error")}, false},
+		{"manifest-rename-error", vfs.Rule{Op: vfs.OpRename, Path: manifestName, Count: 1,
+			Err: errors.New("rename failed")}, false},
+		{"manifest-torn-rename", vfs.Rule{Op: vfs.OpRename, Path: manifestName, Count: 1,
+			Err: errors.New("rename torn"), TornRename: true}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := vfs.NewFaultFS(vfs.OS)
+			d, err := Open(dir, WithFS(ffs), WithRetryPolicy(fastRetry))
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			buildChain(t, d, 3)
+			want := snapshotBytes(t, d.Mem())
+
+			// Arm the fault only after the chain is built, so it fires
+			// inside the merge, not a flush.
+			ffs.AddRule(tc.rule)
+			if err := d.Compact(); err == nil {
+				t.Fatalf("faulted merge must surface its error")
+			}
+			info := d.Info()
+			if info.CompactionFailures != 1 || info.Merges != 0 {
+				t.Fatalf("want one counted failure and no commit, got %+v", info)
+			}
+			if d.Degraded() != nil {
+				t.Fatalf("a merge failure must never degrade the store")
+			}
+			// The in-RAM catalog still serves from the victims.
+			if info.Segments != 3 {
+				t.Fatalf("victim chain must survive the failed merge, got %+v", info)
+			}
+			if f, ok := d.Find("shared-k00", "v"); !ok || f.Value.String() != "20" {
+				t.Fatalf("read after failed merge: %v ok=%v", f, ok)
+			}
+
+			// Crash and restart on the real filesystem.
+			d.Abandon()
+			rec, err := Open(dir)
+			if err != nil {
+				t.Fatalf("reopen after %s: %v", tc.name, err)
+			}
+			defer rec.Close()
+			if got := snapshotBytes(t, rec.Mem()); !bytes.Equal(got, want) {
+				t.Fatalf("%s: recovered state differs from no-fault oracle", tc.name)
+			}
+			ri := rec.Info()
+			if tc.committed {
+				// The torn rename committed the merged manifest: the
+				// restart serves from the merged segment, victims are
+				// swept as orphans.
+				if ri.Segments != 1 {
+					t.Fatalf("torn-rename restart should adopt the merged chain, got %+v", ri)
+				}
+			} else if ri.Segments != 3 {
+				t.Fatalf("restart should keep the victim chain, got %+v", ri)
+			}
+		})
+	}
+}
+
+// TestFaultCloseInterruptsMerge: Close must interrupt an in-flight
+// rate-limited merge instead of waiting out its schedule, and the
+// aborted build's partial output must not survive as state — the next
+// open removes the orphan and recovers the pre-merge cut.
+func TestFaultCloseInterruptsMerge(t *testing.T) {
+	dir := t.TempDir()
+	// One byte per second: the build throttles immediately and can only
+	// finish by being interrupted.
+	d, err := Open(dir, WithCompactionFanout(2), WithCompactionRate(1))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	buildChain(t, d, 2)
+	want := snapshotBytes(t, d.Mem())
+
+	d.Pulse(d.DurableTx())
+	waitFor(t, "merge to start", func() bool { return d.compacting.Load() })
+	start := time.Now()
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("close waited out the merge throttle: %v", elapsed)
+	}
+
+	rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rec.Close()
+	if got := snapshotBytes(t, rec.Mem()); !bytes.Equal(got, want) {
+		t.Fatalf("interrupted merge changed recovered state")
+	}
+	if info := rec.Info(); info.Segments != 2 || info.Merges != 0 {
+		t.Fatalf("interrupted merge must leave the victim chain, got %+v", info)
+	}
+}
+
+// TestFaultKillDuringWALRotation: crashes and create faults around WAL
+// rotation must never lose acknowledged writes — recovery replays the
+// whole file chain against the oracle.
+func TestFaultKillDuringWALRotation(t *testing.T) {
+	t.Run("crash-mid-chain", func(t *testing.T) {
+		dir := t.TempDir()
+		d, err := Open(dir, WithWALRotateBytes(512))
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		mutate(t, storeBatch{d}, 0)
+		mutate(t, storeBatch{d}, 1)
+		if files := d.Info().WALFiles; files < 2 {
+			t.Fatalf("rotation never happened: %d files", files)
+		}
+		d.Abandon()
+
+		rec, err := Open(dir, WithWALRotateBytes(512))
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer rec.Close()
+		want := snapshotBytes(t, oracle(t, 2))
+		if got := snapshotBytes(t, rec.Mem()); !bytes.Equal(got, want) {
+			t.Fatalf("chain recovery differs from WAL-only oracle")
+		}
+	})
+
+	t.Run("rotation-create-fault", func(t *testing.T) {
+		dir := t.TempDir()
+		ffs := vfs.NewFaultFS(vfs.OS)
+		// After:1 skips the chain file created at Open; the next two
+		// creates are rotation attempts, which must fail soft (keep
+		// appending to the oversized active file, retry later).
+		ffs.AddRule(vfs.Rule{Op: vfs.OpCreate, Path: "wal.*", After: 1, Count: 2,
+			Err: errors.New("create failed")})
+		d, err := Open(dir, WithFS(ffs), WithWALRotateBytes(512), WithRetryPolicy(fastRetry))
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		mutate(t, storeBatch{d}, 0)
+		if deg := d.Degraded(); deg != nil {
+			t.Fatalf("a failed rotation must not degrade: %+v", deg)
+		}
+		mutate(t, storeBatch{d}, 1)
+		if files := d.Info().WALFiles; files < 2 {
+			t.Fatalf("rotation never recovered after the faults: %d files", files)
+		}
+		d.Abandon()
+
+		rec, err := Open(dir)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer rec.Close()
+		want := snapshotBytes(t, oracle(t, 2))
+		if got := snapshotBytes(t, rec.Mem()); !bytes.Equal(got, want) {
+			t.Fatalf("recovery after rotation faults differs from oracle")
+		}
+	})
+}
+
+// TestFuzzMergeVsFlatOracle: a seeded random interleaving of mutation
+// rounds, flushes, merges, and WAL rotations, crash-restarted and
+// compared byte-for-byte against a flat never-truncated WAL replay of
+// the same mutations.
+func TestFuzzMergeVsFlatOracle(t *testing.T) {
+	const rounds = 6
+	rng := rand.New(rand.NewSource(7))
+	dir := t.TempDir()
+	d, err := Open(dir, WithWALRotateBytes(2048), WithCompactionFanout(2))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for r := 0; r < rounds; r++ {
+		mutate(t, storeBatch{d}, r)
+		putRound(t, storeBatch{d}, r)
+		switch rng.Intn(3) {
+		case 0:
+			if err := d.Flush(); err != nil {
+				t.Fatalf("round %d flush: %v", r, err)
+			}
+		case 1:
+			if err := d.Flush(); err != nil {
+				t.Fatalf("round %d flush: %v", r, err)
+			}
+			if err := d.Compact(); err != nil {
+				t.Fatalf("round %d compact: %v", r, err)
+			}
+		}
+	}
+	d.Abandon()
+
+	rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rec.Close()
+
+	// The flat oracle: the identical mutation schedule against a plain
+	// store with a never-truncated single-file WAL, fully replayed.
+	odir := t.TempDir()
+	wal := filepath.Join(odir, "oracle.log")
+	st := state.NewStore()
+	l, err := state.CreateLog(wal)
+	if err != nil {
+		t.Fatalf("oracle log: %v", err)
+	}
+	st.AttachLog(l)
+	for r := 0; r < rounds; r++ {
+		mutate(t, memBatch{st.DB()}, r)
+		putRound(t, memBatch{st.DB()}, r)
+	}
+	l.Close()
+	flat := state.NewStore()
+	if _, err := state.ReplayFile(wal, flat); err != nil {
+		t.Fatalf("oracle replay: %v", err)
+	}
+
+	want := snapshotBytes(t, flat)
+	if got := snapshotBytes(t, rec.Mem()); !bytes.Equal(got, want) {
+		t.Fatalf("fuzzed merge/flush/rotation schedule diverged from the flat oracle (%d vs %d bytes)", len(got), len(want))
+	}
+}

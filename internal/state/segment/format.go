@@ -36,6 +36,7 @@ import (
 	"hash/crc32"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/element"
 	"repro/internal/temporal"
@@ -113,10 +114,17 @@ type writer struct {
 	index map[element.FactKey]int64
 	env   envelope
 	scr   []byte // payload scratch, reused across frames
+	// level is the compaction level the finished segment carries in its
+	// footer: 0 for flush output, victims' max + 1 for merge output.
+	level int
+	// tombs counts the tombstone (empty) lineage frames written — footer
+	// metadata compaction victim selection reads without opening frames.
+	tombs int
 }
 
 // createSegment opens a new segment file at path and writes the header.
-func createSegment(fsys vfs.FS, path string) (*writer, error) {
+// level is recorded in the footer (see writer.level).
+func createSegment(fsys vfs.FS, path string, level int) (*writer, error) {
 	f, err := fsys.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("segment: create: %w", err)
@@ -125,6 +133,7 @@ func createSegment(fsys vfs.FS, path string) (*writer, error) {
 		f: f, fs: fsys, bw: bufio.NewWriterSize(f, 1<<16), path: path,
 		index: make(map[element.FactKey]int64),
 		env:   emptyEnvelope(),
+		level: level,
 	}
 	if _, err := w.bw.WriteString(fileMagic); err != nil {
 		w.abort()
@@ -195,6 +204,9 @@ func (w *writer) writeLineage(key element.FactKey, records []*element.Fact) erro
 	if err != nil {
 		return fmt.Errorf("segment: %s: %w", key, err)
 	}
+	if len(records) == 0 {
+		w.tombs++
+	}
 	w.index[key] = off
 	return nil
 }
@@ -225,6 +237,11 @@ func (w *writer) finish(cut temporal.Instant) (*reader, error) {
 		b = appendString(b, k.Attribute)
 		b = binary.AppendUvarint(b, uint64(w.index[k]))
 	}
+	// Compaction metadata rides after the index as optional trailing
+	// fields: segments written before levels existed simply end here and
+	// decode as level 0 with no tombstones.
+	b = binary.AppendUvarint(b, uint64(w.level))
+	b = binary.AppendUvarint(b, uint64(w.tombs))
 	w.scr = b
 	footerOff, err := w.writeFrame(b)
 	if err != nil {
@@ -246,10 +263,13 @@ func (w *writer) finish(cut temporal.Instant) (*reader, error) {
 		w.abort()
 		return nil, fmt.Errorf("segment: sync: %w", err)
 	}
-	return &reader{
+	r := &reader{
 		f: w.f, fs: w.fs, path: w.path, size: w.off + trailerLen,
 		cut: cut, env: w.env, index: w.index,
-	}, nil
+		level: w.level, tombs: w.tombs,
+	}
+	r.live.Store(int64(len(w.index)))
+	return r, nil
 }
 
 // abort discards a partially written segment.
@@ -272,6 +292,16 @@ type reader struct {
 	cut   temporal.Instant
 	env   envelope
 	index map[element.FactKey]int64
+	// level is the segment's compaction level (0 = flush output); tombs
+	// its tombstone-frame count. Both come from the footer.
+	level int
+	tombs int
+	// live counts the keys whose NEWEST durable frame is in this segment
+	// — the catalog's per-segment accounting, maintained O(dirty) per
+	// flush: each flush decrements the previous owner of every key it
+	// rewrites. len(index) - live + tombs is the reclaimable garbage
+	// compaction victim selection scores by.
+	live atomic.Int64
 }
 
 // openSegment opens and validates a segment file: trailer, footer frame
@@ -337,7 +367,31 @@ func loadSegment(fsys vfs.FS, f vfs.File, path string) (*reader, error) {
 		}
 		r.index[key] = off
 	}
+	// Optional trailing compaction metadata (see writer.finish): absent
+	// in segments written before levels existed.
+	if c.err == nil && len(c.b) > 0 {
+		r.level = int(c.uvarint())
+		r.tombs = int(c.uvarint())
+		if c.err != nil {
+			return nil, fmt.Errorf("segment: %s: corrupt footer metadata", path)
+		}
+	}
 	return r, nil
+}
+
+// garbage scores the segment for compaction victim selection: dead
+// frames (a newer segment owns the key) plus live tombstones, as a
+// fraction of all frames.
+func (r *reader) garbage() float64 {
+	n := len(r.index)
+	if n == 0 {
+		return 0
+	}
+	g := n - int(r.live.Load()) + r.tombs
+	if g > n {
+		g = n
+	}
+	return float64(g) / float64(n)
 }
 
 // readLineage preads and decodes the lineage frame at off — the

@@ -236,7 +236,7 @@ func TestRecoveryTornWALTail(t *testing.T) {
 			t.Fatalf("put: %v", err)
 		}
 	}
-	wal := filepath.Join(dir, walName)
+	wal := filepath.Join(dir, "wal.00000001") // the chain's first (active) file
 	st, err := os.Stat(wal)
 	if err != nil {
 		t.Fatalf("stat wal: %v", err)

@@ -8,20 +8,29 @@
 // durable directory:
 //
 //	dir/
-//	  MANIFEST        commit point: durable cut + live segment list
+//	  MANIFEST          commit point: durable cut + live segment list
 //	  seg-NNNNNNNN.seg  immutable segment files (see format.go)
-//	  wal.log         the WAL tail: records newer than the durable cut
+//	  wal.NNNNNNNN      the segmented WAL chain: records newer than the
+//	                    durable cut, rotated at a size threshold
 //
 // A flush is a pinned cut, exactly like a snapshot: FlushCut gathers the
 // lineages touched since the previous flush, each as the record set
 // believed at the pin, into one new segment file; the manifest commit
 // (temp file + rename) then atomically advances the durable cut, and
-// Log.TruncateBefore drops the WAL prefix the segments now cover.
+// Log.TruncateBefore unlinks the whole WAL files the segments now cover.
 // Recovery inverts it: load the manifest, bulk-load the newest frame of
-// every key (state.LoadLineage — one head publication per lineage,
-// no mutation replay), then replay only the WAL tail. Every step is
-// crash-atomic: a torn segment is an unreferenced orphan, a torn WAL
-// tail record is dropped, and the manifest either renamed or it did not.
+// every key (state.LoadLineage — one head publication per lineage, no
+// mutation replay, fanned across GOMAXPROCS shard-partitioned workers),
+// then replay only the WAL tail. Every step is crash-atomic: a torn
+// segment is an unreferenced orphan, a torn WAL tail record is dropped,
+// and the manifest either renamed or it did not.
+//
+// The segment list is leveled, LSM-style: flushes append level-0
+// segments, and a background merger (see compact.go) rewrites
+// contiguous runs into the next level, reclaiming frames a newer
+// segment superseded and tombstones nothing older still resurrects.
+// The manifest rename is the single atomic commit point for a merge
+// exactly as for a flush.
 //
 // Reads resolve against RAM first and fall through to segment frames
 // (pread + per-segment bitemporal envelope pruning) for lineages the RAM
@@ -38,6 +47,7 @@ import (
 	"io/fs"
 	"math/rand"
 	"path/filepath"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"sync"
@@ -52,15 +62,38 @@ import (
 
 const (
 	manifestName = "MANIFEST"
-	walName      = "wal.log"
-	lockName     = "LOCK"
+	// walName is the legacy single-file WAL name. The segmented chain
+	// still recognizes it on open — it replays as the oldest chain file —
+	// so directories written before rotation existed recover unchanged.
+	walName  = "wal.log"
+	lockName = "LOCK"
 
-	// manifestVersion guards the manifest wire format.
-	manifestVersion = 1
+	// manifestVersion guards the manifest wire format. Version 2 added
+	// the durable-only (swept) key set; version-1 manifests still read.
+	manifestVersion = 2
 
 	// DefaultFlushEvery is the WAL-tail record count that triggers a
 	// background flush (see Pulse) unless WithFlushEvery overrides it.
 	DefaultFlushEvery = 8192
+
+	// DefaultCompactFanout is the length a contiguous run of equal-level
+	// segments must reach before the background merger rewrites it into
+	// the next level (see compact.go).
+	DefaultCompactFanout = 4
+
+	// defaultCompactGarbage is the garbage fraction at which a single
+	// segment is rewritten in place to reclaim dead frames.
+	defaultCompactGarbage = 0.5
+
+	// minCompactFrames keeps trivial segments out of the garbage-ratio
+	// rewrite path: below this frame count a rewrite reclaims too little
+	// to be worth the write amplification.
+	minCompactFrames = 4
+
+	// DefaultCompactRate is the default merge write-rate limit in bytes
+	// per second — background merges yield the disk to foreground
+	// flushes instead of monopolizing it.
+	DefaultCompactRate = 64 << 20
 
 	// maxFlushErrHistory bounds the retained background-flush error
 	// history: the next Flush/Close surfaces a join of up to this many
@@ -106,6 +139,11 @@ type manifestRec struct {
 	DurableTx temporal.Instant
 	NextSeq   uint64
 	Segments  []manifestSegment
+	// Swept is the durable-only key set (version 2+): keys whose
+	// lineages compaction evicted from RAM entirely and whose truthful
+	// frames recovery must keep on disk — answerable by fallthrough
+	// reads — instead of re-loading them resident.
+	Swept []element.FactKey
 }
 
 // manifestSegment names one live segment file and its cut.
@@ -114,19 +152,49 @@ type manifestSegment struct {
 	CutTx temporal.Instant
 }
 
-// frameRef locates the newest durable frame of one key.
-type frameRef struct {
-	seg *reader
-	off int64
-}
-
 // catalog is the immutable, atomically published view of the durable
 // directory: readers load it once and resolve against it lock-free,
-// exactly as store readers load published lineage heads.
+// exactly as store readers load published lineage heads. Segments are
+// age-ordered, oldest first: a key's newest durable frame lives in the
+// LAST segment whose index holds it, so reads probe newest→oldest.
 type catalog struct {
 	durableTx temporal.Instant
-	segments  []*reader // oldest first
-	frames    map[element.FactKey]frameRef
+	segments  []*reader // age order, oldest first
+}
+
+// owner resolves the segment holding key's newest durable frame and the
+// frame's offset, probing newest→oldest.
+func (c *catalog) owner(key element.FactKey) (*reader, int64, bool) {
+	for i := len(c.segments) - 1; i >= 0; i-- {
+		if off, ok := c.segments[i].index[key]; ok {
+			return c.segments[i], off, true
+		}
+	}
+	return nil, 0, false
+}
+
+// ownedAt reports whether any segment at index from or later holds a
+// frame for key — the "a newer segment owns it" probe of the live
+// accounting and the merge.
+func (c *catalog) ownedAt(from int, key element.FactKey) bool {
+	for i := from; i < len(c.segments); i++ {
+		if _, ok := c.segments[i].index[key]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ownedBefore reports whether any segment older than index bound holds
+// a frame for key — the merge's tombstone-elision probe: a tombstone
+// with no older coverage protects nothing and can be reclaimed.
+func (c *catalog) ownedBefore(bound int, key element.FactKey) bool {
+	for i := 0; i < bound && i < len(c.segments); i++ {
+		if _, ok := c.segments[i].index[key]; ok {
+			return true
+		}
+	}
+	return false
 }
 
 // Store is the durable segment-backed state store. It implements
@@ -144,6 +212,25 @@ type Store struct {
 	flushEvery int
 	retry      RetryPolicy
 
+	// walRotate is the WAL rotation threshold in bytes (0 = the state
+	// package default); loadPar caps the parallel cold-start workers
+	// (0 = GOMAXPROCS, 1 = serial).
+	walRotate int64
+	loadPar   int
+
+	// retentionNs is the belief-retention horizon in nanoseconds of
+	// transaction time (0 = keep everything): merges prune superseded
+	// belief versions older than durableTx - retentionNs.
+	retentionNs int64
+
+	// compactFanout, compactGarbage, and compactRate tune the background
+	// merger: run length that triggers a level merge, garbage fraction
+	// that triggers a single-segment rewrite, and the merge write-rate
+	// limit in bytes/second (<= 0 = unthrottled).
+	compactFanout  int
+	compactGarbage float64
+	compactRate    int64
+
 	// cat is the published durable view; swapped after each flush.
 	cat atomic.Pointer[catalog]
 
@@ -151,6 +238,12 @@ type Store struct {
 	mu      sync.Mutex
 	nextSeq uint64
 	closed  bool
+	// swept is the durable-only key set (guarded by mu, persisted in the
+	// manifest): lineages compaction evicted from RAM whose frames stay
+	// truthful on disk. Recovery keeps them out of the resident working
+	// set; fallthrough reads still answer them. A key leaves the set when
+	// a flush writes it again.
+	swept map[element.FactKey]bool
 	// closeOnce makes Close idempotent; closeErr is the first result.
 	closeOnce sync.Once
 	closeErr  error
@@ -159,11 +252,13 @@ type Store struct {
 	unlock func()
 
 	// flushing is the single-flight latch of background flushes (Pulse);
-	// wg tracks the in-flight one so Close can wait. closing interrupts
-	// a backoff sleep so Close never waits out a retry schedule.
-	flushing atomic.Bool
-	wg       sync.WaitGroup
-	closing  chan struct{}
+	// compacting the single-flight latch of merges; wg tracks both so
+	// Close can wait. closing interrupts a backoff sleep or a merge's
+	// rate-limit sleep so Close never waits out a schedule.
+	flushing   atomic.Bool
+	compacting atomic.Bool
+	wg         sync.WaitGroup
+	closing    chan struct{}
 
 	// errMu guards the bounded background-flush error history (surfaced
 	// joined by the next Flush/Close) and the latest cause (Info).
@@ -189,6 +284,13 @@ type Store struct {
 	// frames the per-segment envelope pruning skipped (see List).
 	scanFrames atomic.Int64
 	scanPruned atomic.Int64
+
+	// merges counts committed merges; mergeReclaim the net bytes merges
+	// reclaimed (victim sizes minus output size); compactFails the
+	// merges that failed (aborts on conflict or Close are not failures).
+	merges       atomic.Int64
+	mergeReclaim atomic.Int64
+	compactFails atomic.Int64
 }
 
 // Store implements the bitemporal StateDB seam and the read-only Reader
@@ -227,6 +329,53 @@ func WithRetryPolicy(p RetryPolicy) Option {
 	return func(d *Store) { d.retry = p }
 }
 
+// WithWALRotateBytes sets the size threshold at which the WAL rotates
+// to a fresh chain file (default state.DefaultWALRotateBytes). Smaller
+// thresholds make TruncateBefore reclaim more eagerly — it only ever
+// drops whole files — at the cost of more files.
+func WithWALRotateBytes(n int64) Option {
+	return func(d *Store) { d.walRotate = n }
+}
+
+// WithLoadParallelism caps the cold-start workers that decode and
+// install segment frames: 0 (the default) uses GOMAXPROCS, 1 loads
+// serially. Workers partition keys by the store's shard index, so they
+// never contend on a shard lock.
+func WithLoadParallelism(n int) Option {
+	return func(d *Store) { d.loadPar = n }
+}
+
+// WithBeliefRetention bounds the audit history merges retain: a
+// superseded belief version whose supersession is older than the
+// horizon (the durable cut minus dur, in transaction time) is pruned
+// when its segment is next merged. The default (0) keeps everything.
+//
+// Caveat: pruning trades audit resolution for space — after a merge,
+// SYSTEM TIME ASOF reads pinned before the horizon no longer see the
+// pruned versions. Currently-believed versions are never pruned, so
+// valid-time queries and current reads are unaffected.
+func WithBeliefRetention(dur time.Duration) Option {
+	return func(d *Store) { d.retentionNs = dur.Nanoseconds() }
+}
+
+// WithCompactionFanout sets the equal-level run length that triggers a
+// background level merge (default DefaultCompactFanout; n < 2 is
+// clamped to 2).
+func WithCompactionFanout(n int) Option {
+	return func(d *Store) {
+		if n < 2 {
+			n = 2
+		}
+		d.compactFanout = n
+	}
+}
+
+// WithCompactionRate sets the merge write-rate limit in bytes per
+// second (default DefaultCompactRate; n <= 0 unthrottles).
+func WithCompactionRate(n int64) Option {
+	return func(d *Store) { d.compactRate = n }
+}
+
 // Open opens (or initializes) a durable directory and recovers its
 // state: manifest, then the newest segment frame of every key
 // (bulk-loaded, no replay), then the WAL tail. Orphan files from a
@@ -238,7 +387,10 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	d := &Store{
 		dir: dir, flushEvery: DefaultFlushEvery, nextSeq: 1,
 		fs: vfs.OS, retry: DefaultRetryPolicy,
-		closing: make(chan struct{}),
+		compactFanout: DefaultCompactFanout, compactGarbage: defaultCompactGarbage,
+		compactRate: DefaultCompactRate,
+		swept:       map[element.FactKey]bool{},
+		closing:     make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(d)
@@ -277,7 +429,7 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	cat := &catalog{durableTx: temporal.MinInstant, frames: map[element.FactKey]frameRef{}}
+	cat := &catalog{durableTx: temporal.MinInstant}
 	if man != nil {
 		cat.durableTx = man.DurableTx
 		d.nextSeq = man.NextSeq
@@ -288,9 +440,9 @@ func Open(dir string, opts ...Option) (*Store, error) {
 				return nil, err
 			}
 			cat.segments = append(cat.segments, r)
-			for key, off := range r.index {
-				cat.frames[key] = frameRef{seg: r, off: off}
-			}
+		}
+		for _, key := range man.Swept {
+			d.swept[key] = true
 		}
 	}
 	d.removeOrphans(man)
@@ -299,7 +451,7 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		d.closeSegments(cat)
 		return nil, err
 	}
-	log, _, err := state.RecoverLogFS(d.fs, filepath.Join(dir, walName), d.mem, cat.durableTx)
+	log, _, err := state.RecoverWALDirFS(d.fs, dir, d.mem, cat.durableTx, d.walRotate)
 	if err != nil {
 		d.closeSegments(cat)
 		return nil, err
@@ -322,42 +474,105 @@ func Open(dir string, opts ...Option) (*Store, error) {
 }
 
 // loadFrames bulk-loads the newest frame of every cataloged key into the
-// RAM working set. Each segment is read into memory once and its live
-// frames (the ones the catalog still points at) decode from the image —
-// one sequential read per segment instead of a pread pair per lineage.
+// RAM working set and rebuilds each segment's live count. Segments walk
+// newest→oldest with a seen set, so each key loads from exactly its
+// newest frame; durable-only keys (see Store.swept) keep their frames on
+// disk, answerable by fallthrough reads, but stay out of RAM. Each
+// segment is read into memory once — one sequential read per segment
+// instead of a pread pair per lineage — and only one image is held at a
+// time; within a segment the decode+install work fans out across
+// shard-partitioned workers (see loadSegmentFrames).
 func (d *Store) loadFrames(cat *catalog) error {
-	for _, r := range cat.segments {
-		live := 0
+	seen := make(map[element.FactKey]bool)
+	workers := d.loadPar
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for i := len(cat.segments) - 1; i >= 0; i-- {
+		r := cat.segments[i]
+		var load []element.FactKey
+		owned := 0
 		for key := range r.index {
-			if cat.frames[key].seg == r {
-				live++
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			owned++
+			if !d.swept[key] {
+				load = append(load, key)
 			}
 		}
-		if live == 0 {
+		r.live.Store(int64(owned))
+		if len(load) == 0 {
 			continue
 		}
 		img, err := r.image()
 		if err != nil {
 			return err
 		}
-		for key, off := range r.index {
-			if cat.frames[key].seg != r {
-				continue
-			}
-			fkey, records, err := r.readLineageImage(img, off)
-			if err != nil {
-				return err
-			}
-			if fkey != key {
-				return fmt.Errorf("segment: %s @%d: frame holds %s, index says %s",
-					r.path, off, fkey, key)
-			}
-			if err := d.mem.LoadLineage(records); err != nil {
-				return err
-			}
+		if err := d.loadSegmentFrames(r, img, load, workers); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// loadSegmentFrames decodes and installs the given frames of one segment
+// image. Keys are partitioned across workers by the store's shard index:
+// two keys in different partitions never share a shard, so the workers
+// install lineages without contending on a shard lock.
+func (d *Store) loadSegmentFrames(r *reader, img []byte, keys []element.FactKey, workers int) error {
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if workers <= 1 {
+		for _, key := range keys {
+			if err := d.loadFrame(r, img, key); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	parts := make([][]element.FactKey, workers)
+	for _, key := range keys {
+		w := d.mem.ShardIndex(key.Entity, key.Attribute) % workers
+		parts[w] = append(parts[w], key)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := range parts {
+		if len(parts[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, key := range parts[w] {
+				if err := d.loadFrame(r, img, key); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// loadFrame decodes one frame from a segment image and installs its
+// lineage; a tombstone frame installs nothing (the key is durably
+// absent).
+func (d *Store) loadFrame(r *reader, img []byte, key element.FactKey) error {
+	off := r.index[key]
+	fkey, records, err := r.readLineageImage(img, off)
+	if err != nil {
+		return err
+	}
+	if fkey != key {
+		return fmt.Errorf("segment: %s @%d: frame holds %s, index says %s",
+			r.path, off, fkey, key)
+	}
+	return d.mem.LoadLineage(records)
 }
 
 // removeOrphans deletes files a crash left unreferenced: segments absent
@@ -377,9 +592,9 @@ func (d *Store) removeOrphans(man *manifestRec) {
 	for _, e := range ents {
 		name := e.Name()
 		switch {
-		case name == manifestName || name == walName || name == lockName || live[name]:
-		case name == manifestName+".tmp" || name == walName+".tmp",
-			filepath.Ext(name) == ".seg":
+		case name == manifestName || name == lockName || live[name] ||
+			state.IsWALFileName(name):
+		case filepath.Ext(name) == ".tmp", filepath.Ext(name) == ".seg":
 			if err := d.fs.Remove(filepath.Join(d.dir, name)); err != nil {
 				d.removeFails.Add(1)
 			}
@@ -402,8 +617,8 @@ func readManifest(fsys vfs.FS, path string) (*manifestRec, error) {
 	if err := gob.NewDecoder(io.NewSectionReader(f, 0, 1<<62)).Decode(&man); err != nil {
 		return nil, fmt.Errorf("segment: manifest: %w", err)
 	}
-	if man.Version != manifestVersion {
-		return nil, fmt.Errorf("segment: manifest version %d, want %d", man.Version, manifestVersion)
+	if man.Version < 1 || man.Version > manifestVersion {
+		return nil, fmt.Errorf("segment: manifest version %d, want <= %d", man.Version, manifestVersion)
 	}
 	return &man, nil
 }
@@ -515,12 +730,15 @@ func (d *Store) flushLocked(cut temporal.Instant) error {
 	}
 
 	name := fmt.Sprintf("seg-%08d.seg", d.nextSeq)
-	w, err := createSegment(d.fs, filepath.Join(d.dir, name))
+	w, err := createSegment(d.fs, filepath.Join(d.dir, name), 0)
 	if err != nil {
 		return err
 	}
 	var gatherErr error
-	written := 0
+	// rewritten collects every key the new segment holds — each one's
+	// previous owner loses a live frame; newSwept the husks whose
+	// truthful frame stays on disk while the lineage leaves RAM.
+	var rewritten, newSwept []element.FactKey
 	d.mem.FlushCut(cut, cat.durableTx, func(key element.FactKey, records []*element.Fact, lastWrite temporal.Instant) {
 		if gatherErr != nil {
 			return
@@ -532,25 +750,26 @@ func (d *Store) flushLocked(cut temporal.Instant) error {
 			// when writes happened after its cut (e.g. a delete the
 			// sweep then compacted away, which the stale frame would
 			// resurrect).
-			ref, ok := cat.frames[key]
-			if !ok || lastWrite <= ref.seg.cut {
+			own, _, ok := cat.owner(key)
+			if !ok || lastWrite <= own.cut {
+				if ok {
+					newSwept = append(newSwept, key)
+				}
 				return
 			}
 		}
 		gatherErr = w.writeLineage(key, records)
-		written++
+		rewritten = append(rewritten, key)
 	})
 	if gatherErr != nil {
 		w.abort()
 		return gatherErr
 	}
 
-	nc := &catalog{durableTx: cut, frames: make(map[element.FactKey]frameRef, len(cat.frames)+written)}
-	for key, ref := range cat.frames {
-		nc.frames[key] = ref
-	}
-	segs := cat.segments
-	if written == 0 {
+	nc := &catalog{durableTx: cut}
+	segs := make([]*reader, len(cat.segments), len(cat.segments)+1)
+	copy(segs, cat.segments)
+	if len(rewritten) == 0 {
 		// Nothing dirty: advance the durable cut without an empty file.
 		w.abort()
 	} else {
@@ -560,33 +779,59 @@ func (d *Store) flushLocked(cut temporal.Instant) error {
 		}
 		d.nextSeq++
 		segs = append(segs, r)
-		for key, off := range r.index {
-			nc.frames[key] = frameRef{seg: r, off: off}
-		}
-	}
-
-	// A segment every key of which has a newer frame is dead: drop it
-	// from the manifest now, unlink after the commit.
-	var dead []*reader
-	for _, r := range segs {
-		liveKey := false
-		for key := range r.index {
-			if nc.frames[key].seg == r {
-				liveKey = true
-				break
+		// Per-segment live accounting, O(dirty keys): the new segment
+		// owns every rewritten key, so each key's previous owner — its
+		// newest OLD frame — loses one.
+		for _, key := range rewritten {
+			if own, _, ok := cat.owner(key); ok {
+				own.live.Add(-1)
 			}
 		}
-		if liveKey {
-			nc.segments = append(nc.segments, r)
-		} else {
+	}
+
+	// A segment whose every key has a newer frame is dead (live == 0):
+	// drop it from the manifest now, unlink after the commit.
+	var dead []*reader
+	for _, r := range segs {
+		if r.live.Load() == 0 {
 			dead = append(dead, r)
+		} else {
+			nc.segments = append(nc.segments, r)
 		}
 	}
 
-	man := &manifestRec{Version: manifestVersion, DurableTx: cut, NextSeq: d.nextSeq}
-	for _, r := range nc.segments {
-		man.Segments = append(man.Segments, manifestSegment{File: filepath.Base(r.path), CutTx: r.cut})
+	// The durable-only key set after this commit: a key the new segment
+	// holds is no longer merely durable (its newest frame speaks for
+	// itself), a husk whose truthful frame stayed becomes durable-only.
+	// The DropSweptBefore preview catches husks FlushCut never visited —
+	// a sweep between flushes can bump a husk's maxTx to a point already
+	// at or below the previous cut (pure compaction of a long-durable
+	// lineage); the commit below is their only chance to be recorded, or
+	// a restart would reload them resident.
+	preview := d.mem.SweptBefore(cut)
+	sweptAfter := d.swept
+	if len(rewritten) > 0 || len(newSwept) > 0 || len(preview) > 0 {
+		sweptAfter = make(map[element.FactKey]bool, len(d.swept)+len(newSwept)+len(preview))
+		for k := range d.swept {
+			sweptAfter[k] = true
+		}
+		for _, k := range newSwept {
+			sweptAfter[k] = true
+		}
+		for _, k := range preview {
+			// A husk with no durable frame has nothing to stay skippable
+			// for; it simply leaves RAM.
+			if _, _, ok := cat.owner(k); ok {
+				sweptAfter[k] = true
+			}
+		}
+		// Rewritten last: a key the new segment holds (including fresh
+		// tombstones) speaks for itself.
+		for _, k := range rewritten {
+			delete(sweptAfter, k)
+		}
 	}
+	man := d.manifestFor(nc, sweptAfter)
 	// Sync the WAL before the manifest commit: after the commit, every
 	// write is durable against power loss too — at or before the cut in
 	// the just-synced segment, after it in the just-synced tail. A
@@ -602,6 +847,7 @@ func (d *Store) flushLocked(cut temporal.Instant) error {
 		return err
 	}
 	d.cat.Store(nc)
+	d.swept = sweptAfter
 
 	// Retired segments are unlinked but NOT explicitly closed: a reader
 	// that loaded an older catalog may still pread them. Dropping every
@@ -624,10 +870,35 @@ func (d *Store) flushLocked(cut temporal.Instant) error {
 			return err
 		}
 	}
-	// Husks whose tombstones the commit covered are reclaimable (see
-	// state.SetRetainSwept).
+	// Husks whose tombstones (or truthful frames) the commit covered are
+	// reclaimable (see state.SetRetainSwept). Keys the manifest recorded
+	// as durable-only leave RAM here; the rest leave because their
+	// tombstone frame is now the durable truth.
 	d.mem.DropSweptBefore(cut)
 	return nil
+}
+
+// manifestFor serializes a catalog plus a durable-only key set as the
+// manifest record to commit. Callers hold d.mu.
+func (d *Store) manifestFor(cat *catalog, swept map[element.FactKey]bool) *manifestRec {
+	man := &manifestRec{Version: manifestVersion, DurableTx: cat.durableTx, NextSeq: d.nextSeq}
+	for _, r := range cat.segments {
+		man.Segments = append(man.Segments, manifestSegment{File: filepath.Base(r.path), CutTx: r.cut})
+	}
+	if len(swept) > 0 {
+		man.Swept = make([]element.FactKey, 0, len(swept))
+		for k := range swept {
+			man.Swept = append(man.Swept, k)
+		}
+		// Sorted so manifest bytes are deterministic for a given state.
+		sort.Slice(man.Swept, func(i, j int) bool {
+			if man.Swept[i].Attribute != man.Swept[j].Attribute {
+				return man.Swept[i].Attribute < man.Swept[j].Attribute
+			}
+			return man.Swept[i].Entity < man.Swept[j].Entity
+		})
+	}
+	return man
 }
 
 // Pulse nudges the background flusher: when the WAL tail has grown past
@@ -646,6 +917,9 @@ func (d *Store) Pulse(cut temporal.Instant) {
 	if d.degraded.Load() != nil {
 		return
 	}
+	// Compaction rides the same heartbeat: never from FlushAt itself, so
+	// direct flushes stay deterministic for callers that count segments.
+	d.maybeCompact()
 	if d.flushing.Load() || cut <= d.DurableTx() || d.log.Len() < d.flushEvery {
 		return
 	}
@@ -896,13 +1170,13 @@ func (d *Store) findFrame(entity, attr string, point bool, opts ...state.ReadOpt
 		return nil, false
 	}
 	cat := d.cat.Load()
-	ref, ok := cat.frames[element.FactKey{Entity: entity, Attribute: attr}]
+	seg, off, ok := cat.owner(element.FactKey{Entity: entity, Attribute: attr})
 	if !ok {
 		return nil, false
 	}
 	if point {
 		spec := state.SpecOf(opts...)
-		env := ref.seg.env
+		env := seg.env
 		if spec.HasValidAt && (spec.ValidAt < env.minValid || spec.ValidAt >= env.maxValid) {
 			return nil, false
 		}
@@ -915,7 +1189,7 @@ func (d *Store) findFrame(entity, attr string, point bool, opts ...state.ReadOpt
 			return nil, false
 		}
 	}
-	_, records, err := ref.seg.readLineage(ref.off)
+	_, records, err := seg.readLineage(off)
 	if err != nil {
 		// A failing referenced frame is corruption, not absence; reads
 		// degrade to RAM-only rather than panic mid-query.
@@ -935,41 +1209,44 @@ func (d *Store) findFrame(entity, attr string, point bool, opts ...state.ReadOpt
 func (d *Store) List(opts ...state.ReadOpt) []*element.Fact {
 	out := d.mem.List(opts...)
 	cat := d.cat.Load()
-	if len(cat.frames) == 0 || d.degraded.Load() != nil {
+	if len(cat.segments) == 0 || d.degraded.Load() != nil {
 		// Degraded scans serve RAM only, matching findFrame's posture.
 		return out
 	}
 	shape := state.ShapeOf(opts...)
-	var keys []element.FactKey
-	for key, ref := range cat.frames {
-		if shape.Attr != "" && key.Attribute != shape.Attr {
-			continue
-		}
-		if scanPrune(ref.seg.env, shape) {
-			d.scanPruned.Add(1)
-			continue
-		}
-		if d.mem.Contains(key.Entity, key.Attribute) {
-			continue
-		}
-		keys = append(keys, key)
-	}
-	if len(keys) == 0 {
-		return out
-	}
 	merged := false
-	for _, key := range keys {
-		ref := cat.frames[key]
-		_, records, err := ref.seg.readLineage(ref.off)
-		if err != nil {
-			// Corruption degrades the scan to what RAM holds, matching
-			// findFrame's read-error posture.
-			continue
-		}
-		d.scanFrames.Add(1)
-		if facts := state.ListRecords(records, opts...); len(facts) > 0 {
-			out = append(out, facts...)
-			merged = true
+	seen := make(map[element.FactKey]bool)
+	for i := len(cat.segments) - 1; i >= 0; i-- {
+		r := cat.segments[i]
+		pruned := scanPrune(r.env, shape)
+		for key, off := range r.index {
+			if seen[key] {
+				continue
+			}
+			// Mark even the pruned and filtered: an older frame of the
+			// same key must not answer for the newest one.
+			seen[key] = true
+			if shape.Attr != "" && key.Attribute != shape.Attr {
+				continue
+			}
+			if pruned {
+				d.scanPruned.Add(1)
+				continue
+			}
+			if d.mem.Contains(key.Entity, key.Attribute) {
+				continue
+			}
+			_, records, err := r.readLineage(off)
+			if err != nil {
+				// Corruption degrades the scan to what RAM holds, matching
+				// findFrame's read-error posture.
+				continue
+			}
+			d.scanFrames.Add(1)
+			if facts := state.ListRecords(records, opts...); len(facts) > 0 {
+				out = append(out, facts...)
+				merged = true
+			}
 		}
 	}
 	if merged {
@@ -1029,10 +1306,33 @@ type Info struct {
 	DurableTx temporal.Instant
 	// Segments is the number of live segment files.
 	Segments int
+	// SegmentsPerLevel counts live segments by compaction level (index =
+	// level).
+	SegmentsPerLevel []int
 	// Frames is the number of keys with a durable frame.
 	Frames int
+	// FrameSlots is the total index-entry count across segments —
+	// Frames plus the superseded duplicates compaction has not yet
+	// reclaimed.
+	FrameSlots int
 	// WALRecords is the record count of the WAL tail.
 	WALRecords int
+	// WALFiles is the file count of the WAL chain.
+	WALFiles int
+	// DroppedWALFiles is the cumulative count of whole WAL files
+	// truncation and rearms unlinked.
+	DroppedWALFiles int
+	// WALDropFailures counts WAL chain files that should have been
+	// unlinked but could not be (disk leak made visible).
+	WALDropFailures int
+	// Merges counts committed compaction merges.
+	Merges int64
+	// MergeBytesReclaimed is the net bytes merges reclaimed: victim file
+	// sizes minus merged output sizes.
+	MergeBytesReclaimed int64
+	// CompactionFailures counts merges that failed outright (conflict
+	// and shutdown aborts excluded).
+	CompactionFailures int64
 	// ScanFrames is the cumulative count of durable frames merged into
 	// scans (List fall-through for segment-only lineages).
 	ScanFrames int64
@@ -1057,17 +1357,35 @@ type Info struct {
 // Info returns a point-in-time summary of the durable directory.
 func (d *Store) Info() Info {
 	cat := d.cat.Load()
+	frames, slots := 0, 0
+	var perLevel []int
+	for _, r := range cat.segments {
+		frames += int(r.live.Load())
+		slots += len(r.index)
+		for len(perLevel) <= r.level {
+			perLevel = append(perLevel, 0)
+		}
+		perLevel[r.level]++
+	}
 	return Info{
-		DurableTx:        cat.durableTx,
-		Segments:         len(cat.segments),
-		Frames:           len(cat.frames),
-		WALRecords:       d.log.Len(),
-		ScanFrames:       d.scanFrames.Load(),
-		ScanFramesPruned: d.scanPruned.Load(),
-		Degraded:         d.degraded.Load(),
-		LastFlushErr:     d.LastFlushErr(),
-		FlushRetries:     d.flushRetries.Load(),
-		RemoveFailures:   d.removeFails.Load(),
-		DroppedAppends:   d.log.Dropped(),
+		DurableTx:           cat.durableTx,
+		Segments:            len(cat.segments),
+		SegmentsPerLevel:    perLevel,
+		Frames:              frames,
+		FrameSlots:          slots,
+		WALRecords:          d.log.Len(),
+		WALFiles:            d.log.Files(),
+		DroppedWALFiles:     d.log.DroppedFiles(),
+		WALDropFailures:     d.log.DropFailures(),
+		Merges:              d.merges.Load(),
+		MergeBytesReclaimed: d.mergeReclaim.Load(),
+		CompactionFailures:  d.compactFails.Load(),
+		ScanFrames:          d.scanFrames.Load(),
+		ScanFramesPruned:    d.scanPruned.Load(),
+		Degraded:            d.degraded.Load(),
+		LastFlushErr:        d.LastFlushErr(),
+		FlushRetries:        d.flushRetries.Load(),
+		RemoveFailures:      d.removeFails.Load(),
+		DroppedAppends:      d.log.Dropped(),
 	}
 }

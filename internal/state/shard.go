@@ -158,6 +158,15 @@ func (s *Store) shardFor(entity, attr string) *shard {
 	return s.shards[shardIndex(entity, attr, s.shardMask)]
 }
 
+// ShardIndex reports which shard owns the (entity, attribute) lineage.
+// Exported so bulk loaders (the segment backend's parallel cold start)
+// can partition LoadLineage calls by shard: two keys with different
+// ShardIndex values never contend on a shard lock, so a disjoint
+// partition loads lock-free in parallel.
+func (s *Store) ShardIndex(entity, attr string) int {
+	return int(shardIndex(entity, attr, s.shardMask))
+}
+
 // HashString is the store's FNV-1a hash over one string, exported so
 // upstream partitioners (the engine's ingestion routing) can align their
 // key distribution with the shard function without re-deriving it.

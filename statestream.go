@@ -155,6 +155,22 @@ func DurableFlushEvery(n int) DurableOption { return segment.WithFlushEvery(n) }
 // degrades. See DESIGN.md "Failure model".
 func DurableRetry(p DurableRetryPolicy) DurableOption { return segment.WithRetryPolicy(p) }
 
+// DurableBeliefRetention bounds how long superseded belief versions stay
+// reachable in durable storage: background segment merges drop versions
+// whose supersession is older than d relative to the merge's durable
+// cut. Current beliefs and valid-time history are never pruned — only
+// transaction-time AsOf reads older than the horizon lose resolution.
+// See DESIGN.md "Compaction and the segmented WAL".
+func DurableBeliefRetention(d time.Duration) DurableOption {
+	return segment.WithBeliefRetention(d)
+}
+
+// DurableWALRotateBytes tunes the segmented WAL's rotation threshold:
+// the tail log rotates to a fresh numbered file once the active one
+// reaches n bytes, so post-flush truncation is whole-file drops instead
+// of an in-place rewrite.
+func DurableWALRotateBytes(n int64) DurableOption { return segment.WithWALRotateBytes(n) }
+
 // Data model.
 type (
 	// Value is a dynamically typed scalar.

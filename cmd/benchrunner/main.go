@@ -184,6 +184,7 @@ func runRegression(scale float64, jsonOut, baselinePath string, tolerance float6
 	failures += checkWALTruncate(rep)
 	failures += checkCompactReclaim(rep)
 	failures += checkParallelRecovery(rep)
+	failures += checkColdScan(rep)
 
 	if failures > 0 {
 		return fmt.Errorf("%d benchmark gate failure(s) vs %s", failures, baselinePath)
@@ -681,6 +682,52 @@ func checkParallelRecovery(rep *bench.RegressionReport) int {
 	}
 	fmt.Printf("  %-28s serial/parallel speedup %.2fx (min %.1fx)  %s\n",
 		"e7/recover-par", speedup, recoverParSpeedupMin, status)
+	return failures
+}
+
+// coldScanRatioMax bounds the scan-cold/scan-resident latency ratio for
+// the selective prepared query: with per-segment value envelopes pruning
+// all but one flush segment before any pread, a fully evicted directory
+// must answer within this factor of the all-resident run. Both rows run
+// the same query over the same directory shape in the same process, so
+// the ratio needs no hardware-class baseline; the gate self-disables
+// only when the resident leg is too brief to time reliably.
+const coldScanRatioMax = 3.0
+
+// coldScanGateMinElapsed is the minimum resident-leg wall time for the
+// cold-scan gate to engage.
+const coldScanGateMinElapsed = 5 * time.Millisecond
+
+// checkColdScan enforces the out-of-core scan bound using the same-run
+// scan-resident / scan-cold pair.
+func checkColdScan(rep *bench.RegressionReport) int {
+	byName := make(map[string]bench.Measurement, len(rep.Results))
+	for _, m := range rep.Results {
+		byName[m.Name] = m
+	}
+	resident, ok1 := byName["e7/scan-resident"]
+	cold, ok2 := byName["e7/scan-cold"]
+	if !ok1 || !ok2 || resident.NsPerOp <= 0 {
+		// The rows disappearing means the suite was renamed without
+		// updating this gate — fail rather than silently ungate the
+		// out-of-core scan path.
+		fmt.Printf("  %-28s MISSING scan-resident/scan-cold rows\n", "e7/scan-cold")
+		return 1
+	}
+	ratio := cold.NsPerOp / resident.NsPerOp
+	if elapsed := time.Duration(resident.NsPerOp * float64(resident.Ops)); elapsed < coldScanGateMinElapsed {
+		fmt.Printf("  %-28s cold/resident ratio %.2fx (not gated: resident run %s < %s)\n",
+			"e7/scan-cold", ratio, elapsed.Round(time.Microsecond), coldScanGateMinElapsed)
+		return 0
+	}
+	status := "ok"
+	failures := 0
+	if ratio > coldScanRatioMax {
+		status = "COLD SCAN REGRESSED"
+		failures++
+	}
+	fmt.Printf("  %-28s cold/resident ratio %.2fx (max %.1fx)  %s\n",
+		"e7/scan-cold", ratio, coldScanRatioMax, status)
 	return failures
 }
 

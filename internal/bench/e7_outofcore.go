@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/element"
+	"repro/internal/query"
+	"repro/internal/state"
+	"repro/internal/state/segment"
+	"repro/internal/temporal"
+)
+
+// Out-of-core rows: the larger-than-RAM execution seam. scan-resident
+// and scan-cold run the same selective prepared query over the same
+// durable directory — once with every lineage in RAM, once with every
+// lineage evicted, so the scan's candidates arrive through the cold
+// union and per-segment envelope pruning decides how many frames are
+// actually read. evict-reclaim prices the eviction sweep itself. The
+// benchrunner gate bounds cold at 3x resident: envelope pruning has to
+// keep a selective cold scan in the same class as a resident one
+// instead of decaying to a full directory decode.
+
+// outOfCoreSegments is the flush-segment count of the bench directory.
+// Keys are written in contiguous value ranges, one flush per range, so
+// each segment's value envelope covers a disjoint slice and a
+// top-of-range predicate prunes all but the last segment without a
+// pread.
+const outOfCoreSegments = 64
+
+// buildOutOfCoreStore writes keys 0..keys-1 (value = key index) across
+// outOfCoreSegments flush segments in dir.
+func buildOutOfCoreStore(dir string, keys int) *segment.Store {
+	d, err := segment.Open(dir)
+	if err != nil {
+		panic(err)
+	}
+	db := d.Mem().DB()
+	per := keys / outOfCoreSegments
+	if per < 1 {
+		per = 1
+	}
+	for idx := 0; idx < keys; idx++ {
+		if err := db.Put(fmt.Sprintf("k%06d", idx), "value", element.Int(int64(idx)),
+			state.WithValidTime(temporal.Instant(idx+1)),
+			state.WithTransactionTime(temporal.Instant(idx+1))); err != nil {
+			panic(err)
+		}
+		if (idx+1)%per == 0 || idx == keys-1 {
+			if err := d.Flush(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return d
+}
+
+// scanOutOfCore measures the selective prepared query (value > keys-10,
+// ~10 matching lineages, parallelism 4) over a pinned snapshot of the
+// bench directory — fully resident when evict is false, fully evicted
+// when true.
+func scanOutOfCore(evict bool, keys, queries int) time.Duration {
+	dir, err := os.MkdirTemp("", "outofcore-bench-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	d := buildOutOfCoreStore(dir, keys)
+	if evict {
+		if n := d.EvictToBudget(0); n == 0 {
+			panic("scan-cold evicted nothing: the row would measure the resident path")
+		}
+	}
+	p, err := query.Prepare(fmt.Sprintf("SELECT entity, value FROM value WHERE value > %d", keys-10))
+	if err != nil {
+		panic(err)
+	}
+	env := query.ExecEnv{Store: d.Mem().Snapshot(), Now: temporal.Instant(keys + 1), Parallelism: 4}
+	start := time.Now()
+	for i := 0; i < queries; i++ {
+		if _, err := p.Exec(env); err != nil {
+			panic(err)
+		}
+	}
+	elapsed := time.Since(start)
+	d.Abandon()
+	return elapsed
+}
+
+// evictReclaim measures one full eviction sweep: every fully-durable
+// lineage leaves RAM. Ops is the key count, so NsPerOp is the per-
+// lineage reclaim cost.
+func evictReclaim(keys int) time.Duration {
+	dir, err := os.MkdirTemp("", "outofcore-bench-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	d := buildOutOfCoreStore(dir, keys)
+	start := time.Now()
+	n := d.EvictToBudget(0)
+	elapsed := time.Since(start)
+	if n == 0 {
+		panic("evict-reclaim evicted nothing")
+	}
+	d.Abandon()
+	return elapsed
+}
+
+// addOutOfCoreRows appends the out-of-core rows through add.
+func addOutOfCoreRows(add func(name string, ops int, measure func() time.Duration), scale float64) {
+	keys := scaleInt(8_192, scale)
+	queries := scaleInt(300, scale)
+	add("e7/scan-resident", queries, func() time.Duration { return scanOutOfCore(false, keys, queries) })
+	add("e7/scan-cold", queries, func() time.Duration { return scanOutOfCore(true, keys, queries) })
+	add("e7/evict-reclaim", keys, func() time.Duration { return evictReclaim(keys) })
+}

@@ -74,6 +74,10 @@ const underIngestWriters = 4
 //	                             segment bulk-load + WAL-tail replay
 //	e7/recover-{par,serial}      fully flushed cold start, GOMAXPROCS vs
 //	                             1 frame-load worker
+//	e7/scan-{resident,cold}      selective prepared query over a durable
+//	                             directory, all lineages in RAM vs all
+//	                             evicted (cold union + envelope pruning)
+//	e7/evict-reclaim             per-lineage cost of a full eviction sweep
 //	e7/wal-truncate/{tail-1x,tail-8x}  whole-file WAL truncation over equal
 //	                             file counts holding 1x vs 8x the records
 //	e7/compact-reclaim/{unmerged,merged}  restart frame slots before vs
@@ -264,6 +268,12 @@ func RegressionSuite(scale float64) *RegressionReport {
 	// >= 3x faster than the WAL and (on >= 4 CPUs) the parallel load
 	// >= 2x faster than serial in the same run.
 	addRecoveryRows(add, scale)
+
+	// Out-of-core rows: the same selective query resident vs fully
+	// evicted (gate: cold <= 3x resident — per-segment envelope pruning
+	// must keep a selective cold scan from decaying to a full directory
+	// decode), plus the per-lineage eviction-sweep cost.
+	addOutOfCoreRows(add, scale)
 
 	// Segmented-WAL truncation rows: whole-file drops must cost the
 	// same per call whether the chain holds 1x or 8x the records

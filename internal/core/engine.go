@@ -297,6 +297,19 @@ func WithDurableDir(path string, opts ...segment.Option) Option {
 	})
 }
 
+// WithResidencyBudget caps the RAM working set of a durable engine at n
+// estimated bytes (see segment.WithResidencyBudget): as the watermark
+// advances, fully-flushed least-recently-used lineages are evicted from
+// RAM, reads fall through to their segment frames, and writes fault
+// them back in — derived state larger than RAM keeps serving. A
+// convenience wrapper over the extra-options slot of WithDurableDir;
+// it has no effect without WithDurableDir.
+func WithResidencyBudget(n int64) Option {
+	return optionFunc(func(e *Engine) {
+		e.durableOpts = append(e.durableOpts, segment.WithResidencyBudget(n))
+	})
+}
+
 // WithAutoCompact schedules per-shard state compaction from ingest
 // progress: once any single shard of the store has accumulated growth new
 // records since its last sweep, the next write to that shard compacts its

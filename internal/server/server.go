@@ -473,6 +473,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			out["merge_bytes_reclaimed"] = int(info.MergeBytesReclaimed)
 			out["wal_files"] = info.WALFiles
 			out["dropped_wal_files"] = info.DroppedWALFiles
+			// Residency posture: how much of the state lives in RAM vs
+			// durable frames, and how many frames scans have pulled cold —
+			// the out-of-core runbook reads these to tell "the budget is
+			// holding" from "the working set is thrashing".
+			out["resident_lineages"] = info.ResidentLineages
+			out["evicted_lineages"] = info.EvictedLineages
+			out["cold_scan_frames"] = int(info.ScanFrames)
+			out["scan_frames_pruned"] = int(info.ScanFramesPruned)
 		}
 	}
 	writeJSON(w, out)

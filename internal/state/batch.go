@@ -91,7 +91,16 @@ func (s *Store) PutBatch(puts []BatchPut) error {
 				firstErr = fmt.Errorf("state: batch put %s: empty validity %s", key, w)
 				break
 			}
-			l := sh.lineage(key, true)
+			l := sh.byKey[key]
+			if l == nil {
+				// An evicted key must be faulted back in before the batch
+				// mutates it — same rule as the per-element path (apply).
+				l = s.faultIn(sh, key)
+			}
+			if l == nil {
+				l = sh.lineage(key, true)
+			}
+			s.touch(l)
 			if last := l.head.Load().lastLive(); last != nil && p.At < last.Validity.Start {
 				firstErr = fmt.Errorf("%w: %s at %s before %s",
 					ErrOutOfOrder, key, p.At, last.Validity.Start)

@@ -1,0 +1,362 @@
+// Out-of-core residency: the cold-read seam and the working-set
+// eviction machinery that let RAM track the hot working set instead of
+// total live state.
+//
+// A ColdSource (the segment backend implements it) answers for lineages
+// that are NOT resident in RAM: point reads and histories fall through
+// to it key by key (ColdRecords), scans union its durable-only lineages
+// into the gather in key order (ColdLineages), and writes to an evicted
+// key restore the full record history first (FaultIn) so a later flush
+// frame never supersedes history it no longer sees.
+//
+// Eviction is the inverse of recovery's LoadLineage: EvictToBudget
+// removes fully-flushed, least-recently-used lineages from the shard
+// maps — their bytes leave RAM entirely; the durable frame remains the
+// single copy — and remembers the evicted keys per shard so the write
+// path knows to fault them back in. A lineage is evictable only when
+// every transaction that touched it is durable (head.maxTx at or before
+// the flushed cut): for such a lineage the segment frame holds the
+// byte-identical record set, so evicting and re-reading through the
+// ColdSource is invisible to every read shape at every pin.
+package state
+
+import (
+	"sort"
+
+	"repro/internal/element"
+	"repro/internal/temporal"
+)
+
+// ColdLineage is one durable-only lineage a ColdSource contributes to a
+// scan: the key (scans merge by it) and a lazy loader returning the
+// lineage's full record set. Load runs only when the merge actually
+// reaches the lineage — envelope-pruned or RAM-shadowed entries are
+// never read — and may run from a scan worker, so it must be safe for
+// concurrent calls with other loaders.
+type ColdLineage struct {
+	Key  element.FactKey
+	Load func() ([]*element.Fact, error)
+}
+
+// ColdSource serves reads for lineages that are not resident in RAM —
+// evicted by the residency budget or dropped by compaction with their
+// durable frames still truthful. The segment backend is the production
+// implementation. All methods must be safe for concurrent use and must
+// tolerate being asked about keys they do not own (return ok=false /
+// no entry).
+type ColdSource interface {
+	// ColdRecords returns the full record set of one durable-only
+	// lineage for a point-shaped (point=true: Find and friends) or
+	// history-shaped read. The spec carries the read's temporal
+	// selectors so the source may prune against its envelopes; a source
+	// unable or unwilling to answer (degraded, no frame, pruned)
+	// returns ok=false.
+	ColdRecords(key element.FactKey, spec ReadSpec, point bool) ([]*element.Fact, bool)
+	// ColdLineages returns the durable-only lineage candidates a scan
+	// of the given shape must union with RAM, sorted by (attribute,
+	// entity), with frames provably disjoint from the shape or the
+	// value bounds already pruned. Entries for keys that are in fact
+	// resident are permitted — the merge discards them unloaded.
+	ColdLineages(shape ScanShape, bounds ValueBounds) []ColdLineage
+	// FaultIn returns the full record set of an evicted key so the
+	// write path can reinstall it before mutating. Unlike ColdRecords
+	// it never prunes: the caller needs the history, not an answer.
+	FaultIn(key element.FactKey) ([]*element.Fact, bool)
+}
+
+// coldSourceRef wraps the interface value for atomic publication.
+type coldSourceRef struct{ cs ColdSource }
+
+// SetColdSource installs (or, with nil, removes) the store's cold-read
+// backend. Install before eviction can occur; reads race-freely observe
+// either the old or the new source.
+func (s *Store) SetColdSource(cs ColdSource) {
+	if cs == nil {
+		s.cold.Store(nil)
+		return
+	}
+	s.cold.Store(&coldSourceRef{cs: cs})
+}
+
+// coldSource returns the installed ColdSource, nil when none.
+func (s *Store) coldSource() ColdSource {
+	if ref := s.cold.Load(); ref != nil {
+		return ref.cs
+	}
+	return nil
+}
+
+// SetAccessTracking enables recency stamping on point reads and writes,
+// the signal EvictToBudget's LRU ordering consumes. Off by default: the
+// two atomic operations per read are measurable on the hottest paths,
+// so only budgeted stores pay them.
+func (s *Store) SetAccessTracking(on bool) {
+	s.trackAccess.Store(on)
+}
+
+// touch stamps a lineage's access recency when tracking is enabled.
+func (s *Store) touch(l *lineage) {
+	if s.trackAccess.Load() {
+		l.access.Store(s.accessSeq.Add(1))
+	}
+}
+
+// factOverheadBytes approximates the fixed in-RAM cost of one record:
+// the Fact struct itself, its slot in the records slice, and its share
+// of head/belief-slice bookkeeping.
+const factOverheadBytes = 96
+
+// approxFactBytes estimates the resident size of one record. The
+// estimate only needs to be consistent (the same record always costs
+// the same), since the budget compares accumulated estimates against a
+// configured number, not against the allocator.
+func approxFactBytes(f *element.Fact) int64 {
+	n := int64(factOverheadBytes + len(f.Entity) + len(f.Attribute) + len(f.Source))
+	if s, ok := f.Value.AsString(); ok {
+		n += int64(len(s))
+	}
+	return n
+}
+
+// headBytes sums the record estimates of one published head.
+func headBytes(h *head) int64 {
+	var n int64
+	for _, f := range h.records {
+		n += approxFactBytes(f)
+	}
+	return n
+}
+
+// ResidentBytes reports the estimated bytes of all RAM-resident records,
+// summed from the per-shard atomics without any shard lock.
+func (s *Store) ResidentBytes() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.bytes.Load()
+	}
+	return n
+}
+
+// ResidentLineages reports the number of lineages resident in RAM.
+func (s *Store) ResidentLineages() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.pub.Load().n
+	}
+	return n
+}
+
+// EvictedCount reports the number of keys currently marked evicted.
+func (s *Store) EvictedCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.evicted)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// EvictedKeys returns the evicted key set sorted by (attribute, entity)
+// — the order the durability manifest records, so recovery reseeds
+// deterministically.
+func (s *Store) EvictedKeys() []element.FactKey {
+	var keys []element.FactKey
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for key := range sh.evicted {
+			keys = append(keys, key)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(keys, func(i, j int) bool { return coldKeyLess(keys[i], keys[j]) })
+	return keys
+}
+
+// MarkEvicted seeds the evicted key set — recovery calls it with the
+// manifest's evicted keys plus any frames it skipped loading to honor
+// the budget. Keys that turn out to be resident are left alone.
+func (s *Store) MarkEvicted(keys []element.FactKey) {
+	for _, key := range keys {
+		sh := s.shardFor(key.Entity, key.Attribute)
+		sh.mu.Lock()
+		if sh.byKey[key] == nil {
+			if sh.evicted == nil {
+				sh.evicted = make(map[element.FactKey]bool)
+			}
+			sh.evicted[key] = true
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// EvictToBudget evicts least-recently-used, fully-durable lineages until
+// the store's resident byte estimate is at or below budget, returning
+// how many lineages were evicted. `durable` is the durability layer's
+// flushed cut: only lineages whose every touch (head.maxTx — writes and
+// sweep bumps alike) is at or before it are candidates, because only
+// for those does a durable frame hold the byte-identical record set.
+// Husks (empty heads awaiting their tombstone flush) are never evicted.
+//
+// The candidate scan is lock-free over the published directories; the
+// evictions themselves batch per shard under one write-lock hold, with
+// the directory republished before the lock is released — a concurrent
+// write faulting the key back in therefore always observes a consistent
+// (map, directory) pair. Candidates that were touched between the scan
+// and the locked re-check are skipped: they just proved themselves hot.
+func (s *Store) EvictToBudget(budget int64, durable temporal.Instant) int {
+	if budget < 0 {
+		budget = 0
+	}
+	resident := s.ResidentBytes()
+	if resident <= budget {
+		return 0
+	}
+	type candidate struct {
+		shard  int
+		l      *lineage
+		access int64
+		size   int64
+	}
+	var cands []candidate
+	for si, sh := range s.shards {
+		for _, ls := range sh.pub.Load().byAttr {
+			for _, l := range ls {
+				h := l.head.Load()
+				if len(h.records) == 0 || h.maxTx > durable {
+					continue
+				}
+				cands = append(cands, candidate{shard: si, l: l, access: l.access.Load(), size: headBytes(h)})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].access < cands[j].access })
+	need := resident - budget
+	byShard := make(map[int][]candidate)
+	var sum int64
+	for _, c := range cands {
+		if sum >= need {
+			break
+		}
+		byShard[c.shard] = append(byShard[c.shard], c)
+		sum += c.size
+	}
+	evicted := 0
+	for si, group := range byShard {
+		sh := s.shards[si]
+		sh.mu.Lock()
+		changed := false
+		for _, c := range group {
+			key := c.l.key
+			if sh.byKey[key] != c.l {
+				continue
+			}
+			h := c.l.head.Load()
+			if len(h.records) == 0 || h.maxTx > durable || c.l.access.Load() != c.access {
+				continue
+			}
+			delete(sh.byKey, key)
+			if sh.evicted == nil {
+				sh.evicted = make(map[element.FactKey]bool)
+			}
+			sh.evicted[key] = true
+			sh.records.Add(int64(-len(h.records)))
+			sh.versions.Add(int64(-h.nLive()))
+			sh.bytes.Add(-headBytes(h))
+			changed = true
+			evicted++
+		}
+		if changed {
+			sh.publishRebuild()
+		}
+		sh.mu.Unlock()
+	}
+	return evicted
+}
+
+// faultIn reinstalls an evicted key's record history before a write
+// touches it, and clears the evicted mark either way — a key the source
+// cannot produce (degraded durability) forfeits its history exactly as
+// degraded mode forfeits reads, and the write proceeds on a fresh
+// lineage. Callers hold sh.mu and have already missed sh.byKey.
+func (s *Store) faultIn(sh *shard, key element.FactKey) *lineage {
+	if !sh.evicted[key] {
+		return nil
+	}
+	delete(sh.evicted, key)
+	cs := s.coldSource()
+	if cs == nil {
+		return nil
+	}
+	records, ok := cs.FaultIn(key)
+	if !ok || len(records) == 0 {
+		return nil
+	}
+	nh, err := buildHead(records, true)
+	if err != nil {
+		return nil
+	}
+	l := &lineage{key: key}
+	l.head.Store(nh)
+	if s.trackAccess.Load() {
+		l.access.Store(s.accessSeq.Add(1))
+	}
+	sh.byKey[key] = l
+	sh.publishInsert(l)
+	sh.records.Add(int64(len(records)))
+	sh.versions.Add(int64(nh.nLive()))
+	sh.bytes.Add(headBytes(nh))
+	s.clock.observe(nh.maxTx)
+	return l
+}
+
+// coldKeyLess orders keys by (attribute, entity) — the deterministic
+// order of every cross-shard gather, which cold merges share.
+func coldKeyLess(a, b element.FactKey) bool {
+	if a.Attribute != b.Attribute {
+		return a.Attribute < b.Attribute
+	}
+	return a.Entity < b.Entity
+}
+
+// coldLineagesFor fetches the scan's durable-only candidates from the
+// installed ColdSource, nil when none is installed.
+func (s *Store) coldLineagesFor(shape ScanShape, bounds ValueBounds) []ColdLineage {
+	cs := s.coldSource()
+	if cs == nil {
+		return nil
+	}
+	return cs.ColdLineages(shape, bounds)
+}
+
+// coldHead loads one cold candidate and wraps it in a detached head; nil
+// when the load fails or yields nothing (a frame the owner retired
+// mid-scan reads as absent, matching the read posture of point
+// fall-through).
+func coldHead(c ColdLineage) *head {
+	records, err := c.Load()
+	if err != nil || len(records) == 0 {
+		return nil
+	}
+	return detachedHead(records)
+}
+
+// shapeOfCfg converts a resolved read configuration to the exported
+// scan-shape form ColdSources consume.
+func shapeOfCfg(cfg readCfg) ScanShape {
+	return ScanShape{
+		ValidAt: cfg.validAt, HasValidAt: cfg.hasValidAt,
+		During: cfg.validDuring, HasDuring: cfg.hasDuring,
+		TxAt: cfg.txAt, HasTxAt: cfg.hasTxAt,
+		Attr: cfg.attr, AllVersions: cfg.allVersions,
+	}
+}
+
+// specOfCfg converts a resolved read configuration to the exported
+// point-read spec form ColdSources consume.
+func specOfCfg(cfg readCfg) ReadSpec {
+	return ReadSpec{
+		ValidAt: cfg.validAt, HasValidAt: cfg.hasValidAt,
+		TxAt: cfg.txAt, HasTxAt: cfg.hasTxAt,
+	}
+}

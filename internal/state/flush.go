@@ -190,6 +190,7 @@ func (s *Store) LoadLineage(records []*element.Fact) error {
 	sh.publishInsert(l)
 	sh.records.Add(int64(len(records)))
 	sh.versions.Add(int64(nh.nLive()))
+	sh.bytes.Add(headBytes(nh))
 	s.clock.observe(nh.maxTx)
 	return nil
 }

@@ -1156,7 +1156,8 @@ func (s *Store) writeSnapshotAt(w io.Writer, tt temporal.Instant) error {
 // interval closed after the pin is restored to open — the clone set is
 // exactly the bitemporal state as of tt.
 func (s *Store) allRecordsAt(tt temporal.Instant) []*element.Fact {
-	return s.scanAll(func(h *head, out []*element.Fact) []*element.Fact {
+	shape := ScanShape{TxAt: tt, HasTxAt: true, AllVersions: true}
+	return s.scanAll(shape, func(h *head, out []*element.Fact) []*element.Fact {
 		return recordsAt(h, tt, out)
 	})
 }
@@ -1208,6 +1209,7 @@ func (s *Store) loadRecord(f *element.Fact) error {
 	}
 	nh.records = append(h.records, f)
 	sh.records.Add(1)
+	sh.bytes.Add(approxFactBytes(f))
 	s.clock.observe(f.RecordedAt)
 	if f.Superseded() {
 		s.clock.observe(f.SupersededAt)

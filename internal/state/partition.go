@@ -41,6 +41,13 @@ type ValueBounds struct {
 // Constrained reports whether the bounds constrain anything.
 func (b ValueBounds) Constrained() bool { return b.HasMin || b.HasMax }
 
+// Excludes reports whether the closed interval [lo, hi] cannot contain
+// any value satisfying the bounds — the exported form of the envelope
+// test the scan paths use. Backends prune durable frames against their
+// own per-segment value envelopes with it, so frame pruning and head
+// pruning share one definition of "disjoint".
+func (b ValueBounds) Excludes(lo, hi float64) bool { return b.disjoint(lo, hi) }
+
 // disjoint reports whether the closed interval [lo, hi] cannot contain
 // any value satisfying the bounds.
 func (b ValueBounds) disjoint(lo, hi float64) bool {
@@ -77,12 +84,18 @@ type ScanSpec struct {
 // ScanStats reports what a partitioned scan did — the planner surfaces
 // these decisions through PreparedQuery.Explain.
 type ScanStats struct {
-	// Lineages is the candidate lineage count after attribute scoping.
+	// Lineages is the candidate lineage count after attribute scoping,
+	// resident and cold alike.
 	Lineages int
-	// IndexPruned counts candidates skipped by the value envelope.
+	// IndexPruned counts resident candidates skipped by the value
+	// envelope. (Cold candidates arrive pre-pruned by their per-segment
+	// envelopes and are not counted here.)
 	IndexPruned int
 	// Partitions is the number of gather partitions actually used.
 	Partitions int
+	// ColdLineages is the number of durable-only candidates the gather
+	// unioned in — lineages served from segment frames, not RAM.
+	ColdLineages int
 }
 
 // minLineagesPerPartition is the smallest per-worker chunk the default
@@ -106,9 +119,22 @@ func (sn *Snapshot) ScanPartitioned(spec ScanSpec) ([]*element.Fact, ScanStats) 
 	return sn.s.gatherPartitioned(sn.clamp(newReadCfg(spec.Opts)), spec)
 }
 
+// scanCand is one partitioned-gather candidate: a resident head loaded
+// once at partition time, or a cold lineage whose frame is read and
+// decoded lazily inside the worker that owns its chunk.
+type scanCand struct {
+	h    *head
+	cold ColdLineage // meaningful when h == nil
+}
+
 // gatherPartitioned is the partitioned counterpart of gatherList. The
-// lineage collection and ordering mirror byAttributeAll/scanAll; the
-// per-lineage selection is the shared pickInto.
+// lineage collection and ordering mirror byAttributeAll/scanAll —
+// including the sorted union with the ColdSource's durable-only
+// lineages — and the per-lineage selection is the shared pickInto, so
+// the output is byte-identical to the serial gather for any parallelism
+// and any residency state. Cold frames are decoded inside the gather
+// workers: a scan over mostly-cold data parallelizes its preads and
+// decodes, not just its selection.
 func (s *Store) gatherPartitioned(cfg readCfg, spec ScanSpec) ([]*element.Fact, ScanStats) {
 	var lins []*lineage
 	if cfg.attr != "" {
@@ -123,37 +149,53 @@ func (s *Store) gatherPartitioned(cfg readCfg, spec ScanSpec) ([]*element.Fact, 
 			}
 		}
 		sort.Slice(lins, func(i, j int) bool {
-			if lins[i].key.Attribute != lins[j].key.Attribute {
-				return lins[i].key.Attribute < lins[j].key.Attribute
-			}
-			return lins[i].key.Entity < lins[j].key.Entity
+			return coldKeyLess(lins[i].key, lins[j].key)
 		})
 	}
 	stats := ScanStats{Lineages: len(lins)}
+	cold := s.coldLineagesFor(shapeOfCfg(cfg), spec.Bounds)
 
-	// Load each head once (the scan's consistent view of the lineage)
-	// and drop the ones the value envelope proves irrelevant before
-	// chunking, so pruning also rebalances the partitions.
-	heads := make([]*head, 0, len(lins))
+	// Merge resident heads and cold candidates in key order. Each
+	// resident head is loaded once (the scan's consistent view of the
+	// lineage) and dropped when the value envelope proves it irrelevant
+	// before chunking, so pruning also rebalances the partitions; cold
+	// candidates arrive pre-pruned by their per-segment envelopes.
+	// Resident wins on equal keys, exactly as in mergeGather. The merge
+	// is deliberately closure-free: prepared-query Exec rides this path,
+	// and its per-exec allocation budget has no room for captured-
+	// variable cells.
 	prune := spec.Bounds.Constrained()
-	for _, l := range lins {
-		h := l.head.Load()
+	cands := make([]scanCand, 0, len(lins)+len(cold))
+	i, j := 0, 0
+	for i < len(lins) || j < len(cold) {
+		if i >= len(lins) || (j < len(cold) && coldKeyLess(cold[j].Key, lins[i].key)) {
+			cands = append(cands, scanCand{cold: cold[j]})
+			stats.Lineages++
+			stats.ColdLineages++
+			j++
+			continue
+		}
+		if j < len(cold) && !coldKeyLess(lins[i].key, cold[j].Key) {
+			j++ // equal keys: resident wins, the cold entry is shadowed
+		}
+		h := lins[i].head.Load()
+		i++
 		if prune && h.skipByBounds(spec.Bounds) {
 			stats.IndexPruned++
 			continue
 		}
-		heads = append(heads, h)
+		cands = append(cands, scanCand{h: h})
 	}
 
 	par := spec.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
-		if lim := len(heads) / minLineagesPerPartition; par > lim {
+		if lim := len(cands) / minLineagesPerPartition; par > lim {
 			par = lim
 		}
 	}
-	if par > len(heads) {
-		par = len(heads)
+	if par > len(cands) {
+		par = len(cands)
 	}
 	if par < 1 {
 		par = 1
@@ -162,8 +204,8 @@ func (s *Store) gatherPartitioned(cfg readCfg, spec ScanSpec) ([]*element.Fact, 
 
 	if par == 1 {
 		var out []*element.Fact
-		for _, h := range heads {
-			out = pickInto(h, cfg, out)
+		for _, c := range cands {
+			out = gatherCand(c, cfg, spec.Bounds, prune, out)
 		}
 		return keepFiltered(out, spec.Keep), stats
 	}
@@ -171,13 +213,13 @@ func (s *Store) gatherPartitioned(cfg readCfg, spec ScanSpec) ([]*element.Fact, 
 	parts := make([][]*element.Fact, par)
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
-		lo, hi := w*len(heads)/par, (w+1)*len(heads)/par
+		lo, hi := w*len(cands)/par, (w+1)*len(cands)/par
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			var out []*element.Fact
-			for _, h := range heads[lo:hi] {
-				out = pickInto(h, cfg, out)
+			for _, c := range cands[lo:hi] {
+				out = gatherCand(c, cfg, spec.Bounds, prune, out)
 			}
 			parts[w] = keepFiltered(out, spec.Keep)
 		}(w, lo, hi)
@@ -193,6 +235,26 @@ func (s *Store) gatherPartitioned(cfg readCfg, spec ScanSpec) ([]*element.Fact, 
 		out = append(out, p...)
 	}
 	return out, stats
+}
+
+// gatherCand resolves one partitioned-scan candidate into out: a
+// resident head runs the shared pickInto directly; a cold candidate is
+// loaded here — pread + decode on the worker that owns its chunk — and
+// the decoded head re-runs the envelope test, since the per-segment
+// envelope covers the whole segment while the decoded head's envelope
+// covers just this lineage, so the second test can prune what the first
+// could not.
+func gatherCand(c scanCand, cfg readCfg, bounds ValueBounds, prune bool, out []*element.Fact) []*element.Fact {
+	h := c.h
+	if h == nil {
+		if h = coldHead(c.cold); h == nil {
+			return out
+		}
+		if prune && h.skipByBounds(bounds) {
+			return out
+		}
+	}
+	return pickInto(h, cfg, out)
 }
 
 // keepFiltered applies the pushed row predicate in place.

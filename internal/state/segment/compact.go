@@ -53,7 +53,7 @@ func (d *Store) maybeCompact() {
 		return
 	}
 	cat := d.cat.Load()
-	lo, hi, level := selectVictims(cat, d.compactFanout, d.compactGarbage)
+	lo, hi, level := selectVictims(cat, d.compactFanout, d.compactGarbage, d.levelBytes)
 	if hi <= lo {
 		return
 	}
@@ -94,23 +94,30 @@ func (d *Store) Compact() error {
 }
 
 // selectVictims picks the next merge from a catalog: first the oldest
-// contiguous run of >= fanout equal-level segments (merged into the
-// next level), else the oldest single segment whose dead-frame share
-// reaches garbageFrac (rewritten at its own level; the dead > 0
-// requirement keeps a segment whose garbage is all still-shadowing
-// tombstones from being rewritten over and over for no reclaim).
-// Returns lo == hi when nothing qualifies.
-func selectVictims(cat *catalog, fanout int, garbageFrac float64) (lo, hi, level int) {
+// contiguous run of equal-level segments that is ripe — by COUNT (>=
+// fanout segments) or by BYTES (>= 2 segments whose combined file size
+// reaches levelBytes * fanout^level; levelBytes <= 0 disables the byte
+// trigger) — merged into the next level; else the oldest single segment
+// whose dead-frame share reaches garbageFrac (rewritten at its own
+// level; the dead > 0 requirement keeps a segment whose garbage is all
+// still-shadowing tombstones from being rewritten over and over for no
+// reclaim). The byte trigger is what makes selection size-aware: a run
+// of two huge flush segments compacts as eagerly as four tiny ones,
+// instead of counting the same as them. Returns lo == hi when nothing
+// qualifies.
+func selectVictims(cat *catalog, fanout int, garbageFrac float64, levelBytes int64) (lo, hi, level int) {
 	segs := cat.segments
 	if fanout < 2 {
 		fanout = 2
 	}
 	for i := 0; i < len(segs); {
 		j := i + 1
+		runBytes := segs[i].size
 		for j < len(segs) && segs[j].level == segs[i].level {
+			runBytes += segs[j].size
 			j++
 		}
-		if j-i >= fanout {
+		if j-i >= fanout || (j-i >= 2 && levelBytes > 0 && runBytes >= levelCap(levelBytes, fanout, segs[i].level)) {
 			return i, j, segs[i].level + 1
 		}
 		i = j
@@ -122,6 +129,19 @@ func selectVictims(cat *catalog, fanout int, garbageFrac float64) (lo, hi, level
 		}
 	}
 	return 0, 0, 0
+}
+
+// levelCap is the byte budget of one level — levelBytes * fanout^level,
+// saturating instead of overflowing for deep levels.
+func levelCap(levelBytes int64, fanout, level int) int64 {
+	cap := levelBytes
+	for i := 0; i < level; i++ {
+		if cap > (1<<62)/int64(fanout) {
+			return 1 << 62
+		}
+		cap *= int64(fanout)
+	}
+	return cap
 }
 
 // mergeRange builds and commits one merge of cat.segments[lo:hi] into a
@@ -330,7 +350,7 @@ func (d *Store) commitMerge(cat *catalog, lo, hi int, merged *reader) error {
 	// victims are then the orphans. If the rename never happened the
 	// output is the orphan instead. Either way the next open's orphan
 	// sweep reconciles; unlinking here would race the ambiguity.
-	if err := d.writeManifest(d.manifestFor(nc, d.swept)); err != nil {
+	if err := d.writeManifest(d.manifestFor(nc, d.swept, d.mem.EvictedKeys())); err != nil {
 		d.compactFails.Add(1)
 		return err
 	}

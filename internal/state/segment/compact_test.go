@@ -610,9 +610,12 @@ func TestFaultKillDuringWALRotation(t *testing.T) {
 }
 
 // TestFuzzMergeVsFlatOracle: a seeded random interleaving of mutation
-// rounds, flushes, merges, and WAL rotations, crash-restarted and
-// compared byte-for-byte against a flat never-truncated WAL replay of
-// the same mutations.
+// rounds, flushes, merges, WAL rotations, and working-set evictions,
+// crash-restarted and compared byte-for-byte against a flat
+// never-truncated WAL replay of the same mutations. The eviction arms
+// drop every fully-durable lineage from RAM mid-schedule, so later
+// rounds exercise write fault-in and the recovery compares a store whose
+// manifest carries a live evicted set.
 func TestFuzzMergeVsFlatOracle(t *testing.T) {
 	const rounds = 6
 	rng := rand.New(rand.NewSource(7))
@@ -621,10 +624,11 @@ func TestFuzzMergeVsFlatOracle(t *testing.T) {
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
+	d.Mem().SetAccessTracking(true)
 	for r := 0; r < rounds; r++ {
 		mutate(t, storeBatch{d}, r)
 		putRound(t, storeBatch{d}, r)
-		switch rng.Intn(3) {
+		switch rng.Intn(5) {
 		case 0:
 			if err := d.Flush(); err != nil {
 				t.Fatalf("round %d flush: %v", r, err)
@@ -636,6 +640,19 @@ func TestFuzzMergeVsFlatOracle(t *testing.T) {
 			if err := d.Compact(); err != nil {
 				t.Fatalf("round %d compact: %v", r, err)
 			}
+		case 2:
+			if err := d.Flush(); err != nil {
+				t.Fatalf("round %d flush: %v", r, err)
+			}
+			d.EvictToBudget(0)
+		case 3:
+			if err := d.Flush(); err != nil {
+				t.Fatalf("round %d flush: %v", r, err)
+			}
+			if err := d.Compact(); err != nil {
+				t.Fatalf("round %d compact: %v", r, err)
+			}
+			d.EvictToBudget(0)
 		}
 	}
 	d.Abandon()
@@ -669,5 +686,56 @@ func TestFuzzMergeVsFlatOracle(t *testing.T) {
 	want := snapshotBytes(t, flat)
 	if got := snapshotBytes(t, rec.Mem()); !bytes.Equal(got, want) {
 		t.Fatalf("fuzzed merge/flush/rotation schedule diverged from the flat oracle (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestSelectVictimsBytesAware pins the size-aware half of victim
+// selection: levels budget bytes, not segment counts, so two huge flush
+// segments compact as eagerly as a full fanout run of tiny ones — and a
+// pair of tiny segments does not.
+func TestSelectVictimsBytesAware(t *testing.T) {
+	seg := func(size int64, level int) *reader {
+		return &reader{size: size, level: level, index: map[element.FactKey]int64{}}
+	}
+	const fanout, levelBytes = 4, int64(8 << 20)
+
+	// Two 10MB level-0 segments: 20MB >= levelBytes, ripe by bytes even
+	// though the run is far short of the fanout count.
+	huge := &catalog{segments: []*reader{seg(10<<20, 0), seg(10<<20, 0)}}
+	if lo, hi, level := selectVictims(huge, fanout, 0.5, levelBytes); lo != 0 || hi != 2 || level != 1 {
+		t.Fatalf("two huge segments not selected by bytes: lo=%d hi=%d level=%d", lo, hi, level)
+	}
+
+	// Two 1KB segments: same count, nowhere near the byte budget — a
+	// tiny segment must no longer count the same as a huge one.
+	tiny := &catalog{segments: []*reader{seg(1<<10, 0), seg(1<<10, 0)}}
+	if lo, hi, _ := selectVictims(tiny, fanout, 0.5, levelBytes); lo != hi {
+		t.Fatalf("two tiny segments selected by bytes: lo=%d hi=%d", lo, hi)
+	}
+
+	// The count trigger still stands on its own: fanout tiny segments
+	// are ripe regardless of bytes.
+	run := &catalog{segments: []*reader{seg(1<<10, 0), seg(1<<10, 0), seg(1<<10, 0), seg(1<<10, 0)}}
+	if lo, hi, level := selectVictims(run, fanout, 0.5, levelBytes); lo != 0 || hi != 4 || level != 1 {
+		t.Fatalf("fanout run not selected by count: lo=%d hi=%d level=%d", lo, hi, level)
+	}
+
+	// Deeper levels get fanout^level times the budget: the same two
+	// 10MB segments at level 1 sit under an effective 32MB cap and wait.
+	deep := &catalog{segments: []*reader{seg(10<<20, 1), seg(10<<20, 1)}}
+	if lo, hi, _ := selectVictims(deep, fanout, 0.5, levelBytes); lo != hi {
+		t.Fatalf("level-1 pair under its byte cap was selected: lo=%d hi=%d", lo, hi)
+	}
+
+	// levelBytes <= 0 disables the byte trigger entirely.
+	if lo, hi, _ := selectVictims(huge, fanout, 0.5, 0); lo != hi {
+		t.Fatalf("byte trigger fired with levelBytes=0: lo=%d hi=%d", lo, hi)
+	}
+
+	// A single huge segment is never a by-bytes victim: merges need at
+	// least two inputs.
+	single := &catalog{segments: []*reader{seg(64<<20, 0)}}
+	if lo, hi, _ := selectVictims(single, fanout, 0.5, levelBytes); lo != hi {
+		t.Fatalf("single segment selected: lo=%d hi=%d", lo, hi)
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"sort"
 	"sync/atomic"
 
@@ -120,6 +121,41 @@ type writer struct {
 	// tombs counts the tombstone (empty) lineage frames written — footer
 	// metadata compaction victim selection reads without opening frames.
 	tombs int
+	// vMin/vMax/vNumeric are the segment's numeric value envelope, the
+	// per-segment analogue of the per-head envelope the RAM scan prunes
+	// with: vNumeric reports at least one record written and every
+	// record's value numeric — only then may a scan skip the whole
+	// segment on disjoint ValueBounds. vAny distinguishes the first
+	// observed record (seeds the bounds) from later ones (widen them).
+	vMin, vMax float64
+	vNumeric   bool
+	vAny       bool
+}
+
+// observeValue folds one record value into the segment's numeric value
+// envelope — the same seeding/voiding rules as the head envelope: any
+// non-numeric value permanently voids vNumeric, so a mixed segment is
+// never envelope-pruned.
+func (w *writer) observeValue(v element.Value) {
+	x, ok := v.AsFloat()
+	if !ok {
+		w.vNumeric = false
+		w.vAny = true
+		return
+	}
+	if !w.vAny {
+		w.vMin, w.vMax, w.vNumeric, w.vAny = x, x, true, true
+		return
+	}
+	if !w.vNumeric {
+		return
+	}
+	if x < w.vMin {
+		w.vMin = x
+	}
+	if x > w.vMax {
+		w.vMax = x
+	}
 }
 
 // createSegment opens a new segment file at path and writes the header.
@@ -198,6 +234,7 @@ func (w *writer) writeLineage(key element.FactKey, records []*element.Fact) erro
 		b = binary.AppendUvarint(b, uint64(len(val)))
 		b = append(b, val...)
 		w.env.observe(f)
+		w.observeValue(f.Value)
 	}
 	w.scr = b
 	off, err := w.writeFrame(b)
@@ -242,6 +279,16 @@ func (w *writer) finish(cut temporal.Instant) (*reader, error) {
 	// decode as level 0 with no tombstones.
 	b = binary.AppendUvarint(b, uint64(w.level))
 	b = binary.AppendUvarint(b, uint64(w.tombs))
+	// The numeric value envelope is a second optional tail: segments
+	// written before it existed decode as vNumeric=false — never pruned
+	// by value bounds, always correct.
+	vn := uint64(0)
+	if w.vNumeric {
+		vn = 1
+	}
+	b = binary.AppendUvarint(b, vn)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(w.vMin))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(w.vMax))
 	w.scr = b
 	footerOff, err := w.writeFrame(b)
 	if err != nil {
@@ -267,6 +314,7 @@ func (w *writer) finish(cut temporal.Instant) (*reader, error) {
 		f: w.f, fs: w.fs, path: w.path, size: w.off + trailerLen,
 		cut: cut, env: w.env, index: w.index,
 		level: w.level, tombs: w.tombs,
+		vMin: w.vMin, vMax: w.vMax, vNumeric: w.vNumeric,
 	}
 	r.live.Store(int64(len(w.index)))
 	return r, nil
@@ -296,6 +344,12 @@ type reader struct {
 	// its tombstone-frame count. Both come from the footer.
 	level int
 	tombs int
+	// vMin/vMax/vNumeric are the segment's numeric value envelope from
+	// the footer (see writer.observeValue): when vNumeric, every record
+	// value in the segment lies in [vMin, vMax], so a scan with disjoint
+	// value bounds prunes every frame without a pread.
+	vMin, vMax float64
+	vNumeric   bool
 	// live counts the keys whose NEWEST durable frame is in this segment
 	// — the catalog's per-segment accounting, maintained O(dirty) per
 	// flush: each flush decrements the previous owner of every key it
@@ -375,6 +429,18 @@ func loadSegment(fsys vfs.FS, f vfs.File, path string) (*reader, error) {
 		if c.err != nil {
 			return nil, fmt.Errorf("segment: %s: corrupt footer metadata", path)
 		}
+	}
+	// Optional trailing value envelope: absent in older segments, which
+	// decode as vNumeric=false (never value-pruned).
+	if c.err == nil && len(c.b) > 0 {
+		vn := c.uvarint()
+		vb, ok := c.take(16)
+		if c.err != nil || !ok {
+			return nil, fmt.Errorf("segment: %s: corrupt footer value envelope", path)
+		}
+		r.vNumeric = vn == 1
+		r.vMin = math.Float64frombits(binary.LittleEndian.Uint64(vb))
+		r.vMax = math.Float64frombits(binary.LittleEndian.Uint64(vb[8:]))
 	}
 	return r, nil
 }

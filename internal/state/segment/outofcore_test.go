@@ -1,0 +1,402 @@
+package segment
+
+// Out-of-core equivalence suite: the spine of the larger-than-RAM
+// contract. A store whose residency budget forces every durable lineage
+// out of RAM must answer every read shape — point reads, histories,
+// serial scans, partitioned scans at every parallelism, and full
+// snapshot serialization — byte-identically to an unbudgeted store that
+// kept everything resident. The suite runs the recovery tests' mutation
+// schedule twice (all-resident vs tiny-budget) and compares, including
+// across write fault-in, crash-restart, and concurrent eviction.
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/element"
+	"repro/internal/state"
+	"repro/internal/temporal"
+)
+
+// outOfCoreShapes is the read-shape table every equivalence check runs:
+// current belief, attribute-scoped, valid-time pins, belief pins,
+// intervals, and the audit shapes.
+var outOfCoreShapes = []struct {
+	name string
+	opts []state.ReadOpt
+}{
+	{"current", nil},
+	{"attr-value", []state.ReadOpt{state.WithAttribute("value")}},
+	{"attr-batch", []state.ReadOpt{state.WithAttribute("batch")}},
+	{"asof-valid", []state.ReadOpt{state.AsOfValidTime(1500)}},
+	{"asof-tx", []state.ReadOpt{state.AsOfTransactionTime(1500)}},
+	{"during", []state.ReadOpt{state.DuringValidTime(200, 2600)}},
+	{"all-versions", []state.ReadOpt{state.AllVersions()}},
+	{"audit", []state.ReadOpt{state.AllVersions(), state.AsOfTransactionTime(1500)}},
+	{"attr-pinned", []state.ReadOpt{state.WithAttribute("audit"), state.AsOfValidTime(1005)}},
+}
+
+// mutateKeys enumerates every (entity, attribute) pair the mutate
+// schedule touches — the point-read corpus of the equivalence checks.
+func mutateKeys() []element.FactKey {
+	var keys []element.FactKey
+	for i := 0; i < 10; i++ {
+		keys = append(keys, element.FactKey{Entity: fmt.Sprintf("k%02d", i), Attribute: "value"})
+	}
+	for i := 0; i < 5; i++ {
+		keys = append(keys, element.FactKey{Entity: fmt.Sprintf("k%02d", i), Attribute: "audit"})
+	}
+	for i := 0; i < 7; i++ {
+		keys = append(keys, element.FactKey{Entity: fmt.Sprintf("b%02d", i), Attribute: "batch"})
+	}
+	keys = append(keys, element.FactKey{Entity: "nope", Attribute: "value"}) // absent everywhere
+	return keys
+}
+
+// assertEquivalent compares a budgeted (possibly fully evicted) store
+// against the all-resident oracle across the whole read surface:
+// snapshot bytes, every scan shape serially and partitioned at several
+// parallelisms, and per-key Find/History under several pins.
+func assertEquivalent(t *testing.T, leg string, cold, oracle *Store) {
+	t.Helper()
+	if got, want := snapshotBytes(t, cold.Mem()), snapshotBytes(t, oracle.Mem()); !bytes.Equal(got, want) {
+		t.Fatalf("%s: WriteSnapshot diverged (%d vs %d bytes)", leg, len(got), len(want))
+	}
+	csn, osn := cold.Mem().Snapshot(), oracle.Mem().Snapshot()
+	for _, sh := range outOfCoreShapes {
+		want := oracle.List(sh.opts...)
+		if got := cold.List(sh.opts...); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: List(%s) diverged: %d vs %d facts", leg, sh.name, len(got), len(want))
+		}
+		for _, par := range []int{1, 2, 4, 8} {
+			if got := csn.ScanShards(par, sh.opts...); !reflect.DeepEqual(got, osn.List(sh.opts...)) {
+				t.Fatalf("%s: ScanShards(%d, %s) diverged", leg, par, sh.name)
+			}
+		}
+	}
+	pointOpts := [][]state.ReadOpt{
+		nil,
+		{state.AsOfValidTime(1500)},
+		{state.AsOfTransactionTime(1500)},
+		{state.AllVersions()},
+	}
+	for _, key := range mutateKeys() {
+		for _, opts := range pointOpts {
+			gf, gok := cold.Find(key.Entity, key.Attribute, opts...)
+			wf, wok := oracle.Find(key.Entity, key.Attribute, opts...)
+			if gok != wok || !reflect.DeepEqual(gf, wf) {
+				t.Fatalf("%s: Find(%s) diverged: (%v,%v) vs (%v,%v)", leg, key, gf, gok, wf, wok)
+			}
+			if gh, wh := cold.History(key.Entity, key.Attribute, opts...), oracle.History(key.Entity, key.Attribute, opts...); !reflect.DeepEqual(gh, wh) {
+				t.Fatalf("%s: History(%s) diverged: %d vs %d", leg, key, len(gh), len(wh))
+			}
+		}
+	}
+}
+
+// TestOutOfCoreEquivalence: the same mutation schedule driven into an
+// unbudgeted store and a budgeted one whose every durable lineage is
+// evicted after each flush; the budgeted store must stay byte-identical
+// across scans, point reads, snapshots, write fault-in (including a
+// delete to an evicted key), and a crash-restart that round-trips the
+// evicted set through the manifest.
+func TestOutOfCoreEquivalence(t *testing.T) {
+	const rounds = 3
+	oracle, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open oracle: %v", err)
+	}
+	defer oracle.Close()
+	bdir := t.TempDir()
+	cold, err := Open(bdir, WithResidencyBudget(1))
+	if err != nil {
+		t.Fatalf("open budgeted: %v", err)
+	}
+	for r := 0; r < rounds; r++ {
+		mutate(t, storeBatch{oracle}, r)
+		mutate(t, storeBatch{cold}, r)
+		if err := oracle.Flush(); err != nil {
+			t.Fatalf("oracle flush %d: %v", r, err)
+		}
+		if err := cold.Flush(); err != nil {
+			t.Fatalf("cold flush %d: %v", r, err)
+		}
+		cold.EvictToBudget(0)
+	}
+	if n := cold.Info().EvictedLineages; n == 0 {
+		t.Fatal("budgeted store evicted nothing — the suite is not testing the cold path")
+	}
+	if n := cold.Info().ResidentLineages; n != 0 {
+		t.Fatalf("full eviction left %d lineages resident", n)
+	}
+	assertEquivalent(t, "evicted", cold, oracle)
+	if cold.Info().ScanFrames == 0 {
+		t.Fatal("equivalence checks never read a cold frame — the cold path did not run")
+	}
+
+	// Write fault-in: a put AND a delete against evicted keys must
+	// restore the full history before mutating — a delete applied to a
+	// missing lineage would silently no-op and diverge.
+	for _, d := range []*Store{oracle, cold} {
+		if err := d.Put("k01", "value", element.Int(4242)); err != nil {
+			t.Fatalf("fault-in put: %v", err)
+		}
+		if err := d.Delete("k02", "value"); err != nil {
+			t.Fatalf("fault-in delete: %v", err)
+		}
+	}
+	assertEquivalent(t, "fault-in", cold, oracle)
+
+	// Crash-restart: flush (committing the current evicted set in the
+	// manifest), evict again, kill, reopen. The reopened store must both
+	// stay byte-identical and come back out-of-core.
+	if err := cold.Flush(); err != nil {
+		t.Fatalf("pre-restart flush: %v", err)
+	}
+	cold.EvictToBudget(0)
+	if err := cold.Flush(); err != nil { // commits the evicted set
+		t.Fatalf("manifest flush: %v", err)
+	}
+	cold.Abandon()
+	rec, err := Open(bdir, WithResidencyBudget(1))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rec.Close()
+	if n := rec.Info().EvictedLineages; n == 0 {
+		t.Fatal("evicted set did not survive the manifest round-trip")
+	}
+	assertEquivalent(t, "restart", rec, oracle)
+}
+
+// TestOutOfCoreColdStartBudget: reopening a directory larger than the
+// budget must come up within it — older frames stay on disk, marked
+// evicted — while every read still resolves.
+func TestOutOfCoreColdStartBudget(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for r := 0; r < 3; r++ {
+		mutate(t, storeBatch{d}, r)
+		// Widen the key space well past one cold-start load chunk so the
+		// budget can actually cut the load short mid-segment.
+		var puts []state.BatchPut
+		for i := 0; i < 150; i++ {
+			puts = append(puts, state.BatchPut{
+				Entity: fmt.Sprintf("wide%03d", i), Attr: "w",
+				Value: element.Int(int64(r)), At: temporal.Instant(r*1000 + 600 + i),
+			})
+		}
+		if err := d.Mem().PutBatch(puts); err != nil {
+			t.Fatalf("putbatch: %v", err)
+		}
+		if err := d.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+	}
+	full := snapshotBytes(t, d.Mem())
+	resident := d.Mem().ResidentBytes()
+	d.Abandon()
+
+	budget := resident / 4
+	rec, err := Open(dir, WithResidencyBudget(budget))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rec.Close()
+	info := rec.Info()
+	if info.EvictedLineages == 0 {
+		t.Fatalf("budget %d of %d bytes loaded everything resident: %+v", budget, resident, info)
+	}
+	if got := snapshotBytes(t, rec.Mem()); !bytes.Equal(got, full) {
+		t.Fatalf("budgeted cold start diverged (%d vs %d bytes)", len(got), len(full))
+	}
+}
+
+// TestOutOfCoreSteadyStateBounded: under continuous ingest with flush
+// pulses, the resident working set stays near the budget instead of
+// growing with total state — the "ingest keeps serving while history
+// spills to disk" contract.
+func TestOutOfCoreSteadyStateBounded(t *testing.T) {
+	const budget = 16 << 10
+	d, err := Open(t.TempDir(), WithResidencyBudget(budget), WithFlushEvery(1))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer d.Close()
+	peak := int64(0)
+	for r := 0; r < 60; r++ {
+		var puts []state.BatchPut
+		for i := 0; i < 64; i++ {
+			puts = append(puts, state.BatchPut{
+				Entity: fmt.Sprintf("s%04d", r*64+i), Attr: "v",
+				Value: element.Int(int64(r)), At: temporal.Instant(r*100 + i + 1),
+			})
+		}
+		if err := d.Mem().PutBatch(puts); err != nil {
+			t.Fatalf("putbatch: %v", err)
+		}
+		if err := d.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		d.EvictToBudget(budget)
+		if b := d.Mem().ResidentBytes(); b > peak {
+			peak = b
+		}
+	}
+	// Steady state: resident bytes bounded by the budget plus one
+	// round's worth of not-yet-durable writes, not by total state.
+	if got := d.Mem().ResidentBytes(); got > budget {
+		t.Fatalf("resident %d bytes after evictions, budget %d", got, budget)
+	}
+	if info := d.Info(); info.EvictedLineages == 0 {
+		t.Fatalf("nothing evicted at steady state: %+v", info)
+	}
+	// Everything still answers: the full key range, resident or not.
+	if n := len(d.List(state.WithAttribute("v"))); n != 60*64 {
+		t.Fatalf("List sees %d of %d ingested keys", n, 60*64)
+	}
+}
+
+// TestOutOfCoreRaceStress drives ingest, flush+evict pulses, partitioned
+// scans, and point reads concurrently (run under -race in CI), then
+// byte-compares the settled state against a serially built oracle —
+// eviction racing everything must never lose or duplicate a write.
+func TestOutOfCoreRaceStress(t *testing.T) {
+	const workers, roundsPer, keysPer = 4, 25, 8
+	d, err := Open(t.TempDir(), WithResidencyBudget(2048), WithFlushEvery(1))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	// Transaction times must be globally monotonic at commit time: a
+	// write whose explicit At lands at or below an already-flushed cut
+	// forfeits durability by contract (see FlushCut), which would make
+	// the oracle comparison meaningless. Each batch draws a fresh block
+	// from seq, and flushMu keeps a flush from pinning its cut while a
+	// drawn block is still uncommitted. The issued batches are collected
+	// so the oracle can replay exactly what the raced store ingested.
+	var seq atomic.Int64
+	var flushMu sync.RWMutex
+	var issuedMu sync.Mutex
+	var issued [][]state.BatchPut
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < roundsPer; r++ {
+				flushMu.RLock()
+				base := seq.Add(keysPer) - keysPer
+				puts := make([]state.BatchPut, 0, keysPer)
+				for i := 0; i < keysPer; i++ {
+					puts = append(puts, state.BatchPut{
+						Entity: fmt.Sprintf("w%d-k%02d", w, i), Attr: "v",
+						Value: element.Int(int64(r*10 + i)), At: temporal.Instant(base + int64(i) + 1),
+					})
+				}
+				err := d.Mem().PutBatch(puts)
+				flushMu.RUnlock()
+				if err != nil {
+					t.Errorf("worker %d round %d: %v", w, r, err)
+					return
+				}
+				issuedMu.Lock()
+				issued = append(issued, puts)
+				issuedMu.Unlock()
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() { // flush + evict pulser
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				flushMu.Lock()
+				err := d.Flush()
+				flushMu.Unlock()
+				if err != nil {
+					t.Errorf("flush: %v", err)
+					return
+				}
+				d.EvictToBudget(0)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	go func() { // scans and point reads racing ingest and eviction
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				// No equality asserts here: BatchPut's explicit At is a
+				// transaction time, so racing ingest legally lands records
+				// below a pin taken moments earlier — two reads of the
+				// same snapshot may differ while writers run. This phase
+				// only exercises the paths under -race.
+				sn := d.Mem().Snapshot()
+				sn.List(state.WithAttribute("v"))
+				sn.ScanShards(4, state.WithAttribute("v"))
+				d.Find("w0-k00", "v")
+				d.History("w1-k01", "v", state.AllVersions())
+			}
+		}
+	}()
+	wg.Wait()
+	// Writes quiesced, pulser still evicting: now snapshots are stable,
+	// so serial and partitioned scans of one snapshot must agree even as
+	// eviction keeps yanking lineages out of RAM beneath them.
+	for i := 0; i < 50 && !t.Failed(); i++ {
+		sn := d.Mem().Snapshot()
+		serial := sn.List(state.WithAttribute("v"))
+		if par := sn.ScanShards(4, state.WithAttribute("v")); !reflect.DeepEqual(par, serial) {
+			t.Fatalf("iter %d: partitioned scan diverged from serial under eviction race (%d vs %d facts)", i, len(par), len(serial))
+		}
+	}
+	close(stop)
+	aux.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("final flush: %v", err)
+	}
+	d.EvictToBudget(0)
+
+	// The oracle: the exact batches the raced store ingested, replayed
+	// serially in transaction-time order into a store with no durability
+	// and no eviction.
+	sort.Slice(issued, func(i, j int) bool { return issued[i][0].At < issued[j][0].At })
+	om := state.NewStore()
+	for _, puts := range issued {
+		if err := om.PutBatch(puts); err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+	}
+	var want bytes.Buffer
+	if err := om.WriteSnapshot(&want); err != nil {
+		t.Fatal(err)
+	}
+	if got := snapshotBytes(t, d.Mem()); !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("raced store diverged from serial oracle (%d vs %d bytes)", len(got), want.Len())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

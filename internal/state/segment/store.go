@@ -69,8 +69,9 @@ const (
 	lockName = "LOCK"
 
 	// manifestVersion guards the manifest wire format. Version 2 added
-	// the durable-only (swept) key set; version-1 manifests still read.
-	manifestVersion = 2
+	// the durable-only (swept) key set; version 3 the evicted key set.
+	// Older manifests still read.
+	manifestVersion = 3
 
 	// DefaultFlushEvery is the WAL-tail record count that triggers a
 	// background flush (see Pulse) unless WithFlushEvery overrides it.
@@ -94,6 +95,13 @@ const (
 	// per second — background merges yield the disk to foreground
 	// flushes instead of monopolizing it.
 	DefaultCompactRate = 64 << 20
+
+	// DefaultCompactLevelBytes is the default per-level byte budget of
+	// size-aware victim selection: a contiguous equal-level run whose
+	// combined size reaches levelBytes * fanout^level merges into the
+	// next level even before it reaches the fanout's segment COUNT — so
+	// a few huge segments compact as eagerly as many tiny ones.
+	DefaultCompactLevelBytes = 8 << 20
 
 	// maxFlushErrHistory bounds the retained background-flush error
 	// history: the next Flush/Close surfaces a join of up to this many
@@ -144,6 +152,12 @@ type manifestRec struct {
 	// frames recovery must keep on disk — answerable by fallthrough
 	// reads — instead of re-loading them resident.
 	Swept []element.FactKey
+	// Evicted is the residency-evicted key set (version 3+): lineages
+	// the working-set budget pushed out of RAM whose durable frames are
+	// the single copy. Unlike Swept keys they still hold records, so
+	// recovery must both keep them out of RAM AND mark them evicted —
+	// the write path faults them back in before mutating.
+	Evicted []element.FactKey
 }
 
 // manifestSegment names one live segment file and its cut.
@@ -226,10 +240,18 @@ type Store struct {
 	// compactFanout, compactGarbage, and compactRate tune the background
 	// merger: run length that triggers a level merge, garbage fraction
 	// that triggers a single-segment rewrite, and the merge write-rate
-	// limit in bytes/second (<= 0 = unthrottled).
+	// limit in bytes/second (<= 0 = unthrottled). levelBytes is the
+	// level-0 byte budget of size-aware victim selection (<= 0 disables
+	// the byte trigger; runs then merge on segment count alone).
 	compactFanout  int
 	compactGarbage float64
 	compactRate    int64
+	levelBytes     int64
+
+	// budget is the RAM residency budget in estimated bytes (0 = no
+	// eviction): when the working set's estimate exceeds it, Pulse
+	// evicts least-recently-used fully-durable lineages back to it.
+	budget int64
 
 	// cat is the published durable view; swapped after each flush.
 	cat atomic.Pointer[catalog]
@@ -252,11 +274,13 @@ type Store struct {
 	unlock func()
 
 	// flushing is the single-flight latch of background flushes (Pulse);
-	// compacting the single-flight latch of merges; wg tracks both so
-	// Close can wait. closing interrupts a backoff sleep or a merge's
+	// compacting the single-flight latch of merges; evicting the
+	// single-flight latch of budget eviction sweeps; wg tracks all three
+	// so Close can wait. closing interrupts a backoff sleep or a merge's
 	// rate-limit sleep so Close never waits out a schedule.
 	flushing   atomic.Bool
 	compacting atomic.Bool
+	evicting   atomic.Bool
 	wg         sync.WaitGroup
 	closing    chan struct{}
 
@@ -293,11 +317,13 @@ type Store struct {
 	compactFails atomic.Int64
 }
 
-// Store implements the bitemporal StateDB seam and the read-only Reader
-// surface.
+// Store implements the bitemporal StateDB seam, the read-only Reader
+// surface, and the cold-read seam the RAM store's merged gather and
+// fault-in paths consume.
 var (
-	_ state.StateDB = (*Store)(nil)
-	_ state.Reader  = (*Store)(nil)
+	_ state.StateDB    = (*Store)(nil)
+	_ state.Reader     = (*Store)(nil)
+	_ state.ColdSource = (*Store)(nil)
 )
 
 // Option configures Open.
@@ -376,6 +402,29 @@ func WithCompactionRate(n int64) Option {
 	return func(d *Store) { d.compactRate = n }
 }
 
+// WithCompactionLevelBytes sets the level-0 byte budget of size-aware
+// victim selection (default DefaultCompactLevelBytes): a contiguous
+// equal-level run whose combined file size reaches n * fanout^level is
+// merged into the next level even before the run reaches the fanout's
+// segment count. n <= 0 disables the byte trigger — runs then merge on
+// segment count alone, where one huge segment counts the same as a
+// tiny one.
+func WithCompactionLevelBytes(n int64) Option {
+	return func(d *Store) { d.levelBytes = n }
+}
+
+// WithResidencyBudget caps the RAM working set at n estimated bytes
+// (default 0 = unbounded, no eviction). When the resident estimate
+// exceeds the budget, the flush pulse evicts least-recently-used,
+// fully-durable lineages from RAM — their segment frames become the
+// single copy, point reads and scans fall through to them, and writes
+// fault them back in. The budget is a target, not a hard limit: state
+// newer than the durable cut is never evicted, so a working set hotter
+// than the flush cadence can exceed it.
+func WithResidencyBudget(n int64) Option {
+	return func(d *Store) { d.budget = n }
+}
+
 // Open opens (or initializes) a durable directory and recovers its
 // state: manifest, then the newest segment frame of every key
 // (bulk-loaded, no replay), then the WAL tail. Orphan files from a
@@ -388,9 +437,9 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		dir: dir, flushEvery: DefaultFlushEvery, nextSeq: 1,
 		fs: vfs.OS, retry: DefaultRetryPolicy,
 		compactFanout: DefaultCompactFanout, compactGarbage: defaultCompactGarbage,
-		compactRate: DefaultCompactRate,
-		swept:       map[element.FactKey]bool{},
-		closing:     make(chan struct{}),
+		compactRate: DefaultCompactRate, levelBytes: DefaultCompactLevelBytes,
+		swept:   map[element.FactKey]bool{},
+		closing: make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(d)
@@ -430,6 +479,7 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		return nil, err
 	}
 	cat := &catalog{durableTx: temporal.MinInstant}
+	evicted := map[element.FactKey]bool{}
 	if man != nil {
 		cat.durableTx = man.DurableTx
 		d.nextSeq = man.NextSeq
@@ -444,13 +494,34 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		for _, key := range man.Swept {
 			d.swept[key] = true
 		}
+		for _, key := range man.Evicted {
+			evicted[key] = true
+		}
 	}
 	d.removeOrphans(man)
 
-	if err := d.loadFrames(cat); err != nil {
+	budgetSkipped, err := d.loadFrames(cat, evicted)
+	if err != nil {
 		d.closeSegments(cat)
 		return nil, err
 	}
+	// Publish the catalog and install the cold-read seam BEFORE the WAL
+	// tail replays: a tail write to an evicted key must fault its frame
+	// back in, which needs both in place.
+	d.cat.Store(cat)
+	d.mem.SetColdSource(d)
+	if d.budget > 0 {
+		d.mem.SetAccessTracking(true)
+	}
+	marks := budgetSkipped
+	for key := range evicted {
+		marks = append(marks, key)
+	}
+	d.mem.MarkEvicted(marks)
+	// Lineages that stayed cold never observe their maxTx into the mem
+	// clock, so advance it to the durable cut — it bounds every flushed
+	// record — or snapshot and flush pins would land below cold history.
+	d.mem.AdvanceClock(cat.durableTx)
 	log, _, err := state.RecoverWALDirFS(d.fs, dir, d.mem, cat.durableTx, d.walRotate)
 	if err != nil {
 		d.closeSegments(cat)
@@ -468,7 +539,6 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		return true
 	})
 	d.mem.AttachLog(log)
-	d.cat.Store(cat)
 	opened = true
 	return d, nil
 }
@@ -476,14 +546,21 @@ func Open(dir string, opts ...Option) (*Store, error) {
 // loadFrames bulk-loads the newest frame of every cataloged key into the
 // RAM working set and rebuilds each segment's live count. Segments walk
 // newest→oldest with a seen set, so each key loads from exactly its
-// newest frame; durable-only keys (see Store.swept) keep their frames on
-// disk, answerable by fallthrough reads, but stay out of RAM. Each
-// segment is read into memory once — one sequential read per segment
-// instead of a pread pair per lineage — and only one image is held at a
-// time; within a segment the decode+install work fans out across
-// shard-partitioned workers (see loadSegmentFrames).
-func (d *Store) loadFrames(cat *catalog) error {
+// newest frame; durable-only keys (see Store.swept) and evicted keys
+// keep their frames on disk, answerable by fallthrough reads, but stay
+// out of RAM. Each segment is read into memory once — one sequential
+// read per segment instead of a pread pair per lineage — and only one
+// image is held at a time; within a segment the decode+install work fans
+// out across shard-partitioned workers (see loadSegmentFrames).
+//
+// A residency budget bounds the load: once the working set's byte
+// estimate reaches it, the remaining (older, since the walk is
+// newest-first) keys are skipped and returned so the caller marks them
+// evicted — a cold start of a larger-than-RAM directory comes up within
+// budget instead of faulting the whole history resident.
+func (d *Store) loadFrames(cat *catalog, evicted map[element.FactKey]bool) ([]element.FactKey, error) {
 	seen := make(map[element.FactKey]bool)
+	var budgetSkipped []element.FactKey
 	workers := d.loadPar
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -498,7 +575,7 @@ func (d *Store) loadFrames(cat *catalog) error {
 			}
 			seen[key] = true
 			owned++
-			if !d.swept[key] {
+			if !d.swept[key] && !evicted[key] {
 				load = append(load, key)
 			}
 		}
@@ -506,15 +583,40 @@ func (d *Store) loadFrames(cat *catalog) error {
 		if len(load) == 0 {
 			continue
 		}
+		if d.budget > 0 && d.mem.ResidentBytes() >= d.budget {
+			budgetSkipped = append(budgetSkipped, load...)
+			continue
+		}
 		img, err := r.image()
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if err := d.loadSegmentFrames(r, img, load, workers); err != nil {
-			return err
+		if d.budget <= 0 {
+			if err := d.loadSegmentFrames(r, img, load, workers); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Budgeted cold start loads in chunks, re-checking the budget
+		// between them: a single segment can hold far more state than the
+		// budget, so the per-segment check above is not enough on its own.
+		const chunk = 64
+		for len(load) > 0 {
+			if d.mem.ResidentBytes() >= d.budget {
+				budgetSkipped = append(budgetSkipped, load...)
+				break
+			}
+			n := chunk
+			if n > len(load) {
+				n = len(load)
+			}
+			if err := d.loadSegmentFrames(r, img, load[:n], workers); err != nil {
+				return nil, err
+			}
+			load = load[n:]
 		}
 	}
-	return nil
+	return budgetSkipped, nil
 }
 
 // loadSegmentFrames decodes and installs the given frames of one segment
@@ -831,7 +933,7 @@ func (d *Store) flushLocked(cut temporal.Instant) error {
 			delete(sweptAfter, k)
 		}
 	}
-	man := d.manifestFor(nc, sweptAfter)
+	man := d.manifestFor(nc, sweptAfter, d.mem.EvictedKeys())
 	// Sync the WAL before the manifest commit: after the commit, every
 	// write is durable against power loss too — at or before the cut in
 	// the just-synced segment, after it in the just-synced tail. A
@@ -878,9 +980,10 @@ func (d *Store) flushLocked(cut temporal.Instant) error {
 	return nil
 }
 
-// manifestFor serializes a catalog plus a durable-only key set as the
-// manifest record to commit. Callers hold d.mu.
-func (d *Store) manifestFor(cat *catalog, swept map[element.FactKey]bool) *manifestRec {
+// manifestFor serializes a catalog plus the durable-only and evicted
+// key sets as the manifest record to commit. evicted must already be
+// sorted (state.EvictedKeys emits manifest order). Callers hold d.mu.
+func (d *Store) manifestFor(cat *catalog, swept map[element.FactKey]bool, evicted []element.FactKey) *manifestRec {
 	man := &manifestRec{Version: manifestVersion, DurableTx: cat.durableTx, NextSeq: d.nextSeq}
 	for _, r := range cat.segments {
 		man.Segments = append(man.Segments, manifestSegment{File: filepath.Base(r.path), CutTx: r.cut})
@@ -898,6 +1001,7 @@ func (d *Store) manifestFor(cat *catalog, swept map[element.FactKey]bool) *manif
 			return man.Swept[i].Entity < man.Swept[j].Entity
 		})
 	}
+	man.Evicted = evicted
 	return man
 }
 
@@ -917,9 +1021,11 @@ func (d *Store) Pulse(cut temporal.Instant) {
 	if d.degraded.Load() != nil {
 		return
 	}
-	// Compaction rides the same heartbeat: never from FlushAt itself, so
-	// direct flushes stay deterministic for callers that count segments.
+	// Compaction and budget eviction ride the same heartbeat: never from
+	// FlushAt itself, so direct flushes stay deterministic for callers
+	// that count segments or resident lineages.
 	d.maybeCompact()
+	d.maybeEvict()
 	if d.flushing.Load() || cut <= d.DurableTx() || d.log.Len() < d.flushEvery {
 		return
 	}
@@ -932,6 +1038,34 @@ func (d *Store) Pulse(cut temporal.Instant) {
 		defer d.flushing.Store(false)
 		d.backgroundFlush(cut)
 	}()
+}
+
+// maybeEvict starts one background eviction sweep when the resident
+// byte estimate exceeds the residency budget and no sweep is in flight.
+// Rides Pulse, like maybeCompact. Only state at or before the durable
+// cut is evictable, so a sweep right after a flush reclaims the most.
+func (d *Store) maybeEvict() {
+	if d.budget <= 0 || d.mem.ResidentBytes() <= d.budget || d.evicting.Load() {
+		return
+	}
+	if !d.evicting.CompareAndSwap(false, true) {
+		return
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		defer d.evicting.Store(false)
+		d.mem.EvictToBudget(d.budget, d.DurableTx())
+	}()
+}
+
+// EvictToBudget synchronously evicts least-recently-used fully-durable
+// lineages until the RAM working set's byte estimate is at or below
+// budget, returning how many lineages left RAM. It is the operator (and
+// test) verb for "evict now"; the background sweep maybeEvict starts
+// from Pulse does the same work against the configured budget.
+func (d *Store) EvictToBudget(budget int64) int {
+	return d.mem.EvictToBudget(budget, d.DurableTx())
 }
 
 // backgroundFlush drives one pulsed flush to completion: transient
@@ -1121,48 +1255,47 @@ func (d *Store) closeSegments(cat *catalog) {
 }
 
 // Find returns the version of (entity, attr) selected by the read
-// options: from the RAM working set while it holds the lineage, from
-// the key's newest segment frame only when compaction has dropped the
-// lineage from RAM entirely — so reads below the compaction horizon
-// still resolve. A resident lineage answers from RAM alone, even when
-// the answer is "nothing": its frame may predate deletes or
-// supersessions the lineage has since seen, and serving it would
-// resurrect them. Implements state.StateDB / state.Reader.
+// options. The RAM working set resolves it and falls through to this
+// store's ColdRecords (the key's newest segment frame) when the lineage
+// is not resident — evicted by the budget or dropped by compaction — so
+// reads below the residency horizon still resolve. A resident lineage
+// answers from RAM alone, even when the answer is "nothing": its frame
+// may predate deletes or supersessions the lineage has since seen, and
+// serving it would resurrect them. Implements state.StateDB /
+// state.Reader.
 func (d *Store) Find(entity, attr string, opts ...state.ReadOpt) (*element.Fact, bool) {
-	if d.mem.Contains(entity, attr) {
-		return d.mem.Find(entity, attr, opts...)
-	}
-	records, ok := d.findFrame(entity, attr, true, opts...)
-	if !ok {
-		return nil, false
-	}
-	return state.PickRecord(records, opts...)
+	return d.mem.Find(entity, attr, opts...)
 }
 
 // History returns the version history of (entity, attr) — from RAM when
-// the working set still holds the lineage, from the newest durable
-// frame when compaction dropped it entirely. RAM and frame histories
-// are not merged: a lineage resident in RAM answers from RAM alone.
+// the working set holds the lineage, from the newest durable frame (via
+// ColdRecords) when it does not. RAM and frame histories are never
+// merged: whichever side owns the lineage answers alone.
 func (d *Store) History(entity, attr string, opts ...state.ReadOpt) []*element.Fact {
-	if d.mem.Contains(entity, attr) {
-		return d.mem.History(entity, attr, opts...)
-	}
-	records, ok := d.findFrame(entity, attr, false, opts...)
-	if !ok {
-		return nil
-	}
-	return state.BelievedRecords(records, opts...)
+	return d.mem.History(entity, attr, opts...)
 }
 
-// findFrame resolves the newest durable frame of a key. Point reads
-// (point=true) prune with the owning segment's bitemporal envelope: a
-// valid-time instant outside the segment's validity span, a
+// List scans through the RAM working set, whose gather unions the
+// durable-only lineages this store contributes via ColdLineages — one
+// sorted merge, resident winning on equal keys, so scans below the
+// residency horizon see the same durable history Find and History do,
+// in exactly the order an all-resident store would produce. Implements
+// state.StateDB / state.Reader.
+func (d *Store) List(opts ...state.ReadOpt) []*element.Fact {
+	return d.mem.List(opts...)
+}
+
+// ColdRecords resolves the newest durable frame of a non-resident key —
+// the fall-through behind the RAM store's point reads and histories.
+// Point reads (point=true) prune with the owning segment's bitemporal
+// envelope: a valid-time instant outside the segment's validity span, a
 // current-belief read against a segment with no open validity anywhere,
 // or a belief pinned before anything the segment recorded cannot match
 // and skips the pread. History reads pass point=false and always read
 // the frame — their selection semantics (closed records, AllVersions)
 // are not point-shaped, so only the full resolver can answer.
-func (d *Store) findFrame(entity, attr string, point bool, opts ...state.ReadOpt) ([]*element.Fact, bool) {
+// Implements state.ColdSource.
+func (d *Store) ColdRecords(key element.FactKey, spec state.ReadSpec, point bool) ([]*element.Fact, bool) {
 	if d.degraded.Load() != nil {
 		// Degraded mode serves RAM only: the disk already failed on the
 		// write path, so fallthrough preads stop rather than stall or
@@ -1170,12 +1303,14 @@ func (d *Store) findFrame(entity, attr string, point bool, opts ...state.ReadOpt
 		return nil, false
 	}
 	cat := d.cat.Load()
-	seg, off, ok := cat.owner(element.FactKey{Entity: entity, Attribute: attr})
+	if cat == nil {
+		return nil, false
+	}
+	seg, off, ok := cat.owner(key)
 	if !ok {
 		return nil, false
 	}
 	if point {
-		spec := state.SpecOf(opts...)
 		env := seg.env
 		if spec.HasValidAt && (spec.ValidAt < env.minValid || spec.ValidAt >= env.maxValid) {
 			return nil, false
@@ -1198,27 +1333,29 @@ func (d *Store) findFrame(entity, attr string, point bool, opts ...state.ReadOpt
 	return records, true
 }
 
-// List returns the RAM working set's List — one consistent lock-free
-// cut, exactly as state.Store.List — merged with the segment-only
-// lineages (keys compaction dropped from RAM entirely), so scans below
-// the compaction horizon see the same durable history Find and History
-// do. Durable candidates are pruned by their owning segment's bitemporal
-// envelope generalized to the scan's shape (see scanPrune); a lineage
-// resident in RAM answers from RAM alone, exactly as in Find. Implements
-// state.StateDB / state.Reader.
-func (d *Store) List(opts ...state.ReadOpt) []*element.Fact {
-	out := d.mem.List(opts...)
-	cat := d.cat.Load()
-	if len(cat.segments) == 0 || d.degraded.Load() != nil {
-		// Degraded scans serve RAM only, matching findFrame's posture.
-		return out
+// ColdLineages returns the durable-only scan candidates of the given
+// shape: every key with a durable frame, its newest frame behind a lazy
+// loader, sorted by (attribute, entity). Whole frames are pruned — the
+// pread never issued — when the owning segment's bitemporal envelope is
+// disjoint from the scan shape or its value envelope disjoint from the
+// pushed bounds. Keys that are in fact resident are included (the
+// catalog does not know residency); the RAM merge discards them
+// unloaded, which is what makes the scan race-free against concurrent
+// eviction and fault-in. Implements state.ColdSource.
+func (d *Store) ColdLineages(shape state.ScanShape, bounds state.ValueBounds) []state.ColdLineage {
+	if d.degraded.Load() != nil {
+		// Degraded scans serve RAM only, matching ColdRecords' posture.
+		return nil
 	}
-	shape := state.ShapeOf(opts...)
-	merged := false
+	cat := d.cat.Load()
+	if cat == nil || len(cat.segments) == 0 {
+		return nil
+	}
+	var out []state.ColdLineage
 	seen := make(map[element.FactKey]bool)
 	for i := len(cat.segments) - 1; i >= 0; i-- {
 		r := cat.segments[i]
-		pruned := scanPrune(r.env, shape)
+		pruned := scanPrune(r.env, shape) || (r.vNumeric && bounds.Excludes(r.vMin, r.vMax))
 		for key, off := range r.index {
 			if seen[key] {
 				continue
@@ -1233,37 +1370,48 @@ func (d *Store) List(opts ...state.ReadOpt) []*element.Fact {
 				d.scanPruned.Add(1)
 				continue
 			}
-			if d.mem.Contains(key.Entity, key.Attribute) {
-				continue
-			}
-			_, records, err := r.readLineage(off)
-			if err != nil {
-				// Corruption degrades the scan to what RAM holds, matching
-				// findFrame's read-error posture.
-				continue
-			}
-			d.scanFrames.Add(1)
-			if facts := state.ListRecords(records, opts...); len(facts) > 0 {
-				out = append(out, facts...)
-				merged = true
-			}
+			r, off := r, off
+			out = append(out, state.ColdLineage{Key: key, Load: func() ([]*element.Fact, error) {
+				// Loads run from scan workers, possibly concurrently:
+				// readLineage preads, so they never seek-contend.
+				_, records, err := r.readLineage(off)
+				if err == nil {
+					d.scanFrames.Add(1)
+				}
+				return records, err
+			}})
 		}
 	}
-	if merged {
-		sort.SliceStable(out, func(i, j int) bool {
-			if out[i].Attribute != out[j].Attribute {
-				return out[i].Attribute < out[j].Attribute
-			}
-			if out[i].Entity != out[j].Entity {
-				return out[i].Entity < out[j].Entity
-			}
-			if out[i].Validity.Start != out[j].Validity.Start {
-				return out[i].Validity.Start < out[j].Validity.Start
-			}
-			return out[i].RecordedAt < out[j].RecordedAt
-		})
-	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Attribute != out[j].Key.Attribute {
+			return out[i].Key.Attribute < out[j].Key.Attribute
+		}
+		return out[i].Key.Entity < out[j].Key.Entity
+	})
 	return out
+}
+
+// FaultIn returns the full record set of a key's newest durable frame so
+// the write path can reinstall an evicted lineage before mutating it.
+// Unlike ColdRecords it never envelope-prunes — the caller needs the
+// history, not an answer — and it stays available in degraded mode: the
+// WRITE path of the disk failed, preads may still work, and losing the
+// faulted history would compound the degradation. Implements
+// state.ColdSource.
+func (d *Store) FaultIn(key element.FactKey) ([]*element.Fact, bool) {
+	cat := d.cat.Load()
+	if cat == nil {
+		return nil, false
+	}
+	seg, off, ok := cat.owner(key)
+	if !ok {
+		return nil, false
+	}
+	_, records, err := seg.readLineage(off)
+	if err != nil {
+		return nil, false
+	}
+	return records, true
 }
 
 // scanPrune reports whether a segment's bitemporal envelope proves that
@@ -1333,12 +1481,23 @@ type Info struct {
 	// CompactionFailures counts merges that failed outright (conflict
 	// and shutdown aborts excluded).
 	CompactionFailures int64
-	// ScanFrames is the cumulative count of durable frames merged into
-	// scans (List fall-through for segment-only lineages).
+	// ScanFrames is the cumulative count of durable frames read into
+	// scans (the merged gather's cold loads for non-resident lineages).
 	ScanFrames int64
 	// ScanFramesPruned is the cumulative count of durable scan
-	// candidates the per-segment bitemporal envelope pruned unread.
+	// candidates the per-segment envelopes (bitemporal or value) pruned
+	// unread.
 	ScanFramesPruned int64
+	// ResidentLineages is the number of lineages currently resident in
+	// the RAM working set.
+	ResidentLineages int
+	// EvictedLineages is the number of keys currently evicted from RAM
+	// by the residency budget — served from durable frames, faulted back
+	// in on write.
+	EvictedLineages int
+	// ResidentBytes is the RAM working set's estimated byte footprint —
+	// what the residency budget is compared against.
+	ResidentBytes int64
 	// Degraded is non-nil while the store is in degraded mode.
 	Degraded *Degraded
 	// LastFlushErr is the most recent flush failure; nil after a
@@ -1382,6 +1541,9 @@ func (d *Store) Info() Info {
 		CompactionFailures:  d.compactFails.Load(),
 		ScanFrames:          d.scanFrames.Load(),
 		ScanFramesPruned:    d.scanPruned.Load(),
+		ResidentLineages:    d.mem.ResidentLineages(),
+		EvictedLineages:     d.mem.EvictedCount(),
+		ResidentBytes:       d.mem.ResidentBytes(),
 		Degraded:            d.degraded.Load(),
 		LastFlushErr:        d.LastFlushErr(),
 		FlushRetries:        d.flushRetries.Load(),

@@ -27,6 +27,15 @@
 //     the pin. See "Snapshot epochs" in DESIGN.md for the protocol and
 //     its memory model. ListLockAll retains the pre-epoch all-shard
 //     read-lock gather purely as a benchmark baseline.
+//   - Eviction (EvictToBudget, evict.go) removes fully-durable lineages
+//     under the shard's write lock, marking the key in the shard's
+//     evicted set and republishing the directory before releasing the
+//     lock, so writers and cold readers always see a consistent
+//     (byKey, evicted, pub) triple. Cold reads for non-resident keys
+//     take no shard locks: they fall through to the store's ColdSource
+//     after the ordinary byKey probe misses. A write to an evicted key
+//     faults the full record history back in (store.faultIn) under the
+//     same write lock its mutation already holds.
 //
 // The transaction clock and the WAL are intentionally not sharded: the
 // clock is a single atomic high-water mark (see txclock.go) and the log
@@ -51,6 +60,13 @@ type shard struct {
 	mu    sync.RWMutex
 	byKey map[element.FactKey]*lineage
 
+	// evicted marks keys the residency budget removed from byKey whose
+	// record history lives only in durable frames. The write path must
+	// fault such a key back in before mutating it (store.faultIn); read
+	// paths ignore the set and fall through to the ColdSource on a byKey
+	// miss. Guarded by mu; nil until the first eviction.
+	evicted map[element.FactKey]bool
+
 	// pub is the published, immutable lineage directory for lock-free
 	// cross-shard readers. Swapped copy-on-write under mu whenever the
 	// shard's key set changes (new lineage, compaction drop) — never on
@@ -68,6 +84,12 @@ type shard struct {
 	// triggers a sweep of just this shard once it crosses the policy
 	// threshold.
 	growth atomic.Int64
+
+	// bytes estimates the resident size of this shard's records (see
+	// approxFactBytes), maintained at every site that adds or removes
+	// records. The residency budget (EvictToBudget) compares the summed
+	// estimate against its configured byte target.
+	bytes atomic.Int64
 }
 
 // pubIndex is a shard's published lineage directory: attribute → lineages

@@ -126,6 +126,12 @@ type BatchWatcher func([]Change)
 type lineage struct {
 	key  element.FactKey
 	head atomic.Pointer[head]
+
+	// access is the lineage's recency stamp — the store's accessSeq value
+	// at its last point read or write — consumed by EvictToBudget's LRU
+	// ordering. Stamped only when access tracking is enabled (budgeted
+	// stores; see SetAccessTracking), so unbudgeted reads pay nothing.
+	access atomic.Int64
 }
 
 // head is the published, immutable read state of one lineage. A mutation
@@ -427,6 +433,18 @@ type Store struct {
 	// DropSweptBefore removes it once the tombstone is durable. See
 	// SetRetainSwept.
 	retainSwept atomic.Bool
+
+	// cold is the installed cold-read backend (see ColdSource in
+	// evict.go): reads for non-resident lineages fall through to it and
+	// scans union its durable-only lineages into the gather. Nil when
+	// the store is purely RAM-resident.
+	cold atomic.Pointer[coldSourceRef]
+
+	// accessSeq is the recency clock for eviction's LRU ordering; each
+	// tracked access stamps its lineage with the next value. trackAccess
+	// gates the stamping — only budgeted stores pay the atomics.
+	accessSeq   atomic.Int64
+	trackAccess atomic.Bool
 }
 
 // NewStore returns an empty store with a GOMAXPROCS-scaled shard count.
@@ -611,7 +629,20 @@ func (s *Store) apply(r writeReq) error {
 			return fmt.Errorf("state: write %s: empty validity %s", key, w)
 		}
 
-		l := sh.lineage(key, !r.isDelete)
+		l := sh.byKey[key]
+		if l == nil {
+			// A write (or delete) to an evicted key must restore the
+			// durable record history first: committing onto a fresh
+			// lineage would make the next flush frame supersede history
+			// the store no longer sees.
+			l = s.faultIn(sh, key)
+		}
+		if l == nil && !r.isDelete {
+			l = sh.lineage(key, true)
+		}
+		if l != nil {
+			s.touch(l)
+		}
 		h := emptyHead
 		if l != nil {
 			h = l.head.Load()
@@ -709,6 +740,7 @@ func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx t
 		nh.txOrdered = false
 	}
 	appended := 0
+	var addedBytes int64
 
 	// Fast path: a replace-shaped write — open-ended interval starting at
 	// or after every believed version — touches at most the open version
@@ -730,6 +762,7 @@ func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx t
 				records = append(records, left)
 				closed = append(closed, left)
 				appended++
+				addedBytes += approxFactBytes(left)
 				sh.versions.Add(1)
 			}
 			if record {
@@ -742,6 +775,7 @@ func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx t
 		}
 		records = append(records, put)
 		appended++
+		addedBytes += approxFactBytes(put)
 		sh.versions.Add(1)
 		nh.records, nh.closed, nh.open = records, closed, put
 		if record {
@@ -749,6 +783,7 @@ func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx t
 		}
 		sh.records.Add(int64(appended))
 		sh.growth.Add(int64(appended))
+		sh.bytes.Add(addedBytes)
 		l.head.Store(nh)
 		return changes
 	}
@@ -785,6 +820,7 @@ func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx t
 			records = append(records, left)
 			newLive = append(newLive, left)
 			appended++
+			addedBytes += approxFactBytes(left)
 			sh.versions.Add(1)
 		}
 		if w.End < v.Validity.End {
@@ -792,6 +828,7 @@ func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx t
 			records = append(records, right)
 			newLive = append(newLive, right)
 			appended++
+			addedBytes += approxFactBytes(right)
 			sh.versions.Add(1)
 		}
 		if record {
@@ -806,6 +843,7 @@ func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx t
 		records = append(records, put)
 		newLive = append(newLive, put)
 		appended++
+		addedBytes += approxFactBytes(put)
 		sh.versions.Add(1)
 		if record {
 			changes = append(changes, Change{Kind: Asserted, Fact: put, At: w.Start})
@@ -821,6 +859,7 @@ func (sh *shard) commit(l *lineage, put *element.Fact, w temporal.Interval, tx t
 	nh.records, nh.closed = records, newLive
 	sh.records.Add(int64(appended))
 	sh.growth.Add(int64(appended))
+	sh.bytes.Add(addedBytes)
 	l.head.Store(nh)
 	return changes
 }
@@ -839,12 +878,21 @@ func (sh *shard) reRecord(v *element.Fact, iv temporal.Interval, tx temporal.Ins
 // findPick resolves one point read against the key's published head: the
 // shard's read lock covers only the O(1) byKey probe, the head walk is
 // lock-free. Every point-read surface (Store and Snapshot, Find and the
-// spec/value forms) funnels through it.
+// spec/value forms) funnels through it. A key with no resident lineage
+// falls through to the installed ColdSource (evicted or compacted-away
+// lineages whose durable frame is still truthful).
 func (s *Store) findPick(entity, attr string, cfg readCfg) *element.Fact {
-	l := s.shardFor(entity, attr).get(element.FactKey{Entity: entity, Attribute: attr})
+	key := element.FactKey{Entity: entity, Attribute: attr}
+	l := s.shardFor(entity, attr).get(key)
 	if l == nil {
+		if cs := s.coldSource(); cs != nil {
+			if records, ok := cs.ColdRecords(key, specOfCfg(cfg), true); ok {
+				return detachedHead(records).pick(cfg)
+			}
+		}
 		return nil
 	}
+	s.touch(l)
 	return l.head.Load().pick(cfg)
 }
 
@@ -1014,10 +1062,11 @@ func (s *Store) gatherList(cfg readCfg) []*element.Fact {
 	pick := func(h *head, out []*element.Fact) []*element.Fact {
 		return pickInto(h, cfg, out)
 	}
+	shape := shapeOfCfg(cfg)
 	if cfg.attr != "" {
-		return s.byAttributeAll(cfg.attr, pick)
+		return s.byAttributeAll(cfg.attr, shape, pick)
 	}
-	return s.scanAll(pick)
+	return s.scanAll(shape, pick)
 }
 
 // Delete removes any value of (entity, attr) over the write options' valid
@@ -1046,11 +1095,23 @@ func (s *Store) History(entity, attr string, opts ...ReadOpt) []*element.Fact {
 // behind Store.History and Snapshot.History (which clamps cfg to its pin
 // first).
 func (s *Store) history(entity, attr string, cfg readCfg) []*element.Fact {
-	l := s.shardFor(entity, attr).get(element.FactKey{Entity: entity, Attribute: attr})
+	key := element.FactKey{Entity: entity, Attribute: attr}
+	l := s.shardFor(entity, attr).get(key)
+	var h *head
 	if l == nil {
-		return nil
+		cs := s.coldSource()
+		if cs == nil {
+			return nil
+		}
+		records, ok := cs.ColdRecords(key, specOfCfg(cfg), false)
+		if !ok {
+			return nil
+		}
+		h = detachedHead(records)
+	} else {
+		s.touch(l)
+		h = l.head.Load()
 	}
-	h := l.head.Load()
 	if cfg.allVersions {
 		if cfg.hasTxAt {
 			return recordsAt(h, cfg.txAt, nil)
@@ -1169,21 +1230,21 @@ func (s *Store) AsOfByAttribute(attr string, t temporal.Instant) []*element.Fact
 }
 
 // byAttributeAll gathers one attribute's lineages from every shard's
-// published directory and visits them in entity order — lock-free.
-func (s *Store) byAttributeAll(attr string, pick func(*head, []*element.Fact) []*element.Fact) []*element.Fact {
+// published directory — unioned with the ColdSource's durable-only
+// lineages for the attribute — and visits them in entity order,
+// lock-free. Resident lineages win over cold entries for the same key
+// (the cold copy is at best the identical flushed cut, at worst stale).
+func (s *Store) byAttributeAll(attr string, shape ScanShape, pick func(*head, []*element.Fact) []*element.Fact) []*element.Fact {
 	var lins []*lineage
 	for _, sh := range s.shards {
 		lins = append(lins, sh.pub.Load().byAttr[attr]...)
 	}
-	if len(lins) == 0 {
+	cold := s.coldLineagesFor(shape, ValueBounds{})
+	if len(lins) == 0 && len(cold) == 0 {
 		return nil
 	}
 	sort.Slice(lins, func(i, j int) bool { return lins[i].key.Entity < lins[j].key.Entity })
-	var out []*element.Fact
-	for _, l := range lins {
-		out = pick(l.head.Load(), out)
-	}
-	return out
+	return s.mergeGather(lins, cold, pick)
 }
 
 // AsOf returns every fact valid at t, sorted by (attribute, entity).
@@ -1228,7 +1289,8 @@ func (s *Store) Scan(pred func(*element.Fact) bool) []*element.Fact {
 // fresh, private clones.
 func (s *Store) scanAt(tt temporal.Instant, pred func(*element.Fact) bool) []*element.Fact {
 	var scratch element.Fact
-	return s.scanAll(func(h *head, out []*element.Fact) []*element.Fact {
+	shape := ScanShape{TxAt: tt, HasTxAt: true, AllVersions: true}
+	return s.scanAll(shape, func(h *head, out []*element.Fact) []*element.Fact {
 		for _, f := range h.believedAt(tt, true) {
 			scratch = f.Copy()
 			scratch.SupersededAt = restoreAt(scratch.SupersededAt, tt)
@@ -1241,9 +1303,14 @@ func (s *Store) scanAt(tt temporal.Instant, pred func(*element.Fact) bool) []*el
 	})
 }
 
-// scanAll visits every lineage's published head in deterministic
-// (attribute, entity) key order, appending picked clones — lock-free.
-func (s *Store) scanAll(pick func(*head, []*element.Fact) []*element.Fact) []*element.Fact {
+// scanAll visits every lineage's published head — unioned with the
+// ColdSource's durable-only lineages for the shape — in deterministic
+// (attribute, entity) key order, appending picked clones, lock-free.
+// This is the merged gather behind List, Scan, and WriteSnapshot: cold
+// data flows through the exact per-lineage selection resident data
+// does, so results are byte-identical whether a lineage is resident or
+// evicted.
+func (s *Store) scanAll(shape ScanShape, pick func(*head, []*element.Fact) []*element.Fact) []*element.Fact {
 	var lins []*lineage
 	for _, sh := range s.shards {
 		for _, ls := range sh.pub.Load().byAttr {
@@ -1251,27 +1318,69 @@ func (s *Store) scanAll(pick func(*head, []*element.Fact) []*element.Fact) []*el
 		}
 	}
 	sort.Slice(lins, func(i, j int) bool {
-		if lins[i].key.Attribute != lins[j].key.Attribute {
-			return lins[i].key.Attribute < lins[j].key.Attribute
-		}
-		return lins[i].key.Entity < lins[j].key.Entity
+		return coldKeyLess(lins[i].key, lins[j].key)
 	})
+	return s.mergeGather(lins, s.coldLineagesFor(shape, ValueBounds{}), pick)
+}
+
+// mergeGather runs the sorted merge of resident lineages and cold
+// candidates, both in (attribute, entity) order, applying pick to each
+// selected head. Equal keys keep the resident head: the cold entry is a
+// frame the eviction either never happened for or that a fault-in
+// already restored, and RAM is at least as new.
+func (s *Store) mergeGather(lins []*lineage, cold []ColdLineage, pick func(*head, []*element.Fact) []*element.Fact) []*element.Fact {
 	var out []*element.Fact
-	for _, l := range lins {
-		out = pick(l.head.Load(), out)
+	pickCold := func(c ColdLineage) {
+		if h := coldHead(c); h != nil {
+			out = pick(h, out)
+		}
+	}
+	i, j := 0, 0
+	for i < len(lins) && j < len(cold) {
+		switch {
+		case coldKeyLess(cold[j].Key, lins[i].key):
+			pickCold(cold[j])
+			j++
+		case coldKeyLess(lins[i].key, cold[j].Key):
+			out = pick(lins[i].head.Load(), out)
+			i++
+		default:
+			out = pick(lins[i].head.Load(), out)
+			i++
+			j++
+		}
+	}
+	for ; i < len(lins); i++ {
+		out = pick(lins[i].head.Load(), out)
+	}
+	for ; j < len(cold); j++ {
+		pickCold(cold[j])
 	}
 	return out
 }
 
 // ValiditySet returns the coalesced set of intervals over which
-// (entity, attr) is believed to have had any value.
+// (entity, attr) is believed to have had any value. Like the other
+// key-level reads it falls through to the ColdSource for non-resident
+// lineages.
 func (s *Store) ValiditySet(entity, attr string) *temporal.Set {
 	set := temporal.NewSet()
-	l := s.shardFor(entity, attr).get(element.FactKey{Entity: entity, Attribute: attr})
+	key := element.FactKey{Entity: entity, Attribute: attr}
+	l := s.shardFor(entity, attr).get(key)
+	var h *head
 	if l == nil {
-		return set
+		cs := s.coldSource()
+		if cs == nil {
+			return set
+		}
+		records, ok := cs.ColdRecords(key, ReadSpec{}, false)
+		if !ok {
+			return set
+		}
+		h = detachedHead(records)
+	} else {
+		h = l.head.Load()
 	}
-	h := l.head.Load()
 	for i, n := 0, h.nLive(); i < n; i++ {
 		set.Add(h.liveAt(i).Validity)
 	}
@@ -1397,9 +1506,11 @@ func (s *Store) CompactBeforeWithWorkers(t temporal.Instant, workers int) int {
 func (sh *shard) sweepLineage(l *lineage, now temporal.Instant, retain bool, drop func(*element.Fact) bool) (liveRemoved int, emptied bool) {
 	h := l.head.Load()
 	gone := 0
+	var goneBytes int64
 	for _, f := range h.records {
 		if drop(f) {
 			gone++
+			goneBytes += approxFactBytes(f)
 		}
 	}
 	if gone == 0 {
@@ -1432,6 +1543,7 @@ func (sh *shard) sweepLineage(l *lineage, now temporal.Instant, retain bool, dro
 	}
 	sh.versions.Add(int64(-liveRemoved))
 	sh.records.Add(int64(-gone))
+	sh.bytes.Add(-goneBytes)
 	if len(nh.records) == 0 {
 		if !retain {
 			return liveRemoved, true

@@ -165,6 +165,20 @@ func DurableBeliefRetention(d time.Duration) DurableOption {
 	return segment.WithBeliefRetention(d)
 }
 
+// WithResidencyBudget caps the RAM working set of a durable engine at n
+// estimated bytes. As the watermark advances, fully-flushed cold
+// lineages are evicted least-recently-used; reads and scans serve them
+// from segment frames with identical results, and writes to evicted
+// keys fault their history back in. Zero (the default) keeps everything
+// resident. See DESIGN.md "Larger-than-RAM state".
+func WithResidencyBudget(n int64) Option { return core.WithResidencyBudget(n) }
+
+// DurableResidencyBudget is the standalone-store form of
+// WithResidencyBudget, for OpenDurableStore.
+func DurableResidencyBudget(n int64) DurableOption {
+	return segment.WithResidencyBudget(n)
+}
+
 // DurableWALRotateBytes tunes the segmented WAL's rotation threshold:
 // the tail log rotates to a fresh numbered file once the active one
 // reaches n bytes, so post-flush truncation is whole-file drops instead
